@@ -1,0 +1,26 @@
+// Ablation: idle-power fraction. The paper's §5.1 counter-intuitive shape
+// — normalized energy *falling* as load rises at low load — is driven by
+// idle consumption (5 % of P_max in the paper). Sweeping the fraction
+// shows the dip appearing/disappearing.
+#include "apps/atr.h"
+#include "bench_util.h"
+
+using namespace paserta;
+
+int main(int argc, char** argv) {
+  const int runs = benchutil::runs_from_args(argc, argv, 500);
+  const Application atr = apps::build_atr();
+  const std::vector<double> loads = sweep_range(0.1, 1.0, 0.1);
+
+  for (double idle_fraction : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    auto cfg = benchutil::paper_config(LevelTable::transmeta_tm5400(), 2, runs);
+    cfg.idle_fraction = idle_fraction;
+    cfg.schemes = {Scheme::SPM, Scheme::GSS, Scheme::AS};
+    benchutil::emit(
+        "Ablation.idle." + Table::num(idle_fraction, 2),
+        "Energy vs load, ATR, 2 CPUs, Transmeta, idle fraction = " +
+            Table::num(idle_fraction, 2),
+        sweep_load(atr, cfg, loads), "load");
+  }
+  return 0;
+}

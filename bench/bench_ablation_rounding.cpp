@@ -1,0 +1,33 @@
+// Ablation: speculative-floor rounding. The paper's print is ambiguous on
+// whether SS1/AS round a between-levels speculative speed to the higher or
+// lower level; both are deadline-safe (GSS backstops). Rounding down runs
+// slower up front but forces corrective switches when the greedy component
+// catches up; rounding up wastes some speculation headroom. This bench
+// quantifies the difference on both platforms.
+#include "apps/synthetic.h"
+#include "bench_util.h"
+
+using namespace paserta;
+
+int main(int argc, char** argv) {
+  const int runs = benchutil::runs_from_args(argc, argv, 500);
+  const Application syn = apps::build_synthetic();
+  const std::vector<double> loads = {0.3, 0.5, 0.7, 0.9};
+
+  for (const LevelTable& table :
+       {LevelTable::transmeta_tm5400(), LevelTable::intel_xscale()}) {
+    for (auto rounding : {PolicyOptions::SpecRounding::Up,
+                          PolicyOptions::SpecRounding::Down}) {
+      auto cfg = benchutil::paper_config(table, 2, runs);
+      cfg.schemes = {Scheme::SS1, Scheme::AS};
+      cfg.policy_options.spec_rounding = rounding;
+      const char* r =
+          rounding == PolicyOptions::SpecRounding::Up ? "up" : "down";
+      benchutil::emit("Ablation.rounding." + table.name() + "." + r,
+                      std::string("Energy vs load, synthetic, 2 CPUs, "
+                                  "speculative rounding = ") + r,
+                      sweep_load(syn, cfg, loads), "load");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 4: normalized energy vs load for ATR on dual-processor systems,
+// alpha = 0.9 (measured), overhead = 5 us, on (a) Transmeta TM5400 and
+// (b) Intel XScale. Thin wrapper over the figure registry
+// (harness/figures.h).
+#include "bench_util.h"
+#include "harness/figures.h"
+
+using namespace paserta;
+
+int main(int argc, char** argv) {
+  const int runs = benchutil::runs_from_args(argc, argv);
+  for (const char* id : {"fig4a", "fig4b"}) {
+    const FigureDef f = paper_figure(id, runs);
+    benchutil::emit("Fig." + f.id.substr(3),
+                    f.caption + ", runs=" + std::to_string(runs),
+                    run_figure(f), f.x_name);
+  }
+  return 0;
+}

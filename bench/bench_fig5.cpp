@@ -1,0 +1,18 @@
+// Figure 5: normalized energy vs load for ATR on 6-processor systems,
+// alpha = 0.9, overhead = 5 us. More processors force more synchronization
+// idleness, so every dynamic scheme saves less than on 2 CPUs.
+#include "bench_util.h"
+#include "harness/figures.h"
+
+using namespace paserta;
+
+int main(int argc, char** argv) {
+  const int runs = benchutil::runs_from_args(argc, argv);
+  for (const char* id : {"fig5a", "fig5b"}) {
+    const FigureDef f = paper_figure(id, runs);
+    benchutil::emit("Fig." + f.id.substr(3),
+                    f.caption + ", runs=" + std::to_string(runs),
+                    run_figure(f), f.x_name);
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6: normalized energy vs alpha (ACET/WCET ratio) for the synthetic
+// Figure-3 application on dual-processor systems, load = 0.9,
+// overhead = 5 us. With load 0.9 on the XScale model, SPM's 900 MHz desire
+// rounds up to f_max = 1 GHz, so SPM matches NPM — the paper's §5.2 remark.
+#include "bench_util.h"
+#include "harness/figures.h"
+
+using namespace paserta;
+
+int main(int argc, char** argv) {
+  const int runs = benchutil::runs_from_args(argc, argv);
+  for (const char* id : {"fig6a", "fig6b"}) {
+    const FigureDef f = paper_figure(id, runs);
+    benchutil::emit("Fig." + f.id.substr(3),
+                    f.caption + ", runs=" + std::to_string(runs),
+                    run_figure(f), f.x_name);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark): throughput of the offline analysis,
+// the LTF list scheduler and the online simulator — the cost a runtime
+// would actually pay per power-management point.
+#include <benchmark/benchmark.h>
+
+#include "apps/atr.h"
+#include "apps/random_app.h"
+#include "apps/synthetic.h"
+#include "core/list_sched.h"
+#include "core/offline.h"
+#include "sim/engine.h"
+
+namespace paserta {
+namespace {
+
+Application big_random_app(std::uint64_t seed) {
+  apps::RandomAppConfig cfg;
+  cfg.max_segments = 6;
+  cfg.max_section_tasks = 10;
+  Rng rng(seed);
+  return apps::random_application(rng, cfg, "big");
+}
+
+void BM_LtfSchedule(benchmark::State& state) {
+  AndOrGraph g;
+  std::vector<NodeId> members;
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (int i = 0; i < n; ++i)
+    members.push_back(g.add_task("t" + std::to_string(i),
+                                 SimTime::from_ms(1 + rng.next_below(9)),
+                                 SimTime::from_ms(1)));
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.next_double() < 0.1) g.add_edge(members[i], members[j]);
+  const auto dur = [&g](NodeId id) { return g.node(id).wcet; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ltf_schedule(g, members, 4, dur));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LtfSchedule)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OfflineAnalysis(benchmark::State& state) {
+  const Application app = apps::build_atr();
+  OfflineOptions o;
+  o.cpus = 2;
+  o.deadline = SimTime::from_ms(200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_offline(app, o));
+  }
+}
+BENCHMARK(BM_OfflineAnalysis);
+
+void BM_SimulateScheme(benchmark::State& state) {
+  const Application app = apps::build_synthetic();
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 2;
+  o.deadline = SimTime::from_ms(120);
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  const OfflineResult off = analyze_offline(app, o);
+  const Scheme scheme = static_cast<Scheme>(state.range(0));
+  Rng rng(5);
+  const RunScenario sc = draw_scenario(app.graph, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(app, off, pm, ovh, scheme, sc));
+  }
+}
+BENCHMARK(BM_SimulateScheme)
+    ->Arg(static_cast<int>(Scheme::NPM))
+    ->Arg(static_cast<int>(Scheme::GSS))
+    ->Arg(static_cast<int>(Scheme::AS));
+
+void BM_DrawScenario(benchmark::State& state) {
+  const Application app = big_random_app(3);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(draw_scenario(app.graph, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(app.graph.size()));
+}
+BENCHMARK(BM_DrawScenario);
+
+void BM_GraphValidate(benchmark::State& state) {
+  const Application app = big_random_app(4);
+  for (auto _ : state) {
+    app.graph.validate();
+  }
+}
+BENCHMARK(BM_GraphValidate);
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,25 @@
+// Processor-count study (paper §5 text: 4-processor results are "similar"
+// to 2 and 6): ATR at 2/4/6 CPUs on both models, a coarse load sweep.
+#include "apps/atr.h"
+#include "bench_util.h"
+
+using namespace paserta;
+
+int main(int argc, char** argv) {
+  const int runs = benchutil::runs_from_args(argc, argv, 500);
+  const Application atr = apps::build_atr();
+  const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8, 1.0};
+
+  for (const LevelTable& table :
+       {LevelTable::transmeta_tm5400(), LevelTable::intel_xscale()}) {
+    for (int cpus : {2, 4, 6}) {
+      const auto cfg = benchutil::paper_config(table, cpus, runs);
+      benchutil::emit(
+          "Procs." + table.name() + "." + std::to_string(cpus),
+          "Energy vs load, ATR, " + std::to_string(cpus) + " CPUs, " +
+              table.name() + ", alpha=0.9, overhead=5us",
+          sweep_load(atr, cfg, loads), "load");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces paper Tables 1 and 2: the Transmeta TM5400 and Intel XScale
+// voltage/frequency operating points used by every experiment, plus the
+// derived power figures of the energy model.
+#include <iostream>
+
+#include "common/table.h"
+#include "power/power_model.h"
+
+using namespace paserta;
+
+namespace {
+
+void print_table(const char* title, const LevelTable& lt) {
+  std::cout << "# " << title << "\n";
+  const PowerModel pm(lt);
+  Table t({"level", "f_MHz", "V", "P_watts", "P/Pmax"});
+  for (std::size_t i = 0; i < lt.size(); ++i) {
+    const Level& l = lt.level(i);
+    t.add_row({std::to_string(i),
+               Table::num(static_cast<double>(l.freq) / 1e6, 1),
+               Table::num(l.volts, 3), Table::num(pm.power(i), 4),
+               Table::num(pm.power(i) / pm.max_power(), 4)});
+  }
+  t.write_csv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  print_table("Table 1: Speed & Voltages of Transmeta TM5400",
+              LevelTable::transmeta_tm5400());
+  print_table("Table 2: Speed & Voltages of Intel XScale",
+              LevelTable::intel_xscale());
+  return 0;
+}

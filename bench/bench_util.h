@@ -1,0 +1,43 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench accepts an optional first argument overriding the number of
+// Monte-Carlo runs per point (default 1000, as in the paper) and prints
+// machine-readable CSV series plus the experiment parameters.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace paserta::benchutil {
+
+inline int runs_from_args(int argc, char** argv, int def = 1000) {
+  if (argc > 1) {
+    const int r = std::atoi(argv[1]);
+    if (r > 0) return r;
+  }
+  return def;
+}
+
+inline ExperimentConfig paper_config(const LevelTable& table, int cpus,
+                                     int runs) {
+  ExperimentConfig cfg;
+  cfg.cpus = cpus;
+  cfg.table = table;
+  cfg.runs = runs;
+  cfg.seed = 20020818;  // ICPP 2002
+  cfg.overheads.speed_compute_cycles = 300;
+  cfg.overheads.speed_change_time = SimTime::from_us(5.0);
+  return cfg;
+}
+
+inline void emit(const std::string& figure, const std::string& caption,
+                 const std::vector<SweepPoint>& points,
+                 const std::string& x_name) {
+  print_figure(std::cout, figure, caption, points, x_name);
+}
+
+}  // namespace paserta::benchutil

@@ -1,0 +1,107 @@
+#include "common/error.h"
+// Capacity planner: size a platform for a periodic workload.
+//
+//   $ ./capacity_planner [frames_per_second] [frames]
+//
+// Given the MPEG-style decoder and a target frame rate, searches
+// (platform x CPU count x scheme) for configurations that (a) fit the
+// frame deadline in the worst case and (b) minimize average energy —
+// using the PowerAwareScheduler facade and paired significance tests to
+// report whether the winner's margin is real.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "apps/mpeg.h"
+#include "common/significance.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+
+using namespace paserta;
+
+int main(int argc, char** argv) {
+  const double fps = argc > 1 ? std::atof(argv[1]) : 50.0;
+  const int frames = argc > 2 ? std::max(10, std::atoi(argv[2])) : 400;
+  const SimTime deadline = SimTime::from_ms(1000.0 / fps);
+
+  const Application app = apps::build_mpeg();
+  std::cout << "Workload: MPEG-style decoder, " << app.graph.task_count()
+            << " tasks, frame deadline " << to_string(deadline) << " ("
+            << fps << " fps), " << frames << " frames per cell\n\n";
+
+  struct Cell {
+    std::string table;
+    int cpus;
+    Scheme scheme;
+    double mean_energy_mj;
+    RunningStat energies;
+  };
+  std::vector<Cell> feasible;
+  int infeasible = 0;
+
+  for (const LevelTable& table :
+       {LevelTable::transmeta_tm5400(), LevelTable::intel_xscale()}) {
+    for (int cpus : {1, 2, 4}) {
+      for (Scheme scheme : {Scheme::SPM, Scheme::GSS, Scheme::AS}) {
+        PowerAwareScheduler::Config cfg;
+        cfg.cpus = cpus;
+        cfg.table = table;
+        cfg.scheme = scheme;
+        cfg.deadline = deadline;
+        cfg.track_npm_baseline = false;
+        try {
+          PowerAwareScheduler sched(app, cfg);
+          Rng rng(1);
+          RunningStat energies;
+          for (int f = 0; f < frames; ++f)
+            energies.add(sched.run_frame(rng).total_energy() * 1e3);
+          if (sched.summary().deadline_misses > 0) {
+            ++infeasible;
+            continue;
+          }
+          feasible.push_back(Cell{table.name(), cpus, scheme,
+                                  energies.mean(), energies});
+        } catch (const Error&) {
+          ++infeasible;  // canonical worst case does not fit the deadline
+        }
+      }
+    }
+  }
+
+  if (feasible.empty()) {
+    std::cout << "no configuration meets " << to_string(deadline)
+              << " per frame; lower the frame rate or widen the search\n";
+    return 1;
+  }
+
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Cell& a, const Cell& b) {
+              return a.mean_energy_mj < b.mean_energy_mj;
+            });
+
+  Table t({"rank", "platform", "cpus", "scheme", "mJ/frame", "ci95"});
+  int rank = 1;
+  for (const Cell& c : feasible) {
+    t.add_row({std::to_string(rank++), c.table, std::to_string(c.cpus),
+               to_string(c.scheme), Table::num(c.mean_energy_mj, 3),
+               Table::num(c.energies.ci95_halfwidth(), 3)});
+  }
+  t.write_pretty(std::cout);
+  std::cout << "\n(" << infeasible
+            << " configurations rejected: worst case misses the deadline "
+               "or frames were lost)\n";
+
+  if (feasible.size() >= 2) {
+    const TTestResult tt =
+        welch_t_test(feasible[0].energies, feasible[1].energies);
+    std::cout << "\nwinner vs runner-up: diff "
+              << Table::num(tt.mean_diff, 3) << " mJ/frame, p = "
+              << tt.p_value
+              << (tt.significant() ? " (significant)"
+                                   : " (not significant — treat as a tie)")
+              << "\n";
+  }
+  return 0;
+}

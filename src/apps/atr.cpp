@@ -1,0 +1,87 @@
+#include "apps/atr.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace paserta::apps {
+namespace {
+
+SimTime scaled_acet(SimTime wcet, double alpha) {
+  auto t = SimTime{static_cast<std::int64_t>(
+      alpha * static_cast<double>(wcet.ps) + 0.5)};
+  if (t <= SimTime::zero()) t = SimTime{1};
+  return std::min(t, wcet);
+}
+
+}  // namespace
+
+Application build_atr(const AtrConfig& cfg) {
+  PASERTA_REQUIRE(cfg.max_rois >= 1, "ATR needs at least one ROI branch");
+  PASERTA_REQUIRE(cfg.templates >= 1, "ATR needs at least one template");
+  PASERTA_REQUIRE(cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+                  "ATR alpha must be in (0,1]");
+
+  std::vector<double> probs = cfg.roi_count_prob;
+  if (probs.empty()) {
+    // Default per the paper's description: most frames detect few ROIs.
+    switch (cfg.max_rois) {
+      case 1: probs = {1.0}; break;
+      case 2: probs = {0.6, 0.4}; break;
+      case 3: probs = {0.45, 0.35, 0.2}; break;
+      default: {
+        probs = {0.4, 0.3, 0.2, 0.1};
+        // Spread the tail uniformly if more than 4 branches are requested.
+        while (static_cast<int>(probs.size()) < cfg.max_rois) {
+          for (double& p : probs) p *= 0.9;
+          probs.push_back(1.0 - 0.9 * 1.0);
+        }
+        // Renormalize.
+        double s = 0.0;
+        for (double p : probs) s += p;
+        for (double& p : probs) p /= s;
+        break;
+      }
+    }
+  }
+  PASERTA_REQUIRE(static_cast<int>(probs.size()) == cfg.max_rois,
+                  "roi_count_prob needs one entry per ROI count (got "
+                      << probs.size() << ", expected " << cfg.max_rois << ")");
+
+  auto task = [&](std::string name, SimTime wcet) {
+    return TaskSpec{std::move(name), wcet, scaled_acet(wcet, cfg.alpha)};
+  };
+
+  const SimTime compare_wcet =
+      SimTime{cfg.compare_wcet_per_template.ps * cfg.templates};
+
+  Program app;
+  app.task("detect", cfg.detect_wcet, scaled_acet(cfg.detect_wcet, cfg.alpha));
+
+  // One alternative per ROI count: k parallel extract->match->classify
+  // pipelines.
+  std::vector<std::pair<double, Program>> alts;
+  for (int k = 1; k <= cfg.max_rois; ++k) {
+    Program alt;
+    SectionSpec sec;
+    for (int r = 0; r < k; ++r) {
+      const std::string roi = "roi" + std::to_string(k) + "_" +
+                              std::to_string(r);
+      const std::size_t base = sec.tasks.size();
+      sec.tasks.push_back(task(roi + "_extract", cfg.extract_wcet));
+      sec.tasks.push_back(task(roi + "_match", compare_wcet));
+      sec.tasks.push_back(task(roi + "_classify", cfg.classify_wcet));
+      sec.edges.push_back({base, base + 1});
+      sec.edges.push_back({base + 1, base + 2});
+    }
+    alt.section(std::move(sec));
+    alts.emplace_back(probs[static_cast<std::size_t>(k - 1)], std::move(alt));
+  }
+  app.branch("nroi", std::move(alts));
+
+  app.task("report", cfg.report_wcet, scaled_acet(cfg.report_wcet, cfg.alpha));
+
+  return build_application("atr", app);
+}
+
+}  // namespace paserta::apps

@@ -1,0 +1,111 @@
+#include "apps/layered.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace paserta::apps {
+namespace {
+
+TaskSpec random_task(Rng& rng, const LayeredConfig& cfg, int layer, int idx) {
+  const auto span = static_cast<double>((cfg.wcet_max - cfg.wcet_min).ps);
+  const SimTime wcet =
+      cfg.wcet_min +
+      SimTime{static_cast<std::int64_t>(rng.next_double() * span)};
+  const double alpha =
+      cfg.alpha_min + rng.next_double() * (cfg.alpha_max - cfg.alpha_min);
+  SimTime acet{
+      static_cast<std::int64_t>(alpha * static_cast<double>(wcet.ps) + 0.5)};
+  acet = std::clamp(acet, SimTime{1}, wcet);
+  return TaskSpec{
+      "L" + std::to_string(layer) + "_" + std::to_string(idx), wcet, acet};
+}
+
+void validate(const LayeredConfig& cfg) {
+  PASERTA_REQUIRE(cfg.layers >= 1, "need at least one layer");
+  PASERTA_REQUIRE(cfg.min_width >= 1 && cfg.min_width <= cfg.max_width,
+                  "invalid layer width range");
+  PASERTA_REQUIRE(cfg.fan_prob >= 0.0 && cfg.fan_prob <= 1.0,
+                  "fan_prob must be in [0,1]");
+  PASERTA_REQUIRE(cfg.wcet_min > SimTime::zero() &&
+                      cfg.wcet_min <= cfg.wcet_max,
+                  "invalid WCET range");
+  PASERTA_REQUIRE(cfg.alpha_min > 0.0 && cfg.alpha_min <= cfg.alpha_max &&
+                      cfg.alpha_max <= 1.0,
+                  "invalid alpha range");
+}
+
+}  // namespace
+
+SectionSpec layered_section(Rng& rng, const LayeredConfig& cfg) {
+  validate(cfg);
+  SectionSpec sec;
+  std::vector<std::vector<std::size_t>> layer_members(
+      static_cast<std::size_t>(cfg.layers));
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    const int width =
+        cfg.min_width +
+        static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(cfg.max_width - cfg.min_width + 1)));
+    for (int i = 0; i < width; ++i) {
+      layer_members[static_cast<std::size_t>(layer)].push_back(
+          sec.tasks.size());
+      sec.tasks.push_back(random_task(rng, cfg, layer, i));
+    }
+  }
+
+  for (int layer = 1; layer < cfg.layers; ++layer) {
+    const auto& prev = layer_members[static_cast<std::size_t>(layer - 1)];
+    for (std::size_t to : layer_members[static_cast<std::size_t>(layer)]) {
+      bool connected = false;
+      for (std::size_t from : prev) {
+        if (rng.next_double() < cfg.fan_prob) {
+          sec.edges.push_back({from, to});
+          connected = true;
+        }
+      }
+      if (!connected) {
+        // Guaranteed predecessor: a uniformly chosen previous-layer node.
+        const std::size_t from =
+            prev[rng.next_below(static_cast<std::uint64_t>(prev.size()))];
+        sec.edges.push_back({from, to});
+      }
+    }
+  }
+  return sec;
+}
+
+Program layered_program(Rng& rng, const LayeredConfig& cfg, int stages,
+                        double shortcut_prob) {
+  PASERTA_REQUIRE(stages >= 1, "need at least one stage");
+  PASERTA_REQUIRE(shortcut_prob >= 0.0 && shortcut_prob < 1.0,
+                  "shortcut probability must be in [0,1)");
+  Program p;
+  p.section(layered_section(rng, cfg));
+  for (int stage = 1; stage < stages; ++stage) {
+    if (shortcut_prob > 0.0) {
+      Program full;
+      full.section(layered_section(rng, cfg));
+      Program shortcut;
+      shortcut.task("shortcut" + std::to_string(stage),
+                    cfg.wcet_min, std::max(SimTime{1}, cfg.wcet_min));
+      p.branch("stage" + std::to_string(stage),
+               {{1.0 - shortcut_prob, std::move(full)},
+                {shortcut_prob, std::move(shortcut)}});
+    } else {
+      p.section(layered_section(rng, cfg));
+    }
+  }
+  return p;
+}
+
+Application layered_application(Rng& rng, const LayeredConfig& cfg,
+                                int stages, double shortcut_prob,
+                                const std::string& name) {
+  return build_application(name,
+                           layered_program(rng, cfg, stages, shortcut_prob));
+}
+
+}  // namespace paserta::apps

@@ -1,0 +1,43 @@
+// Layer-by-layer task-graph generator (TGFF-style).
+//
+// The standard generator of this literature: tasks arranged in layers,
+// edges only between adjacent layers, every non-entry task depending on at
+// least one task of the previous layer. Produces the wide, synchronization-
+// heavy sections that stress multiprocessor slack sharing differently from
+// random_app's sparse DAGs. Can emit a single section or a full AND/OR
+// program with probabilistic branches between layered stages.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/program.h"
+
+namespace paserta::apps {
+
+struct LayeredConfig {
+  int layers = 4;
+  int min_width = 2;
+  int max_width = 5;
+  /// Probability of an edge between a node and each node of the next
+  /// layer (each next-layer node additionally gets one guaranteed
+  /// predecessor).
+  double fan_prob = 0.4;
+  SimTime wcet_min = SimTime::from_ms(1.0);
+  SimTime wcet_max = SimTime::from_ms(8.0);
+  double alpha_min = 0.4;
+  double alpha_max = 0.9;
+};
+
+/// One layered section.
+SectionSpec layered_section(Rng& rng, const LayeredConfig& config);
+
+/// `stages` layered sections chained through OR branches: after each stage
+/// a two-way branch either continues with the next full stage or takes a
+/// cheap fallback path (probability `shortcut_prob`).
+Program layered_program(Rng& rng, const LayeredConfig& config, int stages,
+                        double shortcut_prob = 0.3);
+
+Application layered_application(Rng& rng, const LayeredConfig& config,
+                                int stages, double shortcut_prob = 0.3,
+                                const std::string& name = "layered");
+
+}  // namespace paserta::apps

@@ -1,0 +1,62 @@
+#include "apps/mpeg.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+
+namespace paserta::apps {
+namespace {
+
+SimTime scaled(SimTime wcet, double alpha) {
+  auto t = SimTime{
+      static_cast<std::int64_t>(alpha * static_cast<double>(wcet.ps) + 0.5)};
+  if (t <= SimTime::zero()) t = SimTime{1};
+  return std::min(t, wcet);
+}
+
+/// One frame-type alternative: `slices` parallel decoders followed by
+/// `mc_passes` serial motion-compensation tasks.
+Program frame_alternative(const MpegConfig& cfg, const char* type,
+                          SimTime slice_wcet, int mc_passes) {
+  Program alt;
+  SectionSpec sec;
+  for (int s = 0; s < cfg.slices; ++s) {
+    sec.tasks.push_back(TaskSpec{
+        std::string(type) + "_slice" + std::to_string(s), slice_wcet,
+        scaled(slice_wcet, cfg.alpha)});
+  }
+  alt.section(std::move(sec));
+  for (int pass = 0; pass < mc_passes; ++pass) {
+    alt.task(std::string(type) + "_mc" + std::to_string(pass), cfg.mc_wcet,
+             scaled(cfg.mc_wcet, cfg.alpha));
+  }
+  return alt;
+}
+
+}  // namespace
+
+Program mpeg_program(const MpegConfig& cfg) {
+  PASERTA_REQUIRE(std::abs(cfg.p_i + cfg.p_p + cfg.p_b - 1.0) < 1e-9,
+                  "frame-type probabilities must sum to 1");
+  PASERTA_REQUIRE(cfg.p_i > 0.0 && cfg.p_p > 0.0 && cfg.p_b > 0.0,
+                  "frame-type probabilities must be positive");
+  PASERTA_REQUIRE(cfg.slices >= 1, "need at least one slice decoder");
+  PASERTA_REQUIRE(cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+                  "alpha must be in (0,1]");
+
+  Program p;
+  p.task("parse", cfg.parse_wcet, scaled(cfg.parse_wcet, cfg.alpha));
+  p.branch("frame_type",
+           {{cfg.p_i, frame_alternative(cfg, "I", cfg.slice_wcet_i, 0)},
+            {cfg.p_p, frame_alternative(cfg, "P", cfg.slice_wcet_p, 1)},
+            {cfg.p_b, frame_alternative(cfg, "B", cfg.slice_wcet_b, 2)}});
+  p.task("deblock", cfg.deblock_wcet, scaled(cfg.deblock_wcet, cfg.alpha));
+  return p;
+}
+
+Application build_mpeg(const MpegConfig& cfg) {
+  return build_application("mpeg", mpeg_program(cfg));
+}
+
+}  // namespace paserta::apps

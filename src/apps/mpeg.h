@@ -1,0 +1,46 @@
+// MPEG-style video decoder workload.
+//
+// The other canonical AND/OR application of the DVS literature: per-frame
+// work depends on the frame type (I/P/B with stream-dependent
+// probabilities — the OR fork), macroblock slices decode in parallel (AND
+// parallelism), and motion compensation only runs for predicted frames.
+// Complements ATR (detection-driven) with a decode-driven control-flow
+// profile: high branch variance, moderate parallelism.
+#pragma once
+
+#include <vector>
+
+#include "graph/program.h"
+
+namespace paserta::apps {
+
+struct MpegConfig {
+  /// P(I frame), P(P frame), P(B frame); must sum to 1.
+  double p_i = 0.10;
+  double p_p = 0.40;
+  double p_b = 0.50;
+  /// Parallel slice decoders per frame.
+  int slices = 4;
+  /// ACET/WCET ratio for all tasks.
+  double alpha = 0.7;
+  /// Per-slice entropy-decode WCET; I frames carry the most coefficient
+  /// data, B frames the least.
+  SimTime slice_wcet_i = SimTime::from_ms(6.0);
+  SimTime slice_wcet_p = SimTime::from_ms(4.0);
+  SimTime slice_wcet_b = SimTime::from_ms(3.0);
+  /// Motion compensation per reference (P: one, B: two passes).
+  SimTime mc_wcet = SimTime::from_ms(3.0);
+  /// Header parse / deblock+display WCETs.
+  SimTime parse_wcet = SimTime::from_ms(1.0);
+  SimTime deblock_wcet = SimTime::from_ms(4.0);
+};
+
+/// Builds one frame's decode graph:
+///   parse -> OR{I, P, B} -> deblock
+/// where each alternative holds `slices` parallel slice decoders and the
+/// frame type's motion-compensation chain.
+Application build_mpeg(const MpegConfig& config = {});
+
+Program mpeg_program(const MpegConfig& config = {});
+
+}  // namespace paserta::apps

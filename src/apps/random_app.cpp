@@ -1,0 +1,134 @@
+#include "apps/random_app.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace paserta::apps {
+namespace {
+
+class Generator {
+ public:
+  Generator(Rng& rng, const RandomAppConfig& cfg) : rng_(rng), cfg_(cfg) {}
+
+  Program program(int depth) {
+    Program p;
+    const int n_segs =
+        1 + static_cast<int>(rng_.next_below(
+                static_cast<std::uint64_t>(cfg_.max_segments)));
+    for (int s = 0; s < n_segs; ++s) {
+      const double roll = rng_.next_double();
+      // The first segment is always a section so every program has real
+      // work before its first speculation point.
+      if (s > 0 && depth < cfg_.max_depth && roll < cfg_.branch_prob) {
+        add_branch(p, depth);
+      } else if (s > 0 && depth < cfg_.max_depth &&
+                 roll < cfg_.branch_prob + cfg_.loop_prob) {
+        add_loop(p, depth);
+      } else {
+        p.section(section());
+      }
+    }
+    return p;
+  }
+
+ private:
+  SectionSpec section() {
+    SectionSpec sec;
+    const int n = 1 + static_cast<int>(rng_.next_below(
+                          static_cast<std::uint64_t>(cfg_.max_section_tasks)));
+    for (int i = 0; i < n; ++i) sec.tasks.push_back(task());
+    for (std::size_t i = 0; i < sec.tasks.size(); ++i) {
+      for (std::size_t j = i + 1; j < sec.tasks.size(); ++j) {
+        if (rng_.next_double() < cfg_.intra_edge_prob)
+          sec.edges.push_back({i, j});
+      }
+    }
+    return sec;
+  }
+
+  TaskSpec task() {
+    const auto span = static_cast<double>((cfg_.wcet_max - cfg_.wcet_min).ps);
+    const SimTime wcet =
+        cfg_.wcet_min +
+        SimTime{static_cast<std::int64_t>(rng_.next_double() * span)};
+    const double alpha =
+        cfg_.alpha_min + rng_.next_double() * (cfg_.alpha_max - cfg_.alpha_min);
+    SimTime acet{static_cast<std::int64_t>(
+        alpha * static_cast<double>(wcet.ps) + 0.5)};
+    acet = std::clamp(acet, SimTime{1}, wcet);
+    return TaskSpec{"t" + std::to_string(task_counter_++), wcet, acet};
+  }
+
+  void add_branch(Program& p, int depth) {
+    const int n_alts =
+        2 + static_cast<int>(rng_.next_below(
+                static_cast<std::uint64_t>(cfg_.max_branch_alts - 1)));
+    std::vector<double> probs = random_probs(n_alts);
+    std::vector<std::pair<double, Program>> alts;
+    for (int a = 0; a < n_alts; ++a) {
+      if (rng_.next_double() < cfg_.empty_alt_prob) {
+        alts.emplace_back(probs[static_cast<std::size_t>(a)], Program{});
+      } else {
+        alts.emplace_back(probs[static_cast<std::size_t>(a)],
+                          program(depth + 1));
+      }
+    }
+    p.branch("b" + std::to_string(branch_counter_++), std::move(alts));
+  }
+
+  void add_loop(Program& p, int depth) {
+    const int iters =
+        1 + static_cast<int>(rng_.next_below(
+                static_cast<std::uint64_t>(cfg_.max_loop_iters)));
+    p.loop("l" + std::to_string(branch_counter_++), program(depth + 1),
+           random_probs(iters));
+  }
+
+  std::vector<double> random_probs(int n) {
+    std::vector<double> probs(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (double& x : probs) {
+      x = 0.05 + rng_.next_double();
+      sum += x;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < probs.size(); ++i) {
+      probs[i] /= sum;
+      acc += probs[i];
+    }
+    probs.back() = 1.0 - acc;  // exact sum of 1 despite rounding
+    return probs;
+  }
+
+  Rng& rng_;
+  const RandomAppConfig& cfg_;
+  int task_counter_ = 0;
+  int branch_counter_ = 0;
+};
+
+}  // namespace
+
+Program random_program(Rng& rng, const RandomAppConfig& config) {
+  PASERTA_REQUIRE(config.max_segments >= 1 && config.max_section_tasks >= 1,
+                  "random app config needs positive sizes");
+  PASERTA_REQUIRE(config.max_branch_alts >= 2,
+                  "branches need at least two alternatives");
+  PASERTA_REQUIRE(config.wcet_min > SimTime::zero() &&
+                      config.wcet_min <= config.wcet_max,
+                  "invalid WCET range");
+  PASERTA_REQUIRE(config.alpha_min > 0.0 &&
+                      config.alpha_min <= config.alpha_max &&
+                      config.alpha_max <= 1.0,
+                  "invalid alpha range");
+  Generator gen(rng, config);
+  return gen.program(0);
+}
+
+Application random_application(Rng& rng, const RandomAppConfig& config,
+                               const std::string& name) {
+  return build_application(name, random_program(rng, config));
+}
+
+}  // namespace paserta::apps

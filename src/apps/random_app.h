@@ -1,0 +1,46 @@
+// Random AND/OR application generator.
+//
+// Generates hierarchical programs (sections of random task DAGs, OR
+// branches with random probabilities, probabilistic loops) for property
+// tests and for scaling experiments beyond the paper's two workloads.
+// Fully deterministic given the Rng state.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/program.h"
+
+namespace paserta::apps {
+
+struct RandomAppConfig {
+  /// Maximum OR-branch/loop nesting depth.
+  int max_depth = 3;
+  /// Segments per program level: uniform in [1, max_segments].
+  int max_segments = 4;
+  /// Tasks per section: uniform in [1, max_section_tasks].
+  int max_section_tasks = 6;
+  /// Alternatives per branch: uniform in [2, max_branch_alts].
+  int max_branch_alts = 3;
+  /// Maximum loop iterations: uniform in [1, max_loop_iters].
+  int max_loop_iters = 3;
+  /// Probability that a non-first segment is an OR branch.
+  double branch_prob = 0.35;
+  /// Probability that a non-first segment is a loop.
+  double loop_prob = 0.15;
+  /// Probability that an alternative is empty (a skipped path).
+  double empty_alt_prob = 0.15;
+  /// Probability of an intra-section edge i->j (i < j).
+  double intra_edge_prob = 0.35;
+  /// Task WCET range.
+  SimTime wcet_min = SimTime::from_ms(1.0);
+  SimTime wcet_max = SimTime::from_ms(10.0);
+  /// ACET/WCET ratio range (per task).
+  double alpha_min = 0.3;
+  double alpha_max = 0.95;
+};
+
+Program random_program(Rng& rng, const RandomAppConfig& config);
+
+Application random_application(Rng& rng, const RandomAppConfig& config,
+                               const std::string& name = "random");
+
+}  // namespace paserta::apps

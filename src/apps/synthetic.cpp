@@ -1,0 +1,51 @@
+#include "apps/synthetic.h"
+
+namespace paserta::apps {
+namespace {
+
+TaskSpec ms_task(const char* name, double wcet_ms, double acet_ms) {
+  return TaskSpec{name, SimTime::from_ms(wcet_ms), SimTime::from_ms(acet_ms)};
+}
+
+}  // namespace
+
+Program synthetic_program(const SyntheticConfig& cfg) {
+  Program p;
+
+  // Prologue (Figure 1a's AND structure): A fans out to B and C.
+  p.section(SectionSpec{
+      {ms_task("A", 8, 5), ms_task("B", 5, 3), ms_task("C", 4, 2)},
+      {{0, 1}, {0, 2}}});
+
+  // Probabilistic loop: maximal 4 iterations at 30/20/25/25 %, body of two
+  // parallel tasks (OR exits O1/O2 in the figure).
+  Program loop_body;
+  loop_body.parallel({ms_task("D1", 4, 2), ms_task("D2", 4, 2)});
+  p.loop("scan", std::move(loop_body), {0.30, 0.20, 0.25, 0.25},
+         cfg.loop_mode);
+
+  // First OR branch (35 % / 65 %): a serial pipeline vs. a parallel pair.
+  Program path_a;
+  path_a.chain({ms_task("E", 5, 4), ms_task("H", 10, 6)});
+  Program path_b;
+  path_b.parallel({ms_task("K", 5, 3), ms_task("L", 10, 8)});
+  p.branch("path", {{0.35, std::move(path_a)}, {0.65, std::move(path_b)}});
+
+  // Second OR branch (Figure 1b: O3 -> 30 % F(8/6) | 70 % G(5/3) -> O4).
+  Program tail_f;
+  tail_f.task("F", SimTime::from_ms(8), SimTime::from_ms(6));
+  Program tail_g;
+  tail_g.task("G", SimTime::from_ms(5), SimTime::from_ms(3));
+  p.branch("tail", {{0.30, std::move(tail_f)}, {0.70, std::move(tail_g)}});
+
+  // Epilogue.
+  p.chain({ms_task("I", 10, 8), ms_task("J", 4, 2)});
+
+  return p;
+}
+
+Application build_synthetic(const SyntheticConfig& cfg) {
+  return build_application("synthetic_fig3", synthetic_program(cfg));
+}
+
+}  // namespace paserta::apps

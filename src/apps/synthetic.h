@@ -1,0 +1,30 @@
+// The synthetic AND/OR application of the paper's Figure 3.
+//
+// The figure is only partially legible in the available copy of the paper;
+// this is a reconstruction that uses every legible fragment (task WCET/ACET
+// pairs A(8/5) B(5/3) C(4/2) E(5/4) F(8/6) G(5/3) H(10/6) I(10/8) K(5/3)
+// L(10/8), AND nodes A1..A4, OR structures O1..O4, branch probabilities
+// 35%/65% and 30%/70%, a loop of maximal 4 iterations with distribution
+// 30/20/25/25 %) and preserves the structure class: an AND-parallel
+// prologue, a probabilistic loop, two OR branches (one with internal
+// parallelism), and a serial epilogue. Time unit: milliseconds.
+#pragma once
+
+#include "graph/program.h"
+
+namespace paserta::apps {
+
+struct SyntheticConfig {
+  /// LoopMode::Unroll expands the loop into OR structures (default);
+  /// LoopMode::Collapse turns it into a single aggregate task (§2.1 offers
+  /// both treatments).
+  LoopMode loop_mode = LoopMode::Unroll;
+};
+
+/// Builds the Figure-3 synthetic application.
+Application build_synthetic(const SyntheticConfig& config = {});
+
+/// The underlying Program (exposed so tests/examples can recombine it).
+Program synthetic_program(const SyntheticConfig& config = {});
+
+}  // namespace paserta::apps

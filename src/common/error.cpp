@@ -1,0 +1,21 @@
+#include "common/error.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace paserta::detail {
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << msg << " (" << file << ":" << line << ")";
+  throw Error(oss.str());
+}
+
+[[noreturn]] void fail_assert(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::cerr << "paserta internal assertion failed: " << expr << "\n  " << msg
+            << "\n  at " << file << ":" << line << std::endl;
+  std::abort();
+}
+
+}  // namespace paserta::detail

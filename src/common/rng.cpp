@@ -1,0 +1,98 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace paserta {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not be seeded with the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  have_spare_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  PASERTA_REQUIRE(n > 0, "next_below(0) is undefined");
+  const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::next_gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  have_spare_ = true;
+  return u * mul;
+}
+
+std::size_t Rng::next_discrete(std::span<const double> weights) {
+  PASERTA_REQUIRE(!weights.empty(), "next_discrete needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    PASERTA_REQUIRE(w >= 0.0, "negative weight in discrete distribution");
+    total += w;
+  }
+  PASERTA_REQUIRE(total > 0.0, "discrete distribution weights sum to zero");
+  double x = next_double() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (x < weights[i]) return i;
+    x -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+std::uint64_t Rng::stream_seed(std::uint64_t seed, std::uint64_t index) {
+  // Two rounds of splitmix64 over (seed, index) decorrelate the streams.
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
+}  // namespace paserta

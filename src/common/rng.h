@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// Experiments must be exactly reproducible from a seed, independent of the
+// platform's std::mt19937 / distribution implementations (which the C++
+// standard does not pin down for normal/discrete distributions). paserta
+// therefore ships its own xoshiro256++ generator plus the handful of
+// distributions the simulator needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace paserta {
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, public domain algorithm),
+/// seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, n) using rejection sampling (unbiased).
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double next_gaussian();
+
+  /// Normal with the given mean / standard deviation.
+  double next_normal(double mean, double stddev) {
+    return mean + stddev * next_gaussian();
+  }
+
+  /// Sample an index from a discrete distribution. `weights` need not be
+  /// normalized but must be non-negative with a positive sum.
+  std::size_t next_discrete(std::span<const double> weights);
+
+  /// Derive an independent child generator; used to give each Monte-Carlo
+  /// run its own stream so scheme evaluation order cannot perturb draws.
+  Rng fork();
+
+  /// Stateless seed derivation for stream `index` of experiment `seed`:
+  /// lets run i be reproduced in isolation and in any order (the parallel
+  /// harness depends on this).
+  static std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index);
+
+ private:
+  std::uint64_t s_[4]{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace paserta

@@ -1,0 +1,44 @@
+// Statistical comparison of Monte-Carlo results.
+//
+// "Scheme A's mean normalized energy is 0.003 below B's" means nothing
+// without an error model. This module implements Welch's unequal-variance
+// t-test over RunningStat summaries (exact t statistic and
+// Welch-Satterthwaite degrees of freedom, two-sided p-value via the
+// regularized incomplete beta function) so benches and tests can report
+// whether a difference is real at the chosen run count.
+#pragma once
+
+#include "common/stats.h"
+
+namespace paserta {
+
+struct TTestResult {
+  double t = 0.0;            // Welch's t statistic
+  double df = 0.0;           // Welch-Satterthwaite degrees of freedom
+  double p_value = 1.0;      // two-sided
+  double mean_diff = 0.0;    // mean(a) - mean(b)
+  double ci95_halfwidth = 0.0;  // on the mean difference
+
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Welch's two-sample t-test on summary statistics. Requires both samples
+/// to have at least two observations; throws paserta::Error otherwise.
+/// Degenerate zero-variance pairs return p = 1 when the means are equal
+/// and p = 0 when they differ.
+TTestResult welch_t_test(const RunningStat& a, const RunningStat& b);
+
+/// One-sample t-test of H0: mean == mu0. The right tool for *paired*
+/// designs (feed it the per-run differences): paserta's harness evaluates
+/// all schemes on identical scenarios, so per-run energy differences are
+/// the high-power comparison.
+TTestResult one_sample_t_test(const RunningStat& sample, double mu0 = 0.0);
+
+/// Regularized incomplete beta function I_x(a, b) (continued-fraction
+/// evaluation); exposed for testing. Domain: a, b > 0, x in [0, 1].
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Student-t two-sided tail probability P(|T_df| >= |t|).
+double student_t_two_sided_p(double t, double df);
+
+}  // namespace paserta

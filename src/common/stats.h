@@ -1,0 +1,61 @@
+// Streaming statistics accumulators used by the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace paserta {
+
+/// Welford one-pass accumulator for mean / variance / min / max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double stderr_mean() const {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Half-width of the ~95 % confidence interval on the mean (normal approx).
+  double ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ += delta * nb / (na + nb);
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace paserta

@@ -1,0 +1,35 @@
+// Plain-text and CSV table emission for benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace paserta {
+
+/// Accumulates rows of string cells and renders them either as CSV
+/// (machine-readable bench output) or as an aligned text table
+/// (human-readable example output).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 4);
+
+  void write_csv(std::ostream& os) const;
+  void write_pretty(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace paserta

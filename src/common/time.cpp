@@ -1,0 +1,22 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace paserta {
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  const double abs_ps = static_cast<double>(t.ps < 0 ? -t.ps : t.ps);
+  if (abs_ps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", t.ms());
+  } else if (abs_ps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", t.us());
+  } else if (abs_ps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fns", t.ns());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldps", static_cast<long>(t.ps));
+  }
+  return buf;
+}
+
+}  // namespace paserta

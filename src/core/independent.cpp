@@ -1,0 +1,224 @@
+#include "core/independent.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.h"
+#include "core/policy.h"
+
+namespace paserta {
+
+const char* to_string(IndependentScheme s) {
+  switch (s) {
+    case IndependentScheme::NPM: return "NPM";
+    case IndependentScheme::SPM: return "SPM";
+    case IndependentScheme::GreedyNoShare: return "GREEDY";
+    case IndependentScheme::GreedyShare: return "GSS";
+  }
+  return "?";
+}
+
+SimTime IndependentTaskSet::total_wcet() const {
+  SimTime t{};
+  for (const auto& task : tasks) t += task.wcet;
+  return t;
+}
+
+SimTime IndependentTaskSet::total_acet() const {
+  SimTime t{};
+  for (const auto& task : tasks) t += task.acet;
+  return t;
+}
+
+IndependentCanonical canonical_independent(const IndependentTaskSet& set,
+                                           int cpus) {
+  PASERTA_REQUIRE(cpus >= 1, "need at least one processor");
+  PASERTA_REQUIRE(!set.tasks.empty(), "empty task set");
+
+  IndependentCanonical out;
+  out.order.resize(set.tasks.size());
+  std::iota(out.order.begin(), out.order.end(), 0u);
+  std::sort(out.order.begin(), out.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (set.tasks[a].wcet != set.tasks[b].wcet)
+                return set.tasks[a].wcet > set.tasks[b].wcet;  // longest first
+              return a < b;
+            });
+
+  out.cpu.resize(set.tasks.size(), -1);
+  out.start.resize(set.tasks.size());
+  out.finish.resize(set.tasks.size());
+
+  // Min-heap of (free time, cpu id).
+  using Slot = std::pair<SimTime, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (int c = 0; c < cpus; ++c) free_at.emplace(SimTime::zero(), c);
+
+  for (std::size_t idx : out.order) {
+    auto [t, c] = free_at.top();
+    free_at.pop();
+    out.cpu[idx] = c;
+    out.start[idx] = t;
+    out.finish[idx] = t + set.tasks[idx].wcet;
+    out.makespan = std::max(out.makespan, out.finish[idx]);
+    free_at.emplace(out.finish[idx], c);
+  }
+  return out;
+}
+
+namespace {
+
+/// One processor's runtime state.
+struct Cpu {
+  SimTime free_at{};
+  std::size_t level = 0;
+  SimTime busy{};
+  SimTime eet{};  // estimated end time register (dynamic schemes)
+};
+
+}  // namespace
+
+IndependentResult simulate_independent(const IndependentTaskSet& set,
+                                       int cpus, SimTime deadline,
+                                       const PowerModel& pm,
+                                       const Overheads& ovh,
+                                       IndependentScheme scheme,
+                                       const std::vector<SimTime>& actual) {
+  PASERTA_REQUIRE(actual.size() == set.tasks.size(),
+                  "actuals size mismatches the task set");
+  PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
+
+  const LevelTable& table = pm.table();
+  const SimTime budget = ovh.worst_case_budget(table);
+
+  // Canonical schedule with inflated WCETs so the overhead reservation is
+  // part of the guarantee (same device as the AND/OR offline phase).
+  IndependentTaskSet inflated = set;
+  for (auto& t : inflated.tasks) t.wcet += budget;
+  const IndependentCanonical canon = canonical_independent(inflated, cpus);
+  const SimTime shift =
+      deadline > canon.makespan ? deadline - canon.makespan : SimTime::zero();
+
+  IndependentResult out;
+  std::vector<Cpu> cpu(static_cast<std::size_t>(cpus));
+
+  const bool dynamic = scheme == IndependentScheme::GreedyNoShare ||
+                       scheme == IndependentScheme::GreedyShare;
+  std::size_t static_level = table.size() - 1;
+  if (scheme == IndependentScheme::SPM) {
+    static_level = table.quantize_up(
+        required_freq(table.f_max(), canon.makespan, deadline));
+  }
+  for (auto& c : cpu) {
+    c.level = dynamic ? table.size() - 1 : static_level;
+    c.eet = shift;  // shifted canonical "no work yet" completion profile
+  }
+
+  // Executes task `idx` on processor `c` starting when the processor is
+  // free, at speed sized against end-of-allocation `eet`.
+  auto run_task = [&](Cpu& c, std::size_t idx, SimTime eet) {
+    SimTime t = c.free_at;
+    std::size_t lvl = c.level;
+    if (dynamic) {
+      const SimTime dt_compute =
+          cycles_to_time(ovh.speed_compute_cycles, table.level(lvl).freq);
+      out.overhead_energy += pm.busy_energy(lvl, dt_compute);
+      c.busy += dt_compute;
+      t += dt_compute;
+      const SimTime avail = eet - t - ovh.speed_change_time;
+      const Freq desired =
+          required_freq(table.f_max(), set.tasks[idx].wcet, avail);
+      const std::size_t new_lvl = table.quantize_up(desired);
+      if (new_lvl != lvl) {
+        out.overhead_energy +=
+            pm.transition_energy(lvl, new_lvl, ovh.speed_change_time);
+        c.busy += ovh.speed_change_time;
+        t += ovh.speed_change_time;
+        ++out.speed_changes;
+        lvl = new_lvl;
+        c.level = lvl;
+      }
+    }
+    const SimTime duration =
+        scale_time(actual[idx], table.f_max(), table.level(lvl).freq);
+    out.busy_energy += pm.busy_energy(lvl, duration);
+    c.busy += duration;
+    c.free_at = t + duration;
+    out.finish_time = std::max(out.finish_time, c.free_at);
+  };
+
+  if (scheme == IndependentScheme::GreedyShare) {
+    // Global queue in canonical order; the earliest-free processor fetches,
+    // adopting (swapping in) the minimum EET — the slack-sharing step.
+    for (std::size_t idx : canon.order) {
+      auto fetcher = std::min_element(
+          cpu.begin(), cpu.end(), [](const Cpu& a, const Cpu& b) {
+            return a.free_at < b.free_at;
+          });
+      auto min_holder = std::min_element(
+          cpu.begin(), cpu.end(),
+          [](const Cpu& a, const Cpu& b) { return a.eet < b.eet; });
+      std::swap(fetcher->eet, min_holder->eet);
+      fetcher->eet += inflated.tasks[idx].wcet;
+      run_task(*fetcher, idx, fetcher->eet);
+    }
+  } else {
+    // Static schemes and no-share greedy: tasks stay on their canonical
+    // processor, in canonical order.
+    for (std::size_t idx : canon.order) {
+      Cpu& c = cpu[static_cast<std::size_t>(canon.cpu[idx])];
+      c.eet += inflated.tasks[idx].wcet;  // local reclamation only
+      run_task(c, idx, c.eet);
+    }
+  }
+
+  out.deadline_met = out.finish_time <= deadline;
+  for (const Cpu& c : cpu) {
+    const SimTime idle = deadline - c.busy;
+    if (idle > SimTime::zero()) out.idle_energy += pm.idle_energy(idle);
+  }
+  return out;
+}
+
+std::vector<SimTime> draw_independent_actuals(const IndependentTaskSet& set,
+                                              Rng& rng) {
+  std::vector<SimTime> actual(set.tasks.size());
+  for (std::size_t i = 0; i < set.tasks.size(); ++i) {
+    const auto& t = set.tasks[i];
+    const double mean = static_cast<double>(t.acet.ps);
+    const double sigma = static_cast<double>((t.wcet - t.acet).ps) / 3.0;
+    double x = sigma > 0.0 ? rng.next_normal(mean, sigma) : mean;
+    const double lo =
+        std::max(1.0, 2.0 * mean - static_cast<double>(t.wcet.ps));
+    x = std::clamp(x, lo, static_cast<double>(t.wcet.ps));
+    actual[i] = SimTime{static_cast<std::int64_t>(x + 0.5)};
+  }
+  return actual;
+}
+
+IndependentTaskSet random_independent_set(Rng& rng, std::size_t n,
+                                          SimTime wcet_min, SimTime wcet_max,
+                                          double alpha_min, double alpha_max) {
+  PASERTA_REQUIRE(n >= 1, "need at least one task");
+  PASERTA_REQUIRE(wcet_min > SimTime::zero() && wcet_min <= wcet_max,
+                  "invalid WCET range");
+  PASERTA_REQUIRE(alpha_min > 0.0 && alpha_min <= alpha_max &&
+                      alpha_max <= 1.0,
+                  "invalid alpha range");
+  IndependentTaskSet set;
+  const auto span = static_cast<double>((wcet_max - wcet_min).ps);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTime wcet =
+        wcet_min + SimTime{static_cast<std::int64_t>(rng.next_double() * span)};
+    const double alpha =
+        alpha_min + rng.next_double() * (alpha_max - alpha_min);
+    SimTime acet{static_cast<std::int64_t>(
+        alpha * static_cast<double>(wcet.ps) + 0.5)};
+    acet = std::clamp(acet, SimTime{1}, wcet);
+    set.tasks.push_back({"t" + std::to_string(i), wcet, acet});
+  }
+  return set;
+}
+
+}  // namespace paserta

@@ -1,0 +1,100 @@
+// Slack sharing for INDEPENDENT task sets — the paper's predecessor
+// algorithm (ref [20], Zhu/Melhem/Childers RTSS'01), which §3 extends to
+// AND/OR graphs.
+//
+// A set of independent hard-real-time tasks shares a global queue in
+// canonical (longest-task-first) order on m identical DVS processors. Each
+// processor carries an *estimated end time* (EET). When a processor fetches
+// the next task at time t it adopts the MINIMUM EET among all processors
+// (swapping EETs with the processor that held it — this is the slack
+// sharing: a processor that finished early inherits the earliest canonical
+// completion slot, and the multiset of EETs is invariant), then allocates
+//     EET_self := min_EET + wcet_i,
+//     speed    := f_max * wcet_i / (EET_self - t - overheads).
+// Because the EET multiset always equals the canonical completion profile,
+// max EET never exceeds the canonical makespan and the deadline holds.
+//
+// The module also provides the no-sharing variant (each processor may only
+// reclaim slack from its own canonical assignment) as the baseline [20]
+// compares against, plus NPM/SPM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "power/power_model.h"
+#include "sim/engine.h"
+
+namespace paserta {
+
+struct IndependentTask {
+  std::string name;
+  SimTime wcet;
+  SimTime acet;
+};
+
+struct IndependentTaskSet {
+  std::vector<IndependentTask> tasks;
+
+  SimTime total_wcet() const;
+  SimTime total_acet() const;
+};
+
+enum class IndependentScheme {
+  NPM,        // every task at f_max
+  SPM,        // one static level from canonical makespan / deadline
+  GreedyNoShare,  // per-processor greedy reclamation, canonical assignment
+  GreedyShare,    // EET-swap slack sharing (the [20] algorithm)
+};
+
+const char* to_string(IndependentScheme s);
+
+/// Canonical LTF schedule of the set at f_max with WCETs.
+struct IndependentCanonical {
+  SimTime makespan{};
+  /// Task indices in canonical dispatch order.
+  std::vector<std::size_t> order;
+  /// Canonical processor and finish time per task (by task index).
+  std::vector<int> cpu;
+  std::vector<SimTime> start;
+  std::vector<SimTime> finish;
+};
+
+IndependentCanonical canonical_independent(const IndependentTaskSet& set,
+                                           int cpus);
+
+/// Result of one simulated run (energy accounted over [0, deadline]).
+struct IndependentResult {
+  Energy busy_energy = 0.0;
+  Energy overhead_energy = 0.0;
+  Energy idle_energy = 0.0;
+  SimTime finish_time{};
+  std::uint32_t speed_changes = 0;
+  bool deadline_met = false;
+
+  Energy total_energy() const {
+    return busy_energy + overhead_energy + idle_energy;
+  }
+};
+
+/// Simulates one run; `actual[i]` is task i's actual time at f_max,
+/// in (0, wcet_i].
+IndependentResult simulate_independent(const IndependentTaskSet& set,
+                                       int cpus, SimTime deadline,
+                                       const PowerModel& pm,
+                                       const Overheads& overheads,
+                                       IndependentScheme scheme,
+                                       const std::vector<SimTime>& actual);
+
+/// Draws actual times exactly like the AND/OR scenario generator.
+std::vector<SimTime> draw_independent_actuals(const IndependentTaskSet& set,
+                                              Rng& rng);
+
+/// Random independent task set (WCETs uniform in [wcet_min, wcet_max],
+/// per-task alpha uniform in [alpha_min, alpha_max]).
+IndependentTaskSet random_independent_set(Rng& rng, std::size_t n,
+                                          SimTime wcet_min, SimTime wcet_max,
+                                          double alpha_min, double alpha_max);
+
+}  // namespace paserta

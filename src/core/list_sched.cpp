@@ -1,0 +1,158 @@
+#include "core/list_sched.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/error.h"
+
+namespace paserta {
+
+const char* to_string(ListHeuristic h) {
+  switch (h) {
+    case ListHeuristic::LongestTaskFirst: return "LTF";
+    case ListHeuristic::ShortestTaskFirst: return "STF";
+    case ListHeuristic::InsertionOrder: return "FIFO";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Ready-queue key: earlier readiness first, then the heuristic's priority
+/// (encoded as a signed duration so one comparator serves all), then id.
+struct ReadyKey {
+  SimTime ready_time;
+  std::int64_t priority;  // smaller dispatches first
+  std::uint32_t id;
+
+  bool operator<(const ReadyKey& o) const {
+    if (ready_time != o.ready_time) return ready_time < o.ready_time;
+    if (priority != o.priority) return priority < o.priority;
+    return id < o.id;
+  }
+};
+
+std::int64_t priority_of(SimTime duration, ListHeuristic h) {
+  switch (h) {
+    case ListHeuristic::LongestTaskFirst: return -duration.ps;
+    case ListHeuristic::ShortestTaskFirst: return duration.ps;
+    case ListHeuristic::InsertionOrder: return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SectionSchedule ltf_schedule(const AndOrGraph& g,
+                             std::span<const NodeId> members, int cpus,
+                             const std::function<SimTime(NodeId)>& duration,
+                             ListHeuristic heuristic) {
+  PASERTA_REQUIRE(cpus >= 1, "ltf_schedule needs at least one processor");
+  PASERTA_REQUIRE(!members.empty(), "ltf_schedule on empty section");
+
+  SectionSchedule out;
+  out.dispatch_order.reserve(members.size());
+
+  // Membership + per-member in-degree restricted to the section.
+  std::unordered_map<std::uint32_t, std::uint32_t> indeg;
+  indeg.reserve(members.size());
+  for (NodeId m : members) indeg[m.value] = 0;
+  for (NodeId m : members) {
+    for (NodeId p : g.node(m).preds) {
+      if (indeg.contains(p.value)) ++indeg[m.value];
+    }
+  }
+
+  std::set<ReadyKey> ready;
+  for (NodeId m : members) {
+    if (indeg[m.value] == 0)
+      ready.insert(ReadyKey{SimTime::zero(),
+                          priority_of(duration(m), heuristic), m.value});
+  }
+
+  // Busy processors: completion events (finish time, cpu, node).
+  struct Completion {
+    SimTime finish;
+    int cpu;
+    std::uint32_t node;
+    bool operator>(const Completion& o) const {
+      if (finish != o.finish) return finish > o.finish;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running;
+
+  // Idle processor pool, lowest id first for determinism.
+  std::priority_queue<int, std::vector<int>, std::greater<>> idle;
+  for (int c = 0; c < cpus; ++c) idle.push(c);
+
+  SimTime now = SimTime::zero();
+  std::size_t scheduled = 0;
+
+  auto release_successors = [&](std::uint32_t node, SimTime at) {
+    for (NodeId s : g.node(NodeId{node}).succs) {
+      auto it = indeg.find(s.value);
+      if (it == indeg.end()) continue;  // successor outside the section
+      PASERTA_ASSERT(it->second > 0, "in-degree underflow in list scheduler");
+      if (--it->second == 0)
+        ready.insert(ReadyKey{
+            at, priority_of(duration(NodeId{s.value}), heuristic), s.value});
+    }
+  };
+
+  while (scheduled < members.size()) {
+    // Dispatch every ready task we can at the current time.
+    while (!ready.empty() && !idle.empty() &&
+           ready.begin()->ready_time <= now) {
+      const ReadyKey key = *ready.begin();
+      ready.erase(ready.begin());
+      const NodeId id{key.id};
+      const SimTime dur = duration(id);
+
+      SectionSchedule::Item item;
+      item.start = now;
+      item.finish = now + dur;
+      out.dispatch_order.push_back(id);
+      ++scheduled;
+
+      if (dur.is_zero()) {
+        // Dummies borrow an idle CPU for zero time: they dispatch only when
+        // a processor is free (matching the online engine) but do not
+        // occupy it.
+        item.cpu = -1;
+        out.items.emplace(id.value, item);
+        out.makespan = std::max(out.makespan, item.finish);
+        release_successors(id.value, now);
+      } else {
+        const int cpu = idle.top();
+        idle.pop();
+        item.cpu = cpu;
+        out.items.emplace(id.value, item);
+        running.push(Completion{item.finish, cpu, id.value});
+      }
+    }
+
+    if (scheduled == members.size()) break;
+
+    // Nothing more dispatchable now: advance to the next completion.
+    PASERTA_REQUIRE(!running.empty(),
+                    "section contains a dependence cycle or dangling edge");
+    const Completion done = running.top();
+    running.pop();
+    now = done.finish;
+    idle.push(done.cpu);
+    out.makespan = std::max(out.makespan, done.finish);
+    release_successors(done.node, now);
+  }
+
+  // Drain remaining completions for the true makespan.
+  while (!running.empty()) {
+    out.makespan = std::max(out.makespan, running.top().finish);
+    running.pop();
+  }
+  return out;
+}
+
+}  // namespace paserta

@@ -1,0 +1,59 @@
+// Longest-Task-First list scheduling of one program section (paper §3.1).
+//
+// List scheduling puts tasks into a ready queue as soon as they become
+// ready and dispatches from the front to idle processors; among tasks that
+// become ready simultaneously the longest (by WCET) goes first. This is the
+// heuristic the paper fixes for both the offline (canonical) and online
+// phases; the canonical dispatch order becomes the execution order (EO)
+// that the online scheduler must preserve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace paserta {
+
+/// Canonical schedule of one section on `cpus` identical processors.
+struct SectionSchedule {
+  struct Item {
+    SimTime start{};
+    SimTime finish{};
+    int cpu = -1;  // -1 for zero-duration dummies (they only borrow a CPU)
+  };
+
+  /// Tasks in the order they were dispatched (defines execution order).
+  std::vector<NodeId> dispatch_order;
+  std::unordered_map<std::uint32_t, Item> items;
+  SimTime makespan{};
+
+  const Item& item(NodeId id) const { return items.at(id.value); }
+};
+
+/// Priority rule among tasks that become ready simultaneously. The paper
+/// fixes LTF for its evaluation but notes (§3.2) that *any* heuristic
+/// works as long as the offline and online phases use the same one — the
+/// execution order recorded offline is what the online phase preserves.
+enum class ListHeuristic {
+  LongestTaskFirst,   // the paper's choice
+  ShortestTaskFirst,
+  InsertionOrder,     // FIFO by node id
+};
+
+const char* to_string(ListHeuristic h);
+
+/// Schedules exactly the nodes in `members` (edges among non-members are
+/// ignored) with the given heuristic. `duration(id)` supplies each node's
+/// execution time at f_max (typically inflated WCET or ACET); dummies must
+/// return zero. Deterministic: ties break on (ready time, heuristic key,
+/// node id).
+SectionSchedule ltf_schedule(
+    const AndOrGraph& g, std::span<const NodeId> members, int cpus,
+    const std::function<SimTime(NodeId)>& duration,
+    ListHeuristic heuristic = ListHeuristic::LongestTaskFirst);
+
+}  // namespace paserta

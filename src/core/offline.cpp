@@ -1,0 +1,227 @@
+#include "core/offline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "core/list_sched.h"
+
+namespace paserta {
+namespace {
+
+/// Cached per-segment analysis: canonical schedules and makespans.
+struct SegAnalysis {
+  // Sections:
+  SectionSchedule wcet_sched;  // inflated WCET durations (defines EO & LST)
+  SimTime w{};                 // worst-case makespan
+  SimTime a{};                 // average-case makespan
+  // Branches: per-alternative program times.
+  std::vector<SimTime> alt_w;
+  std::vector<SimTime> alt_a;
+};
+
+struct ProgramTimes {
+  SimTime w{};
+  SimTime a{};
+};
+
+class Analyzer {
+ public:
+  Analyzer(const Application& app, const OfflineOptions& opt)
+      : app_(app), opt_(opt) {}
+
+  ProgramTimes compute_times(const StructProgram& p) {
+    ProgramTimes total;
+    for (const StructSegment& seg : p.segments) {
+      if (seg.kind == StructSegment::Kind::Section) {
+        SegAnalysis sa;
+        sa.wcet_sched = ltf_schedule(
+            app_.graph, seg.members, opt_.cpus,
+            [&](NodeId id) { return inflated_wcet(id); }, opt_.heuristic);
+        const SectionSchedule acet_sched = ltf_schedule(
+            app_.graph, seg.members, opt_.cpus,
+            [&](NodeId id) { return inflated_acet(id); }, opt_.heuristic);
+        sa.w = sa.wcet_sched.makespan;
+        sa.a = acet_sched.makespan;
+        total.w += sa.w;
+        total.a += sa.a;
+        cache_.emplace(&seg, std::move(sa));
+      } else {
+        SegAnalysis sa;
+        SimTime w_max{};
+        double a_exp = 0.0;
+        for (std::size_t i = 0; i < seg.alternatives.size(); ++i) {
+          const ProgramTimes t = compute_times(seg.alternatives[i]);
+          sa.alt_w.push_back(t.w);
+          sa.alt_a.push_back(t.a);
+          w_max = std::max(w_max, t.w);
+          a_exp += seg.alt_prob[i] * static_cast<double>(t.a.ps);
+        }
+        total.w += w_max;
+        total.a += SimTime{static_cast<std::int64_t>(a_exp + 0.5)};
+        cache_.emplace(&seg, std::move(sa));
+      }
+    }
+    return total;
+  }
+
+  std::uint32_t assign_eo(const StructProgram& p, std::uint32_t counter,
+                          OfflineResult& r) {
+    for (const StructSegment& seg : p.segments) {
+      if (seg.kind == StructSegment::Kind::Section) {
+        for (NodeId id : cache_.at(&seg).wcet_sched.dispatch_order)
+          r.eo_[id.value] = counter++;
+      } else {
+        r.eo_[seg.fork.value] = counter++;
+        const std::uint32_t base = counter;
+        std::uint32_t max_span = 0;
+        for (const StructProgram& alt : seg.alternatives) {
+          const std::uint32_t end = assign_eo(alt, base, r);
+          max_span = std::max(max_span, end - base);
+        }
+        counter = base + max_span;
+        r.eo_[seg.join.value] = counter++;
+      }
+    }
+    return counter;
+  }
+
+  /// Shifts this program's canonical schedule so it finishes exactly at
+  /// `end`; records LSTs. Returns the program's shifted start time.
+  SimTime assign_lst(const StructProgram& p, SimTime end, OfflineResult& r) {
+    for (auto it = p.segments.rbegin(); it != p.segments.rend(); ++it) {
+      const StructSegment& seg = *it;
+      const SegAnalysis& sa = cache_.at(&seg);
+      if (seg.kind == StructSegment::Kind::Section) {
+        const SimTime shift = end - sa.w;
+        for (const auto& [node, item] : sa.wcet_sched.items)
+          r.lst_[node] = item.start + shift;
+        end = shift;
+      } else {
+        r.lst_[seg.join.value] = end;
+        SimTime w_max{};
+        for (std::size_t i = 0; i < seg.alternatives.size(); ++i) {
+          assign_lst(seg.alternatives[i], end, r);
+          w_max = std::max(w_max, sa.alt_w[i]);
+        }
+        const SimTime fork_time = end - w_max;
+        r.lst_[seg.fork.value] = fork_time;
+        end = fork_time;
+      }
+    }
+    return end;
+  }
+
+  /// Backward walk computing remaining worst/average times after each OR
+  /// node and the per-alternative fork profiles (the PMP data of §2.2).
+  void assign_rem(const StructProgram& p, SimTime rem_w_after,
+                  SimTime rem_a_after, OfflineResult& r) {
+    for (auto it = p.segments.rbegin(); it != p.segments.rend(); ++it) {
+      const StructSegment& seg = *it;
+      const SegAnalysis& sa = cache_.at(&seg);
+      if (seg.kind == StructSegment::Kind::Section) {
+        rem_w_after += sa.w;
+        rem_a_after += sa.a;
+      } else {
+        r.rem_w_[seg.join.value] = rem_w_after;
+        r.rem_a_[seg.join.value] = rem_a_after;
+        OrForkProfile prof;
+        SimTime rem_w_fork{};
+        double rem_a_fork = 0.0;
+        for (std::size_t i = 0; i < seg.alternatives.size(); ++i) {
+          prof.rem_w_alt.push_back(sa.alt_w[i] + rem_w_after);
+          prof.rem_a_alt.push_back(sa.alt_a[i] + rem_a_after);
+          rem_w_fork = std::max(rem_w_fork, prof.rem_w_alt.back());
+          rem_a_fork += seg.alt_prob[i] *
+                        static_cast<double>(prof.rem_a_alt.back().ps);
+          assign_rem(seg.alternatives[i], rem_w_after, rem_a_after, r);
+        }
+        r.rem_w_[seg.fork.value] = rem_w_fork;
+        r.rem_a_[seg.fork.value] =
+            SimTime{static_cast<std::int64_t>(rem_a_fork + 0.5)};
+        r.fork_profiles_.emplace(seg.fork.value, std::move(prof));
+        rem_w_after = r.rem_w_[seg.fork.value];
+        rem_a_after = r.rem_a_[seg.fork.value];
+      }
+    }
+  }
+
+  SimTime inflated_wcet(NodeId id) const {
+    const Node& n = app_.graph.node(id);
+    return n.is_dummy() ? SimTime::zero() : n.wcet + opt_.overhead_budget;
+  }
+  SimTime inflated_acet(NodeId id) const {
+    const Node& n = app_.graph.node(id);
+    return n.is_dummy() ? SimTime::zero() : n.acet + opt_.overhead_budget;
+  }
+
+ private:
+  const Application& app_;
+  const OfflineOptions& opt_;
+  std::unordered_map<const StructSegment*, SegAnalysis> cache_;
+};
+
+}  // namespace
+
+OfflineResult analyze_offline(const Application& app,
+                              const OfflineOptions& options) {
+  PASERTA_REQUIRE(options.cpus >= 1, "need at least one processor");
+  PASERTA_REQUIRE(options.deadline > SimTime::zero(),
+                  "deadline must be positive");
+  PASERTA_REQUIRE(!options.overhead_budget.is_negative(),
+                  "overhead budget must be non-negative");
+  PASERTA_REQUIRE(!app.structure.segments.empty(),
+                  "application '" << app.name << "' has no structure");
+
+  OfflineResult r;
+  r.cpus_ = options.cpus;
+  r.deadline_ = options.deadline;
+  r.overhead_budget_ = options.overhead_budget;
+
+  const std::size_t n = app.graph.size();
+  r.eo_.assign(n, NodeId::kInvalid);
+  r.lst_.assign(n, SimTime::zero());
+  r.eet_.assign(n, SimTime::zero());
+  r.inflated_wcet_.assign(n, SimTime::zero());
+  r.rem_a_.assign(n, SimTime::zero());
+  r.rem_w_.assign(n, SimTime::zero());
+
+  Analyzer an(app, options);
+
+  // Round 1: canonical schedules, W/A, execution orders, PMP profiles.
+  const ProgramTimes t = an.compute_times(app.structure);
+  r.worst_makespan_ = t.w;
+  r.average_makespan_ = t.a;
+  r.max_eo_ = an.assign_eo(app.structure, 0, r);
+  PASERTA_ASSERT(
+      std::none_of(r.eo_.begin(), r.eo_.end(),
+                   [](std::uint32_t e) { return e == NodeId::kInvalid; }),
+      "offline phase left a node without an execution order");
+  an.assign_rem(app.structure, SimTime::zero(), SimTime::zero(), r);
+
+  // Round 2: shift everything to finish exactly at the deadline.
+  an.assign_lst(app.structure, options.deadline, r);
+
+  for (NodeId id : app.graph.all_nodes()) {
+    r.inflated_wcet_[id.value] = an.inflated_wcet(id);
+    r.eet_[id.value] = r.lst_[id.value] + r.inflated_wcet_[id.value];
+  }
+  return r;
+}
+
+SimTime canonical_worst_makespan(const Application& app, int cpus,
+                                 SimTime overhead_budget,
+                                 ListHeuristic heuristic) {
+  OfflineOptions opt;
+  opt.cpus = cpus;
+  opt.deadline = SimTime::max();  // placeholder; only W is used
+  opt.overhead_budget = overhead_budget;
+  opt.heuristic = heuristic;
+  // A full analysis would overflow LST arithmetic with SimTime::max();
+  // run the forward pass only.
+  PASERTA_REQUIRE(cpus >= 1, "need at least one processor");
+  Analyzer an(app, opt);
+  return an.compute_times(app.structure).w;
+}
+
+}  // namespace paserta

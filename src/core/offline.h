@@ -1,0 +1,116 @@
+// Offline phase of the AND/OR greedy slack-sharing algorithm (paper §3.2).
+//
+// Round 1 builds canonical LTF schedules for every program section (WCETs
+// at f_max, inflated by a per-dispatch overhead budget so the online
+// guarantee survives speed-computation and voltage-switch costs), derives
+// the execution order (EO) of every node — including the OR rules: an OR
+// node's EO is one past the largest EO of its predecessors, and tasks on
+// different alternatives of the same fork share EO values — and collects
+// the per-path worst/average remaining times stored at the power-management
+// points.
+//
+// Round 2 shifts every canonical schedule (recursively through embedded OR
+// structures) so it finishes exactly at the deadline, yielding each node's
+// latest start time LST(i): the time it must start for the rest of the
+// shifted schedule to meet the deadline. The online phase claims slack for
+// a task as LST(i) - t.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/list_sched.h"
+#include "graph/program.h"
+#include "power/power_model.h"
+
+namespace paserta {
+
+struct OfflineOptions {
+  int cpus = 2;
+  /// Application deadline D. Must be positive.
+  SimTime deadline{};
+  /// Per-dispatch worst-case overhead budget added to every task's WCET
+  /// (and ACET) in canonical schedules; normally
+  /// Overheads::worst_case_budget(table).
+  SimTime overhead_budget{};
+  /// Priority rule for the canonical schedules. The online phase preserves
+  /// whatever execution order this produced (paper §3.2: "given any
+  /// heuristic, if the off-line phase does not fail, the following on-line
+  /// phase can be applied under the same heuristic").
+  ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
+};
+
+/// Remaining-time profile attached to an OR fork's power-management point:
+/// per alternative, the worst/average time from the fork to the end of the
+/// application along that path (the paper's w_p and a_p).
+struct OrForkProfile {
+  std::vector<SimTime> rem_w_alt;
+  std::vector<SimTime> rem_a_alt;
+};
+
+class OfflineResult {
+ public:
+  int cpus() const { return cpus_; }
+  SimTime deadline() const { return deadline_; }
+  SimTime overhead_budget() const { return overhead_budget_; }
+
+  /// W: canonical worst-case finish time along the longest path.
+  SimTime worst_makespan() const { return worst_makespan_; }
+  /// A: probability-weighted average-case finish time of the application.
+  SimTime average_makespan() const { return average_makespan_; }
+  /// Whether W <= D (the offline phase "fails" otherwise; online schemes
+  /// then cannot guarantee the deadline).
+  bool feasible() const { return worst_makespan_ <= deadline_; }
+
+  std::uint32_t eo(NodeId id) const { return eo_.at(id.value); }
+  SimTime lst(NodeId id) const { return lst_.at(id.value); }
+  /// Estimated end time: LST + inflated WCET (worst-case finish in the
+  /// shifted schedule) — what the online phase allocates to the task.
+  SimTime eet(NodeId id) const { return eet_.at(id.value); }
+  SimTime inflated_wcet(NodeId id) const { return inflated_wcet_.at(id.value); }
+
+  /// Expected average-case remaining time *after* the given OR node fires
+  /// (for OR joins; for forks prefer fork_profile(), which conditions on
+  /// the chosen alternative).
+  SimTime rem_a_after(NodeId id) const { return rem_a_.at(id.value); }
+  SimTime rem_w_after(NodeId id) const { return rem_w_.at(id.value); }
+
+  const OrForkProfile& fork_profile(NodeId fork) const {
+    return fork_profiles_.at(fork.value);
+  }
+  bool has_fork_profile(NodeId id) const {
+    return fork_profiles_.contains(id.value);
+  }
+
+  std::uint32_t max_eo() const { return max_eo_; }
+
+  // Implementation detail: the fields below are populated by
+  // analyze_offline (and its internal Analyzer); use the accessors above.
+ public:
+  int cpus_ = 0;
+  SimTime deadline_{};
+  SimTime overhead_budget_{};
+  SimTime worst_makespan_{};
+  SimTime average_makespan_{};
+  std::vector<std::uint32_t> eo_;
+  std::vector<SimTime> lst_;
+  std::vector<SimTime> eet_;
+  std::vector<SimTime> inflated_wcet_;
+  std::vector<SimTime> rem_a_;
+  std::vector<SimTime> rem_w_;
+  std::unordered_map<std::uint32_t, OrForkProfile> fork_profiles_;
+  std::uint32_t max_eo_ = 0;
+};
+
+/// Runs both offline rounds. Throws paserta::Error on invalid options.
+OfflineResult analyze_offline(const Application& app,
+                              const OfflineOptions& options);
+
+/// Convenience: canonical worst-case makespan only (used to derive a
+/// deadline from a load factor: D = W / load).
+SimTime canonical_worst_makespan(
+    const Application& app, int cpus, SimTime overhead_budget,
+    ListHeuristic heuristic = ListHeuristic::LongestTaskFirst);
+
+}  // namespace paserta

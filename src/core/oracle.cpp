@@ -1,0 +1,62 @@
+#include "core/oracle.h"
+
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+SimResult run_at_level(const Application& app, const OfflineResult& off,
+                       const PowerModel& pm, const Overheads& ovh,
+                       std::size_t level, const RunScenario& sc) {
+  FixedLevelPolicy policy(level);
+  policy.reset(off, pm);
+  return simulate(app, off, pm, ovh, policy, sc);
+}
+
+}  // namespace
+
+OracleResult clairvoyant_oracle(const Application& app,
+                                const OfflineResult& off, const PowerModel& pm,
+                                const Overheads& ovh,
+                                const RunScenario& sc) {
+  OracleResult out;
+  const std::size_t top = pm.table().size() - 1;
+
+  SimResult at_top = run_at_level(app, off, pm, ovh, top, sc);
+  if (!at_top.deadline_met) {
+    // Even full speed misses: the scenario itself is infeasible (only
+    // possible when the offline phase already flagged W > D).
+    out.feasible = false;
+    out.level = top;
+    out.energy = at_top.total_energy();
+    out.finish_time = at_top.finish_time;
+    out.run = std::move(at_top);
+    return out;
+  }
+
+  // Binary search the lowest feasible level. Feasibility is monotone for a
+  // fixed dispatch order: raising the frequency shortens every task.
+  std::size_t lo = 0, hi = top;
+  SimResult best = std::move(at_top);
+  std::size_t best_level = top;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    SimResult r = run_at_level(app, off, pm, ovh, mid, sc);
+    if (r.deadline_met) {
+      best = std::move(r);
+      best_level = mid;
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  out.feasible = true;
+  out.level = best_level;
+  out.energy = best.total_energy();
+  out.finish_time = best.finish_time;
+  out.run = std::move(best);
+  return out;
+}
+
+}  // namespace paserta

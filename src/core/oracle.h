@@ -1,0 +1,36 @@
+// Clairvoyant single-speed oracle (paper §3.3).
+//
+// "A clairvoyant algorithm can achieve minimal energy consumption ... by
+// running all tasks at a single speed setting if the actual running time of
+// every task is known." This module computes that bound for a concrete
+// scenario: the slowest DVS level at which the run (actual times, actual
+// path, canonical dispatch order) still meets the deadline, and the energy
+// it consumes. Because both busy energy (quadratic in voltage) and idle
+// energy (less idle the slower we run) fall with the level, the lowest
+// feasible level is optimal among constant-speed schedules.
+//
+// No implementable scheme can know the scenario in advance; the oracle is
+// the yardstick the speculative schemes (§4) chase.
+#pragma once
+
+#include "sim/engine.h"
+
+namespace paserta {
+
+struct OracleResult {
+  bool feasible = false;     // even f_max misses (infeasible run)
+  std::size_t level = 0;     // lowest feasible level index
+  Energy energy = 0.0;       // total energy at that level over [0, D]
+  SimTime finish_time{};
+  SimResult run;             // the full run at the chosen level
+};
+
+/// Finds the lowest feasible constant level by binary search (feasibility
+/// is monotone in the level for a fixed dispatch order) and returns the
+/// corresponding run.
+OracleResult clairvoyant_oracle(const Application& app,
+                                const OfflineResult& off, const PowerModel& pm,
+                                const Overheads& overheads,
+                                const RunScenario& scenario);
+
+}  // namespace paserta

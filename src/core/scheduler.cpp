@@ -1,0 +1,64 @@
+#include "core/scheduler.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/scenario.h"
+
+namespace paserta {
+
+PowerAwareScheduler::PowerAwareScheduler(Application app, const Config& cfg)
+    : app_(std::move(app)),
+      pm_(cfg.table, cfg.c_ef, cfg.idle_fraction),
+      ovh_(cfg.overheads),
+      scheme_(cfg.scheme),
+      policy_(make_policy(cfg.scheme)),
+      track_npm_(cfg.track_npm_baseline) {
+  PASERTA_REQUIRE(cfg.deadline.has_value() != cfg.load.has_value(),
+                  "set exactly one of Config::deadline and Config::load");
+
+  OfflineOptions opt;
+  opt.cpus = cfg.cpus;
+  opt.overhead_budget = ovh_.worst_case_budget(pm_.table());
+  if (cfg.deadline) {
+    opt.deadline = *cfg.deadline;
+  } else {
+    PASERTA_REQUIRE(*cfg.load > 0.0 && *cfg.load <= 1.0,
+                    "load must be in (0,1], got " << *cfg.load);
+    const SimTime w =
+        canonical_worst_makespan(app_, cfg.cpus, opt.overhead_budget);
+    opt.deadline = SimTime{static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(w.ps) / *cfg.load))};
+  }
+  off_ = analyze_offline(app_, opt);
+  PASERTA_REQUIRE(off_.feasible(),
+                  "infeasible: canonical worst case "
+                      << to_string(off_.worst_makespan())
+                      << " exceeds the deadline "
+                      << to_string(off_.deadline()));
+  if (track_npm_) npm_ = make_policy(Scheme::NPM);
+}
+
+SimResult PowerAwareScheduler::run_frame(Rng& rng) {
+  return run_frame(draw_scenario(app_.graph, rng));
+}
+
+SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {
+  policy_->reset(off_, pm_);
+  SimResult r = simulate(app_, off_, pm_, ovh_, *policy_, scenario);
+
+  ++summary_.frames;
+  if (!r.deadline_met) ++summary_.deadline_misses;
+  summary_.energy_joules.add(r.total_energy());
+  summary_.speed_changes.add(static_cast<double>(r.speed_changes));
+  summary_.finish_frac.add(static_cast<double>(r.finish_time.ps) /
+                           static_cast<double>(off_.deadline().ps));
+  if (track_npm_) {
+    npm_->reset(off_, pm_);
+    const SimResult base = simulate(app_, off_, pm_, ovh_, *npm_, scenario);
+    summary_.norm_energy.add(r.total_energy() / base.total_energy());
+  }
+  return r;
+}
+
+}  // namespace paserta

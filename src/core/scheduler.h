@@ -1,0 +1,75 @@
+// PowerAwareScheduler: the one-object entry point for downstream users.
+//
+// Wraps application + platform + offline analysis + policy into a frame
+// scheduler for periodic AND/OR applications (one "frame" = one execution
+// of the whole graph against its deadline, the ATR usage pattern): feed it
+// frames, get per-frame results and a running summary.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/stats.h"
+#include "core/offline.h"
+#include "core/policy.h"
+#include "sim/engine.h"
+
+namespace paserta {
+
+class PowerAwareScheduler {
+ public:
+  struct Config {
+    int cpus = 2;
+    LevelTable table = LevelTable::transmeta_tm5400();
+    double c_ef = 1e-9;
+    double idle_fraction = 0.05;
+    Overheads overheads;
+    Scheme scheme = Scheme::GSS;
+    /// Either an absolute frame deadline...
+    std::optional<SimTime> deadline;
+    /// ...or a load factor (deadline = W / load). Exactly one must be set.
+    std::optional<double> load;
+    /// Also simulate NPM per frame to report normalized energy.
+    bool track_npm_baseline = true;
+  };
+
+  struct Summary {
+    std::uint64_t frames = 0;
+    std::uint64_t deadline_misses = 0;
+    RunningStat energy_joules;
+    RunningStat norm_energy;  // populated when track_npm_baseline
+    RunningStat speed_changes;
+    RunningStat finish_frac;  // finish / deadline
+  };
+
+  /// Throws paserta::Error on invalid config or an infeasible deadline
+  /// (canonical worst case exceeds it — the offline phase "fails").
+  PowerAwareScheduler(Application app, const Config& config);
+
+  /// Simulates one frame on a freshly drawn scenario.
+  SimResult run_frame(Rng& rng);
+  /// Simulates one frame on the given scenario (e.g. replayed or crafted).
+  SimResult run_frame(const RunScenario& scenario);
+
+  const Application& app() const { return app_; }
+  const OfflineResult& offline() const { return off_; }
+  const PowerModel& power_model() const { return pm_; }
+  const Overheads& overheads() const { return ovh_; }
+  SimTime deadline() const { return off_.deadline(); }
+  Scheme scheme() const { return scheme_; }
+  const Summary& summary() const { return summary_; }
+  void reset_summary() { summary_ = Summary{}; }
+
+ private:
+  Application app_;
+  PowerModel pm_;
+  Overheads ovh_;
+  Scheme scheme_;
+  OfflineResult off_;
+  std::unique_ptr<SpeedPolicy> policy_;
+  std::unique_ptr<SpeedPolicy> npm_;
+  bool track_npm_ = false;
+  Summary summary_;
+};
+
+}  // namespace paserta

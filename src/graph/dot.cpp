@@ -1,0 +1,50 @@
+#include "graph/dot.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace paserta {
+
+void write_dot(std::ostream& os, const AndOrGraph& g, const std::string& title) {
+  os << "digraph \"" << title << "\" {\n"
+     << "  rankdir=TB;\n  node [fontsize=10];\n";
+  for (NodeId id : g.all_nodes()) {
+    const Node& n = g.node(id);
+    os << "  n" << id.value << " [";
+    switch (n.kind) {
+      case NodeKind::Computation:
+        os << "shape=circle, label=\"" << n.name << "\\n" << std::fixed
+           << std::setprecision(1) << n.wcet.ms() << "/" << n.acet.ms()
+           << "\"";
+        break;
+      case NodeKind::AndNode:
+        os << "shape=diamond, label=\"" << n.name << "\"";
+        break;
+      case NodeKind::OrNode:
+        os << "shape=doublecircle, label=\"" << n.name << "\"";
+        break;
+    }
+    os << "];\n";
+  }
+  for (NodeId id : g.all_nodes()) {
+    const Node& n = g.node(id);
+    for (std::size_t s = 0; s < n.succs.size(); ++s) {
+      os << "  n" << id.value << " -> n" << n.succs[s].value;
+      if (!n.succ_prob.empty()) {
+        os << " [label=\"" << std::fixed << std::setprecision(0)
+           << n.succ_prob[s] * 100.0 << "%\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const AndOrGraph& g, const std::string& title) {
+  std::ostringstream oss;
+  write_dot(oss, g, title);
+  return oss.str();
+}
+
+}  // namespace paserta

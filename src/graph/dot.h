@@ -1,0 +1,19 @@
+// Graphviz export of AND/OR graphs (tasks as circles, AND as diamonds,
+// OR as double circles, matching the paper's Figure 1 notation).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace paserta {
+
+/// Writes `g` in DOT format. Computation nodes are labelled
+/// "name\nwcet/acet" (milliseconds); OR fork edges carry probabilities.
+void write_dot(std::ostream& os, const AndOrGraph& g,
+               const std::string& title = "andor");
+
+std::string to_dot(const AndOrGraph& g, const std::string& title = "andor");
+
+}  // namespace paserta

@@ -1,0 +1,168 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+
+namespace paserta {
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::Computation: return "task";
+    case NodeKind::AndNode: return "and";
+    case NodeKind::OrNode: return "or";
+  }
+  return "?";
+}
+
+NodeId AndOrGraph::add_node(Node n) {
+  PASERTA_REQUIRE(nodes_.size() < NodeId::kInvalid, "graph too large");
+  nodes_.push_back(std::move(n));
+  return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+NodeId AndOrGraph::add_task(std::string name, SimTime wcet, SimTime acet) {
+  PASERTA_REQUIRE(wcet > SimTime::zero(),
+                  "task '" << name << "' needs positive WCET");
+  PASERTA_REQUIRE(acet > SimTime::zero() && acet <= wcet,
+                  "task '" << name << "' needs 0 < ACET <= WCET (got acet="
+                           << acet.ps << "ps, wcet=" << wcet.ps << "ps)");
+  Node n;
+  n.kind = NodeKind::Computation;
+  n.name = std::move(name);
+  n.wcet = wcet;
+  n.acet = acet;
+  return add_node(std::move(n));
+}
+
+NodeId AndOrGraph::add_and(std::string name) {
+  Node n;
+  n.kind = NodeKind::AndNode;
+  n.name = std::move(name);
+  return add_node(std::move(n));
+}
+
+NodeId AndOrGraph::add_or(std::string name) {
+  Node n;
+  n.kind = NodeKind::OrNode;
+  n.name = std::move(name);
+  return add_node(std::move(n));
+}
+
+void AndOrGraph::add_edge(NodeId from, NodeId to) {
+  PASERTA_REQUIRE(from.value < nodes_.size() && to.value < nodes_.size(),
+                  "add_edge with out-of-range node id");
+  PASERTA_REQUIRE(from != to, "self edge on node '" << node(from).name << "'");
+  Node& f = nodes_[from.value];
+  PASERTA_REQUIRE(
+      std::find(f.succs.begin(), f.succs.end(), to) == f.succs.end(),
+      "duplicate edge " << f.name << " -> " << node(to).name);
+  f.succs.push_back(to);
+  if (f.kind == NodeKind::OrNode && !f.succ_prob.empty()) {
+    PASERTA_ASSERT(false, "mixing add_edge and add_or_edge on an OR fork");
+  }
+  nodes_[to.value].preds.push_back(from);
+}
+
+void AndOrGraph::add_or_edge(NodeId or_fork, NodeId to, double probability) {
+  PASERTA_REQUIRE(or_fork.value < nodes_.size(),
+                  "add_or_edge with out-of-range node id");
+  Node& f = nodes_[or_fork.value];
+  PASERTA_REQUIRE(f.kind == NodeKind::OrNode,
+                  "add_or_edge requires an OR node, got '" << f.name << "'");
+  PASERTA_REQUIRE(probability > 0.0 && probability <= 1.0,
+                  "branch probability must be in (0,1], got " << probability);
+  PASERTA_REQUIRE(f.succ_prob.size() == f.succs.size(),
+                  "mixing add_edge and add_or_edge on OR fork '" << f.name
+                                                                 << "'");
+  PASERTA_REQUIRE(
+      std::find(f.succs.begin(), f.succs.end(), to) == f.succs.end(),
+      "duplicate edge " << f.name << " -> " << node(to).name);
+  f.succs.push_back(to);
+  f.succ_prob.push_back(probability);
+  nodes_[to.value].preds.push_back(or_fork);
+}
+
+std::vector<NodeId> AndOrGraph::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::vector<NodeId> AndOrGraph::sources() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].preds.empty()) out.emplace_back(i);
+  return out;
+}
+
+std::vector<NodeId> AndOrGraph::sinks() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].succs.empty()) out.emplace_back(i);
+  return out;
+}
+
+std::vector<NodeId> AndOrGraph::topo_order() const {
+  std::vector<std::uint32_t> indeg(nodes_.size(), 0);
+  for (const auto& n : nodes_)
+    for (NodeId s : n.succs) ++indeg[s.value];
+
+  // Min-heap on id for a deterministic order.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>> ready;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (indeg[i] == 0) ready.push(i);
+
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::uint32_t u = ready.top();
+    ready.pop();
+    order.emplace_back(u);
+    for (NodeId s : nodes_[u].succs)
+      if (--indeg[s.value] == 0) ready.push(s.value);
+  }
+  PASERTA_REQUIRE(order.size() == nodes_.size(),
+                  "AND/OR graph contains a cycle");
+  return order;
+}
+
+std::size_t AndOrGraph::task_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (node.kind == NodeKind::Computation) ++n;
+  return n;
+}
+
+SimTime AndOrGraph::total_wcet() const {
+  SimTime t{};
+  for (const auto& n : nodes_) t += n.wcet;
+  return t;
+}
+
+SimTime AndOrGraph::total_acet() const {
+  SimTime t{};
+  for (const auto& n : nodes_) t += n.acet;
+  return t;
+}
+
+void AndOrGraph::set_acet(NodeId id, SimTime acet) {
+  Node& n = nodes_.at(id.value);
+  PASERTA_REQUIRE(n.kind == NodeKind::Computation,
+                  "set_acet on dummy node '" << n.name << "'");
+  PASERTA_REQUIRE(acet > SimTime::zero() && acet <= n.wcet,
+                  "set_acet('" << n.name << "'): need 0 < acet <= wcet");
+  n.acet = acet;
+}
+
+std::optional<NodeId> AndOrGraph::find(const std::string& name) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return NodeId{i};
+  return std::nullopt;
+}
+
+}  // namespace paserta

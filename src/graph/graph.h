@@ -1,0 +1,90 @@
+// Flat AND/OR task graph (paper §2.1).
+//
+// The graph is a DAG over Computation / AND / OR nodes. It is usually built
+// through the hierarchical `ProgramBuilder` (graph/program.h), which
+// guarantees the paper's structural constraints by construction; hand-built
+// graphs can be checked with `validate()`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+
+namespace paserta {
+
+class AndOrGraph {
+ public:
+  /// Adds a computation node; `wcet >= acet > 0` is enforced by validate().
+  NodeId add_task(std::string name, SimTime wcet, SimTime acet);
+
+  /// Adds an AND synchronization node (dummy, zero time).
+  NodeId add_and(std::string name);
+
+  /// Adds an OR synchronization node (dummy, zero time). Successor
+  /// probabilities are attached via `add_or_edge`.
+  NodeId add_or(std::string name);
+
+  /// Adds a dependence edge `from -> to`.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Adds an edge out of an OR fork annotated with its branch probability.
+  void add_or_edge(NodeId or_fork, NodeId to, double probability);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(id.value); }
+  Node& node(NodeId id) { return nodes_.at(id.value); }
+  const Node& operator[](NodeId id) const { return nodes_.at(id.value); }
+
+  /// All node ids, in insertion order.
+  std::vector<NodeId> all_nodes() const;
+
+  /// Nodes with no predecessors.
+  std::vector<NodeId> sources() const;
+  /// Nodes with no successors.
+  std::vector<NodeId> sinks() const;
+
+  /// Topological order; throws paserta::Error if the graph has a cycle.
+  std::vector<NodeId> topo_order() const;
+
+  /// Number of computation (non-dummy) nodes.
+  std::size_t task_count() const;
+
+  /// Sum of computation-node WCETs / ACETs (total work at f_max).
+  SimTime total_wcet() const;
+  SimTime total_acet() const;
+
+  /// Overwrite every computation node's ACET (used by alpha sweeps).
+  void set_acet(NodeId id, SimTime acet);
+
+  /// Full structural validation; throws paserta::Error describing the first
+  /// violation found. Checks:
+  ///  * acyclicity;
+  ///  * computation nodes: 0 < acet <= wcet, no branch probabilities;
+  ///  * dummy nodes: zero wcet/acet;
+  ///  * OR forks: one probability per successor, each in (0,1], sum == 1;
+  ///  * non-fork nodes carry no probabilities; an OR with one successor may
+  ///    carry a single probability of 1;
+  ///  * OR joins: predecessors pairwise mutually exclusive (reachable only
+  ///    via distinct alternatives of some OR fork);
+  ///  * every non-OR node with >1 predecessors is an AND join... (AND
+  ///    semantics also apply to computation nodes, which is legal);
+  ///  * OR forks have at most one predecessor is NOT required, but each OR
+  ///    node must have at least one of preds/succs unless it is the sole
+  ///    node of the graph.
+  void validate() const;
+
+  /// Find a node by name (first match); mostly for tests and examples.
+  std::optional<NodeId> find(const std::string& name) const;
+
+ private:
+  NodeId add_node(Node n);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace paserta

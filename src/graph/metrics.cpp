@@ -1,0 +1,116 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+/// Longest WCET chain within one section (members only).
+SimTime section_critical_path(const AndOrGraph& g,
+                              const std::vector<NodeId>& members) {
+  // Longest-path DP over the member-induced sub-DAG; members are acyclic
+  // because the whole graph is.
+  std::unordered_map<std::uint32_t, SimTime> longest;
+  longest.reserve(members.size());
+
+  // Process in an order where predecessors come first: repeatedly relax
+  // (members are few; a simple Kahn pass keeps it linear).
+  std::unordered_map<std::uint32_t, std::uint32_t> indeg;
+  for (NodeId m : members) indeg[m.value] = 0;
+  for (NodeId m : members)
+    for (NodeId p : g.node(m).preds)
+      if (indeg.contains(p.value)) ++indeg[m.value];
+
+  std::vector<NodeId> queue;
+  for (NodeId m : members)
+    if (indeg[m.value] == 0) queue.push_back(m);
+
+  SimTime best{};
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const NodeId u = queue[qi];
+    const SimTime here = longest[u.value] + g.node(u).wcet;
+    best = std::max(best, here);
+    for (NodeId s : g.node(u).succs) {
+      auto it = indeg.find(s.value);
+      if (it == indeg.end()) continue;
+      longest[s.value] = std::max(longest[s.value], here);
+      if (--it->second == 0) queue.push_back(s);
+    }
+  }
+  PASERTA_ASSERT(queue.size() == members.size(),
+                 "section sub-DAG inconsistent in metrics");
+  return best;
+}
+
+struct ProgramMetrics {
+  double paths = 1.0;
+  SimTime critical{};
+  SimTime max_work{};
+  double expected_work_ps = 0.0;
+};
+
+ProgramMetrics analyze(const AndOrGraph& g, const StructProgram& p) {
+  ProgramMetrics out;
+  for (const StructSegment& seg : p.segments) {
+    if (seg.kind == StructSegment::Kind::Section) {
+      out.critical += section_critical_path(g, seg.members);
+      for (NodeId m : seg.members) {
+        out.max_work += g.node(m).wcet;
+        out.expected_work_ps += static_cast<double>(g.node(m).acet.ps);
+      }
+    } else {
+      double paths = 0.0;
+      SimTime crit{}, work{};
+      double expected = 0.0;
+      for (std::size_t a = 0; a < seg.alternatives.size(); ++a) {
+        const ProgramMetrics sub = analyze(g, seg.alternatives[a]);
+        paths += sub.paths;
+        crit = std::max(crit, sub.critical);
+        work = std::max(work, sub.max_work);
+        expected += seg.alt_prob[a] * sub.expected_work_ps;
+      }
+      out.paths *= paths;
+      out.critical += crit;
+      out.max_work += work;
+      out.expected_work_ps += expected;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GraphMetrics compute_metrics(const Application& app) {
+  GraphMetrics m;
+  m.nodes = app.graph.size();
+  for (NodeId id : app.graph.all_nodes()) {
+    const Node& n = app.graph.node(id);
+    m.edges += n.succs.size();
+    switch (n.kind) {
+      case NodeKind::Computation: ++m.tasks; break;
+      case NodeKind::AndNode: ++m.and_nodes; break;
+      case NodeKind::OrNode:
+        ++m.or_nodes;
+        if (n.is_or_fork()) ++m.or_forks;
+        break;
+    }
+  }
+
+  const ProgramMetrics pm = analyze(app.graph, app.structure);
+  m.path_count = pm.paths;
+  m.critical_path = pm.critical;
+  m.max_work = pm.max_work;
+  m.expected_work =
+      SimTime{static_cast<std::int64_t>(pm.expected_work_ps + 0.5)};
+  m.parallelism =
+      pm.critical.ps > 0
+          ? static_cast<double>(pm.max_work.ps) /
+                static_cast<double>(pm.critical.ps)
+          : 0.0;
+  return m;
+}
+
+}  // namespace paserta

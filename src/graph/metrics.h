@@ -1,0 +1,43 @@
+// Structural metrics of AND/OR applications.
+//
+// Characterizes a workload independent of any platform: critical path,
+// parallelism, path counts and expected work — the quantities that predict
+// how much static/dynamic slack the schemes will find. Used to describe
+// random workloads in experiments and to sanity-check generators.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/program.h"
+
+namespace paserta {
+
+struct GraphMetrics {
+  std::size_t nodes = 0;
+  std::size_t tasks = 0;        // computation nodes
+  std::size_t and_nodes = 0;
+  std::size_t or_nodes = 0;
+  std::size_t or_forks = 0;
+  std::size_t edges = 0;
+
+  /// Number of distinct execution paths (products of fork fan-outs along
+  /// the hierarchy; loops already expanded).
+  double path_count = 0.0;
+
+  /// Longest WCET chain through the graph, treating OR forks as taking
+  /// their longest alternative (time at f_max).
+  SimTime critical_path{};
+
+  /// Total worst-case work of the largest path (sum over the worst-case
+  /// executed set) and expected work over path probabilities (ACETs).
+  SimTime max_work{};
+  SimTime expected_work{};
+
+  /// max_work / critical_path: average width of the worst path — an upper
+  /// bound on how many processors the application can keep busy.
+  double parallelism = 0.0;
+};
+
+GraphMetrics compute_metrics(const Application& app);
+
+}  // namespace paserta

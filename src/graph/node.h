@@ -1,0 +1,65 @@
+// Node-level types of the AND/OR task-graph model (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace paserta {
+
+/// Index of a node within its AndOrGraph. Strongly typed to avoid mixing
+/// with processor ids, execution orders etc.
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+/// The three vertex kinds of the extended AND/OR model:
+///  * Computation — a real task with WCET/ACET attributes (circle).
+///  * AndNode     — synchronization: depends on *all* predecessors, all
+///                  successors depend on it (diamond). Zero execution time.
+///  * OrNode      — depends on *one* predecessor; exactly one successor
+///                  executes after it (double circle). Zero execution time.
+///                  With >1 successors it is an OR *fork* and carries one
+///                  probability per successor; with >1 predecessors it is an
+///                  OR *join* whose predecessors must be mutually exclusive.
+enum class NodeKind : std::uint8_t { Computation, AndNode, OrNode };
+
+const char* to_string(NodeKind k);
+
+/// One vertex of the flat AND/OR graph.
+struct Node {
+  NodeKind kind = NodeKind::Computation;
+  std::string name;
+
+  /// Worst-case execution time at f_max (zero for AND/OR nodes).
+  SimTime wcet{};
+  /// Average-case execution time at f_max (zero for AND/OR nodes).
+  SimTime acet{};
+
+  std::vector<NodeId> preds;
+  std::vector<NodeId> succs;
+
+  /// For OR forks only: probability of taking each successor, parallel to
+  /// `succs`, summing to 1. Empty otherwise.
+  std::vector<double> succ_prob;
+
+  bool is_dummy() const { return kind != NodeKind::Computation; }
+  bool is_or_fork() const {
+    return kind == NodeKind::OrNode && succs.size() > 1;
+  }
+  bool is_or_join() const {
+    return kind == NodeKind::OrNode && preds.size() > 1;
+  }
+};
+
+}  // namespace paserta

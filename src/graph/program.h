@@ -1,0 +1,144 @@
+// Hierarchical application builder for AND/OR graphs.
+//
+// The paper's applications are sequences of *program sections* separated by
+// OR synchronization nodes (§2.1, §3.2): within a section there is AND/task
+// parallelism; OR forks choose one of several alternative sub-programs with
+// known probabilities; loops with a known maximum iteration count and an
+// iteration-count distribution are expanded into nested OR structures
+// (or collapsed into a single task), exactly as §2.1 describes.
+//
+// `Program` is that grammar as a value type. `build_application` flattens a
+// Program into (a) the flat AndOrGraph executed by the simulator and (b) an
+// `AppStructure` — the same hierarchy expressed over flat node ids — which
+// the offline analysis (canonical schedules, latest start times, execution
+// orders, speculation profiles) consumes. Graphs produced this way satisfy
+// the paper's structural constraints by construction (and are re-checked by
+// AndOrGraph::validate()).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace paserta {
+
+/// Specification of one computation task (times at f_max).
+struct TaskSpec {
+  std::string name;
+  SimTime wcet;
+  SimTime acet;
+};
+
+class Program;
+
+/// A DAG of tasks with no OR structure; the unit the offline phase
+/// list-schedules canonically. `edges` are (from,to) indices into `tasks`.
+struct SectionSpec {
+  std::vector<TaskSpec> tasks;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+};
+
+/// One alternative of an OR fork. An empty program models a skipped path
+/// (it flattens to a single zero-time dummy).
+struct AlternativeSpec {
+  double probability;
+  Program* program;  // owned via Program's storage; see Program::branch
+};
+
+/// How to translate a loop into the flat model (paper §2.1 offers both).
+enum class LoopMode {
+  /// Expand into `max_iterations` body copies chained through OR exits whose
+  /// probabilities are the conditionals of the iteration-count distribution.
+  Unroll,
+  /// Replace the loop by a single task with WCET = max iterations x body
+  /// serial WCET and ACET = E[iterations] x body serial ACET.
+  Collapse,
+};
+
+/// A sequence of segments (sections, branches, loops). Value semantics.
+class Program {
+ public:
+  Program();
+  Program(const Program&);
+  Program(Program&&) noexcept;
+  Program& operator=(const Program&);
+  Program& operator=(Program&&) noexcept;
+  ~Program();
+
+  /// Appends a section; returns *this for chaining.
+  Program& section(SectionSpec s);
+
+  /// Appends a single-task section.
+  Program& task(std::string name, SimTime wcet, SimTime acet);
+
+  /// Appends a section of independent parallel tasks.
+  Program& parallel(std::vector<TaskSpec> tasks);
+
+  /// Appends a section of serially-dependent tasks (a chain).
+  Program& chain(std::vector<TaskSpec> tasks);
+
+  /// Appends an OR branch. Probabilities must sum to 1; at least one
+  /// alternative. Alternatives may be empty programs (skipped paths).
+  Program& branch(std::string name,
+                  std::vector<std::pair<double, Program>> alternatives);
+
+  /// Appends a loop of `body`, where `iteration_prob[k]` is the probability
+  /// of executing exactly k+1 iterations (so max iterations =
+  /// iteration_prob.size()); probabilities must sum to 1.
+  Program& loop(std::string name, Program body,
+                std::vector<double> iteration_prob,
+                LoopMode mode = LoopMode::Unroll);
+
+  bool empty() const;
+  std::size_t segment_count() const;
+
+  struct Impl;
+  const Impl& impl() const { return *impl_; }
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Hierarchical structure of a *flattened* application, over flat node ids.
+/// Loops are already expanded, so only sections and branches remain.
+struct StructSegment;
+
+struct StructProgram {
+  std::vector<StructSegment> segments;
+};
+
+struct StructSegment {
+  enum class Kind { Section, Branch } kind = Kind::Section;
+
+  /// Kind::Section — every node canonically scheduled as this section, in
+  /// insertion order (tasks plus any glue AND dummies).
+  std::vector<NodeId> members;
+
+  /// Kind::Branch — the OR fork/join pair and the alternatives between them.
+  NodeId fork;
+  NodeId join;
+  std::vector<double> alt_prob;
+  std::vector<StructProgram> alternatives;
+};
+
+/// A flattened, validated application: the flat graph plus its hierarchy.
+struct Application {
+  std::string name;
+  AndOrGraph graph;
+  StructProgram structure;
+
+  /// Number of OR forks in the flat graph (speculation points).
+  std::size_t or_fork_count() const;
+};
+
+/// Flattens `program` into an Application. Throws paserta::Error on invalid
+/// input (empty program, bad probabilities, ...). The result's graph always
+/// passes AndOrGraph::validate().
+Application build_application(std::string name, const Program& program);
+
+}  // namespace paserta

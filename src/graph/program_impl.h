@@ -1,0 +1,30 @@
+// Internal representation of Program (shared by program.cpp and the text
+// serializer). Not part of the public API: the layout may change.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "graph/program.h"
+
+namespace paserta {
+
+struct Program::Impl {
+  struct BranchSeg {
+    std::string name;
+    std::vector<std::pair<double, Program>> alts;
+  };
+  struct LoopSeg {
+    std::string name;
+    Program body;
+    std::vector<double> iter_prob;
+    LoopMode mode;
+  };
+  using Seg = std::variant<SectionSpec, BranchSeg, LoopSeg>;
+
+  std::vector<Seg> segs;
+};
+
+}  // namespace paserta

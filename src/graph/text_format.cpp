@@ -1,0 +1,307 @@
+#include "graph/text_format.h"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "graph/program_impl.h"
+
+namespace paserta {
+namespace {
+
+// --------------------------------------------------------------- tokenizer
+
+struct Line {
+  int number = 0;
+  std::vector<std::string> tokens;
+
+  const std::string& keyword() const { return tokens.front(); }
+};
+
+std::vector<Line> tokenize(std::istream& in) {
+  std::vector<Line> lines;
+  std::string raw;
+  int number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream iss(raw);
+    Line line;
+    line.number = number;
+    std::string tok;
+    while (iss >> tok) line.tokens.push_back(tok);
+    if (!line.tokens.empty()) lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+[[noreturn]] void syntax_error(const Line& line, const std::string& what) {
+  PASERTA_REQUIRE(false, "workload line " << line.number << ": " << what);
+  std::abort();  // unreachable
+}
+
+double parse_number(const Line& line, const std::string& tok,
+                    const char* what) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    syntax_error(line, std::string("invalid ") + what + " '" + tok + "'");
+  }
+  if (pos != tok.size())
+    syntax_error(line, std::string("invalid ") + what + " '" + tok + "'");
+  return v;
+}
+
+// ------------------------------------------------------------------ parser
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  ParsedWorkload parse() {
+    ParsedWorkload out;
+    out.name = "workload";
+    if (!eof() && peek().keyword() == "app") {
+      const Line& line = next();
+      if (line.tokens.size() != 2)
+        syntax_error(line, "expected: app <name>");
+      out.name = line.tokens[1];
+    }
+    out.program = parse_program(/*stop_at_end=*/false);
+    return out;
+  }
+
+ private:
+  bool eof() const { return pos_ >= lines_.size(); }
+  const Line& peek() const { return lines_[pos_]; }
+  const Line& next() { return lines_[pos_++]; }
+
+  /// Parses segments until EOF (top level) or a matching 'end'.
+  Program parse_program(bool stop_at_end) {
+    Program p;
+    while (!eof()) {
+      const Line& line = peek();
+      const std::string& kw = line.keyword();
+      if (kw == "end") {
+        if (!stop_at_end) syntax_error(line, "unexpected 'end'");
+        next();
+        return p;
+      }
+      if (kw == "task") {
+        const Line& l = next();
+        if (l.tokens.size() != 4)
+          syntax_error(l, "expected: task <name> <wcet_ms> <acet_ms>");
+        p.task(l.tokens[1], SimTime::from_ms(parse_number(l, l.tokens[2], "wcet")),
+               SimTime::from_ms(parse_number(l, l.tokens[3], "acet")));
+      } else if (kw == "section") {
+        p.section(parse_section(next()));
+      } else if (kw == "branch") {
+        parse_branch(p);
+      } else if (kw == "loop") {
+        parse_loop(p);
+      } else {
+        syntax_error(line, "unknown keyword '" + kw + "'");
+      }
+    }
+    if (stop_at_end)
+      PASERTA_REQUIRE(false, "workload ended inside a block (missing 'end')");
+    return p;
+  }
+
+  SectionSpec parse_section(const Line& header) {
+    if (header.tokens.size() != 1)
+      syntax_error(header, "expected: section");
+    SectionSpec sec;
+    std::map<std::string, std::size_t> index;
+    while (true) {
+      if (eof())
+        syntax_error(header, "'section' without matching 'end'");
+      const Line& l = next();
+      const std::string& kw = l.keyword();
+      if (kw == "end") break;
+      if (kw == "task") {
+        if (l.tokens.size() != 4)
+          syntax_error(l, "expected: task <name> <wcet_ms> <acet_ms>");
+        if (index.contains(l.tokens[1]))
+          syntax_error(l, "duplicate task '" + l.tokens[1] + "' in section");
+        index[l.tokens[1]] = sec.tasks.size();
+        sec.tasks.push_back(
+            {l.tokens[1], SimTime::from_ms(parse_number(l, l.tokens[2], "wcet")),
+             SimTime::from_ms(parse_number(l, l.tokens[3], "acet"))});
+      } else if (kw == "edge") {
+        if (l.tokens.size() != 3)
+          syntax_error(l, "expected: edge <from> <to>");
+        const auto from = index.find(l.tokens[1]);
+        const auto to = index.find(l.tokens[2]);
+        if (from == index.end())
+          syntax_error(l, "edge references unknown task '" + l.tokens[1] + "'");
+        if (to == index.end())
+          syntax_error(l, "edge references unknown task '" + l.tokens[2] + "'");
+        sec.edges.push_back({from->second, to->second});
+      } else {
+        syntax_error(l, "unexpected '" + kw + "' inside section");
+      }
+    }
+    return sec;
+  }
+
+  void parse_branch(Program& p) {
+    const Line header = next();
+    if (header.tokens.size() != 2)
+      syntax_error(header, "expected: branch <name>");
+    std::vector<std::pair<double, Program>> alts;
+    while (true) {
+      if (eof())
+        syntax_error(header, "'branch' without matching 'end'");
+      const Line& l = next();
+      if (l.keyword() == "end") break;
+      if (l.keyword() != "alt")
+        syntax_error(l, "expected 'alt <probability>' or 'end' in branch");
+      if (l.tokens.size() != 2)
+        syntax_error(l, "expected: alt <probability>");
+      const double prob = parse_number(l, l.tokens[1], "probability");
+      alts.emplace_back(prob, parse_program(/*stop_at_end=*/true));
+    }
+    if (alts.empty()) syntax_error(header, "branch needs alternatives");
+    p.branch(header.tokens[1], std::move(alts));
+  }
+
+  void parse_loop(Program& p) {
+    const Line header = next();
+    if (header.tokens.size() < 3)
+      syntax_error(header,
+                   "expected: loop <name> [collapse] <p1> <p2> ...");
+    std::size_t first_prob = 2;
+    LoopMode mode = LoopMode::Unroll;
+    if (header.tokens[2] == "collapse") {
+      mode = LoopMode::Collapse;
+      first_prob = 3;
+    }
+    std::vector<double> probs;
+    for (std::size_t i = first_prob; i < header.tokens.size(); ++i)
+      probs.push_back(parse_number(header, header.tokens[i], "probability"));
+    if (probs.empty()) syntax_error(header, "loop needs probabilities");
+    Program body = parse_program(/*stop_at_end=*/true);
+    p.loop(header.tokens[1], std::move(body), std::move(probs), mode);
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------ writer
+
+/// Shortest decimal that parses back to exactly the same double, so that
+/// serialize -> parse -> serialize is a fixed point and probability sums
+/// survive the round-trip bit-exactly.
+std::string fmt_exact(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::ostringstream oss;
+    oss << static_cast<std::int64_t>(v);
+    return oss.str();
+  }
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::ostringstream oss;
+    oss << std::setprecision(precision) << v;
+    if (std::stod(oss.str()) == v) return oss.str();
+  }
+  std::ostringstream oss;
+  oss << std::setprecision(17) << v;
+  return oss.str();
+}
+
+std::string fmt_ms(SimTime t) { return fmt_exact(t.ms()); }
+
+std::string fmt_prob(double p) { return fmt_exact(p); }
+
+void write_program(std::ostream& os, const Program& p, int indent);
+
+void write_section(std::ostream& os, const SectionSpec& sec, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  if (sec.tasks.size() == 1 && sec.edges.empty()) {
+    const TaskSpec& t = sec.tasks[0];
+    os << pad << "task " << t.name << " " << fmt_ms(t.wcet) << " "
+       << fmt_ms(t.acet) << "\n";
+    return;
+  }
+  os << pad << "section\n";
+  for (const TaskSpec& t : sec.tasks)
+    os << pad << "  task " << t.name << " " << fmt_ms(t.wcet) << " "
+       << fmt_ms(t.acet) << "\n";
+  for (const auto& [from, to] : sec.edges)
+    os << pad << "  edge " << sec.tasks[from].name << " "
+       << sec.tasks[to].name << "\n";
+  os << pad << "end\n";
+}
+
+void write_program(std::ostream& os, const Program& p, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (const auto& seg : p.impl().segs) {
+    if (const auto* sec = std::get_if<SectionSpec>(&seg)) {
+      write_section(os, *sec, indent);
+    } else if (const auto* br = std::get_if<Program::Impl::BranchSeg>(&seg)) {
+      os << pad << "branch " << br->name << "\n";
+      for (const auto& [prob, prog] : br->alts) {
+        os << pad << "  alt " << fmt_prob(prob) << "\n";
+        write_program(os, prog, indent + 4);
+        os << pad << "  end\n";
+      }
+      os << pad << "end\n";
+    } else {
+      const auto& lp = std::get<Program::Impl::LoopSeg>(seg);
+      os << pad << "loop " << lp.name;
+      if (lp.mode == LoopMode::Collapse) os << " collapse";
+      for (double prob : lp.iter_prob) os << " " << fmt_prob(prob);
+      os << "\n";
+      write_program(os, lp.body, indent + 2);
+      os << pad << "end\n";
+    }
+  }
+}
+
+}  // namespace
+
+ParsedWorkload parse_workload(std::istream& in) {
+  Parser parser(tokenize(in));
+  ParsedWorkload out = parser.parse();
+  PASERTA_REQUIRE(!out.program.empty(), "workload defines no segments");
+  return out;
+}
+
+ParsedWorkload parse_workload_string(const std::string& text) {
+  std::istringstream iss(text);
+  return parse_workload(iss);
+}
+
+Application load_application(std::istream& in) {
+  ParsedWorkload w = parse_workload(in);
+  return build_application(std::move(w.name), w.program);
+}
+
+Application load_application_string(const std::string& text) {
+  std::istringstream iss(text);
+  return load_application(iss);
+}
+
+void write_workload(std::ostream& os, const std::string& name,
+                    const Program& program) {
+  os << "app " << name << "\n";
+  write_program(os, program, 0);
+}
+
+std::string workload_to_string(const std::string& name,
+                               const Program& program) {
+  std::ostringstream oss;
+  write_workload(oss, name, program);
+  return oss.str();
+}
+
+}  // namespace paserta

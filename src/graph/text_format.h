@@ -1,0 +1,65 @@
+// Text format for AND/OR workloads.
+//
+// Lets workloads live as data files instead of C++ builders. The format is
+// line-based; '#' starts a comment; times are milliseconds at f_max.
+//
+//   app synthetic
+//
+//   section               # a DAG of tasks
+//     task A 8 5          # name wcet_ms acet_ms
+//     task B 5 3
+//     edge A B
+//   end
+//
+//   task single 4 2       # sugar: one-task section
+//
+//   branch path           # OR fork/join with probabilistic alternatives
+//     alt 0.35
+//       task E 5 4
+//     end
+//     alt 0.65            # an alt with no body is a skipped path
+//     end
+//   end
+//
+//   loop scan 0.30 0.20 0.25 0.25   # P(1..K iterations); body follows
+//     section
+//       task D1 4 2
+//       task D2 4 2
+//     end
+//   end
+//
+//   loop agg collapse 0.5 0.5        # collapse into one aggregate task
+//     task body 2 1
+//   end
+//
+// parse + serialize round-trip exactly (modulo comments/whitespace).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/program.h"
+
+namespace paserta {
+
+struct ParsedWorkload {
+  std::string name;
+  Program program;
+};
+
+/// Parses a workload; throws paserta::Error with a line number on syntax
+/// or semantic errors.
+ParsedWorkload parse_workload(std::istream& in);
+ParsedWorkload parse_workload_string(const std::string& text);
+
+/// Parses and flattens in one step.
+Application load_application(std::istream& in);
+Application load_application_string(const std::string& text);
+
+/// Serializes a Program back to the text format.
+void write_workload(std::ostream& os, const std::string& name,
+                    const Program& program);
+std::string workload_to_string(const std::string& name,
+                               const Program& program);
+
+}  // namespace paserta

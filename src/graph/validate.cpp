@@ -1,0 +1,165 @@
+// Structural validation of flat AND/OR graphs.
+//
+// Beyond local rules (probabilities, dummy attributes, acyclicity) this
+// implements the mutual-exclusion check for OR joins: every pair of
+// predecessors of an OR join must lie on different alternatives of a common
+// OR fork, so that at runtime exactly one of them executes and the join
+// (whose unfinished-predecessor counter starts at 1, Fig. 2 of the paper)
+// fires exactly once.
+//
+// Mutual exclusion is decided with a dataflow analysis: for every node `v`
+// we compute the set of *mandatory branch commitments*
+//     commit(v) = { (fork F, alternative a) : every source->v path passes
+//                    through F and leaves it via alternative a }
+// via the DAG recurrence
+//     commit(v) = intersection over predecessors p of
+//                    ( commit(p) + {(p, index of v in p.succs)} if p is an
+//                      OR fork, else commit(p) ).
+// Two nodes are mutually exclusive iff their commitment sets disagree on
+// some fork. This is exact for graphs produced by ProgramBuilder and sound
+// (never accepts a non-exclusive pair) for arbitrary DAGs.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "common/error.h"
+#include "graph/graph.h"
+
+namespace paserta {
+namespace {
+
+// fork node -> alternative index that all paths must take.
+using CommitSet = std::map<std::uint32_t, std::uint32_t>;
+
+// Intersect `acc` with `other`: keep entries present and equal in both.
+void intersect_into(CommitSet& acc, const CommitSet& other) {
+  for (auto it = acc.begin(); it != acc.end();) {
+    auto found = other.find(it->first);
+    if (found == other.end() || found->second != it->second) {
+      it = acc.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool mutually_exclusive(const CommitSet& a, const CommitSet& b) {
+  for (const auto& [fork, alt] : a) {
+    auto it = b.find(fork);
+    if (it != b.end() && it->second != alt) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void AndOrGraph::validate() const {
+  PASERTA_REQUIRE(!nodes_.empty(), "empty AND/OR graph");
+
+  // ---- Local rules -------------------------------------------------------
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.kind) {
+      case NodeKind::Computation:
+        PASERTA_REQUIRE(n.wcet > SimTime::zero(),
+                        "task '" << n.name << "' has non-positive WCET");
+        PASERTA_REQUIRE(n.acet > SimTime::zero() && n.acet <= n.wcet,
+                        "task '" << n.name << "' violates 0 < ACET <= WCET");
+        PASERTA_REQUIRE(n.succ_prob.empty(),
+                        "task '" << n.name << "' carries branch probabilities");
+        break;
+      case NodeKind::AndNode:
+        PASERTA_REQUIRE(n.wcet.is_zero() && n.acet.is_zero(),
+                        "AND node '" << n.name << "' has execution time");
+        PASERTA_REQUIRE(n.succ_prob.empty(),
+                        "AND node '" << n.name
+                                     << "' carries branch probabilities");
+        break;
+      case NodeKind::OrNode: {
+        PASERTA_REQUIRE(n.wcet.is_zero() && n.acet.is_zero(),
+                        "OR node '" << n.name << "' has execution time");
+        if (n.succs.size() > 1) {
+          PASERTA_REQUIRE(n.succ_prob.size() == n.succs.size(),
+                          "OR fork '" << n.name
+                                      << "' lacks per-successor probabilities");
+          double sum = 0.0;
+          for (double p : n.succ_prob) {
+            PASERTA_REQUIRE(p > 0.0 && p <= 1.0,
+                            "OR fork '" << n.name
+                                        << "' has probability outside (0,1]");
+            sum += p;
+          }
+          PASERTA_REQUIRE(std::abs(sum - 1.0) < 1e-9,
+                          "OR fork '" << n.name << "' probabilities sum to "
+                                      << sum << ", expected 1");
+        } else if (!n.succ_prob.empty()) {
+          PASERTA_REQUIRE(n.succ_prob.size() == n.succs.size() &&
+                              std::abs(n.succ_prob[0] - 1.0) < 1e-9,
+                          "single-successor OR node '"
+                              << n.name << "' must have probability 1");
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- Acyclicity (throws on cycle) + order for the dataflow pass. -------
+  const std::vector<NodeId> topo = topo_order();
+
+  // ---- Commitment sets & OR-join exclusivity. ----------------------------
+  std::vector<CommitSet> commit(nodes_.size());
+  std::vector<bool> visited(nodes_.size(), false);
+  for (NodeId v : topo) {
+    const Node& n = nodes_[v.value];
+    CommitSet acc;
+    bool first = true;
+    for (NodeId p : n.preds) {
+      CommitSet from_p = commit[p.value];
+      const Node& pn = nodes_[p.value];
+      if (pn.is_or_fork()) {
+        const auto it = std::find(pn.succs.begin(), pn.succs.end(), v);
+        PASERTA_ASSERT(it != pn.succs.end(), "inconsistent adjacency");
+        from_p[p.value] =
+            static_cast<std::uint32_t>(std::distance(pn.succs.begin(), it));
+      }
+      if (first) {
+        acc = std::move(from_p);
+        first = false;
+      } else {
+        // A non-OR node reachable from several alternatives would merge
+        // exclusive control flows with AND semantics — that deadlocks at
+        // runtime, so reject it here.
+        if (n.kind != NodeKind::OrNode) {
+          PASERTA_REQUIRE(
+              !mutually_exclusive(acc, from_p),
+              "node '" << n.name
+                       << "' has AND semantics but mutually exclusive "
+                          "predecessors; use an OR join instead");
+        }
+        intersect_into(acc, from_p);
+      }
+    }
+    commit[v.value] = std::move(acc);
+    visited[v.value] = true;
+  }
+
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (!(n.kind == NodeKind::OrNode && n.preds.size() > 1)) continue;
+    for (std::size_t a = 0; a < n.preds.size(); ++a) {
+      for (std::size_t b = a + 1; b < n.preds.size(); ++b) {
+        const NodeId pa = n.preds[a], pb = n.preds[b];
+        PASERTA_REQUIRE(
+            mutually_exclusive(commit[pa.value], commit[pb.value]),
+            "OR join '" << n.name << "': predecessors '"
+                        << nodes_[pa.value].name << "' and '"
+                        << nodes_[pb.value].name
+                        << "' can both execute in one run; OR-join "
+                           "predecessors must be mutually exclusive");
+      }
+    }
+  }
+}
+
+}  // namespace paserta

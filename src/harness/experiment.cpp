@@ -1,0 +1,201 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+#include "core/offline.h"
+#include "sim/engine.h"
+#include "sim/scenario.h"
+#include "sim/verify.h"
+
+namespace paserta {
+
+const SchemeStats& SweepPoint::of(Scheme s) const {
+  for (const auto& st : stats)
+    if (st.scheme == s) return st;
+  PASERTA_REQUIRE(false, "scheme " << to_string(s) << " not in sweep point");
+  return stats.front();  // unreachable
+}
+
+namespace {
+
+/// Raw per-run measurements; accumulated into SweepPoint in run order so
+/// results are independent of how many worker threads produced them.
+struct SchemeOutcome {
+  double norm_energy = 0.0;
+  double speed_changes = 0.0;
+  double finish_frac = 0.0;
+  double busy_frac = 0.0;
+  double overhead_frac = 0.0;
+  double idle_frac = 0.0;
+  bool has_fracs = false;
+  bool missed = false;
+  bool verify_failed = false;
+};
+
+struct RunOutcome {
+  double npm_energy = 0.0;
+  std::vector<SchemeOutcome> schemes;
+};
+
+/// Evaluates one run on its own seed-derived stream. Thread-safe: all
+/// shared inputs are const; policies are caller-provided (one set per
+/// worker).
+RunOutcome evaluate_run(const Application& app, const ExperimentConfig& cfg,
+                        const OfflineResult& off, const PowerModel& pm,
+                        SimTime deadline,
+                        std::vector<std::unique_ptr<SpeedPolicy>>& policies,
+                        SpeedPolicy& npm, int run) {
+  Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
+  const RunScenario sc = draw_scenario(app.graph, run_rng);
+
+  RunOutcome out;
+  npm.reset(off, pm);
+  const SimResult base = simulate(app, off, pm, cfg.overheads, npm, sc);
+  out.npm_energy = base.total_energy();
+
+  out.schemes.resize(cfg.schemes.size());
+  for (std::size_t s = 0; s < cfg.schemes.size(); ++s) {
+    SpeedPolicy& policy = *policies[s];
+    policy.reset(off, pm);
+    const SimResult r = simulate(app, off, pm, cfg.overheads, policy, sc);
+    SchemeOutcome& so = out.schemes[s];
+    so.norm_energy = r.total_energy() / base.total_energy();
+    so.speed_changes = static_cast<double>(r.speed_changes);
+    so.finish_frac = static_cast<double>(r.finish_time.ps) /
+                     static_cast<double>(deadline.ps);
+    const Energy total = r.total_energy();
+    if (total > 0.0) {
+      so.busy_frac = r.busy_energy / total;
+      so.overhead_frac = r.overhead_energy / total;
+      so.idle_frac = r.idle_energy / total;
+      so.has_fracs = true;
+    }
+    so.missed = !r.deadline_met;
+    if (cfg.verify_traces) {
+      const VerifyReport rep = verify_trace(app, off, sc, r);
+      so.verify_failed = !rep.ok;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
+                     SimTime deadline, double x_value) {
+  PASERTA_REQUIRE(cfg.runs >= 1, "need at least one run");
+  PASERTA_REQUIRE(cfg.threads >= 1, "need at least one worker thread");
+  PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
+
+  const PowerModel pm(cfg.table, cfg.c_ef, cfg.idle_fraction);
+  OfflineOptions opt;
+  opt.cpus = cfg.cpus;
+  opt.deadline = deadline;
+  opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
+  opt.heuristic = cfg.heuristic;
+  const OfflineResult off = analyze_offline(app, opt);
+
+  SweepPoint point;
+  point.x = x_value;
+  point.deadline = deadline;
+  point.worst_makespan = off.worst_makespan();
+  point.stats.resize(cfg.schemes.size());
+  for (std::size_t s = 0; s < cfg.schemes.size(); ++s)
+    point.stats[s].scheme = cfg.schemes[s];
+
+  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(cfg.runs));
+
+  auto worker = [&](int first, int step) {
+    // Each worker owns one set of (stateful) policy objects.
+    std::vector<std::unique_ptr<SpeedPolicy>> policies;
+    for (Scheme s : cfg.schemes)
+      policies.push_back(make_policy(s, cfg.policy_options));
+    auto npm = make_policy(Scheme::NPM);
+    for (int run = first; run < cfg.runs; run += step)
+      outcomes[static_cast<std::size_t>(run)] =
+          evaluate_run(app, cfg, off, pm, deadline, policies, *npm, run);
+  };
+
+  const int threads = std::min(cfg.threads, cfg.runs);
+  if (threads <= 1) {
+    worker(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t, threads);
+    for (auto& th : pool) th.join();
+  }
+
+  // Accumulate strictly in run order: identical floating-point results for
+  // every thread count.
+  for (const RunOutcome& run : outcomes) {
+    point.npm_energy.add(run.npm_energy);
+    for (std::size_t s = 0; s < run.schemes.size(); ++s) {
+      const SchemeOutcome& so = run.schemes[s];
+      SchemeStats& st = point.stats[s];
+      st.norm_energy.add(so.norm_energy);
+      st.speed_changes.add(so.speed_changes);
+      st.finish_frac.add(so.finish_frac);
+      if (so.has_fracs) {
+        st.busy_frac.add(so.busy_frac);
+        st.overhead_frac.add(so.overhead_frac);
+        st.idle_frac.add(so.idle_frac);
+      }
+      if (so.missed) ++st.deadline_misses;
+      if (so.verify_failed) ++st.verify_failures;
+    }
+  }
+  return point;
+}
+
+std::vector<SweepPoint> sweep_load(const Application& app,
+                                   const ExperimentConfig& cfg,
+                                   const std::vector<double>& loads) {
+  const SimTime w = canonical_worst_makespan(
+      app, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+      cfg.heuristic);
+  std::vector<SweepPoint> points;
+  points.reserve(loads.size());
+  for (double load : loads) {
+    PASERTA_REQUIRE(load > 0.0, "load must be positive, got " << load);
+    const SimTime deadline{static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(w.ps) / load))};
+    points.push_back(run_point(app, cfg, deadline, load));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweep_alpha(const Application& app,
+                                    const ExperimentConfig& cfg, double load,
+                                    const std::vector<double>& alphas) {
+  std::vector<SweepPoint> points;
+  points.reserve(alphas.size());
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    const double alpha = alphas[i];
+    Application variant = app;  // fresh copy: ACETs are redrawn per alpha
+    Rng acet_rng(cfg.seed ^ (0x517CC1B727220A95ULL + i));
+    assign_alpha(variant.graph, alpha, &acet_rng);
+
+    // The deadline derives from WCETs only, so it is alpha-independent;
+    // recompute anyway for clarity (identical value).
+    const SimTime w = canonical_worst_makespan(
+        variant, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+        cfg.heuristic);
+    const SimTime deadline{static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(w.ps) / load))};
+    points.push_back(run_point(variant, cfg, deadline, alpha));
+  }
+  return points;
+}
+
+std::vector<double> sweep_range(double from, double to, double step) {
+  PASERTA_REQUIRE(step > 0.0 && from <= to, "invalid sweep range");
+  std::vector<double> xs;
+  for (double x = from; x <= to + 1e-9; x += step)
+    xs.push_back(std::min(x, to));
+  return xs;
+}
+
+}  // namespace paserta

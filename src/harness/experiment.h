@@ -1,0 +1,92 @@
+// Experiment harness: the Monte-Carlo driver behind every figure.
+//
+// One *point* fixes an application (with its ACETs), a CPU count, a power
+// model, overheads and a deadline, then evaluates all requested schemes on
+// `runs` shared scenarios (same actual times and OR choices for every
+// scheme — paired comparison) and reports energy normalized to NPM on the
+// same scenario, exactly the quantity the paper plots.
+//
+// Sweeps vary either the load (deadline = W / load, paper §5.1) or alpha
+// (ACET/WCET ratio, paper §5.2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/policy.h"
+#include "graph/program.h"
+#include "power/power_model.h"
+
+namespace paserta {
+
+struct ExperimentConfig {
+  int cpus = 2;
+  LevelTable table = LevelTable::transmeta_tm5400();
+  Overheads overheads;
+  double c_ef = 1e-9;
+  double idle_fraction = 0.05;
+  std::vector<Scheme> schemes = {Scheme::SPM, Scheme::GSS, Scheme::SS1,
+                                 Scheme::SS2, Scheme::AS};
+  int runs = 1000;
+  std::uint64_t seed = 42;
+  /// Worker threads for the Monte-Carlo loop (1 = serial). Results are
+  /// bit-identical for any thread count: each run draws from its own
+  /// seed-derived stream and per-thread accumulators merge in run order.
+  int threads = 1;
+  /// Canonical-schedule priority rule (paper evaluates LTF).
+  ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
+  /// Speculative-floor rounding mode (see PolicyOptions).
+  PolicyOptions policy_options;
+  /// Verify every trace against the model invariants (slower; used by
+  /// tests, off by default in benches).
+  bool verify_traces = false;
+};
+
+struct SchemeStats {
+  Scheme scheme = Scheme::NPM;
+  RunningStat norm_energy;    // E / E_NPM per run
+  RunningStat speed_changes;  // voltage transitions per run
+  RunningStat finish_frac;    // finish time / deadline per run
+  // Energy breakdown, as fractions of the scheme's own total energy.
+  RunningStat busy_frac;
+  RunningStat overhead_frac;
+  RunningStat idle_frac;
+  std::uint32_t deadline_misses = 0;
+  std::uint32_t verify_failures = 0;
+};
+
+struct SweepPoint {
+  double x = 0.0;  // the swept parameter (load or alpha)
+  SimTime deadline{};
+  SimTime worst_makespan{};
+  RunningStat npm_energy;  // absolute joules, for reference
+  std::vector<SchemeStats> stats;
+
+  const SchemeStats& of(Scheme s) const;
+};
+
+/// Evaluates one point. `deadline` must be >= the canonical worst-case
+/// makespan for the guarantee to hold (the harness does not enforce it, so
+/// infeasible what-if points can be explored; misses are counted).
+SweepPoint run_point(const Application& app, const ExperimentConfig& config,
+                     SimTime deadline, double x_value);
+
+/// Load sweep: deadline = W / load for each load in `loads` (0 < load <= 1).
+std::vector<SweepPoint> sweep_load(const Application& app,
+                                   const ExperimentConfig& config,
+                                   const std::vector<double>& loads);
+
+/// Alpha sweep at a fixed load: for each alpha the application's ACETs are
+/// redrawn as N(alpha*wcet, ((1-alpha)wcet/3)^2) (clamped), the offline
+/// analysis is redone, and the point is evaluated.
+std::vector<SweepPoint> sweep_alpha(const Application& app,
+                                    const ExperimentConfig& config,
+                                    double load,
+                                    const std::vector<double>& alphas);
+
+/// Uniformly spaced sweep values [from, to] with step `step` (inclusive).
+std::vector<double> sweep_range(double from, double to, double step);
+
+}  // namespace paserta

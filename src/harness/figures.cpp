@@ -1,0 +1,81 @@
+#include "harness/figures.h"
+
+#include "apps/atr.h"
+#include "apps/synthetic.h"
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+constexpr std::uint64_t kPaperSeed = 20020818;  // ICPP 2002
+
+ExperimentConfig base_config(const LevelTable& table, int cpus, int runs) {
+  ExperimentConfig cfg;
+  cfg.cpus = cpus;
+  cfg.table = table;
+  cfg.runs = runs;
+  cfg.seed = kPaperSeed;
+  cfg.overheads.speed_compute_cycles = 300;
+  cfg.overheads.speed_change_time = SimTime::from_us(5.0);
+  return cfg;
+}
+
+FigureDef load_figure(const std::string& id, const LevelTable& table,
+                      int cpus, int runs) {
+  FigureDef f;
+  f.id = id;
+  f.caption = "Energy vs load, ATR, " + std::to_string(cpus) + " CPUs, " +
+              table.name() + ", alpha=0.9, overhead=5us";
+  f.x_name = "load";
+  f.config = base_config(table, cpus, runs);
+  f.xs = sweep_range(0.1, 1.0, 0.05);
+  return f;
+}
+
+FigureDef alpha_figure(const std::string& id, const LevelTable& table,
+                       int runs) {
+  FigureDef f;
+  f.id = id;
+  f.caption = "Energy vs alpha, synthetic Fig.3 app, 2 CPUs, " +
+              table.name() + ", load=0.9, overhead=5us";
+  f.x_name = "alpha";
+  f.config = base_config(table, 2, runs);
+  f.xs = sweep_range(0.10, 1.0, 0.05);
+  f.fixed_load = 0.9;
+  return f;
+}
+
+}  // namespace
+
+std::vector<FigureDef> paper_figures(int runs) {
+  return {
+      load_figure("fig4a", LevelTable::transmeta_tm5400(), 2, runs),
+      load_figure("fig4b", LevelTable::intel_xscale(), 2, runs),
+      load_figure("fig5a", LevelTable::transmeta_tm5400(), 6, runs),
+      load_figure("fig5b", LevelTable::intel_xscale(), 6, runs),
+      alpha_figure("fig6a", LevelTable::transmeta_tm5400(), runs),
+      alpha_figure("fig6b", LevelTable::intel_xscale(), runs),
+  };
+}
+
+FigureDef paper_figure(const std::string& id, int runs) {
+  for (FigureDef& f : paper_figures(runs)) {
+    if (f.id == id) return std::move(f);
+  }
+  PASERTA_REQUIRE(false, "unknown figure id '" << id << "'");
+  return {};  // unreachable
+}
+
+Application figure_workload(const FigureDef& figure) {
+  if (figure.is_alpha_sweep()) return apps::build_synthetic();
+  return apps::build_atr();  // alpha = 0.9 measured, the paper's setting
+}
+
+std::vector<SweepPoint> run_figure(const FigureDef& figure) {
+  const Application app = figure_workload(figure);
+  if (figure.is_alpha_sweep())
+    return sweep_alpha(app, figure.config, figure.fixed_load, figure.xs);
+  return sweep_load(app, figure.config, figure.xs);
+}
+
+}  // namespace paserta

@@ -1,0 +1,42 @@
+// Registry of the paper's figures as executable experiment definitions.
+//
+// Each figure of the evaluation section is a (workload, platform, sweep)
+// triple. Keeping them in the library — rather than inlined in bench
+// binaries — makes the exact configurations unit-testable and reusable
+// (CLI, notebooks, regression baselines). bench_fig* binaries are thin
+// wrappers over this registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace paserta {
+
+struct FigureDef {
+  std::string id;        // "fig4a", "fig5b", ...
+  std::string caption;
+  std::string x_name;    // "load" or "alpha"
+  ExperimentConfig config;
+  std::vector<double> xs;      // sweep values
+  double fixed_load = 0.0;     // for alpha sweeps
+
+  bool is_alpha_sweep() const { return x_name == "alpha"; }
+};
+
+/// All figures of the paper's §5, in order: fig4a, fig4b, fig5a, fig5b,
+/// fig6a, fig6b. `runs` defaults to the paper's 1000 per point.
+std::vector<FigureDef> paper_figures(int runs = 1000);
+
+/// Looks up one figure by id; throws paserta::Error if unknown.
+FigureDef paper_figure(const std::string& id, int runs = 1000);
+
+/// Builds the figure's workload (ATR for fig4/fig5, the synthetic Figure-3
+/// application for fig6).
+Application figure_workload(const FigureDef& figure);
+
+/// Runs the figure end-to-end and returns its sweep points.
+std::vector<SweepPoint> run_figure(const FigureDef& figure);
+
+}  // namespace paserta

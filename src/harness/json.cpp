@@ -1,0 +1,86 @@
+#include "harness/json.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace paserta {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream oss;
+  oss << std::setprecision(12) << v;
+  return oss.str();
+}
+
+void write_stat(std::ostream& os, const char* key, const RunningStat& st) {
+  os << "\"" << key << "\":{\"mean\":" << num(st.mean())
+     << ",\"ci95\":" << num(st.ci95_halfwidth()) << ",\"min\":"
+     << num(st.min()) << ",\"max\":" << num(st.max()) << ",\"n\":"
+     << st.count() << "}";
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const std::vector<SweepPoint>& points,
+                      const JsonExportOptions& opt) {
+  os << "{\"experiment\":\"" << escape(opt.experiment_id) << "\","
+     << "\"caption\":\"" << escape(opt.caption) << "\","
+     << "\"x_name\":\"" << escape(opt.x_name) << "\",\"points\":[";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const SweepPoint& pt = points[p];
+    if (p) os << ",";
+    os << "{\"" << escape(opt.x_name) << "\":" << num(pt.x)
+       << ",\"deadline_ms\":" << num(pt.deadline.ms())
+       << ",\"worst_makespan_ms\":" << num(pt.worst_makespan.ms()) << ",";
+    write_stat(os, "npm_energy_joules", pt.npm_energy);
+    os << ",\"schemes\":{";
+    for (std::size_t s = 0; s < pt.stats.size(); ++s) {
+      const SchemeStats& st = pt.stats[s];
+      if (s) os << ",";
+      os << "\"" << to_string(st.scheme) << "\":{";
+      write_stat(os, "norm_energy", st.norm_energy);
+      os << ",";
+      write_stat(os, "speed_changes", st.speed_changes);
+      os << ",";
+      write_stat(os, "finish_frac", st.finish_frac);
+      os << ",\"deadline_misses\":" << st.deadline_misses
+         << ",\"verify_failures\":" << st.verify_failures << "}";
+    }
+    os << "}}";
+  }
+  os << "]}";
+}
+
+std::string sweep_to_json(const std::vector<SweepPoint>& points,
+                          const JsonExportOptions& options) {
+  std::ostringstream oss;
+  write_sweep_json(oss, points, options);
+  return oss.str();
+}
+
+}  // namespace paserta

@@ -1,0 +1,29 @@
+// JSON export of sweep results, for plotting pipelines.
+//
+// Emits a self-describing document: experiment metadata plus one object
+// per point with per-scheme statistics (mean, ci95, min/max, switches,
+// misses). No external JSON dependency; the emitter escapes strings and
+// prints numbers round-trippably.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace paserta {
+
+struct JsonExportOptions {
+  std::string experiment_id;   // e.g. "fig4a"
+  std::string caption;
+  std::string x_name = "x";    // "load" or "alpha"
+};
+
+void write_sweep_json(std::ostream& os, const std::vector<SweepPoint>& points,
+                      const JsonExportOptions& options);
+
+std::string sweep_to_json(const std::vector<SweepPoint>& points,
+                          const JsonExportOptions& options);
+
+}  // namespace paserta

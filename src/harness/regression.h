@@ -1,0 +1,35 @@
+// Golden-baseline regression checking for experiment results.
+//
+// Every simulation in paserta is bit-deterministic given (seed, config),
+// so experiment outputs can be pinned exactly: a baseline file records the
+// normalized energy and switch counts of a sweep; `check_baseline`
+// replays and diffs. Guards the scheduler's numeric behaviour against
+// accidental drift during refactors (tests/baselines/*.csv, regenerable
+// with PASERTA_UPDATE_BASELINES=1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace paserta {
+
+/// Serializes sweep results as a baseline (CSV:
+/// x,scheme,norm_energy,speed_changes,misses — full double precision).
+void write_baseline(std::ostream& os, const std::vector<SweepPoint>& points);
+
+struct BaselineDiff {
+  bool ok = true;
+  std::vector<std::string> mismatches;
+};
+
+/// Compares fresh results against a stored baseline. `tolerance` is the
+/// allowed relative deviation of the means (0 pins them bit-exactly,
+/// modulo the textual round-trip, which preserves doubles exactly).
+BaselineDiff check_baseline(std::istream& baseline,
+                            const std::vector<SweepPoint>& points,
+                            double tolerance = 0.0);
+
+}  // namespace paserta

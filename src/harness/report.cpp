@@ -1,0 +1,51 @@
+#include "harness/report.h"
+
+#include <ostream>
+
+namespace paserta {
+
+Table sweep_table(const std::vector<SweepPoint>& points,
+                  const std::string& x_name) {
+  Table t({x_name, "scheme", "norm_energy", "ci95", "speed_changes",
+           "finish_frac", "misses", "runs"});
+  for (const SweepPoint& p : points) {
+    for (const SchemeStats& s : p.stats) {
+      t.add_row({Table::num(p.x, 2), to_string(s.scheme),
+                 Table::num(s.norm_energy.mean()),
+                 Table::num(s.norm_energy.ci95_halfwidth()),
+                 Table::num(s.speed_changes.mean(), 2),
+                 Table::num(s.finish_frac.mean(), 3),
+                 std::to_string(s.deadline_misses),
+                 std::to_string(s.norm_energy.count())});
+    }
+  }
+  return t;
+}
+
+Table sweep_series(const std::vector<SweepPoint>& points,
+                   const std::string& x_name) {
+  std::vector<std::string> header{x_name};
+  if (!points.empty()) {
+    for (const SchemeStats& s : points.front().stats)
+      header.emplace_back(to_string(s.scheme));
+  }
+  Table t(std::move(header));
+  for (const SweepPoint& p : points) {
+    std::vector<std::string> row{Table::num(p.x, 2)};
+    for (const SchemeStats& s : p.stats)
+      row.push_back(Table::num(s.norm_energy.mean()));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void print_figure(std::ostream& os, const std::string& figure_id,
+                  const std::string& caption,
+                  const std::vector<SweepPoint>& points,
+                  const std::string& x_name) {
+  os << "# " << figure_id << ": " << caption << "\n";
+  sweep_series(points, x_name).write_csv(os);
+  os << "\n";
+}
+
+}  // namespace paserta

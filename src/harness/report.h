@@ -1,0 +1,28 @@
+// Rendering sweep results as the tables/series the paper's figures plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace paserta {
+
+/// One row per (x, scheme): normalized energy, CI, speed changes, misses.
+Table sweep_table(const std::vector<SweepPoint>& points,
+                  const std::string& x_name);
+
+/// Wide format: one row per x, one normalized-energy column per scheme —
+/// the exact series layout of the paper's figures.
+Table sweep_series(const std::vector<SweepPoint>& points,
+                   const std::string& x_name);
+
+/// Writes both the figure header and the CSV series to `os`.
+void print_figure(std::ostream& os, const std::string& figure_id,
+                  const std::string& caption,
+                  const std::vector<SweepPoint>& points,
+                  const std::string& x_name);
+
+}  // namespace paserta

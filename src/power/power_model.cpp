@@ -1,0 +1,14 @@
+#include "power/power_model.h"
+
+#include "common/error.h"
+
+namespace paserta {
+
+PowerModel::PowerModel(LevelTable table, double c_ef, double idle_fraction)
+    : table_(std::move(table)), c_ef_(c_ef), idle_fraction_(idle_fraction) {
+  PASERTA_REQUIRE(c_ef_ > 0.0, "effective capacitance must be positive");
+  PASERTA_REQUIRE(idle_fraction_ >= 0.0 && idle_fraction_ <= 1.0,
+                  "idle fraction must be in [0,1]");
+}
+
+}  // namespace paserta

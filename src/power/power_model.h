@@ -1,0 +1,86 @@
+// Processor power/energy model (paper §2.3).
+//
+// Dynamic power dominates: P = C_ef * V^2 * f. Idle (and sleeping)
+// processors consume a fixed fraction of the maximum power level (5 % in
+// the paper, after [2]). Speed changes carry a time overhead and — during
+// the transition — power at the higher of the two involved levels
+// (a documented interpretation; the paper only counts the time).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "power/level_table.h"
+
+namespace paserta {
+
+/// Energy in joules.
+using Energy = double;
+
+/// The two overheads the paper accounts for (§5).
+struct Overheads {
+  /// Cycles to compute a new speed at a power-management point
+  /// (paper: ~300 cycles measured with SimpleScalar). Executed at the
+  /// processor's *current* frequency.
+  std::uint64_t speed_compute_cycles = 300;
+
+  /// Wall-clock cost of one voltage/frequency transition (paper: 5 us
+  /// in the evaluated configurations; real hardware of the era needed
+  /// 25-150 us). Charged only when the level actually changes.
+  SimTime speed_change_time = SimTime::from_us(5.0);
+
+  /// Worst-case budget of one dispatch's overheads, used by the offline
+  /// phase to inflate task WCETs so the online guarantee survives the
+  /// overheads (see OfflineAnalysis). Computed against a table's f_min.
+  SimTime worst_case_budget(const LevelTable& table) const {
+    return cycles_to_time(speed_compute_cycles, table.f_min()) +
+           speed_change_time;
+  }
+};
+
+class PowerModel {
+ public:
+  /// `c_ef` is the effective switched capacitance (farads);
+  /// `idle_fraction` is idle power as a fraction of P(max level).
+  PowerModel(LevelTable table, double c_ef = 1e-9, double idle_fraction = 0.05);
+
+  const LevelTable& table() const { return table_; }
+  double c_ef() const { return c_ef_; }
+  double idle_fraction() const { return idle_fraction_; }
+
+  /// Dynamic power at an operating point: C_ef * V^2 * f (watts).
+  Energy power(const Level& l) const {
+    return c_ef_ * l.volts * l.volts * static_cast<double>(l.freq);
+  }
+  Energy power(std::size_t level_index) const {
+    return power(table_.level(level_index));
+  }
+
+  /// Maximum power (at the top level).
+  Energy max_power() const { return power(table_.max_level()); }
+
+  /// Idle/sleep power (fraction of max).
+  Energy idle_power() const { return idle_fraction_ * max_power(); }
+
+  /// Energy of running busy for `t` at level `i`.
+  Energy busy_energy(std::size_t level_index, SimTime t) const {
+    return power(level_index) * t.sec();
+  }
+
+  /// Energy of idling for `t`.
+  Energy idle_energy(SimTime t) const { return idle_power() * t.sec(); }
+
+  /// Energy of one voltage transition between levels `from` and `to`
+  /// lasting `t`: power at the higher of the two levels for the duration.
+  Energy transition_energy(std::size_t from, std::size_t to, SimTime t) const {
+    const Energy p = std::max(power(from), power(to));
+    return p * t.sec();
+  }
+
+ private:
+  LevelTable table_;
+  double c_ef_;
+  double idle_fraction_;
+};
+
+}  // namespace paserta

@@ -1,0 +1,321 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+class Engine {
+ public:
+  Engine(const Application& app, const OfflineResult& off, const PowerModel& pm,
+         const Overheads& ovh, SpeedPolicy& policy, const RunScenario& sc)
+      : app_(app),
+        g_(app.graph),
+        off_(off),
+        pm_(pm),
+        ovh_(ovh),
+        policy_(policy),
+        sc_(sc) {}
+
+  SimResult run();
+
+ private:
+  struct Cpu {
+    std::size_t level = 0;
+    bool sleeping = false;
+    SimTime busy{};  // total non-idle time (exec + overheads)
+  };
+
+  struct Completion {
+    SimTime finish;
+    std::uint64_t seq;
+    int cpu;
+    NodeId node;
+    bool operator>(const Completion& o) const {
+      if (finish != o.finish) return finish > o.finish;
+      return seq > o.seq;
+    }
+  };
+
+  void dispatch(int cpu, SimTime t);
+  void on_completion(int cpu, NodeId node, SimTime t);
+  void enqueue_ready(NodeId id);
+  void release_successors(NodeId id);
+  bool head_dispatchable() const;
+  void wake_one(SimTime t);
+
+  const Application& app_;
+  const AndOrGraph& g_;
+  const OfflineResult& off_;
+  const PowerModel& pm_;
+  const Overheads& ovh_;
+  SpeedPolicy& policy_;
+  const RunScenario& sc_;
+
+  std::vector<std::uint32_t> nup_;
+  // Ready queue ordered by (EO, node id); EOs of coexisting ready nodes are
+  // unique by construction, the id is a deterministic safety net.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> ready_;
+  std::uint32_t neo_ = 0;
+  std::vector<Cpu> cpus_;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      events_;
+  std::uint64_t seq_ = 0;
+
+  SimResult result_;
+  SimTime last_activity_{};
+};
+
+void Engine::enqueue_ready(NodeId id) {
+  ready_.insert({off_.eo(id), id.value});
+}
+
+void Engine::release_successors(NodeId id) {
+  for (NodeId s : g_.node(id).succs) {
+    PASERTA_ASSERT(nup_[s.value] > 0, "NUP underflow at node '"
+                                          << g_.node(s).name << "'");
+    if (--nup_[s.value] == 0) enqueue_ready(s);
+  }
+}
+
+bool Engine::head_dispatchable() const {
+  if (ready_.empty()) return false;
+  const auto [eo, idv] = *ready_.begin();
+  if (eo == neo_) return true;
+  // OR nodes may jump NEO forward past the EOs of untaken alternatives.
+  return g_.node(NodeId{idv}).kind == NodeKind::OrNode && eo > neo_;
+}
+
+void Engine::wake_one(SimTime t) {
+  if (!head_dispatchable()) return;
+  for (int c = 0; c < static_cast<int>(cpus_.size()); ++c) {
+    if (cpus_[c].sleeping) {
+      cpus_[c].sleeping = false;
+      dispatch(c, t);
+      return;
+    }
+  }
+}
+
+void Engine::dispatch(int cpu_id, SimTime t) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  for (;;) {
+    if (!head_dispatchable()) {
+      cpu.sleeping = true;  // Figure 2 step 3: wait()
+      return;
+    }
+    const auto [eo, idv] = *ready_.begin();
+    ready_.erase(ready_.begin());
+    const NodeId id{idv};
+    const Node& n = g_.node(id);
+    PASERTA_ASSERT(eo >= neo_, "execution order went backwards");
+    neo_ = eo + 1;  // Figure 2 steps 4 & 7
+    ++result_.dispatched;
+    last_activity_ = std::max(last_activity_, t);
+
+    TaskRecord rec;
+    rec.node = id;
+    rec.cpu = cpu_id;
+    rec.eo = eo;
+    rec.dispatch_time = t;
+    rec.level = cpu.level;
+    rec.level_before = cpu.level;
+
+    if (n.is_dummy()) {
+      rec.exec_start = rec.finish = t;
+      if (n.is_or_fork()) {
+        const int chosen = sc_.choice_of(id);
+        PASERTA_ASSERT(chosen >= 0 &&
+                           static_cast<std::size_t>(chosen) < n.succs.size(),
+                       "scenario lacks a choice for fork '" << n.name << "'");
+        rec.chosen_alt = chosen;
+        const NodeId child = n.succs[static_cast<std::size_t>(chosen)];
+        nup_[child.value] = 0;
+        enqueue_ready(child);
+        if (policy_.kind() == SpeedPolicy::Kind::Dynamic)
+          policy_.on_or_fired(id, chosen, t, off_, pm_);
+      } else {
+        release_successors(id);
+        if (n.kind == NodeKind::OrNode &&
+            policy_.kind() == SpeedPolicy::Kind::Dynamic)
+          policy_.on_or_fired(id, -1, t, off_, pm_);
+      }
+      result_.trace.push_back(rec);
+      continue;  // same processor keeps dispatching at the same instant
+    }
+
+    // ---- Computation node: pick a speed and execute (Figure 2 step 5). --
+    SimTime start = t;
+    std::size_t lvl = cpu.level;
+    const LevelTable& table = pm_.table();
+
+    if (policy_.kind() == SpeedPolicy::Kind::Dynamic) {
+      // Speed-computation overhead runs at the current frequency.
+      const SimTime dt_compute =
+          cycles_to_time(ovh_.speed_compute_cycles, table.level(lvl).freq);
+      result_.overhead_energy += pm_.busy_energy(lvl, dt_compute);
+      cpu.busy += dt_compute;
+      start += dt_compute;
+
+      // Greedy slack reclamation: the task owns everything up to its
+      // estimated end time EET = LST + inflated WCET. Reserve the switch
+      // overhead before sizing the speed (conservative: the reservation is
+      // kept even if the level ends up unchanged).
+      const SimTime avail = off_.eet(id) - start - ovh_.speed_change_time;
+      const Freq gss = required_freq(table.f_max(), n.wcet, avail);
+      const Freq target = std::max(gss, policy_.floor_freq(start));
+      const std::size_t new_lvl = table.quantize_up(target);
+
+      if (new_lvl != lvl) {
+        result_.overhead_energy +=
+            pm_.transition_energy(lvl, new_lvl, ovh_.speed_change_time);
+        cpu.busy += ovh_.speed_change_time;
+        start += ovh_.speed_change_time;
+        ++result_.speed_changes;
+        rec.switched = true;
+        lvl = new_lvl;
+        cpu.level = lvl;
+      }
+    }
+
+    const SimTime actual = sc_.actual_of(id);
+    PASERTA_ASSERT(actual > SimTime::zero() && actual <= n.wcet,
+                   "scenario actual time out of (0, WCET] for '" << n.name
+                                                                 << "'");
+    const SimTime duration =
+        scale_time(actual, table.f_max(), table.level(lvl).freq);
+    const SimTime finish = start + duration;
+    result_.busy_energy += pm_.busy_energy(lvl, duration);
+    cpu.busy += duration;
+
+    rec.exec_start = start;
+    rec.finish = finish;
+    rec.level = lvl;
+    result_.trace.push_back(rec);
+    events_.push(Completion{finish, seq_++, cpu_id, id});
+
+    // Figure 2 step 5: if another processor sleeps and the (new) head is
+    // dispatchable, signal it before executing.
+    wake_one(t);
+    return;
+  }
+}
+
+void Engine::on_completion(int cpu_id, NodeId node, SimTime t) {
+  last_activity_ = std::max(last_activity_, t);
+  release_successors(node);
+  dispatch(cpu_id, t);  // Figure 2 step 6: back to step 1
+}
+
+SimResult Engine::run() {
+  const std::size_t n = g_.size();
+  nup_.resize(n);
+  for (NodeId id : g_.all_nodes()) {
+    const Node& node = g_.node(id);
+    // OR nodes fire on their first (and only executed) finishing
+    // predecessor: NUP starts at 1 (Figure 2 initialization).
+    nup_[id.value] = node.kind == NodeKind::OrNode
+                         ? std::min<std::uint32_t>(
+                               1, static_cast<std::uint32_t>(node.preds.size()))
+                         : static_cast<std::uint32_t>(node.preds.size());
+    if (nup_[id.value] == 0) enqueue_ready(id);
+  }
+
+  const std::size_t initial_level =
+      policy_.kind() == SpeedPolicy::Kind::Static
+          ? policy_.static_level()
+          : pm_.table().size() - 1;  // dynamic schemes power up at f_max
+  cpus_.assign(static_cast<std::size_t>(off_.cpus()),
+               Cpu{initial_level, false, SimTime::zero()});
+
+  for (int c = 0; c < off_.cpus(); ++c) {
+    if (!cpus_[static_cast<std::size_t>(c)].sleeping) {
+      // dispatch() may have been woken transitively already; the flag
+      // check keeps each CPU's first dispatch single.
+      dispatch(c, SimTime::zero());
+    }
+  }
+
+  while (!events_.empty()) {
+    const Completion e = events_.top();
+    events_.pop();
+    on_completion(e.cpu, e.node, e.finish);
+  }
+
+  // Completeness: every node on the taken path must have been dispatched.
+  const std::vector<bool> expected = executed_set(g_, sc_);
+  const auto expected_count = static_cast<std::uint32_t>(
+      std::count(expected.begin(), expected.end(), true));
+  PASERTA_ASSERT(ready_.empty(), "simulation ended with ready work");
+  PASERTA_ASSERT(result_.dispatched == expected_count,
+                 "simulation dispatched " << result_.dispatched << " of "
+                                          << expected_count
+                                          << " expected nodes (deadlock?)");
+
+  result_.finish_time = last_activity_;
+  result_.deadline_met = result_.finish_time <= off_.deadline();
+
+  // Idle/sleep energy over [0, deadline].
+  for (const Cpu& c : cpus_) {
+    const SimTime idle = off_.deadline() - c.busy;
+    if (idle > SimTime::zero()) result_.idle_energy += pm_.idle_energy(idle);
+  }
+  return result_;
+}
+
+}  // namespace
+
+std::vector<bool> executed_set(const AndOrGraph& g, const RunScenario& sc) {
+  std::vector<std::uint32_t> nup(g.size());
+  std::vector<bool> executed(g.size(), false);
+  std::vector<NodeId> stack;
+  for (NodeId id : g.all_nodes()) {
+    const Node& n = g.node(id);
+    nup[id.value] =
+        n.kind == NodeKind::OrNode
+            ? std::min<std::uint32_t>(
+                  1, static_cast<std::uint32_t>(n.preds.size()))
+            : static_cast<std::uint32_t>(n.preds.size());
+    if (nup[id.value] == 0) stack.push_back(id);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (executed[id.value]) continue;
+    executed[id.value] = true;
+    const Node& n = g.node(id);
+    if (n.is_or_fork()) {
+      const int chosen = sc.choice_of(id);
+      stack.push_back(n.succs[static_cast<std::size_t>(chosen)]);
+    } else {
+      for (NodeId s : n.succs) {
+        if (nup[s.value] > 0 && --nup[s.value] == 0) stack.push_back(s);
+      }
+    }
+  }
+  return executed;
+}
+
+SimResult simulate(const Application& app, const OfflineResult& off,
+                   const PowerModel& pm, const Overheads& overheads,
+                   SpeedPolicy& policy, const RunScenario& scenario) {
+  PASERTA_REQUIRE(scenario.actual.size() == app.graph.size() &&
+                      scenario.or_choice.size() == app.graph.size(),
+                  "scenario size does not match the application graph");
+  Engine engine(app, off, pm, overheads, policy, scenario);
+  return engine.run();
+}
+
+SimResult simulate(const Application& app, const OfflineResult& off,
+                   const PowerModel& pm, const Overheads& overheads,
+                   Scheme scheme, const RunScenario& scenario) {
+  auto policy = make_policy(scheme);
+  policy->reset(off, pm);
+  return simulate(app, off, pm, overheads, *policy, scenario);
+}
+
+}  // namespace paserta

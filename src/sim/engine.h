@@ -1,0 +1,81 @@
+// Online multiprocessor scheduling engine (paper §3.2, Figure 2).
+//
+// Identical processors share a global ready queue kept in canonical
+// execution order (EO). Each idle processor tries to dequeue the head;
+// a computation node may be taken only when its EO equals the next
+// expected order NEO (OR nodes may jump ahead — their EO skips untaken
+// alternatives, and NEO is reset to EO+1 after they fire). Processors that
+// find the head non-dispatchable sleep and are signalled when new work at
+// the head becomes dispatchable.
+//
+// Dummy AND/OR nodes execute in zero time on the dispatching processor.
+// For computation nodes the engine charges the speed-computation overhead
+// (cycles at the current frequency), asks the SpeedPolicy for a level
+// (greedy slack reclamation against the task's estimated end time
+// EET = LST + inflated WCET, optionally raised to a speculative floor),
+// charges a voltage-transition overhead when the level changes, and runs
+// the task for actual_time * f_max / f.
+//
+// Energy is integrated over [0, deadline]: busy + overhead + transition
+// energy plus idle/sleep energy at the model's idle power.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/offline.h"
+#include "core/policy.h"
+#include "graph/program.h"
+#include "power/power_model.h"
+#include "sim/scenario.h"
+
+namespace paserta {
+
+/// Trace record of one dispatched node.
+struct TaskRecord {
+  NodeId node;
+  int cpu = -1;
+  std::uint32_t eo = 0;
+  SimTime dispatch_time{};  // when dequeued (Figure 2 step 4)
+  SimTime exec_start{};     // after overheads
+  SimTime finish{};
+  std::size_t level = 0;        // level index the task ran at
+  std::size_t level_before = 0; // processor's level at dispatch time
+  bool switched = false;        // a voltage transition was charged
+  int chosen_alt = -1;      // OR forks: selected alternative
+};
+
+/// Result of one simulated run of one scheme.
+struct SimResult {
+  Energy busy_energy = 0.0;        // task execution
+  Energy overhead_energy = 0.0;    // speed computation + transitions
+  Energy idle_energy = 0.0;        // idle/sleep until the deadline
+  SimTime finish_time{};
+  std::uint32_t speed_changes = 0;
+  std::uint32_t dispatched = 0;
+  bool deadline_met = false;
+  std::vector<TaskRecord> trace;
+
+  Energy total_energy() const {
+    return busy_energy + overhead_energy + idle_energy;
+  }
+};
+
+/// Simulates one run. `off` must come from analyze_offline on the same
+/// application with the same CPU count; `off.feasible()` should hold for
+/// the deadline guarantee to apply (the engine still runs otherwise and
+/// reports deadline_met = false when it misses).
+SimResult simulate(const Application& app, const OfflineResult& off,
+                   const PowerModel& pm, const Overheads& overheads,
+                   SpeedPolicy& policy, const RunScenario& scenario);
+
+/// Convenience: build the policy for `scheme`, reset it, and simulate.
+SimResult simulate(const Application& app, const OfflineResult& off,
+                   const PowerModel& pm, const Overheads& overheads,
+                   Scheme scheme, const RunScenario& scenario);
+
+/// The set of nodes that execute under the given fork choices (taken-path
+/// closure from the sources). Exposed for the verifier and tests.
+std::vector<bool> executed_set(const AndOrGraph& g, const RunScenario& sc);
+
+}  // namespace paserta

@@ -1,0 +1,98 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+/// Maps a time to a column in [0, width).
+int column_of(SimTime t, SimTime horizon, int width) {
+  if (horizon.ps <= 0) return 0;
+  const auto c = static_cast<int>(
+      static_cast<__int128>(t.ps) * width / horizon.ps);
+  return std::clamp(c, 0, width - 1);
+}
+
+char label_char(const std::string& name) {
+  for (char c : name)
+    if (c != '_') return c;
+  return '?';
+}
+
+}  // namespace
+
+void render_gantt(std::ostream& os, const Application& app,
+                  const OfflineResult& off, const PowerModel& pm,
+                  const SimResult& result, const GanttOptions& opt) {
+  PASERTA_REQUIRE(opt.width >= 16, "gantt width must be at least 16 columns");
+  const int cpus = off.cpus();
+  const SimTime horizon = std::max(off.deadline(), result.finish_time);
+
+  std::vector<std::string> lane(static_cast<std::size_t>(cpus),
+                                std::string(static_cast<std::size_t>(opt.width), '.'));
+  std::vector<std::string> freq(static_cast<std::size_t>(cpus),
+                                std::string(static_cast<std::size_t>(opt.width), ' '));
+  const auto levels = pm.table().size();
+
+  for (const TaskRecord& rec : result.trace) {
+    const Node& n = app.graph.node(rec.node);
+    if (n.is_dummy()) {
+      // Mark synchronization points on every lane they gate.
+      const int c = column_of(rec.dispatch_time, horizon, opt.width);
+      if (rec.cpu >= 0 && rec.cpu < cpus) {
+        auto& l = lane[static_cast<std::size_t>(rec.cpu)];
+        if (l[static_cast<std::size_t>(c)] == '.')
+          l[static_cast<std::size_t>(c)] = n.kind == NodeKind::OrNode ? 'o' : '^';
+      }
+      continue;
+    }
+    if (rec.cpu < 0 || rec.cpu >= cpus) continue;
+    auto& l = lane[static_cast<std::size_t>(rec.cpu)];
+    auto& f = freq[static_cast<std::size_t>(rec.cpu)];
+    const int c0 = column_of(rec.exec_start, horizon, opt.width);
+    const int c1 = std::max(c0, column_of(rec.finish, horizon, opt.width) - 1);
+    const char ch = label_char(n.name);
+    for (int c = c0; c <= c1; ++c) l[static_cast<std::size_t>(c)] = ch;
+    // Switch marker at the dispatch column.
+    if (rec.switched) {
+      const int cd = column_of(rec.dispatch_time, horizon, opt.width);
+      l[static_cast<std::size_t>(cd)] = '!';
+    }
+    const char digit =
+        levels <= 1 ? '9'
+                    : static_cast<char>('0' + (9 * rec.level) / (levels - 1));
+    for (int c = c0; c <= c1; ++c) f[static_cast<std::size_t>(c)] = digit;
+  }
+
+  const int deadline_col =
+      column_of(off.deadline(), horizon + SimTime{1}, opt.width);
+
+  os << "gantt over " << to_string(horizon) << " (deadline "
+     << to_string(off.deadline()) << ", '!' = voltage switch, 'o'/'^' = "
+     << "OR/AND node, freq ribbon 0=slowest level .. 9=fastest)\n";
+  for (int c = 0; c < cpus; ++c) {
+    auto& l = lane[static_cast<std::size_t>(c)];
+    if (opt.show_deadline && l[static_cast<std::size_t>(deadline_col)] == '.')
+      l[static_cast<std::size_t>(deadline_col)] = '|';
+    os << "cpu" << c << " |" << l << "|\n";
+    if (opt.frequency_ribbon)
+      os << "  f  |" << freq[static_cast<std::size_t>(c)] << "|\n";
+  }
+  os << "       0" << std::string(static_cast<std::size_t>(opt.width - 2), ' ')
+     << to_string(horizon) << "\n";
+}
+
+std::string gantt_to_string(const Application& app, const OfflineResult& off,
+                            const PowerModel& pm, const SimResult& result,
+                            const GanttOptions& options) {
+  std::ostringstream oss;
+  render_gantt(oss, app, off, pm, result, options);
+  return oss.str();
+}
+
+}  // namespace paserta

@@ -1,0 +1,37 @@
+// ASCII Gantt rendering of simulation traces.
+//
+// Renders a per-processor timeline of one run — which task ran where, at
+// which DVS level, where the voltage switches happened — plus a frequency
+// ribbon per processor. Useful for examples, debugging and the paper's
+// "who inherited whose slack" discussions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/program.h"
+#include "power/power_model.h"
+#include "sim/engine.h"
+
+namespace paserta {
+
+struct GanttOptions {
+  /// Total character width of the timeline.
+  int width = 96;
+  /// Show the frequency ribbon (one digit per column: 0 = f_min level,
+  /// 9 = top level, scaled).
+  bool frequency_ribbon = true;
+  /// Mark the deadline column with '|'.
+  bool show_deadline = true;
+};
+
+/// Renders the trace in `result` against the run's deadline.
+void render_gantt(std::ostream& os, const Application& app,
+                  const OfflineResult& off, const PowerModel& pm,
+                  const SimResult& result, const GanttOptions& options = {});
+
+std::string gantt_to_string(const Application& app, const OfflineResult& off,
+                            const PowerModel& pm, const SimResult& result,
+                            const GanttOptions& options = {});
+
+}  // namespace paserta

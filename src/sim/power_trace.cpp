@@ -1,0 +1,135 @@
+#include "sim/power_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace paserta {
+
+Energy PowerTrace::total_energy() const {
+  Energy e = 0.0;
+  for (const PowerSegment& s : segments) e += s.watts * s.duration().sec();
+  return e;
+}
+
+Energy PowerTrace::peak_watts() const {
+  Energy p = 0.0;
+  for (const PowerSegment& s : segments) p = std::max(p, s.watts);
+  return p;
+}
+
+Energy PowerTrace::energy_between(SimTime from, SimTime to) const {
+  Energy e = 0.0;
+  for (const PowerSegment& s : segments) {
+    const SimTime a = std::max(from, s.begin);
+    const SimTime b = std::min(to, s.end);
+    if (b > a) e += s.watts * (b - a).sec();
+  }
+  return e;
+}
+
+namespace {
+
+/// One constant-power span on one processor.
+struct Span {
+  SimTime begin{};
+  SimTime end{};
+  Energy watts = 0.0;
+};
+
+}  // namespace
+
+PowerTrace build_power_trace(const Application& app, const OfflineResult& off,
+                             const PowerModel& pm, const Overheads& ovh,
+                             const SimResult& result) {
+  const SimTime horizon = std::max(off.deadline(), result.finish_time);
+  std::vector<std::vector<Span>> busy(static_cast<std::size_t>(off.cpus()));
+  std::vector<SimTime> boundaries{SimTime::zero(), horizon};
+
+  for (const TaskRecord& rec : result.trace) {
+    const Node& n = app.graph.node(rec.node);
+    if (n.is_dummy() || rec.cpu < 0) continue;
+    auto& spans = busy[static_cast<std::size_t>(rec.cpu)];
+
+    // Overheads between dispatch and execution start: speed computation at
+    // the level held at dispatch, then (if switched) the transition at the
+    // higher of the two involved levels.
+    if (rec.exec_start > rec.dispatch_time) {
+      const SimTime compute_dt = cycles_to_time(
+          ovh.speed_compute_cycles, pm.table().level(rec.level_before).freq);
+      const SimTime compute_end =
+          std::min(rec.exec_start, rec.dispatch_time + compute_dt);
+      if (compute_end > rec.dispatch_time) {
+        spans.push_back(Span{rec.dispatch_time, compute_end,
+                             pm.power(rec.level_before)});
+        boundaries.push_back(rec.dispatch_time);
+        boundaries.push_back(compute_end);
+      }
+      if (rec.exec_start > compute_end) {
+        spans.push_back(Span{compute_end, rec.exec_start,
+                             std::max(pm.power(rec.level_before),
+                                      pm.power(rec.level))});
+        boundaries.push_back(rec.exec_start);
+      }
+    }
+    if (rec.finish > rec.exec_start) {
+      spans.push_back(Span{rec.exec_start, rec.finish, pm.power(rec.level)});
+      boundaries.push_back(rec.exec_start);
+      boundaries.push_back(rec.finish);
+    }
+  }
+
+  for (auto& spans : busy)
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.begin < b.begin; });
+
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  // Power of `cpu` during the elementary interval containing `mid`.
+  auto cpu_power_at = [&](const std::vector<Span>& spans, SimTime mid) {
+    auto it = std::upper_bound(
+        spans.begin(), spans.end(), mid,
+        [](SimTime t, const Span& s) { return t < s.begin; });
+    if (it != spans.begin()) {
+      --it;
+      if (mid < it->end) return it->watts;
+    }
+    return pm.idle_power();
+  };
+
+  PowerTrace out;
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const SimTime a = boundaries[i], b = boundaries[i + 1];
+    if (b <= a) continue;
+    const SimTime mid{a.ps + (b.ps - a.ps) / 2};
+    Energy watts = 0.0;
+    for (const auto& spans : busy) watts += cpu_power_at(spans, mid);
+    // Merge equal-power neighbours to keep the curve minimal.
+    if (!out.segments.empty() && out.segments.back().watts == watts &&
+        out.segments.back().end == a) {
+      out.segments.back().end = b;
+    } else {
+      out.segments.push_back(PowerSegment{a, b, watts});
+    }
+  }
+  PASERTA_ASSERT(!out.segments.empty() &&
+                     out.segments.front().begin == SimTime::zero() &&
+                     out.segments.back().end == horizon,
+                 "power trace does not cover [0, horizon]");
+  return out;
+}
+
+void write_power_trace_csv(std::ostream& os, const PowerTrace& trace) {
+  os << "time_ms,watts\n";
+  for (const PowerSegment& s : trace.segments)
+    os << s.begin.ms() << "," << s.watts << "\n";
+  if (!trace.segments.empty())
+    os << trace.segments.back().end.ms() << ","
+       << trace.segments.back().watts << "\n";
+}
+
+}  // namespace paserta

@@ -1,0 +1,50 @@
+// Power-vs-time reconstruction from a simulation trace.
+//
+// Builds the piecewise-constant system power curve P(t) over [0, deadline]
+// of one run: per processor — execution power at the task's level, overhead
+// power (speed computation at the current level, transitions at the higher
+// of the two levels involved), idle power elsewhere. Integrating the curve
+// reproduces the engine's energy ledger exactly, which doubles as an
+// independent check of the accounting (tested).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/offline.h"
+#include "graph/program.h"
+#include "power/power_model.h"
+#include "sim/engine.h"
+
+namespace paserta {
+
+/// One segment of the piecewise-constant power curve.
+struct PowerSegment {
+  SimTime begin{};
+  SimTime end{};
+  Energy watts = 0.0;  // total system power during [begin, end)
+
+  SimTime duration() const { return end - begin; }
+};
+
+/// The full curve, segments contiguous over [0, deadline].
+struct PowerTrace {
+  std::vector<PowerSegment> segments;
+
+  /// Integral of the curve (joules).
+  Energy total_energy() const;
+  /// Highest instantaneous power.
+  Energy peak_watts() const;
+  /// Energy within [from, to) (clipped to the curve).
+  Energy energy_between(SimTime from, SimTime to) const;
+};
+
+/// Reconstructs the curve. Requires the run's trace (SimResult::trace).
+PowerTrace build_power_trace(const Application& app, const OfflineResult& off,
+                             const PowerModel& pm, const Overheads& overheads,
+                             const SimResult& result);
+
+/// CSV dump: time_ms,watts (one row per segment start, plus the final end).
+void write_power_trace_csv(std::ostream& os, const PowerTrace& trace);
+
+}  // namespace paserta

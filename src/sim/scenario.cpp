@@ -1,0 +1,72 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace paserta {
+
+RunScenario draw_scenario(const AndOrGraph& g, Rng& rng) {
+  RunScenario sc;
+  sc.actual.resize(g.size(), SimTime::zero());
+  sc.or_choice.resize(g.size(), -1);
+
+  for (NodeId id : g.all_nodes()) {
+    const Node& n = g.node(id);
+    if (n.kind == NodeKind::Computation) {
+      const double mean = static_cast<double>(n.acet.ps);
+      const double sigma = static_cast<double>((n.wcet - n.acet).ps) / 3.0;
+      double x = sigma > 0.0 ? rng.next_normal(mean, sigma) : mean;
+      const double lo =
+          std::max(1.0, 2.0 * mean - static_cast<double>(n.wcet.ps));
+      x = std::clamp(x, lo, static_cast<double>(n.wcet.ps));
+      sc.actual[id.value] = SimTime{static_cast<std::int64_t>(x + 0.5)};
+    } else if (n.is_or_fork()) {
+      sc.or_choice[id.value] =
+          static_cast<int>(rng.next_discrete(n.succ_prob));
+    }
+  }
+  return sc;
+}
+
+RunScenario worst_case_scenario(const AndOrGraph& g,
+                                const std::vector<int>* choices) {
+  RunScenario sc;
+  sc.actual.resize(g.size(), SimTime::zero());
+  sc.or_choice.resize(g.size(), -1);
+  for (NodeId id : g.all_nodes()) {
+    const Node& n = g.node(id);
+    if (n.kind == NodeKind::Computation) {
+      sc.actual[id.value] = n.wcet;
+    } else if (n.is_or_fork()) {
+      int c = 0;
+      if (choices != nullptr) c = choices->at(id.value);
+      PASERTA_REQUIRE(c >= 0 && static_cast<std::size_t>(c) < n.succs.size(),
+                      "invalid fork choice for '" << n.name << "'");
+      sc.or_choice[id.value] = c;
+    }
+  }
+  return sc;
+}
+
+void assign_alpha(AndOrGraph& g, double alpha, Rng* jitter_rng,
+                  double min_frac) {
+  PASERTA_REQUIRE(alpha > 0.0 && alpha <= 1.0,
+                  "alpha must be in (0,1], got " << alpha);
+  PASERTA_REQUIRE(min_frac > 0.0 && min_frac <= 1.0,
+                  "min_frac must be in (0,1]");
+  for (NodeId id : g.all_nodes()) {
+    const Node& n = g.node(id);
+    if (n.kind != NodeKind::Computation) continue;
+    const double w = static_cast<double>(n.wcet.ps);
+    double a = alpha * w;
+    if (jitter_rng != nullptr) {
+      const double sigma = (1.0 - alpha) * w / 3.0;
+      if (sigma > 0.0) a = jitter_rng->next_normal(alpha * w, sigma);
+    }
+    a = std::clamp(a, std::max(1.0, min_frac * w), w);
+    g.set_acet(id, SimTime{static_cast<std::int64_t>(a + 0.5)});
+  }
+}
+
+}  // namespace paserta

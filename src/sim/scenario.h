@@ -1,0 +1,46 @@
+// Run scenarios: the random inputs of one Monte-Carlo simulation run.
+//
+// A scenario fixes, before any scheme runs, (a) every task's actual
+// execution time and (b) the alternative chosen at every OR fork. All
+// schemes of one run are evaluated on the same scenario (paired
+// comparison), which is what the paper's normalization to NPM implies.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace paserta {
+
+struct RunScenario {
+  /// Actual execution time at f_max, per node (zero for dummies).
+  std::vector<SimTime> actual;
+  /// Chosen alternative index per node (-1 for anything but OR forks).
+  std::vector<int> or_choice;
+
+  SimTime actual_of(NodeId id) const { return actual.at(id.value); }
+  int choice_of(NodeId id) const { return or_choice.at(id.value); }
+};
+
+/// Draws a scenario: actual times ~ N(acet, ((wcet-acet)/3)^2) clamped to
+/// [max(1ps, 2*acet - wcet), wcet] (so ~99.7 % of the unclamped mass lies
+/// inside), OR choices from the fork probabilities. The paper specifies the
+/// normal distribution around the mean; the clamp bounds are our documented
+/// choice (DESIGN.md §3.6).
+RunScenario draw_scenario(const AndOrGraph& g, Rng& rng);
+
+/// The adversarial scenario: every task takes its WCET and every fork takes
+/// its worst-case (longest remaining canonical time is unknown here, so the
+/// caller passes explicit choices; by default alternative 0).
+RunScenario worst_case_scenario(const AndOrGraph& g,
+                                const std::vector<int>* choices = nullptr);
+
+/// Assigns ACET = alpha * WCET to every computation node, with optional
+/// jitter: acet_i ~ N(alpha * wcet_i, ((1-alpha) * wcet_i / 3)^2), clamped
+/// to [min_frac * wcet, wcet]. With `jitter == false` the mean is used
+/// directly. Mirrors the paper's alpha sweeps (§5.2).
+void assign_alpha(AndOrGraph& g, double alpha, Rng* jitter_rng = nullptr,
+                  double min_frac = 0.05);
+
+}  // namespace paserta

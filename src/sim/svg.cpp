@@ -1,0 +1,156 @@
+#include "sim/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+constexpr int kMarginLeft = 48;
+constexpr int kMarginTop = 28;
+constexpr int kLaneGap = 8;
+constexpr int kPowerStripHeight = 90;
+
+/// Level index -> fill color: a cold-to-hot ramp (slow = blue, fast = red).
+std::string level_color(std::size_t level, std::size_t levels) {
+  const double frac =
+      levels <= 1 ? 1.0
+                  : static_cast<double>(level) /
+                        static_cast<double>(levels - 1);
+  const int r = static_cast<int>(40 + 205 * frac);
+  const int g = static_cast<int>(90 + 60 * (1.0 - frac));
+  const int b = static_cast<int>(220 - 180 * frac);
+  std::ostringstream oss;
+  oss << "rgb(" << r << "," << g << "," << b << ")";
+  return oss.str();
+}
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_svg_gantt(std::ostream& os, const Application& app,
+                     const OfflineResult& off, const PowerModel& pm,
+                     const Overheads& ovh, const SimResult& result,
+                     const SvgOptions& opt) {
+  PASERTA_REQUIRE(opt.width >= 200, "svg width must be at least 200 px");
+  const int cpus = off.cpus();
+  const SimTime horizon = std::max(off.deadline(), result.finish_time);
+  const double plot_w = opt.width - kMarginLeft - 12;
+  const auto x_of = [&](SimTime t) {
+    return kMarginLeft + plot_w * static_cast<double>(t.ps) /
+                             static_cast<double>(horizon.ps);
+  };
+
+  const int lanes_h = cpus * (opt.lane_height + kLaneGap);
+  const int power_h = opt.show_power_curve ? kPowerStripHeight + 24 : 0;
+  const int total_h = kMarginTop + lanes_h + power_h + 30;
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opt.width
+     << "\" height=\"" << total_h << "\" viewBox=\"0 0 " << opt.width << " "
+     << total_h << "\">\n"
+     << "<style>text{font:10px sans-serif;fill:#333}"
+        ".lane{fill:#f4f4f4}.task{stroke:#555;stroke-width:.5}"
+        ".switch{stroke:#c00;stroke-width:1.5}"
+        ".deadline{stroke:#c00;stroke-dasharray:4 3}"
+        ".power{fill:none;stroke:#28c;stroke-width:1.2}</style>\n";
+
+  os << "<text x=\"" << kMarginLeft << "\" y=\"14\">" << escape_xml(app.name)
+     << " — deadline " << to_string(off.deadline()) << ", finish "
+     << to_string(result.finish_time) << ", " << result.speed_changes
+     << " switch(es)</text>\n";
+
+  // Lanes.
+  for (int c = 0; c < cpus; ++c) {
+    const int y = kMarginTop + c * (opt.lane_height + kLaneGap);
+    os << "<rect class=\"lane\" x=\"" << kMarginLeft << "\" y=\"" << y
+       << "\" width=\"" << plot_w << "\" height=\"" << opt.lane_height
+       << "\"/>\n"
+       << "<text x=\"4\" y=\"" << y + opt.lane_height / 2 + 3 << "\">cpu"
+       << c << "</text>\n";
+  }
+
+  // Task boxes.
+  const std::size_t levels = pm.table().size();
+  for (const TaskRecord& rec : result.trace) {
+    const Node& n = app.graph.node(rec.node);
+    if (n.is_dummy() || rec.cpu < 0) continue;
+    const int y = kMarginTop + rec.cpu * (opt.lane_height + kLaneGap);
+    const double x0 = x_of(rec.exec_start);
+    const double x1 = x_of(rec.finish);
+    os << "<rect class=\"task\" x=\"" << x0 << "\" y=\"" << y + 2
+       << "\" width=\"" << std::max(1.0, x1 - x0) << "\" height=\""
+       << opt.lane_height - 4 << "\" fill=\""
+       << level_color(rec.level, levels) << "\"><title>"
+       << escape_xml(n.name) << " @"
+       << pm.table().level(rec.level).freq / kMHz << "MHz ["
+       << to_string(rec.exec_start) << ", " << to_string(rec.finish)
+       << "]</title></rect>\n";
+    if (opt.show_labels && x1 - x0 > 28) {
+      os << "<text x=\"" << x0 + 3 << "\" y=\"" << y + opt.lane_height / 2 + 3
+         << "\">" << escape_xml(n.name) << "</text>\n";
+    }
+    if (rec.switched) {
+      const double xs = x_of(rec.dispatch_time);
+      os << "<line class=\"switch\" x1=\"" << xs << "\" y1=\"" << y
+         << "\" x2=\"" << xs << "\" y2=\"" << y + opt.lane_height
+         << "\"><title>voltage switch</title></line>\n";
+    }
+  }
+
+  // Deadline marker across all lanes.
+  const double xd = x_of(off.deadline());
+  os << "<line class=\"deadline\" x1=\"" << xd << "\" y1=\"" << kMarginTop
+     << "\" x2=\"" << xd << "\" y2=\"" << kMarginTop + lanes_h - kLaneGap
+     << "\"/>\n";
+
+  // Power strip.
+  if (opt.show_power_curve) {
+    const PowerTrace trace = build_power_trace(app, off, pm, ovh, result);
+    const double peak = std::max(trace.peak_watts(), 1e-12);
+    const int y0 = kMarginTop + lanes_h + 12;
+    const auto y_of = [&](double watts) {
+      return y0 + kPowerStripHeight * (1.0 - watts / peak);
+    };
+    os << "<text x=\"4\" y=\"" << y0 + 10 << "\">P(t)</text>\n<polyline "
+          "class=\"power\" points=\"";
+    for (const PowerSegment& seg : trace.segments) {
+      os << x_of(seg.begin) << "," << y_of(seg.watts) << " "
+         << x_of(seg.end) << "," << y_of(seg.watts) << " ";
+    }
+    os << "\"/>\n";
+    os << "<text x=\"" << kMarginLeft << "\" y=\""
+       << y0 + kPowerStripHeight + 12 << "\">peak "
+       << trace.peak_watts() << " W, energy "
+       << trace.total_energy() * 1e3 << " mJ</text>\n";
+  }
+
+  os << "</svg>\n";
+}
+
+std::string svg_gantt_to_string(const Application& app,
+                                const OfflineResult& off, const PowerModel& pm,
+                                const Overheads& ovh, const SimResult& result,
+                                const SvgOptions& options) {
+  std::ostringstream oss;
+  write_svg_gantt(oss, app, off, pm, ovh, result, options);
+  return oss.str();
+}
+
+}  // namespace paserta

@@ -1,0 +1,39 @@
+// SVG rendering of schedules and power curves.
+//
+// Publication-quality counterparts of the ASCII tools: a per-processor
+// Gantt chart (tasks colored by DVS level, switch markers, deadline line)
+// and a stepped power-vs-time curve. Self-contained SVG 1.1, no external
+// assets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/offline.h"
+#include "graph/program.h"
+#include "power/power_model.h"
+#include "sim/engine.h"
+#include "sim/power_trace.h"
+
+namespace paserta {
+
+struct SvgOptions {
+  int width = 900;        // total canvas width (px)
+  int lane_height = 34;   // per-processor lane
+  bool show_labels = true;
+  bool show_power_curve = true;  // append the P(t) strip below the lanes
+};
+
+/// Renders the run as an SVG document.
+void write_svg_gantt(std::ostream& os, const Application& app,
+                     const OfflineResult& off, const PowerModel& pm,
+                     const Overheads& overheads, const SimResult& result,
+                     const SvgOptions& options = {});
+
+std::string svg_gantt_to_string(const Application& app,
+                                const OfflineResult& off, const PowerModel& pm,
+                                const Overheads& overheads,
+                                const SimResult& result,
+                                const SvgOptions& options = {});
+
+}  // namespace paserta

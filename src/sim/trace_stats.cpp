@@ -1,0 +1,64 @@
+#include "sim/trace_stats.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace paserta {
+
+const LevelResidency& TraceStats::dominant_level() const {
+  PASERTA_REQUIRE(!residency.empty(), "no residency data");
+  return *std::max_element(residency.begin(), residency.end(),
+                           [](const LevelResidency& a, const LevelResidency& b) {
+                             return a.busy_time < b.busy_time;
+                           });
+}
+
+TraceStats analyze_trace(const Application& app, const OfflineResult& off,
+                         const PowerModel& pm, const SimResult& result) {
+  TraceStats st;
+  st.speed_changes = result.speed_changes;
+  st.busy_energy = result.busy_energy;
+  st.overhead_energy = result.overhead_energy;
+  st.idle_energy = result.idle_energy;
+
+  st.residency.resize(pm.table().size());
+  for (std::size_t i = 0; i < pm.table().size(); ++i) {
+    st.residency[i].level = i;
+    st.residency[i].freq = pm.table().level(i).freq;
+  }
+
+  SimTime slack_sum{};
+  for (const TaskRecord& rec : result.trace) {
+    const Node& n = app.graph.node(rec.node);
+    if (n.is_dummy()) continue;
+    ++st.tasks_executed;
+    const SimTime exec = rec.finish - rec.exec_start;
+    const SimTime ovh = rec.exec_start - rec.dispatch_time;
+    st.busy_time += exec;
+    st.overhead_time += ovh;
+    auto& res = st.residency.at(rec.level);
+    res.busy_time += exec;
+    res.energy += pm.busy_energy(rec.level, exec);
+    slack_sum += off.lst(rec.node) - rec.dispatch_time;
+  }
+
+  if (st.busy_time > SimTime::zero()) {
+    for (auto& r : st.residency)
+      r.busy_fraction = static_cast<double>(r.busy_time.ps) /
+                        static_cast<double>(st.busy_time.ps);
+  }
+  if (st.tasks_executed > 0)
+    st.mean_claimed_slack =
+        SimTime{slack_sum.ps / static_cast<std::int64_t>(st.tasks_executed)};
+
+  const SimTime window{off.deadline().ps * off.cpus()};
+  const SimTime occupied = st.busy_time + st.overhead_time;
+  st.idle_time = window > occupied ? window - occupied : SimTime::zero();
+  st.utilization = window.ps > 0 ? static_cast<double>(st.busy_time.ps) /
+                                       static_cast<double>(window.ps)
+                                 : 0.0;
+  return st;
+}
+
+}  // namespace paserta

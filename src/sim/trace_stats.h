@@ -1,0 +1,58 @@
+// Trace analytics: quantitative summaries of one or many simulation runs.
+//
+// Answers the questions behind the paper's discussion sections: how much
+// time each processor spent at each DVS level, how much of the window was
+// idle, how much energy went to overheads, and how the slack each task
+// claimed compares to its latest start time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/program.h"
+#include "power/power_model.h"
+#include "sim/engine.h"
+
+namespace paserta {
+
+/// Per-level execution-time residency of a run.
+struct LevelResidency {
+  std::size_t level = 0;
+  Freq freq = 0;
+  SimTime busy_time{};   // task execution at this level
+  double busy_fraction = 0.0;  // of total busy time
+  Energy energy = 0.0;   // busy energy at this level
+};
+
+struct TraceStats {
+  /// Total task execution time across processors.
+  SimTime busy_time{};
+  /// Total overhead time (speed computation + transitions).
+  SimTime overhead_time{};
+  /// Total idle/sleep time across processors over [0, deadline].
+  SimTime idle_time{};
+  /// Fraction of the m x D processor-time window spent executing tasks.
+  double utilization = 0.0;
+  /// Residency per DVS level, ascending by level index (all levels listed).
+  std::vector<LevelResidency> residency;
+  /// Average of (LST_i - dispatch_i) over computation nodes: how early
+  /// tasks started relative to the latest allowed start (claimed slack).
+  SimTime mean_claimed_slack{};
+  /// Voltage transitions.
+  std::uint32_t speed_changes = 0;
+  /// Executed computation nodes.
+  std::uint32_t tasks_executed = 0;
+  /// Energy split (same values as SimResult, repeated for convenience).
+  Energy busy_energy = 0.0;
+  Energy overhead_energy = 0.0;
+  Energy idle_energy = 0.0;
+
+  /// The frequency (level) that hosted the largest share of busy time.
+  const LevelResidency& dominant_level() const;
+};
+
+/// Computes analytics for one run.
+TraceStats analyze_trace(const Application& app, const OfflineResult& off,
+                         const PowerModel& pm, const SimResult& result);
+
+}  // namespace paserta

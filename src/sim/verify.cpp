@@ -1,0 +1,127 @@
+#include "sim/verify.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace paserta {
+
+VerifyReport verify_trace(const Application& app, const OfflineResult& off,
+                          const RunScenario& scenario, const SimResult& result,
+                          const VerifyOptions& options) {
+  VerifyReport rep;
+  const AndOrGraph& g = app.graph;
+
+  auto describe = [&](NodeId id) {
+    std::ostringstream oss;
+    oss << "'" << g.node(id).name << "' (node " << id.value << ")";
+    return oss.str();
+  };
+
+  // ---- 1. Coverage: executed set == taken path, each node once. ---------
+  const std::vector<bool> expected = executed_set(g, scenario);
+  std::vector<int> seen(g.size(), 0);
+  for (const TaskRecord& r : result.trace) {
+    if (r.node.value >= g.size()) {
+      rep.fail("trace references unknown node id " +
+               std::to_string(r.node.value));
+      return rep;
+    }
+    ++seen[r.node.value];
+  }
+  for (NodeId id : g.all_nodes()) {
+    const bool want = expected[id.value];
+    if (want && seen[id.value] != 1)
+      rep.fail("node " + describe(id) + " executed " +
+               std::to_string(seen[id.value]) + " times, expected 1");
+    if (!want && seen[id.value] != 0)
+      rep.fail("untaken node " + describe(id) + " executed");
+  }
+
+  // ---- 2. Execution-order rules over the dispatch sequence. -------------
+  std::uint32_t neo = 0;
+  for (const TaskRecord& r : result.trace) {
+    const Node& n = g.node(r.node);
+    const std::uint32_t eo = off.eo(r.node);
+    if (r.eo != eo)
+      rep.fail("trace EO mismatch for " + describe(r.node));
+    if (eo == neo) {
+      // in order
+    } else if (n.kind == NodeKind::OrNode && eo > neo) {
+      // OR nodes may skip the EOs of untaken alternatives
+    } else {
+      rep.fail("node " + describe(r.node) + " dispatched at EO " +
+               std::to_string(eo) + " when NEO was " + std::to_string(neo));
+    }
+    neo = eo + 1;
+  }
+
+  // ---- 3. Readiness at dispatch. -----------------------------------------
+  std::map<std::uint32_t, const TaskRecord*> by_node;
+  for (const TaskRecord& r : result.trace) by_node[r.node.value] = &r;
+  for (const TaskRecord& r : result.trace) {
+    const Node& n = g.node(r.node);
+    if (n.preds.empty()) continue;
+    if (n.kind == NodeKind::OrNode) {
+      bool one_done = false;
+      for (NodeId p : n.preds) {
+        const auto it = by_node.find(p.value);
+        if (it != by_node.end() && it->second->finish <= r.dispatch_time)
+          one_done = true;
+      }
+      if (!one_done)
+        rep.fail("OR node " + describe(r.node) +
+                 " dispatched before any predecessor finished");
+    } else {
+      for (NodeId p : n.preds) {
+        const auto it = by_node.find(p.value);
+        if (it == by_node.end()) {
+          rep.fail("node " + describe(r.node) + " ran but predecessor " +
+                   describe(p) + " never executed");
+        } else if (it->second->finish > r.dispatch_time) {
+          rep.fail("node " + describe(r.node) +
+                   " dispatched before predecessor " + describe(p) +
+                   " finished");
+        }
+      }
+    }
+  }
+
+  // ---- 4. Per-processor exclusivity. -------------------------------------
+  std::map<int, std::vector<std::pair<SimTime, SimTime>>> busy;
+  for (const TaskRecord& r : result.trace) {
+    if (g.node(r.node).is_dummy()) continue;  // zero-time bookkeeping
+    busy[r.cpu].emplace_back(r.dispatch_time, r.finish);
+  }
+  for (auto& [cpu, intervals] : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first < intervals[i - 1].second)
+        rep.fail("processor " + std::to_string(cpu) +
+                 " runs two tasks concurrently");
+    }
+  }
+
+  // ---- 5. Deadline. -------------------------------------------------------
+  if (options.check_deadline && result.finish_time > off.deadline())
+    rep.fail("application finished at " + to_string(result.finish_time) +
+             ", after the deadline " + to_string(off.deadline()));
+
+  // ---- 6. Theorem-1 bounds. ----------------------------------------------
+  if (options.check_bounds) {
+    for (const TaskRecord& r : result.trace) {
+      if (r.dispatch_time > off.lst(r.node))
+        rep.fail("node " + describe(r.node) + " dispatched at " +
+                 to_string(r.dispatch_time) + " after its LST " +
+                 to_string(off.lst(r.node)));
+      if (!g.node(r.node).is_dummy() && r.finish > off.eet(r.node))
+        rep.fail("node " + describe(r.node) + " finished at " +
+                 to_string(r.finish) + " after its EET " +
+                 to_string(off.eet(r.node)));
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace paserta

@@ -1,0 +1,47 @@
+// Independent verification of simulation traces.
+//
+// Re-derives, from the trace alone, every invariant the scheduler must
+// uphold, without trusting the engine's bookkeeping:
+//   1. exactly the taken-path nodes executed, each once;
+//   2. dispatches follow the execution-order rules of Figure 2 (EO == NEO,
+//      with OR nodes allowed to jump NEO forward);
+//   3. readiness: a node's executed predecessors finished before its
+//      dispatch (any-one semantics for OR nodes, all for the rest);
+//   4. no processor executes two tasks at once;
+//   5. the application finished by the deadline;
+//   6. (dispatch-bound check, on by default) every node was dispatched no
+//      later than its latest start time and every computation node
+//      finished by its estimated end time — the invariant behind the
+//      paper's Theorem 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/offline.h"
+#include "sim/engine.h"
+
+namespace paserta {
+
+struct VerifyOptions {
+  bool check_deadline = true;
+  /// Theorem-1 bounds (dispatch <= LST, finish <= EET). Holds for every
+  /// scheme in this library; can be disabled for experimental policies.
+  bool check_bounds = true;
+};
+
+struct VerifyReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string v) {
+    ok = false;
+    violations.push_back(std::move(v));
+  }
+};
+
+VerifyReport verify_trace(const Application& app, const OfflineResult& off,
+                          const RunScenario& scenario, const SimResult& result,
+                          const VerifyOptions& options = {});
+
+}  // namespace paserta

@@ -1,0 +1,223 @@
+// Unit tests for common utilities: SimTime arithmetic, the deterministic
+// RNG, streaming statistics and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/time.h"
+
+namespace paserta {
+namespace {
+
+// ---------------------------------------------------------------- SimTime
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::from_us(1.0).ps, 1'000'000);
+  EXPECT_EQ(SimTime::from_ms(1.0).ps, 1'000'000'000);
+  EXPECT_EQ(SimTime::from_sec(1.0).ps, 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::from_ms(2.5).ms(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::from_us(7.25).us(), 7.25);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::from_us(10);
+  const SimTime b = SimTime::from_us(4);
+  EXPECT_EQ((a + b).us(), 14.0);
+  EXPECT_EQ((a - b).us(), 6.0);
+  EXPECT_EQ((a * 3).us(), 30.0);
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE((b - a).is_negative());
+}
+
+TEST(SimTime, ScaleTimeRoundsUp) {
+  // 10 us of work at f_max stretched to half speed -> exactly 20 us.
+  EXPECT_EQ(scale_time(SimTime::from_us(10), 1000, 500).us(), 20.0);
+  // Non-divisible case rounds up by at most 1 ps.
+  const SimTime t = scale_time(SimTime{10}, 3, 7);
+  EXPECT_EQ(t.ps, 5);  // ceil(30/7) = 5
+}
+
+TEST(SimTime, ScaleTimeLargeValuesNoOverflow) {
+  // One hour of work scaled by GHz ratios must not overflow int64 via the
+  // 128-bit intermediate.
+  const SimTime hour = SimTime::from_sec(3600);
+  const SimTime scaled = scale_time(hour, 1'000'000'000, 999'999'999);
+  EXPECT_GT(scaled, hour);
+  EXPECT_LT(scaled.sec(), 3600.01);
+}
+
+TEST(SimTime, CyclesConversion) {
+  // 300 cycles at 100 MHz = 3 us.
+  EXPECT_EQ(cycles_to_time(300, 100 * kMHz).us(), 3.0);
+  // And back.
+  EXPECT_EQ(time_to_cycles(SimTime::from_us(3), 100 * kMHz), 300u);
+  // Rounding: 1 cycle at 3 Hz rounds up to ceil(1e12/3) ps.
+  EXPECT_EQ(cycles_to_time(1, 3).ps, 333'333'333'334);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(to_string(SimTime::from_ms(5)), "5.000ms");
+  EXPECT_EQ(to_string(SimTime::from_us(5)), "5.000us");
+  EXPECT_EQ(to_string(SimTime::from_ns(5)), "5.000ns");
+  EXPECT_EQ(to_string(SimTime{5}), "5ps");
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(2024);
+  RunningStat st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.next_gaussian());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalParameters) {
+  Rng rng(5);
+  RunningStat st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.next_normal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, DiscreteMatchesWeights) {
+  Rng rng(31);
+  const std::vector<double> w{0.2, 0.5, 0.3};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_discrete(w)];
+  EXPECT_NEAR(counts[0] / double(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_discrete(std::vector<double>{}), Error);
+  EXPECT_THROW(rng.next_discrete(std::vector<double>{0.0, 0.0}), Error);
+  EXPECT_THROW(rng.next_discrete(std::vector<double>{1.0, -0.5}), Error);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng a(55);
+  Rng child = a.fork();
+  // The child stream differs from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i)
+    if (a.next_u64() != child.next_u64()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------ RunningStat
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(st.min(), 2.0);
+  EXPECT_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  Rng rng(17);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_normal(3.0, 1.5);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, PrettyAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"long-name", "1"});
+  t.add_row({"x", "22"});
+  std::ostringstream oss;
+  t.write_pretty(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,392 @@
+// Unit tests for the online engine: dispatch rules, greedy slack
+// reclamation, cross-processor slack sharing, OR semantics, overhead
+// charging and exact energy accounting on hand-computable cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/offline.h"
+#include "sim/engine.h"
+#include "sim/verify.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+TaskSpec t(const char* n, double w, double a) {
+  return TaskSpec{n, ms(w), ms(a)};
+}
+
+Overheads no_overheads() {
+  Overheads o;
+  o.speed_compute_cycles = 0;
+  o.speed_change_time = SimTime::zero();
+  return o;
+}
+
+OfflineResult analyze(const Application& app, SimTime deadline, int cpus,
+                      const Overheads& ovh, const LevelTable& table) {
+  OfflineOptions o;
+  o.cpus = cpus;
+  o.deadline = deadline;
+  o.overhead_budget = ovh.worst_case_budget(table);
+  return analyze_offline(app, o);
+}
+
+const TaskRecord& record_of(const SimResult& r, const AndOrGraph& g,
+                            const std::string& name) {
+  for (const TaskRecord& rec : r.trace)
+    if (g.node(rec.node).name == name) return rec;
+  ADD_FAILURE() << "no trace record for " << name;
+  static TaskRecord dummy;
+  return dummy;
+}
+
+TEST(Engine, NpmSingleTaskExactEnergy) {
+  Program p;
+  p.task("T", ms(10), ms(10));
+  const Application app = build_application("one", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(20), 1, ovh, pm.table());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::NPM, sc);
+
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.finish_time, ms(10));
+  EXPECT_EQ(r.speed_changes, 0u);
+  EXPECT_NEAR(r.busy_energy, pm.max_power() * 0.010, 1e-12);
+  EXPECT_NEAR(r.idle_energy, pm.idle_power() * 0.010, 1e-12);
+  EXPECT_NEAR(r.overhead_energy, 0.0, 1e-15);
+}
+
+TEST(Engine, GssReclaimsStaticSlack) {
+  Program p;
+  p.task("T", ms(10), ms(10));
+  const Application app = build_application("one", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(20), 1, ovh, pm.table());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+
+  // Desired 10ms/20ms * 1GHz = 500 MHz -> 600 MHz level; duration
+  // 10ms * 1000/600.
+  const TaskRecord& rec = record_of(r, app.graph, "T");
+  EXPECT_EQ(pm.table().level(rec.level).freq, 600 * kMHz);
+  EXPECT_EQ(r.finish_time, scale_time(ms(10), 1000, 600));
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.speed_changes, 1u);  // f_max -> 600 MHz
+  EXPECT_NEAR(r.busy_energy,
+              pm.power(pm.table().index_of(600 * kMHz)) *
+                  r.finish_time.sec(),
+              1e-12);
+  EXPECT_LT(r.total_energy(),
+            pm.max_power() * 0.010 + pm.idle_power() * 0.010);
+}
+
+TEST(Engine, GssChainReclaimsDynamicSlack) {
+  // b's speed depends on how early a finished.
+  Program p;
+  p.chain({t("a", 6, 3), t("b", 6, 3)});
+  const Application app = build_application("chain", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(24), 1, ovh, pm.table());
+  ASSERT_EQ(off.lst(*app.graph.find("a")), ms(12));
+  ASSERT_EQ(off.lst(*app.graph.find("b")), ms(18));
+
+  RunScenario sc = worst_case_scenario(app.graph);
+  sc.actual[app.graph.find("a")->value] = ms(3);  // a finishes early
+
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  const TaskRecord& ra = record_of(r, app.graph, "a");
+  const TaskRecord& rb = record_of(r, app.graph, "b");
+
+  // a: avail 18ms for 6ms -> 334 MHz -> 400 MHz; actual 3ms -> 7.5ms.
+  EXPECT_EQ(pm.table().level(ra.level).freq, 400 * kMHz);
+  EXPECT_EQ(ra.finish, scale_time(ms(3), 1000, 400));
+  // b dispatched at 7.5ms: avail = 24 - 7.5 = 16.5ms for 6ms
+  //   -> 364 MHz -> 400 MHz level (no change, no second switch).
+  EXPECT_EQ(rb.dispatch_time, ms(7.5));
+  EXPECT_EQ(pm.table().level(rb.level).freq, 400 * kMHz);
+  EXPECT_EQ(r.speed_changes, 1u);
+  EXPECT_TRUE(r.deadline_met);
+}
+
+TEST(Engine, SlackSharesAcrossProcessors) {
+  // Canonical on 2 CPUs: X(8) on cpu0, Y(4)+Z(4) on cpu1. If X finishes
+  // early, cpu0 picks Z (next EO) and inherits the slack.
+  Program p;
+  p.parallel({t("X", 8, 4), t("Y", 4, 2), t("Z", 4, 2)});
+  const Application app = build_application("share", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(16), 2, ovh, pm.table());
+
+  const NodeId x = *app.graph.find("X");
+  const NodeId y = *app.graph.find("Y");
+  const NodeId z = *app.graph.find("Z");
+  ASSERT_EQ(off.eo(x), 0u);
+  ASSERT_EQ(off.eo(y), 1u);
+  ASSERT_EQ(off.eo(z), 2u);
+  ASSERT_EQ(off.lst(z), ms(12));  // canonical [4,8] shifted by +8
+
+  RunScenario sc = worst_case_scenario(app.graph);
+  sc.actual[x.value] = ms(1);  // X finishes very early
+
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  const TaskRecord& rx = record_of(r, app.graph, "X");
+  const TaskRecord& rz = record_of(r, app.graph, "Z");
+  // Z ran on X's processor (cpu0), ahead of its canonical processor's
+  // availability — implicit slack sharing.
+  EXPECT_EQ(rx.cpu, 0);
+  EXPECT_EQ(rz.cpu, 0);
+  EXPECT_LT(rz.dispatch_time, ms(4));
+  const VerifyReport rep = verify_trace(app, off, sc, r);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(Engine, OrForkRunsOnlyChosenAlternative) {
+  Program xa, yb;
+  xa.task("x", ms(4), ms(2));
+  yb.task("y", ms(8), ms(6));
+  Program p;
+  p.task("pre", ms(2), ms(1));
+  p.branch("o", {{0.5, std::move(xa)}, {0.5, std::move(yb)}});
+  const Application app = build_application("or", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(20), 2, ovh, pm.table());
+
+  for (int choice : {0, 1}) {
+    std::vector<int> choices(app.graph.size(), -1);
+    const StructSegment& br = app.structure.segments[1];
+    choices[br.fork.value] = choice;
+    const RunScenario sc = worst_case_scenario(app.graph, &choices);
+    const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+
+    const char* taken = choice == 0 ? "x" : "y";
+    const char* skipped = choice == 0 ? "y" : "x";
+    bool saw_taken = false, saw_skipped = false;
+    for (const TaskRecord& rec : r.trace) {
+      if (app.graph.node(rec.node).name == taken) saw_taken = true;
+      if (app.graph.node(rec.node).name == skipped) saw_skipped = true;
+    }
+    EXPECT_TRUE(saw_taken);
+    EXPECT_FALSE(saw_skipped);
+    EXPECT_TRUE(r.deadline_met);
+    const VerifyReport rep = verify_trace(app, off, sc, r);
+    EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+  }
+}
+
+TEST(Engine, NeoJumpsPastUntakenAlternatives) {
+  // Short alternative (1 slot) vs long (2 slots): taking the short one
+  // forces the join to jump NEO.
+  Program shrt, lng;
+  shrt.task("s", ms(2), ms(1));
+  lng.chain({t("l1", 2, 1), t("l2", 2, 1)});
+  Program p;
+  p.task("pre", ms(1), ms(1));
+  p.branch("o", {{0.5, std::move(shrt)}, {0.5, std::move(lng)}});
+  p.task("post", ms(1), ms(1));
+  const Application app = build_application("jump", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(20), 2, ovh, pm.table());
+
+  std::vector<int> choices(app.graph.size(), -1);
+  const StructSegment& br = app.structure.segments[1];
+  choices[br.fork.value] = 0;  // short path: EO of join > NEO when ready
+  const RunScenario sc = worst_case_scenario(app.graph, &choices);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+
+  EXPECT_EQ(r.dispatched, 5u);  // pre, fork, s, join, post
+  const VerifyReport rep = verify_trace(app, off, sc, r);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(Engine, WorstCaseMeetsDeadlineAtFullLoad) {
+  // D == W: zero static slack; GSS must run at f_max throughout and finish
+  // exactly at the deadline.
+  Program p;
+  p.chain({t("a", 5, 5), t("b", 5, 5)});
+  const Application app = build_application("tight", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(10), 1, ovh, pm.table());
+  ASSERT_TRUE(off.feasible());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.finish_time, ms(10));
+  for (const TaskRecord& rec : r.trace)
+    EXPECT_EQ(pm.table().level(rec.level).freq, pm.table().f_max());
+}
+
+TEST(Engine, ComputeOverheadChargedPerDynamicDispatch) {
+  Program p;
+  p.chain({t("a", 5, 5), t("b", 5, 5)});
+  const Application app = build_application("ovh", p);
+  Overheads ovh;
+  ovh.speed_compute_cycles = 1000 * 1000;  // 1 ms at 1 GHz: visible
+  ovh.speed_change_time = SimTime::zero();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(40), 1, ovh, pm.table());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_GT(r.overhead_energy, 0.0);
+  // First dispatch happens at f_max: exec starts 1ms (minus nothing) after.
+  const TaskRecord& ra = record_of(r, app.graph, "a");
+  EXPECT_GE(ra.exec_start - ra.dispatch_time, ms(1));
+
+  // NPM pays no overheads.
+  const SimResult rn = simulate(app, off, pm, ovh, Scheme::NPM, sc);
+  EXPECT_EQ(rn.overhead_energy, 0.0);
+}
+
+TEST(Engine, SwitchOverheadOnlyWhenLevelChanges) {
+  Program p;
+  p.chain({t("a", 5, 5), t("b", 5, 5)});
+  const Application app = build_application("sw", p);
+  Overheads ovh;
+  ovh.speed_compute_cycles = 0;
+  ovh.speed_change_time = SimTime::from_us(100);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(30), 1, ovh, pm.table());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  EXPECT_TRUE(r.deadline_met);
+  // a switches from f_max to 400 MHz (5ms work in ~24.8ms); b lands on the
+  // same 400 MHz level (5ms in ~17.3ms) and must not switch again.
+  EXPECT_EQ(r.speed_changes, 1u);
+  const TaskRecord& ra = record_of(r, app.graph, "a");
+  EXPECT_TRUE(ra.switched);
+  EXPECT_EQ(ra.exec_start - ra.dispatch_time, SimTime::from_us(100));
+}
+
+TEST(Engine, SpeculativeFloorRaisesSpeed) {
+  // Plenty of static slack: GSS would drop to f_min, SS1's floor keeps the
+  // speed at the speculated level.
+  Program p;
+  p.task("T", ms(10), ms(8));
+  const Application app = build_application("floor", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(100), 1, ovh, pm.table());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult gss = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  const SimResult ss1 = simulate(app, off, pm, ovh, Scheme::SS1, sc);
+
+  const TaskRecord& rg = record_of(gss, app.graph, "T");
+  const TaskRecord& rs = record_of(ss1, app.graph, "T");
+  EXPECT_EQ(pm.table().level(rg.level).freq, 150 * kMHz);  // min speed
+  EXPECT_EQ(pm.table().level(rs.level).freq, 150 * kMHz);
+  // 8ms avg in 100ms -> 80 MHz -> min level anyway; tighten the deadline:
+  const OfflineResult off2 = analyze(app, ms(25), 1, ovh, pm.table());
+  auto ss1p = make_policy(Scheme::SS1);
+  ss1p->reset(off2, pm);
+  // 8/25 GHz = 320 MHz -> 400 MHz floor, above GSS's 10/25 -> 400. Equal
+  // here; use SS floor vs GSS at looser deadline for the strict case:
+  const OfflineResult off3 = analyze(app, ms(50), 1, ovh, pm.table());
+  const SimResult g3 = simulate(app, off3, pm, ovh, Scheme::GSS, sc);
+  const SimResult s3 = simulate(app, off3, pm, ovh, Scheme::SS1, sc);
+  // GSS: 10/50 -> 200 MHz -> 400? no: quantize_up(200 MHz) = 400 MHz;
+  // min level is 150. 200 > 150 so GSS runs at 400; SS1: 8/50 = 160 -> 400.
+  EXPECT_EQ(pm.table().level(record_of(g3, app.graph, "T").level).freq,
+            400 * kMHz);
+  EXPECT_EQ(pm.table().level(record_of(s3, app.graph, "T").level).freq,
+            400 * kMHz);
+}
+
+TEST(Engine, StaticSchemesIgnoreOverheads) {
+  Program p;
+  p.chain({t("a", 5, 2), t("b", 5, 2)});
+  const Application app = build_application("static", p);
+  Overheads ovh;
+  ovh.speed_compute_cycles = 300;
+  ovh.speed_change_time = SimTime::from_us(50);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(20), 1, ovh, pm.table());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  for (Scheme s : {Scheme::NPM, Scheme::SPM}) {
+    const SimResult r = simulate(app, off, pm, ovh, s, sc);
+    EXPECT_EQ(r.speed_changes, 0u) << to_string(s);
+    EXPECT_EQ(r.overhead_energy, 0.0) << to_string(s);
+    EXPECT_TRUE(r.deadline_met) << to_string(s);
+  }
+}
+
+TEST(Engine, EnergyComponentsSumToTotal) {
+  Program p;
+  p.chain({t("a", 5, 2), t("b", 5, 2)});
+  const Application app = build_application("sum", p);
+  Overheads ovh;
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  const OfflineResult off = analyze(app, ms(20), 2, ovh, pm.table());
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  EXPECT_NEAR(r.total_energy(),
+              r.busy_energy + r.overhead_energy + r.idle_energy, 1e-15);
+  EXPECT_GT(r.idle_energy, 0.0);
+}
+
+TEST(Engine, ScenarioSizeChecked) {
+  Program p;
+  p.task("a", ms(1), ms(1));
+  const Application app = build_application("chk", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(10), 1, ovh, pm.table());
+  RunScenario sc;  // wrong size
+  EXPECT_THROW(simulate(app, off, pm, ovh, Scheme::GSS, sc), Error);
+}
+
+TEST(Engine, MoreCpusThanWorkSleepSafely) {
+  Program p;
+  p.task("only", ms(5), ms(5));
+  const Application app = build_application("sleep", p);
+  const Overheads ovh = no_overheads();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(10), 6, ovh, pm.table());
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  EXPECT_TRUE(r.deadline_met);
+  // Five processors idle the whole window.
+  EXPECT_NEAR(r.idle_energy,
+              pm.idle_power() * (5 * 0.010 + (ms(10) - r.finish_time).sec()),
+              1e-12);
+}
+
+TEST(Engine, ExecutedSetMatchesChoices) {
+  Program xa, yb;
+  xa.task("x", ms(4), ms(2));
+  yb.chain({t("y1", 2, 1), t("y2", 2, 1)});
+  Program p;
+  p.branch("o", {{0.5, std::move(xa)}, {0.5, std::move(yb)}});
+  const Application app = build_application("exec", p);
+
+  std::vector<int> choices(app.graph.size(), -1);
+  const StructSegment& br = app.structure.segments[0];
+  choices[br.fork.value] = 1;
+  const RunScenario sc = worst_case_scenario(app.graph, &choices);
+  const auto ex = executed_set(app.graph, sc);
+  EXPECT_FALSE(ex[app.graph.find("x")->value]);
+  EXPECT_TRUE(ex[app.graph.find("y1")->value]);
+  EXPECT_TRUE(ex[app.graph.find("y2")->value]);
+  EXPECT_TRUE(ex[br.fork.value]);
+  EXPECT_TRUE(ex[br.join.value]);
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,236 @@
+// Edge-case tests for the online engine and offline phase: infeasible
+// deadlines, zero-work applications, simultaneous completions, wake
+// chains, SS2 theta crossings mid-run, and trace field semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/mpeg.h"
+#include "core/offline.h"
+#include "sim/engine.h"
+#include "sim/verify.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+TaskSpec t(const char* n, double w, double a) {
+  return TaskSpec{n, ms(w), ms(a)};
+}
+
+Overheads no_overheads() {
+  Overheads o;
+  o.speed_compute_cycles = 0;
+  o.speed_change_time = SimTime::zero();
+  return o;
+}
+
+OfflineResult analyze(const Application& app, SimTime deadline, int cpus,
+                      SimTime budget = SimTime::zero()) {
+  OfflineOptions o;
+  o.cpus = cpus;
+  o.deadline = deadline;
+  o.overhead_budget = budget;
+  return analyze_offline(app, o);
+}
+
+TEST(EngineEdge, InfeasibleDeadlineRunsAndReportsMiss) {
+  Program p;
+  p.task("big", ms(50), ms(40));
+  const Application app = build_application("inf", p);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(10), 1);
+  ASSERT_FALSE(off.feasible());
+
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, no_overheads(), Scheme::GSS, sc);
+  EXPECT_FALSE(r.deadline_met);
+  EXPECT_EQ(r.finish_time, ms(50));  // clamped to f_max
+  // Idle energy clamps at zero rather than going negative.
+  EXPECT_GE(r.idle_energy, 0.0);
+  EXPECT_EQ(r.idle_energy, 0.0);
+}
+
+TEST(EngineEdge, ZeroTaskApplication) {
+  // A branch whose alternatives are both empty: only dummies execute.
+  Program p;
+  p.branch("o", {{0.5, Program{}}, {0.5, Program{}}});
+  const Application app = build_application("empty", p);
+  EXPECT_EQ(app.graph.task_count(), 0u);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(10), 2);
+  EXPECT_EQ(off.worst_makespan(), SimTime::zero());
+
+  std::vector<int> choices(app.graph.size(), -1);
+  for (NodeId id : app.graph.all_nodes())
+    if (app.graph.node(id).is_or_fork()) choices[id.value] = 1;
+  const RunScenario sc = worst_case_scenario(app.graph, &choices);
+  const SimResult r = simulate(app, off, pm, no_overheads(), Scheme::GSS, sc);
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.finish_time, SimTime::zero());
+  EXPECT_EQ(r.busy_energy, 0.0);
+  // Both processors idle for the whole window.
+  EXPECT_NEAR(r.idle_energy, 2 * pm.idle_power() * 0.010, 1e-12);
+}
+
+TEST(EngineEdge, SimultaneousCompletionsDeterministic) {
+  // Four equal tasks on two CPUs: two pairs complete simultaneously; the
+  // dispatch order must be reproducible.
+  Program p;
+  p.parallel({t("a", 4, 4), t("b", 4, 4), t("c", 4, 4), t("d", 4, 4)});
+  const Application app = build_application("sim", p);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(16), 2);
+  const RunScenario sc = worst_case_scenario(app.graph);
+
+  const SimResult r1 = simulate(app, off, pm, no_overheads(), Scheme::GSS, sc);
+  const SimResult r2 = simulate(app, off, pm, no_overheads(), Scheme::GSS, sc);
+  ASSERT_EQ(r1.trace.size(), r2.trace.size());
+  for (std::size_t i = 0; i < r1.trace.size(); ++i) {
+    EXPECT_EQ(r1.trace[i].node, r2.trace[i].node);
+    EXPECT_EQ(r1.trace[i].cpu, r2.trace[i].cpu);
+  }
+}
+
+TEST(EngineEdge, WakeChainStartsParallelTasksTogether) {
+  // head -> {4 parallel tasks} on 4 CPUs: after `head`, the wake chain
+  // must put all four tasks on distinct processors at the same instant.
+  Program p;
+  p.task("head", ms(2), ms(2));
+  p.parallel({t("w0", 4, 4), t("w1", 4, 4), t("w2", 4, 4), t("w3", 4, 4)});
+  const Application app = build_application("wake", p);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(12), 4);
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, no_overheads(), Scheme::NPM, sc);
+
+  std::set<int> cpus_used;
+  for (const TaskRecord& rec : r.trace) {
+    const Node& n = app.graph.node(rec.node);
+    if (n.name.rfind("w", 0) == 0 && !n.is_dummy()) {
+      EXPECT_EQ(rec.dispatch_time, ms(2)) << n.name;
+      cpus_used.insert(rec.cpu);
+    }
+  }
+  EXPECT_EQ(cpus_used.size(), 4u);
+}
+
+TEST(EngineEdge, Ss2FloorAndGreedyInterplay) {
+  // Long chain under SS2 with fast actuals: early tasks sit on the f_low
+  // floor; later tasks speed up (theta crossing and/or greedy takeover as
+  // their latest start times close in). Both regimes must appear.
+  Program p;
+  std::vector<TaskSpec> chain;
+  for (int i = 0; i < 10; ++i)
+    chain.push_back(t(("c" + std::to_string(i)).c_str(), 4, 1));
+  p.chain(chain);
+  const Application app = build_application("theta", p);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const Overheads ovh = no_overheads();
+  // A = 10ms, W = 40ms; D = 64ms -> f_spec = 156 MHz in (150, 400).
+  const OfflineResult off = analyze(app, ms(64), 1);
+  ASSERT_EQ(off.average_makespan(), ms(10));
+
+  RunScenario sc = worst_case_scenario(app.graph);
+  for (auto& a : sc.actual)
+    if (a > SimTime::zero()) a = ms(1);  // fast actuals: floor dominates
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::SS2, sc);
+  ASSERT_TRUE(r.deadline_met);
+
+  bool saw_low = false, saw_high_after_low = false;
+  for (const TaskRecord& rec : r.trace) {
+    const Freq f = pm.table().level(rec.level).freq;
+    if (f == 150 * kMHz) saw_low = true;
+    if (saw_low && f >= 400 * kMHz) saw_high_after_low = true;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high_after_low);
+}
+
+TEST(EngineEdge, TraceFieldSemantics) {
+  const Application app = apps::build_mpeg();
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  const OfflineResult off =
+      analyze(app, ms(60), 2, ovh.worst_case_budget(pm.table()));
+  Rng rng(3);
+  const RunScenario sc = draw_scenario(app.graph, rng);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+
+  for (const TaskRecord& rec : r.trace) {
+    const Node& n = app.graph.node(rec.node);
+    if (n.is_or_fork()) {
+      EXPECT_GE(rec.chosen_alt, 0);
+      EXPECT_EQ(rec.chosen_alt, sc.choice_of(rec.node));
+    } else {
+      EXPECT_EQ(rec.chosen_alt, -1);
+    }
+    EXPECT_LE(rec.dispatch_time, rec.exec_start);
+    EXPECT_LE(rec.exec_start, rec.finish);
+    if (!rec.switched) {
+      EXPECT_EQ(rec.level, rec.level_before);
+    } else {
+      EXPECT_NE(rec.level, rec.level_before);
+    }
+  }
+}
+
+TEST(EngineEdge, DummyChainsResolveInstantly) {
+  // branch(empty, empty) sandwiched between tasks: the dummy chain (fork,
+  // skip, join) must resolve at one instant on one processor.
+  Program p;
+  p.task("pre", ms(2), ms(1));
+  p.branch("o", {{0.5, Program{}}, {0.5, Program{}}});
+  p.task("post", ms(2), ms(1));
+  const Application app = build_application("dummy", p);
+  const PowerModel pm(LevelTable::intel_xscale());
+  const OfflineResult off = analyze(app, ms(12), 2);
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, no_overheads(), Scheme::NPM, sc);
+
+  const TaskRecord* pre = nullptr;
+  const TaskRecord* post = nullptr;
+  for (const TaskRecord& rec : r.trace) {
+    if (app.graph.node(rec.node).name == "pre") pre = &rec;
+    if (app.graph.node(rec.node).name == "post") post = &rec;
+  }
+  ASSERT_NE(pre, nullptr);
+  ASSERT_NE(post, nullptr);
+  EXPECT_EQ(post->dispatch_time, pre->finish);  // no time lost in dummies
+}
+
+TEST(EngineEdge, AverageAtMostWorstEvenWithInflation) {
+  const Application app = apps::build_mpeg();
+  const PowerModel pm(LevelTable::intel_xscale());
+  Overheads ovh;
+  const OfflineResult off =
+      analyze(app, ms(100), 2, ovh.worst_case_budget(pm.table()));
+  EXPECT_LE(off.average_makespan(), off.worst_makespan());
+  EXPECT_GT(off.average_makespan(), SimTime::zero());
+}
+
+TEST(EngineEdge, SingleLevelTableDegeneratesToNpmTiming) {
+  // One DVS level: every scheme runs at that level; energies coincide for
+  // dynamic schemes up to overhead accounting.
+  const LevelTable one = LevelTable::synthetic("one", 1, 800 * kMHz,
+                                               800 * kMHz, 1.5, 1.5);
+  Program p;
+  p.chain({t("a", 4, 2), t("b", 4, 2)});
+  const Application app = build_application("one", p);
+  const PowerModel pm(one);
+  const Overheads ovh = no_overheads();
+  OfflineOptions o;
+  o.cpus = 1;
+  o.deadline = ms(30);
+  const OfflineResult off = analyze_offline(app, o);
+  const RunScenario sc = worst_case_scenario(app.graph);
+
+  const SimResult gss = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  const SimResult npm = simulate(app, off, pm, ovh, Scheme::NPM, sc);
+  EXPECT_TRUE(gss.deadline_met);
+  EXPECT_EQ(gss.speed_changes, 0u);
+  EXPECT_DOUBLE_EQ(gss.total_energy(), npm.total_energy());
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,227 @@
+// Unit tests for the flat AND/OR graph: construction, queries and the
+// structural validator (including OR-join mutual exclusivity).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/dot.h"
+#include "graph/graph.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+
+TEST(Graph, AddTaskValidatesTimes) {
+  AndOrGraph g;
+  EXPECT_THROW(g.add_task("bad", SimTime::zero(), SimTime::zero()), Error);
+  EXPECT_THROW(g.add_task("bad", ms(1), ms(2)), Error);  // acet > wcet
+  const NodeId t = g.add_task("ok", ms(2), ms(1));
+  EXPECT_EQ(g.node(t).kind, NodeKind::Computation);
+  EXPECT_EQ(g.node(t).wcet, ms(2));
+}
+
+TEST(Graph, EdgesMaintainAdjacency) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  g.add_edge(a, b);
+  ASSERT_EQ(g.node(a).succs.size(), 1u);
+  EXPECT_EQ(g.node(a).succs[0], b);
+  ASSERT_EQ(g.node(b).preds.size(), 1u);
+  EXPECT_EQ(g.node(b).preds[0], a);
+}
+
+TEST(Graph, RejectsSelfAndDuplicateEdges) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  EXPECT_THROW(g.add_edge(a, a), Error);
+  g.add_edge(a, b);
+  EXPECT_THROW(g.add_edge(a, b), Error);
+}
+
+TEST(Graph, SourcesAndSinks) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  const NodeId c = g.add_task("c", ms(1), ms(1));
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  EXPECT_EQ(g.sources(), (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(g.sinks(), (std::vector<NodeId>{c}));
+}
+
+TEST(Graph, TopoOrderRespectsEdges) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  const NodeId c = g.add_task("c", ms(1), ms(1));
+  g.add_edge(c, b);
+  g.add_edge(b, a);
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], c);
+  EXPECT_EQ(order[1], b);
+  EXPECT_EQ(order[2], a);
+}
+
+TEST(Graph, TopoOrderDetectsCycle) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  g.add_edge(a, b);
+  g.add_edge(b, a);  // builds a cycle (add_edge does not check globally)
+  EXPECT_THROW(g.topo_order(), Error);
+}
+
+TEST(Graph, Totals) {
+  AndOrGraph g;
+  g.add_task("a", ms(2), ms(1));
+  g.add_task("b", ms(3), ms(2));
+  g.add_and("j");
+  EXPECT_EQ(g.task_count(), 2u);
+  EXPECT_EQ(g.total_wcet(), ms(5));
+  EXPECT_EQ(g.total_acet(), ms(3));
+}
+
+TEST(Graph, FindByName) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("alpha", ms(1), ms(1));
+  EXPECT_EQ(g.find("alpha"), a);
+  EXPECT_FALSE(g.find("missing").has_value());
+}
+
+TEST(Graph, SetAcetChecksRange) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(4), ms(2));
+  g.set_acet(a, ms(3));
+  EXPECT_EQ(g.node(a).acet, ms(3));
+  EXPECT_THROW(g.set_acet(a, ms(5)), Error);
+  const NodeId d = g.add_and("d");
+  EXPECT_THROW(g.set_acet(d, ms(1)), Error);
+}
+
+// --------------------------------------------------------------- validate
+
+/// A minimal valid OR structure: fork -> {f, g} -> join.
+AndOrGraph valid_or_structure() {
+  AndOrGraph g;
+  const NodeId fork = g.add_or("o3");
+  const NodeId f = g.add_task("f", ms(8), ms(6));
+  const NodeId gg = g.add_task("g", ms(5), ms(3));
+  const NodeId join = g.add_or("o4");
+  g.add_or_edge(fork, f, 0.3);
+  g.add_or_edge(fork, gg, 0.7);
+  g.add_edge(f, join);
+  g.add_edge(gg, join);
+  return g;
+}
+
+TEST(Validate, AcceptsPaperFigure1b) {
+  AndOrGraph g = valid_or_structure();
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Validate, OrForkProbabilitiesMustSumToOne) {
+  AndOrGraph g;
+  const NodeId fork = g.add_or("o");
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  g.add_or_edge(fork, a, 0.3);
+  g.add_or_edge(fork, b, 0.3);  // sums to 0.6
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Validate, OrForkNeedsProbabilities) {
+  AndOrGraph g;
+  const NodeId fork = g.add_or("o");
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  // Plain edges out of an OR node leave succ_prob empty.
+  g.add_edge(fork, a);
+  g.add_edge(fork, b);
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Validate, OrJoinWithIndependentPredecessorsRejected) {
+  // Two tasks that both always execute must not merge at an OR join: the
+  // join would fire twice.
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  const NodeId join = g.add_or("join");
+  g.add_edge(a, join);
+  g.add_edge(b, join);
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Validate, AndJoinAcrossExclusiveBranchesRejected) {
+  // An AND-semantics node fed from two exclusive alternatives deadlocks.
+  AndOrGraph g;
+  const NodeId fork = g.add_or("fork");
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  const NodeId join = g.add_and("join");
+  g.add_or_edge(fork, a, 0.5);
+  g.add_or_edge(fork, b, 0.5);
+  g.add_edge(a, join);
+  g.add_edge(b, join);
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Validate, NestedExclusivityAccepted) {
+  // fork1 -> {a, fork2 -> {b, c} -> join2} -> join1; join1's predecessors
+  // (a, join2) are exclusive via fork1.
+  AndOrGraph g;
+  const NodeId f1 = g.add_or("f1");
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const NodeId f2 = g.add_or("f2");
+  const NodeId b = g.add_task("b", ms(1), ms(1));
+  const NodeId c = g.add_task("c", ms(1), ms(1));
+  const NodeId j2 = g.add_or("j2");
+  const NodeId j1 = g.add_or("j1");
+  g.add_or_edge(f1, a, 0.4);
+  g.add_or_edge(f1, f2, 0.6);
+  g.add_or_edge(f2, b, 0.5);
+  g.add_or_edge(f2, c, 0.5);
+  g.add_edge(b, j2);
+  g.add_edge(c, j2);
+  g.add_edge(a, j1);
+  g.add_edge(j2, j1);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Validate, DummyWithExecutionTimeRejected) {
+  AndOrGraph g;
+  const NodeId d = g.add_and("d");
+  g.node(d).wcet = ms(1);  // corrupt it
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Validate, EmptyGraphRejected) {
+  AndOrGraph g;
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Validate, ProbabilityOutOfRangeRejected) {
+  AndOrGraph g;
+  const NodeId fork = g.add_or("o");
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  EXPECT_THROW(g.add_or_edge(fork, a, 1.5), Error);
+  EXPECT_THROW(g.add_or_edge(fork, a, 0.0), Error);
+}
+
+// -------------------------------------------------------------------- dot
+
+TEST(Dot, ContainsShapesAndProbabilities) {
+  AndOrGraph g = valid_or_structure();
+  const std::string dot = to_dot(g, "fig1b");
+  EXPECT_NE(dot.find("digraph \"fig1b\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // OR nodes
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);  // tasks
+  EXPECT_NE(dot.find("30%"), std::string::npos);
+  EXPECT_NE(dot.find("70%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paserta

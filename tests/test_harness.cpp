@@ -1,0 +1,151 @@
+// Tests for the experiment harness: normalization, sweeps, reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace paserta {
+namespace {
+
+ExperimentConfig quick_config(int runs = 25) {
+  ExperimentConfig cfg;
+  cfg.cpus = 2;
+  cfg.table = LevelTable::intel_xscale();
+  cfg.runs = runs;
+  cfg.seed = 1234;
+  cfg.verify_traces = true;
+  return cfg;
+}
+
+TEST(Harness, PointProducesAllSchemes) {
+  const Application app = apps::build_synthetic();
+  const ExperimentConfig cfg = quick_config();
+  const SimTime w = canonical_worst_makespan(
+      app, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table));
+  const SweepPoint pt = run_point(app, cfg, w * 2, 0.5);
+
+  EXPECT_EQ(pt.stats.size(), cfg.schemes.size());
+  for (const SchemeStats& st : pt.stats) {
+    EXPECT_EQ(st.norm_energy.count(), 25u) << to_string(st.scheme);
+    EXPECT_EQ(st.deadline_misses, 0u) << to_string(st.scheme);
+    EXPECT_EQ(st.verify_failures, 0u) << to_string(st.scheme);
+    EXPECT_GT(st.norm_energy.mean(), 0.0);
+    // Power management never exceeds NPM on the same scenarios.
+    EXPECT_LE(st.norm_energy.max(), 1.0 + 1e-9) << to_string(st.scheme);
+  }
+  EXPECT_GT(pt.npm_energy.mean(), 0.0);
+}
+
+TEST(Harness, DeterministicForSeed) {
+  const Application app = apps::build_synthetic();
+  const ExperimentConfig cfg = quick_config(10);
+  const SimTime d = SimTime::from_ms(150);
+  const SweepPoint a = run_point(app, cfg, d, 0.0);
+  const SweepPoint b = run_point(app, cfg, d, 0.0);
+  for (std::size_t i = 0; i < a.stats.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.stats[i].norm_energy.mean(),
+                     b.stats[i].norm_energy.mean());
+    EXPECT_DOUBLE_EQ(a.stats[i].speed_changes.mean(),
+                     b.stats[i].speed_changes.mean());
+  }
+}
+
+TEST(Harness, SweepLoadSetsDeadlines) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = quick_config(5);
+  cfg.schemes = {Scheme::GSS};
+  const auto points = sweep_load(app, cfg, {0.25, 0.5, 1.0});
+  ASSERT_EQ(points.size(), 3u);
+  // deadline = W / load.
+  EXPECT_EQ(points[0].deadline, points[0].worst_makespan * 4);
+  EXPECT_EQ(points[1].deadline, points[1].worst_makespan * 2);
+  EXPECT_EQ(points[2].deadline.ps, points[2].worst_makespan.ps);
+  for (const auto& p : points)
+    EXPECT_EQ(p.of(Scheme::GSS).deadline_misses, 0u);
+}
+
+TEST(Harness, SweepAlphaRedrawsAcets) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = quick_config(5);
+  cfg.schemes = {Scheme::GSS, Scheme::SS1};
+  const auto points = sweep_alpha(app, cfg, 0.8, {0.2, 0.9});
+  ASSERT_EQ(points.size(), 2u);
+  // Lower alpha means more dynamic slack: GSS energy should drop.
+  EXPECT_LT(points[0].of(Scheme::GSS).norm_energy.mean(),
+            points[1].of(Scheme::GSS).norm_energy.mean());
+  for (const auto& p : points)
+    for (const auto& st : p.stats) EXPECT_EQ(st.deadline_misses, 0u);
+}
+
+TEST(Harness, GreedyBeatsNoManagement) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = quick_config(30);
+  cfg.schemes = {Scheme::SPM, Scheme::GSS};
+  const SweepPoint pt =
+      run_point(app, cfg, SimTime::from_ms(66 * 2), 0.5);  // load ~0.5
+  EXPECT_LT(pt.of(Scheme::GSS).norm_energy.mean(), 0.9);
+  EXPECT_LT(pt.of(Scheme::SPM).norm_energy.mean(), 1.0);
+}
+
+TEST(Harness, OfScheme) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = quick_config(2);
+  cfg.schemes = {Scheme::GSS};
+  const SweepPoint pt = run_point(app, cfg, SimTime::from_ms(200), 0.0);
+  EXPECT_EQ(pt.of(Scheme::GSS).scheme, Scheme::GSS);
+  EXPECT_THROW(pt.of(Scheme::AS), Error);
+}
+
+TEST(Harness, SweepRange) {
+  const auto xs = sweep_range(0.1, 0.5, 0.1);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.1);
+  EXPECT_DOUBLE_EQ(xs.back(), 0.5);
+  EXPECT_THROW(sweep_range(1.0, 0.0, 0.1), Error);
+  EXPECT_THROW(sweep_range(0.0, 1.0, 0.0), Error);
+}
+
+TEST(Harness, RejectsBadPoint) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = quick_config(0);
+  EXPECT_THROW(run_point(app, cfg, SimTime::from_ms(100), 0.0), Error);
+  cfg = quick_config(1);
+  EXPECT_THROW(run_point(app, cfg, SimTime::zero(), 0.0), Error);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(Report, SweepTableShape) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = quick_config(3);
+  cfg.schemes = {Scheme::GSS, Scheme::AS};
+  const auto points = sweep_load(app, cfg, {0.5, 0.8});
+  const Table t = sweep_table(points, "load");
+  EXPECT_EQ(t.rows(), 4u);  // 2 points x 2 schemes
+  EXPECT_EQ(t.header().front(), "load");
+
+  const Table s = sweep_series(points, "load");
+  EXPECT_EQ(s.rows(), 2u);
+  ASSERT_EQ(s.header().size(), 3u);
+  EXPECT_EQ(s.header()[1], "GSS");
+  EXPECT_EQ(s.header()[2], "AS");
+}
+
+TEST(Report, PrintFigureEmitsCsv) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = quick_config(2);
+  cfg.schemes = {Scheme::GSS};
+  const auto points = sweep_load(app, cfg, {0.5});
+  std::ostringstream oss;
+  print_figure(oss, "Fig.T", "test figure", points, "load");
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("# Fig.T: test figure"), std::string::npos);
+  EXPECT_NE(out.find("load,GSS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paserta

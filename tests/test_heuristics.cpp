@@ -1,0 +1,140 @@
+// Tests for alternative list-scheduling heuristics (paper §3.2: the
+// framework works under any priority rule as long as offline and online
+// phases share it).
+#include <gtest/gtest.h>
+
+#include "apps/atr.h"
+#include "apps/random_app.h"
+#include "core/offline.h"
+#include "sim/engine.h"
+#include "sim/verify.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+
+std::function<SimTime(NodeId)> wcet_of(const AndOrGraph& g) {
+  return [&g](NodeId id) {
+    return g.node(id).is_dummy() ? SimTime::zero() : g.node(id).wcet;
+  };
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_STREQ(to_string(ListHeuristic::LongestTaskFirst), "LTF");
+  EXPECT_STREQ(to_string(ListHeuristic::ShortestTaskFirst), "STF");
+  EXPECT_STREQ(to_string(ListHeuristic::InsertionOrder), "FIFO");
+}
+
+TEST(Heuristics, OrderingsDiffer) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(2), ms(1));
+  const NodeId b = g.add_task("b", ms(9), ms(1));
+  const NodeId c = g.add_task("c", ms(5), ms(1));
+  const std::vector<NodeId> members{a, b, c};
+
+  const auto ltf = ltf_schedule(g, members, 1, wcet_of(g),
+                                ListHeuristic::LongestTaskFirst);
+  EXPECT_EQ(ltf.dispatch_order, (std::vector<NodeId>{b, c, a}));
+
+  const auto stf = ltf_schedule(g, members, 1, wcet_of(g),
+                                ListHeuristic::ShortestTaskFirst);
+  EXPECT_EQ(stf.dispatch_order, (std::vector<NodeId>{a, c, b}));
+
+  const auto fifo = ltf_schedule(g, members, 1, wcet_of(g),
+                                 ListHeuristic::InsertionOrder);
+  EXPECT_EQ(fifo.dispatch_order, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(Heuristics, MakespanSameOnOneCpu) {
+  // On a single processor the order cannot change total time.
+  AndOrGraph g;
+  std::vector<NodeId> members;
+  for (int i = 0; i < 6; ++i)
+    members.push_back(
+        g.add_task("t" + std::to_string(i), ms(1 + i), ms(1)));
+  for (auto h : {ListHeuristic::LongestTaskFirst,
+                 ListHeuristic::ShortestTaskFirst,
+                 ListHeuristic::InsertionOrder}) {
+    EXPECT_EQ(ltf_schedule(g, members, 1, wcet_of(g), h).makespan, ms(21));
+  }
+}
+
+TEST(Heuristics, LtfPacksNoWorseHere) {
+  // A 2-CPU case where LTF beats STF: {4,3,3,2,2}.
+  // LTF: 4|3, then 3 and 2 fill, last 2 lands at 6 -> makespan 8.
+  // STF: 2|2, 3|3, then the 4 starts at 5 -> makespan 9.
+  AndOrGraph g;
+  std::vector<NodeId> members;
+  for (double w : {4.0, 3.0, 3.0, 2.0, 2.0})
+    members.push_back(
+        g.add_task("t" + std::to_string(members.size()), ms(w), ms(1)));
+  const auto ltf = ltf_schedule(g, members, 2, wcet_of(g),
+                                ListHeuristic::LongestTaskFirst);
+  const auto stf = ltf_schedule(g, members, 2, wcet_of(g),
+                                ListHeuristic::ShortestTaskFirst);
+  EXPECT_EQ(ltf.makespan, ms(8));
+  EXPECT_EQ(stf.makespan, ms(9));
+}
+
+class HeuristicEndToEnd : public ::testing::TestWithParam<ListHeuristic> {};
+
+TEST_P(HeuristicEndToEnd, Theorem1HoldsUnderAnyHeuristic) {
+  const ListHeuristic h = GetParam();
+  apps::RandomAppConfig cfg;
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    Rng rng(seed);
+    const Application app = apps::random_application(rng, cfg);
+    const PowerModel pm(LevelTable::intel_xscale());
+    Overheads ovh;
+    OfflineOptions o;
+    o.cpus = 2;
+    o.overhead_budget = ovh.worst_case_budget(pm.table());
+    o.heuristic = h;
+    const SimTime w = canonical_worst_makespan(app, 2, o.overhead_budget, h);
+    o.deadline = w;  // zero static slack: tightest case
+    const OfflineResult off = analyze_offline(app, o);
+    ASSERT_TRUE(off.feasible());
+
+    Rng srng(seed * 31);
+    for (int run = 0; run < 5; ++run) {
+      const RunScenario sc = draw_scenario(app.graph, srng);
+      for (Scheme s : {Scheme::GSS, Scheme::AS}) {
+        const SimResult r = simulate(app, off, pm, ovh, s, sc);
+        ASSERT_TRUE(r.deadline_met)
+            << to_string(s) << " under " << to_string(h);
+        const VerifyReport rep = verify_trace(app, off, sc, r);
+        ASSERT_TRUE(rep.ok)
+            << (rep.violations.empty() ? "?" : rep.violations[0]);
+      }
+    }
+  }
+}
+
+TEST_P(HeuristicEndToEnd, AtrWorstCaseMeetsDeadline) {
+  const ListHeuristic h = GetParam();
+  const Application app = apps::build_atr();
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 4;
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  o.heuristic = h;
+  o.deadline = canonical_worst_makespan(app, 4, o.overhead_budget, h);
+  const OfflineResult off = analyze_offline(app, o);
+  ASSERT_TRUE(off.feasible());
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  EXPECT_TRUE(r.deadline_met);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeuristics, HeuristicEndToEnd,
+                         ::testing::Values(ListHeuristic::LongestTaskFirst,
+                                           ListHeuristic::ShortestTaskFirst,
+                                           ListHeuristic::InsertionOrder),
+                         [](const ::testing::TestParamInfo<ListHeuristic>& i) {
+                           return to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace paserta

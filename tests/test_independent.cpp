@@ -1,0 +1,193 @@
+// Tests for the independent-task slack-sharing module (the paper's [20]
+// predecessor algorithm).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/independent.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+
+IndependentTaskSet three_tasks() {
+  return IndependentTaskSet{{{"X", ms(8), ms(4)},
+                             {"Y", ms(4), ms(2)},
+                             {"Z", ms(4), ms(2)}}};
+}
+
+Overheads no_overheads() {
+  Overheads o;
+  o.speed_compute_cycles = 0;
+  o.speed_change_time = SimTime::zero();
+  return o;
+}
+
+std::vector<SimTime> wcet_actuals(const IndependentTaskSet& s) {
+  std::vector<SimTime> a;
+  for (const auto& t : s.tasks) a.push_back(t.wcet);
+  return a;
+}
+
+TEST(IndependentCanonical, LtfAssignment) {
+  const auto c = canonical_independent(three_tasks(), 2);
+  // X(8) -> cpu0; Y(4) -> cpu1; Z(4) -> cpu1 after Y.
+  EXPECT_EQ(c.order, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(c.cpu[0], 0);
+  EXPECT_EQ(c.cpu[1], 1);
+  EXPECT_EQ(c.cpu[2], 1);
+  EXPECT_EQ(c.start[2], ms(4));
+  EXPECT_EQ(c.makespan, ms(8));
+}
+
+TEST(IndependentCanonical, SingleCpuSerial) {
+  const auto c = canonical_independent(three_tasks(), 1);
+  EXPECT_EQ(c.makespan, ms(16));
+}
+
+TEST(IndependentCanonical, Validation) {
+  EXPECT_THROW(canonical_independent(IndependentTaskSet{}, 2), Error);
+  EXPECT_THROW(canonical_independent(three_tasks(), 0), Error);
+}
+
+TEST(Independent, NpmExactEnergy) {
+  const auto set = three_tasks();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const auto r =
+      simulate_independent(set, 2, ms(16), pm, no_overheads(),
+                           IndependentScheme::NPM, wcet_actuals(set));
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.finish_time, ms(8));
+  EXPECT_NEAR(r.busy_energy, pm.max_power() * 0.016, 1e-12);
+  EXPECT_EQ(r.speed_changes, 0u);
+}
+
+TEST(Independent, SpmStretchesToDeadline) {
+  const auto set = three_tasks();
+  const PowerModel pm(LevelTable::intel_xscale());
+  // makespan 8ms, D = 16ms -> 500 MHz -> 600 level; X takes 13.33ms.
+  const auto r =
+      simulate_independent(set, 2, ms(16), pm, no_overheads(),
+                           IndependentScheme::SPM, wcet_actuals(set));
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.finish_time, scale_time(ms(8), 1000, 600));
+  EXPECT_LT(r.total_energy(),
+            pm.max_power() * 0.016 + pm.idle_power() * 0.016);
+}
+
+TEST(Independent, ShareMovesWorkToEarlyFinisher) {
+  // X finishes almost immediately; with sharing, cpu0 takes Z early and
+  // the whole set finishes sooner / cheaper than without sharing.
+  const auto set = three_tasks();
+  const PowerModel pm(LevelTable::intel_xscale());
+  const Overheads ovh = no_overheads();
+  std::vector<SimTime> actual{ms(1), ms(4), ms(4)};  // X short
+
+  const auto share = simulate_independent(set, 2, ms(16), pm, ovh,
+                                          IndependentScheme::GreedyShare,
+                                          actual);
+  const auto noshare = simulate_independent(set, 2, ms(16), pm, ovh,
+                                            IndependentScheme::GreedyNoShare,
+                                            actual);
+  EXPECT_TRUE(share.deadline_met);
+  EXPECT_TRUE(noshare.deadline_met);
+  EXPECT_LE(share.total_energy(), noshare.total_energy() * (1.0 + 1e-9));
+}
+
+TEST(Independent, SharingNeverWorseOnAverage) {
+  Rng rng(404);
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  double share_sum = 0.0, noshare_sum = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto set =
+        random_independent_set(rng, 12, ms(1), ms(10), 0.3, 0.9);
+    const auto canon = canonical_independent(set, 3);
+    const SimTime d{canon.makespan.ps * 2};
+    const auto actual = draw_independent_actuals(set, rng);
+    share_sum += simulate_independent(set, 3, d, pm, ovh,
+                                      IndependentScheme::GreedyShare, actual)
+                     .total_energy();
+    noshare_sum +=
+        simulate_independent(set, 3, d, pm, ovh,
+                             IndependentScheme::GreedyNoShare, actual)
+            .total_energy();
+  }
+  EXPECT_LT(share_sum, noshare_sum);
+}
+
+TEST(Independent, DeadlinePropertyAcrossSeeds) {
+  // Theorem-1 analogue for the independent algorithm: worst case and random
+  // actuals always meet the deadline when the canonical schedule fits.
+  const PowerModel pm(LevelTable::intel_xscale());
+  Overheads ovh;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 3 + rng.next_below(20);
+    const auto set = random_independent_set(rng, n, ms(1), ms(8), 0.2, 1.0);
+    for (int cpus : {1, 2, 4}) {
+      // Inflated canonical makespan bound: W + n * budget covers it.
+      const auto canon = canonical_independent(set, cpus);
+      const SimTime budget = ovh.worst_case_budget(pm.table());
+      const SimTime d =
+          canon.makespan + budget * static_cast<std::int64_t>(n) + ms(1);
+      for (auto scheme :
+           {IndependentScheme::NPM, IndependentScheme::SPM,
+            IndependentScheme::GreedyNoShare, IndependentScheme::GreedyShare}) {
+        const auto worst = simulate_independent(set, cpus, d, pm, ovh, scheme,
+                                                wcet_actuals(set));
+        ASSERT_TRUE(worst.deadline_met)
+            << to_string(scheme) << " seed " << seed << " cpus " << cpus;
+        const auto rand_actual = draw_independent_actuals(set, rng);
+        const auto r =
+            simulate_independent(set, cpus, d, pm, ovh, scheme, rand_actual);
+        ASSERT_TRUE(r.deadline_met)
+            << to_string(scheme) << " seed " << seed << " cpus " << cpus;
+      }
+    }
+  }
+}
+
+TEST(Independent, DynamicBeatsNpm) {
+  Rng rng(7);
+  const auto set = random_independent_set(rng, 16, ms(1), ms(10), 0.4, 0.8);
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  const auto canon = canonical_independent(set, 2);
+  const SimTime d{canon.makespan.ps * 2};
+  const auto actual = draw_independent_actuals(set, rng);
+  const auto npm = simulate_independent(set, 2, d, pm, ovh,
+                                        IndependentScheme::NPM, actual);
+  const auto gss = simulate_independent(set, 2, d, pm, ovh,
+                                        IndependentScheme::GreedyShare, actual);
+  EXPECT_LT(gss.total_energy(), npm.total_energy());
+}
+
+TEST(Independent, ActualsSizeChecked) {
+  const auto set = three_tasks();
+  const PowerModel pm(LevelTable::intel_xscale());
+  EXPECT_THROW(simulate_independent(set, 2, ms(16), pm, Overheads{},
+                                    IndependentScheme::NPM, {}),
+               Error);
+}
+
+TEST(Independent, RandomSetRespectsRanges) {
+  Rng rng(3);
+  const auto set = random_independent_set(rng, 50, ms(2), ms(4), 0.5, 0.7);
+  ASSERT_EQ(set.tasks.size(), 50u);
+  for (const auto& t : set.tasks) {
+    EXPECT_GE(t.wcet, ms(2));
+    EXPECT_LE(t.wcet, ms(4));
+    EXPECT_GT(t.acet, SimTime::zero());
+    EXPECT_LE(t.acet, t.wcet);
+  }
+  EXPECT_GT(set.total_wcet(), set.total_acet());
+}
+
+TEST(Independent, SchemeNames) {
+  EXPECT_STREQ(to_string(IndependentScheme::GreedyShare), "GSS");
+  EXPECT_STREQ(to_string(IndependentScheme::GreedyNoShare), "GREEDY");
+}
+
+}  // namespace
+}  // namespace paserta

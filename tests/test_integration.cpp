@@ -1,0 +1,193 @@
+// Integration tests: offline + online end-to-end on the paper's workloads,
+// all schemes, both processor models, with trace verification and
+// qualitative shape checks against the paper's findings.
+#include <gtest/gtest.h>
+
+#include "apps/atr.h"
+#include "apps/synthetic.h"
+#include "core/offline.h"
+#include "harness/experiment.h"
+#include "sim/engine.h"
+#include "sim/verify.h"
+
+namespace paserta {
+namespace {
+
+struct EnvCtx {
+  Application app;
+  PowerModel pm;
+  Overheads ovh;
+  OfflineResult off;
+};
+
+EnvCtx make_env(Application app, const LevelTable& table, int cpus,
+                 double load) {
+  Overheads ovh;  // paper defaults: 300 cycles, 5 us
+  const SimTime w =
+      canonical_worst_makespan(app, cpus, ovh.worst_case_budget(table));
+  OfflineOptions o;
+  o.cpus = cpus;
+  o.deadline = SimTime{static_cast<std::int64_t>(
+      static_cast<double>(w.ps) / load + 1)};
+  o.overhead_budget = ovh.worst_case_budget(table);
+  OfflineResult off = analyze_offline(app, o);
+  return EnvCtx{std::move(app), PowerModel(table), ovh, std::move(off)};
+}
+
+const Scheme kAllSchemes[] = {Scheme::NPM, Scheme::SPM, Scheme::GSS,
+                              Scheme::SS1, Scheme::SS2, Scheme::AS};
+
+TEST(Integration, AtrAllSchemesAllModelsMeetDeadlines) {
+  for (const LevelTable& table :
+       {LevelTable::transmeta_tm5400(), LevelTable::intel_xscale()}) {
+    for (int cpus : {2, 4}) {
+      EnvCtx s = make_env(apps::build_atr(), table, cpus, 0.6);
+      ASSERT_TRUE(s.off.feasible());
+      Rng rng(404);
+      for (int run = 0; run < 10; ++run) {
+        const RunScenario sc = draw_scenario(s.app.graph, rng);
+        for (Scheme scheme : kAllSchemes) {
+          const SimResult r =
+              simulate(s.app, s.off, s.pm, s.ovh, scheme, sc);
+          EXPECT_TRUE(r.deadline_met)
+              << to_string(scheme) << " missed on " << table.name();
+          const VerifyReport rep = verify_trace(s.app, s.off, sc, r);
+          EXPECT_TRUE(rep.ok)
+              << to_string(scheme) << ": "
+              << (rep.violations.empty() ? "" : rep.violations[0]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Integration, SyntheticWorstCaseEveryPath) {
+  // Worst-case actuals down every combination of the two main branches:
+  // the deadline must hold on all of them.
+  EnvCtx s = make_env(apps::build_synthetic(), LevelTable::intel_xscale(), 2,
+                       0.9);
+  ASSERT_TRUE(s.off.feasible());
+  std::vector<NodeId> forks;
+  for (NodeId id : s.app.graph.all_nodes())
+    if (s.app.graph.node(id).is_or_fork()) forks.push_back(id);
+
+  for (std::uint32_t mask = 0; mask < (1u << forks.size()); ++mask) {
+    std::vector<int> choices(s.app.graph.size(), -1);
+    for (std::size_t f = 0; f < forks.size(); ++f) {
+      const std::size_t n_alts =
+          s.app.graph.node(forks[f]).succs.size();
+      choices[forks[f].value] =
+          static_cast<int>(((mask >> f) & 1u) % n_alts);
+    }
+    const RunScenario sc = worst_case_scenario(s.app.graph, &choices);
+    for (Scheme scheme : kAllSchemes) {
+      const SimResult r = simulate(s.app, s.off, s.pm, s.ovh, scheme, sc);
+      EXPECT_TRUE(r.deadline_met)
+          << to_string(scheme) << " missed with mask " << mask;
+    }
+  }
+}
+
+TEST(Integration, EnergyOrderingHoldsOnAverage) {
+  // On many random scenarios: every managed scheme <= NPM, and GSS saves
+  // real energy at moderate load.
+  EnvCtx s = make_env(apps::build_synthetic(), LevelTable::transmeta_tm5400(),
+                       2, 0.5);
+  Rng rng(7);
+  RunningStat gss_norm, spm_norm;
+  for (int run = 0; run < 50; ++run) {
+    const RunScenario sc = draw_scenario(s.app.graph, rng);
+    const SimResult npm = simulate(s.app, s.off, s.pm, s.ovh, Scheme::NPM, sc);
+    for (Scheme scheme : {Scheme::SPM, Scheme::GSS, Scheme::SS1, Scheme::SS2,
+                          Scheme::AS}) {
+      const SimResult r = simulate(s.app, s.off, s.pm, s.ovh, scheme, sc);
+      const double norm = r.total_energy() / npm.total_energy();
+      EXPECT_LE(norm, 1.0 + 1e-9) << to_string(scheme);
+      if (scheme == Scheme::GSS) gss_norm.add(norm);
+      if (scheme == Scheme::SPM) spm_norm.add(norm);
+    }
+  }
+  EXPECT_LT(gss_norm.mean(), 0.8);
+  // Dynamic reclamation beats static management when there is dynamic
+  // slack (alpha < 1 workload).
+  EXPECT_LT(gss_norm.mean(), spm_norm.mean());
+}
+
+TEST(Integration, SpeculationReducesSpeedChanges) {
+  // The whole point of the speculative schemes (§4): fewer voltage
+  // transitions than greedy.
+  EnvCtx s = make_env(apps::build_atr(), LevelTable::transmeta_tm5400(), 2,
+                       0.5);
+  Rng rng(99);
+  RunningStat gss_sw, ss1_sw, as_sw;
+  for (int run = 0; run < 50; ++run) {
+    const RunScenario sc = draw_scenario(s.app.graph, rng);
+    gss_sw.add(static_cast<double>(
+        simulate(s.app, s.off, s.pm, s.ovh, Scheme::GSS, sc).speed_changes));
+    ss1_sw.add(static_cast<double>(
+        simulate(s.app, s.off, s.pm, s.ovh, Scheme::SS1, sc).speed_changes));
+    as_sw.add(static_cast<double>(
+        simulate(s.app, s.off, s.pm, s.ovh, Scheme::AS, sc).speed_changes));
+  }
+  EXPECT_LT(ss1_sw.mean(), gss_sw.mean());
+  EXPECT_LE(as_sw.mean(), gss_sw.mean());
+}
+
+TEST(Integration, TightLoadForcesFullSpeed) {
+  // At load ~1 every scheme degenerates to near-NPM energy (no slack).
+  EnvCtx s = make_env(apps::build_synthetic(), LevelTable::intel_xscale(), 2,
+                       0.999);
+  const RunScenario sc = worst_case_scenario(s.app.graph);
+  const SimResult npm = simulate(s.app, s.off, s.pm, s.ovh, Scheme::NPM, sc);
+  const SimResult gss = simulate(s.app, s.off, s.pm, s.ovh, Scheme::GSS, sc);
+  EXPECT_TRUE(gss.deadline_met);
+  EXPECT_NEAR(gss.total_energy() / npm.total_energy(), 1.0, 0.15);
+}
+
+TEST(Integration, MinimumSpeedBoundsGreedy)
+{
+  // With a generous deadline, GSS on XScale cannot drop below 150 MHz;
+  // the idle-energy effect keeps normalized energy well above zero.
+  EnvCtx s = make_env(apps::build_synthetic(), LevelTable::intel_xscale(), 2,
+                       0.1);
+  Rng rng(3);
+  const RunScenario sc = draw_scenario(s.app.graph, rng);
+  const SimResult r = simulate(s.app, s.off, s.pm, s.ovh, Scheme::GSS, sc);
+  EXPECT_TRUE(r.deadline_met);
+  for (const TaskRecord& rec : r.trace) {
+    if (s.app.graph.node(rec.node).is_dummy()) continue;
+    EXPECT_GE(s.pm.table().level(rec.level).freq, 150 * kMHz);
+  }
+}
+
+TEST(Integration, CollapsedLoopVariantAlsoWorks) {
+  apps::SyntheticConfig cfg;
+  cfg.loop_mode = LoopMode::Collapse;
+  EnvCtx s = make_env(apps::build_synthetic(cfg),
+                       LevelTable::transmeta_tm5400(), 2, 0.7);
+  ASSERT_TRUE(s.off.feasible());
+  Rng rng(12);
+  for (int run = 0; run < 10; ++run) {
+    const RunScenario sc = draw_scenario(s.app.graph, rng);
+    for (Scheme scheme : kAllSchemes) {
+      const SimResult r = simulate(s.app, s.off, s.pm, s.ovh, scheme, sc);
+      EXPECT_TRUE(r.deadline_met) << to_string(scheme);
+    }
+  }
+}
+
+TEST(Integration, SixProcessorAtr) {
+  EnvCtx s = make_env(apps::build_atr(), LevelTable::intel_xscale(), 6, 0.5);
+  ASSERT_TRUE(s.off.feasible());
+  Rng rng(2);
+  for (int run = 0; run < 10; ++run) {
+    const RunScenario sc = draw_scenario(s.app.graph, rng);
+    const SimResult r = simulate(s.app, s.off, s.pm, s.ovh, Scheme::GSS, sc);
+    EXPECT_TRUE(r.deadline_met);
+    const VerifyReport rep = verify_trace(s.app, s.off, sc, r);
+    EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+  }
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,101 @@
+// Tests for the JSON export of sweep results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/synthetic.h"
+#include "harness/json.h"
+
+namespace paserta {
+namespace {
+
+std::vector<SweepPoint> tiny_sweep() {
+  ExperimentConfig cfg;
+  cfg.cpus = 2;
+  cfg.table = LevelTable::intel_xscale();
+  cfg.runs = 3;
+  cfg.seed = 7;
+  cfg.schemes = {Scheme::GSS, Scheme::AS};
+  return sweep_load(apps::build_synthetic(), cfg, {0.5, 0.8});
+}
+
+TEST(Json, DocumentStructure) {
+  const auto points = tiny_sweep();
+  JsonExportOptions opt;
+  opt.experiment_id = "figT";
+  opt.caption = "test \"sweep\"";
+  opt.x_name = "load";
+  const std::string j = sweep_to_json(points, opt);
+
+  EXPECT_NE(j.find("\"experiment\":\"figT\""), std::string::npos);
+  EXPECT_NE(j.find("\\\"sweep\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(j.find("\"x_name\":\"load\""), std::string::npos);
+  EXPECT_NE(j.find("\"GSS\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"AS\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"norm_energy\""), std::string::npos);
+  EXPECT_NE(j.find("\"deadline_misses\":0"), std::string::npos);
+  // The per-point x key '"load":' appears exactly once per point (the
+  // x_name declaration carries "load" as a value, not as a key).
+  std::size_t count = 0, pos = 0;
+  while ((pos = j.find("\"load\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Json, BalancedBracesAndBrackets) {
+  const auto points = tiny_sweep();
+  JsonExportOptions opt;
+  opt.experiment_id = "x";
+  const std::string j = sweep_to_json(points, opt);
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    const char c = j[i];
+    if (c == '"' && (i == 0 || j[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Json, EscapesControlCharacters) {
+  JsonExportOptions opt;
+  opt.experiment_id = "tab\there";
+  opt.caption = "line\nbreak";
+  const std::string j = sweep_to_json({}, opt);
+  EXPECT_NE(j.find("tab\\there"), std::string::npos);
+  EXPECT_NE(j.find("line\\nbreak"), std::string::npos);
+  EXPECT_EQ(j.find('\n'), std::string::npos);
+  EXPECT_EQ(j.find('\t'), std::string::npos);
+}
+
+TEST(Json, EmptySweepIsValid) {
+  JsonExportOptions opt;
+  opt.experiment_id = "empty";
+  const std::string j = sweep_to_json({}, opt);
+  EXPECT_NE(j.find("\"points\":[]"), std::string::npos);
+}
+
+TEST(Json, BreakdownFractionsPresentAndSane) {
+  const auto points = tiny_sweep();
+  for (const auto& p : points) {
+    for (const auto& st : p.stats) {
+      const double total = st.busy_frac.mean() + st.overhead_frac.mean() +
+                           st.idle_frac.mean();
+      EXPECT_NEAR(total, 1.0, 1e-9) << to_string(st.scheme);
+      EXPECT_GE(st.idle_frac.mean(), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,117 @@
+// Tests for the layered (TGFF-style) task-graph generator.
+#include <gtest/gtest.h>
+
+#include "apps/layered.h"
+#include "common/error.h"
+#include "core/offline.h"
+#include "graph/metrics.h"
+#include "sim/engine.h"
+
+namespace paserta {
+namespace {
+
+using apps::LayeredConfig;
+
+TEST(Layered, SectionStructure) {
+  LayeredConfig cfg;
+  cfg.layers = 5;
+  cfg.min_width = 3;
+  cfg.max_width = 3;  // fixed width for determinism of counts
+  Rng rng(1);
+  const SectionSpec sec = apps::layered_section(rng, cfg);
+  EXPECT_EQ(sec.tasks.size(), 15u);
+  // Every non-entry task has at least one predecessor.
+  std::vector<int> indeg(sec.tasks.size(), 0);
+  for (const auto& [from, to] : sec.edges) {
+    ++indeg[to];
+    // Edges only go forward between adjacent layers: layer(to) =
+    // layer(from) + 1 given fixed width 3.
+    EXPECT_EQ(to / 3, from / 3 + 1);
+  }
+  for (std::size_t i = 3; i < sec.tasks.size(); ++i)
+    EXPECT_GE(indeg[i], 1) << "task " << i << " disconnected";
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(indeg[i], 0);
+}
+
+TEST(Layered, BuildsValidApplication) {
+  LayeredConfig cfg;
+  Rng rng(7);
+  const Application app = apps::layered_application(rng, cfg, 3, 0.3);
+  EXPECT_NO_THROW(app.graph.validate());
+  EXPECT_EQ(app.or_fork_count(), 2u);  // one branch per stage after the first
+}
+
+TEST(Layered, NoShortcutMeansNoForks) {
+  LayeredConfig cfg;
+  Rng rng(7);
+  const Application app = apps::layered_application(rng, cfg, 3, 0.0);
+  EXPECT_EQ(app.or_fork_count(), 0u);
+}
+
+TEST(Layered, WideGraphsExposeParallelism) {
+  LayeredConfig cfg;
+  cfg.layers = 3;
+  cfg.min_width = 6;
+  cfg.max_width = 6;
+  cfg.fan_prob = 0.2;
+  Rng rng(3);
+  const Application app = apps::layered_application(rng, cfg, 1, 0.0);
+  const GraphMetrics m = compute_metrics(app);
+  EXPECT_GT(m.parallelism, 2.0);
+  // More processors genuinely shorten the canonical schedule.
+  const SimTime w1 = canonical_worst_makespan(app, 1, SimTime::zero());
+  const SimTime w4 = canonical_worst_makespan(app, 4, SimTime::zero());
+  EXPECT_LT(w4 * 2, w1);
+}
+
+TEST(Layered, DeterministicForSeed) {
+  LayeredConfig cfg;
+  Rng r1(11), r2(11);
+  const Application a = apps::layered_application(r1, cfg, 2);
+  const Application b = apps::layered_application(r2, cfg, 2);
+  ASSERT_EQ(a.graph.size(), b.graph.size());
+  for (NodeId id : a.graph.all_nodes()) {
+    EXPECT_EQ(a.graph.node(id).wcet, b.graph.node(id).wcet);
+    EXPECT_EQ(a.graph.node(id).succs, b.graph.node(id).succs);
+  }
+}
+
+TEST(Layered, SchedulesCleanlyUnderAllSchemes) {
+  LayeredConfig cfg;
+  Rng rng(23);
+  const Application app = apps::layered_application(rng, cfg, 4, 0.25);
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 4;
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  o.deadline = canonical_worst_makespan(app, 4, o.overhead_budget);
+  const OfflineResult off = analyze_offline(app, o);
+  ASSERT_TRUE(off.feasible());
+  Rng srng(5);
+  for (int run = 0; run < 5; ++run) {
+    const RunScenario sc = draw_scenario(app.graph, srng);
+    for (Scheme s : {Scheme::NPM, Scheme::SPM, Scheme::GSS, Scheme::SS1,
+                     Scheme::SS2, Scheme::AS}) {
+      EXPECT_TRUE(simulate(app, off, pm, ovh, s, sc).deadline_met)
+          << to_string(s);
+    }
+  }
+}
+
+TEST(Layered, ConfigValidation) {
+  Rng rng(1);
+  LayeredConfig cfg;
+  cfg.layers = 0;
+  EXPECT_THROW(apps::layered_section(rng, cfg), Error);
+  cfg = LayeredConfig{};
+  cfg.min_width = 4;
+  cfg.max_width = 2;
+  EXPECT_THROW(apps::layered_section(rng, cfg), Error);
+  cfg = LayeredConfig{};
+  EXPECT_THROW(apps::layered_program(rng, cfg, 0), Error);
+  EXPECT_THROW(apps::layered_program(rng, cfg, 2, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace paserta

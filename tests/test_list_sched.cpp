@@ -1,0 +1,180 @@
+// Unit tests for the LTF list scheduler that produces canonical schedules.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/list_sched.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+
+std::function<SimTime(NodeId)> wcet_of(const AndOrGraph& g) {
+  return [&g](NodeId id) {
+    return g.node(id).is_dummy() ? SimTime::zero() : g.node(id).wcet;
+  };
+}
+
+TEST(ListSched, SingleTask) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(5), ms(3));
+  const std::vector<NodeId> members{a};
+  const auto s = ltf_schedule(g, members, 2, wcet_of(g));
+  EXPECT_EQ(s.makespan, ms(5));
+  EXPECT_EQ(s.item(a).start, SimTime::zero());
+  EXPECT_EQ(s.item(a).cpu, 0);
+  EXPECT_EQ(s.dispatch_order, members);
+}
+
+TEST(ListSched, LongestTaskFirstOrdering) {
+  // Three independent tasks on one CPU: dispatched longest-first.
+  AndOrGraph g;
+  const NodeId s1 = g.add_task("short", ms(1), ms(1));
+  const NodeId s2 = g.add_task("long", ms(9), ms(1));
+  const NodeId s3 = g.add_task("mid", ms(5), ms(1));
+  const std::vector<NodeId> members{s1, s2, s3};
+  const auto s = ltf_schedule(g, members, 1, wcet_of(g));
+  EXPECT_EQ(s.dispatch_order, (std::vector<NodeId>{s2, s3, s1}));
+  EXPECT_EQ(s.makespan, ms(15));
+}
+
+TEST(ListSched, TwoProcessorsBalanceLoad) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(4), ms(1));
+  const NodeId b = g.add_task("b", ms(3), ms(1));
+  const NodeId c = g.add_task("c", ms(3), ms(1));
+  const std::vector<NodeId> members{a, b, c};
+  const auto s = ltf_schedule(g, members, 2, wcet_of(g));
+  // a on cpu0 [0,4]; b on cpu1 [0,3]; c follows b [3,6].
+  EXPECT_EQ(s.item(a).cpu, 0);
+  EXPECT_EQ(s.item(b).cpu, 1);
+  EXPECT_EQ(s.item(c).start, ms(3));
+  EXPECT_EQ(s.makespan, ms(6));
+}
+
+TEST(ListSched, RespectsPrecedence) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(2), ms(1));
+  const NodeId b = g.add_task("b", ms(3), ms(1));
+  g.add_edge(a, b);
+  const std::vector<NodeId> members{a, b};
+  const auto s = ltf_schedule(g, members, 4, wcet_of(g));
+  EXPECT_EQ(s.item(b).start, ms(2));
+  EXPECT_EQ(s.makespan, ms(5));
+}
+
+TEST(ListSched, PaperFigure1aStructure) {
+  // A(8) -> {B(5), C(4)} on 2 CPUs: A [0,8], then B and C in parallel.
+  AndOrGraph g;
+  const NodeId a = g.add_task("A", ms(8), ms(5));
+  const NodeId b = g.add_task("B", ms(5), ms(3));
+  const NodeId c = g.add_task("C", ms(4), ms(2));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  const std::vector<NodeId> members{a, b, c};
+  const auto s = ltf_schedule(g, members, 2, wcet_of(g));
+  EXPECT_EQ(s.makespan, ms(13));
+  EXPECT_EQ(s.item(b).start, ms(8));
+  EXPECT_EQ(s.item(c).start, ms(8));
+  // LTF: B (longer) dispatched before C.
+  EXPECT_EQ(s.dispatch_order, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(ListSched, DummiesBorrowButDoNotOccupyCpus) {
+  // task(4) -> AND -> {x(2), y(2)} on 2 CPUs: the AND fires at 4, x and y
+  // run in parallel immediately after.
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(4), ms(1));
+  const NodeId d = g.add_and("sync");
+  const NodeId x = g.add_task("x", ms(2), ms(1));
+  const NodeId y = g.add_task("y", ms(2), ms(1));
+  g.add_edge(a, d);
+  g.add_edge(d, x);
+  g.add_edge(d, y);
+  const std::vector<NodeId> members{a, d, x, y};
+  const auto s = ltf_schedule(g, members, 2, wcet_of(g));
+  EXPECT_EQ(s.item(d).cpu, -1);
+  EXPECT_EQ(s.item(d).start, ms(4));
+  EXPECT_EQ(s.item(x).start, ms(4));
+  EXPECT_EQ(s.item(y).start, ms(4));
+  EXPECT_EQ(s.makespan, ms(6));
+}
+
+TEST(ListSched, ReadinessBeatsLength) {
+  // The queue is FIFO by readiness time; a longer task that becomes ready
+  // later does not overtake an earlier short one.
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(2), ms(1));
+  const NodeId s1 = g.add_task("short_early", ms(1), ms(1));
+  const NodeId l1 = g.add_task("long_late", ms(9), ms(1));
+  g.add_edge(a, l1);  // l1 ready at 2; short_early ready at 0
+  const std::vector<NodeId> members{a, s1, l1};
+  const auto s = ltf_schedule(g, members, 1, wcet_of(g));
+  EXPECT_EQ(s.dispatch_order, (std::vector<NodeId>{a, s1, l1}));
+}
+
+TEST(ListSched, DeterministicTieBreakById) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(3), ms(1));
+  const NodeId b = g.add_task("b", ms(3), ms(1));
+  const std::vector<NodeId> members{b, a};  // insertion order irrelevant
+  const auto s1 = ltf_schedule(g, members, 1, wcet_of(g));
+  const auto s2 = ltf_schedule(g, members, 1, wcet_of(g));
+  EXPECT_EQ(s1.dispatch_order, s2.dispatch_order);
+  EXPECT_EQ(s1.dispatch_order.front(), a);  // lower id wins the tie
+}
+
+TEST(ListSched, MorePocessorsNeverWorse) {
+  AndOrGraph g;
+  std::vector<NodeId> members;
+  for (int i = 0; i < 12; ++i)
+    members.push_back(g.add_task("t" + std::to_string(i), ms(1 + i % 4),
+                                 ms(1)));
+  SimTime prev = SimTime::max();
+  for (int cpus : {1, 2, 3, 4, 8}) {
+    const auto s = ltf_schedule(g, members, cpus, wcet_of(g));
+    EXPECT_LE(s.makespan, prev);
+    prev = s.makespan;
+  }
+}
+
+TEST(ListSched, CustomDurationCallback) {
+  // The caller can schedule with ACETs (average canonical schedule).
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(8), ms(2));
+  const std::vector<NodeId> members{a};
+  const auto s = ltf_schedule(g, members, 1, [&](NodeId id) {
+    return g.node(id).acet;
+  });
+  EXPECT_EQ(s.makespan, ms(2));
+}
+
+TEST(ListSched, RejectsBadInput) {
+  AndOrGraph g;
+  const NodeId a = g.add_task("a", ms(1), ms(1));
+  const std::vector<NodeId> members{a};
+  EXPECT_THROW(ltf_schedule(g, members, 0, wcet_of(g)), Error);
+  EXPECT_THROW(ltf_schedule(g, std::vector<NodeId>{}, 1, wcet_of(g)), Error);
+}
+
+TEST(ListSched, MakespanLowerBoundedByCriticalPathAndWork) {
+  AndOrGraph g;
+  std::vector<NodeId> members;
+  // Chain of 3 x 2ms plus 4 independent 3ms tasks on 2 CPUs.
+  NodeId prev = g.add_task("c0", ms(2), ms(1));
+  members.push_back(prev);
+  for (int i = 1; i < 3; ++i) {
+    const NodeId n = g.add_task("c" + std::to_string(i), ms(2), ms(1));
+    g.add_edge(prev, n);
+    members.push_back(n);
+    prev = n;
+  }
+  for (int i = 0; i < 4; ++i)
+    members.push_back(g.add_task("p" + std::to_string(i), ms(3), ms(1)));
+  const auto s = ltf_schedule(g, members, 2, wcet_of(g));
+  EXPECT_GE(s.makespan, ms(6));  // critical path
+  EXPECT_GE(s.makespan, ms(9));  // total work 18ms / 2 cpus
+}
+
+}  // namespace
+}  // namespace paserta

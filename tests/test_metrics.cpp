@@ -1,0 +1,185 @@
+// Tests for graph metrics and the shipped workload library.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <fstream>
+
+#include "apps/atr.h"
+#include "apps/random_app.h"
+#include "apps/synthetic.h"
+#include "core/offline.h"
+#include "graph/metrics.h"
+#include "graph/text_format.h"
+#include "sim/engine.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+TaskSpec t(const char* n, double w, double a) {
+  return TaskSpec{n, ms(w), ms(a)};
+}
+
+TEST(Metrics, ChainIsSerial) {
+  Program p;
+  p.chain({t("a", 4, 2), t("b", 6, 3)});
+  const auto m = compute_metrics(build_application("c", p));
+  EXPECT_EQ(m.tasks, 2u);
+  EXPECT_EQ(m.critical_path, ms(10));
+  EXPECT_EQ(m.max_work, ms(10));
+  EXPECT_EQ(m.expected_work, ms(5));
+  EXPECT_DOUBLE_EQ(m.path_count, 1.0);
+  EXPECT_DOUBLE_EQ(m.parallelism, 1.0);
+}
+
+TEST(Metrics, ParallelSectionWidth) {
+  Program p;
+  p.parallel({t("a", 4, 2), t("b", 4, 2), t("c", 4, 2), t("d", 4, 2)});
+  const auto m = compute_metrics(build_application("p", p));
+  EXPECT_EQ(m.critical_path, ms(4));
+  EXPECT_EQ(m.max_work, ms(16));
+  EXPECT_DOUBLE_EQ(m.parallelism, 4.0);
+}
+
+TEST(Metrics, BranchPathsAndExpectation) {
+  Program x, y;
+  x.task("x", ms(4), ms(2));
+  y.task("y", ms(8), ms(6));
+  Program p;
+  p.task("pre", ms(2), ms(1));
+  p.branch("o", {{0.25, std::move(x)}, {0.75, std::move(y)}});
+  const auto m = compute_metrics(build_application("b", p));
+  EXPECT_DOUBLE_EQ(m.path_count, 2.0);
+  EXPECT_EQ(m.or_forks, 1u);
+  EXPECT_EQ(m.critical_path, ms(10));  // pre + y
+  EXPECT_EQ(m.max_work, ms(10));
+  // expected = 1 + 0.25*2 + 0.75*6 = 6.
+  EXPECT_EQ(m.expected_work, ms(6));
+}
+
+TEST(Metrics, SequentialBranchesMultiplyPaths) {
+  auto two_way = [] {
+    Program a, b;
+    a.task("a", ms(1), ms(1));
+    b.task("b", ms(2), ms(1));
+    return std::pair{std::move(a), std::move(b)};
+  };
+  Program p;
+  auto [a1, b1] = two_way();
+  p.branch("o1", {{0.5, std::move(a1)}, {0.5, std::move(b1)}});
+  auto [a2, b2] = two_way();
+  p.branch("o2", {{0.5, std::move(a2)}, {0.5, std::move(b2)}});
+  const auto m = compute_metrics(build_application("seq", p));
+  EXPECT_DOUBLE_EQ(m.path_count, 4.0);
+}
+
+TEST(Metrics, LoopUnrollCountsIterationPaths) {
+  Program body;
+  body.task("b", ms(1), ms(1));
+  Program p;
+  p.loop("L", std::move(body), {0.25, 0.25, 0.5});
+  const auto m = compute_metrics(build_application("l", p));
+  // 3 possible iteration counts -> 3 paths.
+  EXPECT_DOUBLE_EQ(m.path_count, 3.0);
+  EXPECT_EQ(m.critical_path, ms(3));
+}
+
+TEST(Metrics, SyntheticConsistentWithOffline) {
+  const Application app = apps::build_synthetic();
+  const auto m = compute_metrics(app);
+  // On unbounded processors, the canonical makespan equals the critical
+  // path.
+  OfflineOptions o;
+  o.cpus = 64;
+  o.deadline = SimTime::from_sec(1);
+  const OfflineResult off = analyze_offline(app, o);
+  EXPECT_EQ(m.critical_path, off.worst_makespan());
+  // On one processor, it equals the max-path work.
+  o.cpus = 1;
+  EXPECT_EQ(m.max_work, analyze_offline(app, o).worst_makespan());
+  EXPECT_GE(m.parallelism, 1.0);
+}
+
+TEST(Metrics, RandomAppsSane) {
+  apps::RandomAppConfig cfg;
+  for (std::uint64_t seed = 50; seed < 70; ++seed) {
+    Rng rng(seed);
+    const Application app = apps::random_application(rng, cfg);
+    const auto m = compute_metrics(app);
+    EXPECT_EQ(m.nodes, app.graph.size());
+    EXPECT_GE(m.path_count, 1.0);
+    EXPECT_GE(m.parallelism, 1.0 - 1e-12);
+    EXPECT_LE(m.critical_path, m.max_work);
+    EXPECT_LE(m.expected_work, m.max_work);
+    EXPECT_GT(m.critical_path, SimTime::zero());
+  }
+}
+
+// ------------------------------------------------------- workload library
+
+std::vector<std::filesystem::path> workload_files() {
+  std::vector<std::filesystem::path> out;
+#ifdef PASERTA_SOURCE_DIR
+  const std::filesystem::path dir =
+      std::filesystem::path(PASERTA_SOURCE_DIR) / "examples" / "workloads";
+#else
+  const std::filesystem::path dir = "examples/workloads";
+#endif
+  if (!std::filesystem::exists(dir)) return out;  // run from repo root
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".workload") out.push_back(e.path());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(WorkloadLibrary, AllFilesLoadValidateAndSchedule) {
+  const auto files = workload_files();
+  if (files.empty()) GTEST_SKIP() << "run from the repository root";
+  EXPECT_GE(files.size(), 3u);
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const Application app = load_application(in);
+    EXPECT_NO_THROW(app.graph.validate());
+    EXPECT_GE(app.graph.task_count(), 3u);
+
+    // Every shipped workload must run deadline-clean under every scheme.
+    const PowerModel pm(LevelTable::intel_xscale());
+    Overheads ovh;
+    OfflineOptions o;
+    o.cpus = 2;
+    o.overhead_budget = ovh.worst_case_budget(pm.table());
+    o.deadline = canonical_worst_makespan(app, 2, o.overhead_budget);
+    const OfflineResult off = analyze_offline(app, o);
+    ASSERT_TRUE(off.feasible());
+    Rng rng(1);
+    const RunScenario sc = draw_scenario(app.graph, rng);
+    for (Scheme s : {Scheme::NPM, Scheme::SPM, Scheme::GSS, Scheme::SS1,
+                     Scheme::SS2, Scheme::AS}) {
+      EXPECT_TRUE(simulate(app, off, pm, ovh, s, sc).deadline_met)
+          << to_string(s);
+    }
+  }
+}
+
+TEST(WorkloadLibrary, MetricsDifferentiateWorkloads) {
+  const auto files = workload_files();
+  if (files.empty()) GTEST_SKIP() << "run from the repository root";
+  // The shipped workloads span distinct structure classes: at least two
+  // distinct path counts and parallelism above 1 somewhere.
+  std::set<double> paths;
+  double max_par = 0.0;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    const auto m = compute_metrics(load_application(in));
+    paths.insert(m.path_count);
+    max_par = std::max(max_par, m.parallelism);
+  }
+  EXPECT_GE(paths.size(), 2u);
+  EXPECT_GT(max_par, 1.0);
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,99 @@
+// Tests for the MPEG-style decoder workload.
+#include <gtest/gtest.h>
+
+#include "apps/mpeg.h"
+#include "common/error.h"
+#include "core/offline.h"
+#include "graph/metrics.h"
+#include "sim/engine.h"
+
+namespace paserta {
+namespace {
+
+using apps::MpegConfig;
+
+TEST(Mpeg, DefaultBuildValidates) {
+  const Application app = apps::build_mpeg();
+  EXPECT_NO_THROW(app.graph.validate());
+  EXPECT_EQ(app.or_fork_count(), 1u);
+  // parse + deblock + 3 alternatives x (4 slices + 0/1/2 mc tasks).
+  EXPECT_EQ(app.graph.task_count(), 2u + (4 + 0) + (4 + 1) + (4 + 2));
+}
+
+TEST(Mpeg, FrameTypeProbabilities) {
+  MpegConfig cfg;
+  cfg.p_i = 0.2;
+  cfg.p_p = 0.3;
+  cfg.p_b = 0.5;
+  const Application app = apps::build_mpeg(cfg);
+  for (NodeId id : app.graph.all_nodes()) {
+    const Node& n = app.graph.node(id);
+    if (!n.is_or_fork()) continue;
+    ASSERT_EQ(n.succ_prob.size(), 3u);
+    EXPECT_DOUBLE_EQ(n.succ_prob[0], 0.2);
+    EXPECT_DOUBLE_EQ(n.succ_prob[1], 0.3);
+    EXPECT_DOUBLE_EQ(n.succ_prob[2], 0.5);
+  }
+}
+
+TEST(Mpeg, BFramesCostMoreDespiteSmallerSlices) {
+  // B path: 4x3ms parallel + 2x3ms serial MC; I path: 4x6ms parallel.
+  // On 4 CPUs the critical paths are 3+6=9ms (B) vs 6ms (I).
+  const Application app = apps::build_mpeg();
+  const GraphMetrics m = compute_metrics(app);
+  EXPECT_GT(m.parallelism, 1.5);
+  EXPECT_DOUBLE_EQ(m.path_count, 3.0);
+}
+
+TEST(Mpeg, WorstCasePathIsP) {
+  // Total work: I = 24ms, P = 16+3 = 19ms, B = 12+6 = 18ms -> I wins on
+  // work; canonical W on 1 cpu = parse + 24 + deblock.
+  const Application app = apps::build_mpeg();
+  const SimTime w1 = canonical_worst_makespan(app, 1, SimTime::zero());
+  EXPECT_EQ(w1, SimTime::from_ms(1 + 24 + 4));
+}
+
+TEST(Mpeg, SlicesScaleParallelism) {
+  MpegConfig narrow, wide;
+  narrow.slices = 1;
+  wide.slices = 8;
+  const auto mn = compute_metrics(apps::build_mpeg(narrow));
+  const auto mw = compute_metrics(apps::build_mpeg(wide));
+  EXPECT_GT(mw.parallelism, mn.parallelism);
+}
+
+TEST(Mpeg, RunsCleanUnderAllSchemes) {
+  const Application app = apps::build_mpeg();
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 4;
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  o.deadline = canonical_worst_makespan(app, 4, o.overhead_budget);
+  const OfflineResult off = analyze_offline(app, o);
+  ASSERT_TRUE(off.feasible());
+  Rng rng(44);
+  for (int run = 0; run < 8; ++run) {
+    const RunScenario sc = draw_scenario(app.graph, rng);
+    for (Scheme s : {Scheme::NPM, Scheme::SPM, Scheme::GSS, Scheme::SS1,
+                     Scheme::SS2, Scheme::AS}) {
+      EXPECT_TRUE(simulate(app, off, pm, ovh, s, sc).deadline_met)
+          << to_string(s);
+    }
+  }
+}
+
+TEST(Mpeg, ConfigValidation) {
+  MpegConfig cfg;
+  cfg.p_i = 0.5;  // sums to 1.4
+  EXPECT_THROW(apps::build_mpeg(cfg), Error);
+  cfg = MpegConfig{};
+  cfg.slices = 0;
+  EXPECT_THROW(apps::build_mpeg(cfg), Error);
+  cfg = MpegConfig{};
+  cfg.alpha = 1.5;
+  EXPECT_THROW(apps::build_mpeg(cfg), Error);
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,268 @@
+// Unit tests for the speed-selection policies: SPM level choice, the
+// speculation formulas of SS1/SS2 and adaptive re-speculation (AS).
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+
+/// pre(10/ACET) -> branch(0.5: x(4/2), 0.5: y(8/6)) -> post(2/1); ACETs
+/// chosen so A is easy to compute.
+Application sample_app(double pre_acet_ms = 5) {
+  Program x, y;
+  x.task("x", ms(4), ms(2));
+  y.task("y", ms(8), ms(6));
+  Program p;
+  p.task("pre", ms(10), ms(pre_acet_ms));
+  p.branch("o", {{0.5, std::move(x)}, {0.5, std::move(y)}});
+  p.task("post", ms(2), ms(1));
+  return build_application("sample", p);
+}
+
+OfflineResult analyze(const Application& app, SimTime deadline, int cpus = 2) {
+  OfflineOptions o;
+  o.cpus = cpus;
+  o.deadline = deadline;
+  return analyze_offline(app, o);
+}
+
+TEST(RequiredFreq, ExactAndCeil) {
+  // 10ms of work in 20ms at f_max 1 GHz -> 500 MHz.
+  EXPECT_EQ(required_freq(kGHz, ms(10), ms(20)), 500 * kMHz);
+  // Non-divisible: rounds up.
+  EXPECT_EQ(required_freq(900 * kMHz, ms(10), ms(30)), 300 * kMHz);
+  EXPECT_EQ(required_freq(kGHz, ms(10), ms(30)), 333'333'334u);
+}
+
+TEST(RequiredFreq, Clamps) {
+  EXPECT_EQ(required_freq(kGHz, ms(10), ms(5)), kGHz);          // too tight
+  EXPECT_EQ(required_freq(kGHz, ms(10), SimTime::zero()), kGHz);
+  EXPECT_EQ(required_freq(kGHz, ms(10), ms(-3)), kGHz);
+  EXPECT_EQ(required_freq(kGHz, SimTime::zero(), ms(5)), 0u);   // no work
+}
+
+TEST(Scheme, Names) {
+  EXPECT_STREQ(to_string(Scheme::NPM), "NPM");
+  EXPECT_STREQ(to_string(Scheme::GSS), "GSS");
+  EXPECT_STREQ(to_string(Scheme::AS), "AS");
+  EXPECT_STREQ(make_policy(Scheme::SS2)->name(), "SS2");
+}
+
+TEST(Npm, AlwaysTopLevel) {
+  const Application app = sample_app();
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::NPM);
+  p->reset(off, pm);
+  EXPECT_EQ(p->kind(), SpeedPolicy::Kind::Static);
+  EXPECT_EQ(p->static_level(), pm.table().size() - 1);
+}
+
+TEST(Spm, StretchesWToDeadline) {
+  const Application app = sample_app();
+  // W = 10 + 8 + 2 = 20ms.
+  const OfflineResult off = analyze(app, ms(40));
+  ASSERT_EQ(off.worst_makespan(), ms(20));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::SPM);
+  p->reset(off, pm);
+  // f = 1GHz * 20/40 = 500 MHz -> rounds up to the 600 MHz level.
+  EXPECT_EQ(pm.table().level(p->static_level()).freq, 600 * kMHz);
+}
+
+TEST(Spm, HighLoadDegeneratesToFmax) {
+  const Application app = sample_app();
+  const OfflineResult off = analyze(app, ms(22));  // load ~0.91
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::SPM);
+  p->reset(off, pm);
+  // 1GHz * 20/22 = 909 MHz: no level between 800 and 1000 -> f_max,
+  // the paper's Figure-6b observation (SPM == NPM).
+  EXPECT_EQ(pm.table().level(p->static_level()).freq, 1000 * kMHz);
+}
+
+TEST(Spm, MinSpeedClampAtLowLoad) {
+  const Application app = sample_app();
+  const OfflineResult off = analyze(app, ms(400));  // load 0.05
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::SPM);
+  p->reset(off, pm);
+  // Desired 50 MHz is below f_min -> clamp to the 150 MHz level.
+  EXPECT_EQ(pm.table().level(p->static_level()).freq, 150 * kMHz);
+}
+
+TEST(Gss, IsPureGreedy) {
+  auto p = make_policy(Scheme::GSS);
+  const Application app = sample_app();
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+  p->reset(off, pm);
+  EXPECT_EQ(p->kind(), SpeedPolicy::Kind::Dynamic);
+  EXPECT_EQ(p->floor_freq(SimTime::zero()), 0u);
+  EXPECT_EQ(p->floor_freq(ms(100)), 0u);
+}
+
+TEST(Ss1, FloorFromAverageMakespan) {
+  const Application app = sample_app(5);
+  // A = 5 + (0.5*2 + 0.5*6) + 1 = 10ms.
+  const OfflineResult off = analyze(app, ms(40));
+  ASSERT_EQ(off.average_makespan(), ms(10));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::SS1);
+  p->reset(off, pm);
+  // f_spec = 1GHz * 10/40 = 250 MHz -> rounds up to 400 MHz; constant.
+  EXPECT_EQ(p->floor_freq(SimTime::zero()), 400 * kMHz);
+  EXPECT_EQ(p->floor_freq(ms(39)), 400 * kMHz);
+}
+
+TEST(Ss2, TwoSpeedsAroundSpeculation) {
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::SS2);
+  p->reset(off, pm);
+  // f_spec = 250 MHz between levels 150 and 400:
+  // theta = D * (400-250)/(400-150) = 40ms * 0.6 = 24ms.
+  EXPECT_EQ(p->floor_freq(SimTime::zero()), 150 * kMHz);
+  EXPECT_EQ(p->floor_freq(ms(23.999)), 150 * kMHz);
+  EXPECT_EQ(p->floor_freq(ms(24)), 400 * kMHz);
+  EXPECT_EQ(p->floor_freq(ms(39)), 400 * kMHz);
+}
+
+TEST(Ss2, DegeneratesToSingleSpeedOnExactLevel) {
+  const Application app = sample_app(5);
+  // A = 10ms, D = 25ms -> f_spec = 400 MHz exactly (a level).
+  const OfflineResult off = analyze(app, ms(25));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::SS2);
+  p->reset(off, pm);
+  EXPECT_EQ(p->floor_freq(SimTime::zero()), 400 * kMHz);
+  EXPECT_EQ(p->floor_freq(ms(24)), 400 * kMHz);
+}
+
+TEST(Ss2, BelowMinSpeedUsesMinLevel) {
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(400));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::SS2);
+  p->reset(off, pm);
+  EXPECT_EQ(p->floor_freq(SimTime::zero()), 150 * kMHz);
+  EXPECT_EQ(p->floor_freq(ms(399)), 150 * kMHz);
+}
+
+TEST(As, StartsLikeSs1AndAdaptsAtForks) {
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::AS);
+  p->reset(off, pm);
+  EXPECT_EQ(p->floor_freq(SimTime::zero()), 400 * kMHz);
+
+  // Find the fork and fire it at t = 30ms with the short alternative:
+  // remaining = 2 + 1 = 3ms (alt x ACET + post ACET) in 10ms
+  //   -> 300 MHz -> 400 MHz level.
+  const StructSegment& br = app.structure.segments[1];
+  p->on_or_fired(br.fork, 0, ms(30), off, pm);
+  EXPECT_EQ(p->floor_freq(ms(30)), 400 * kMHz);
+
+  // Long alternative at t = 30ms: remaining = 6 + 1 = 7ms in 10ms
+  //   -> 700 MHz -> 800 MHz level.
+  p->on_or_fired(br.fork, 1, ms(30), off, pm);
+  EXPECT_EQ(p->floor_freq(ms(30)), 800 * kMHz);
+
+  // Join fired at t = 38ms: remaining = post ACET 1ms in 2ms -> 500 MHz
+  //   -> 600 MHz level.
+  p->on_or_fired(br.join, -1, ms(38), off, pm);
+  EXPECT_EQ(p->floor_freq(ms(38)), 600 * kMHz);
+}
+
+TEST(As, ExhaustedHorizonFloorsAtFmax) {
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+  auto p = make_policy(Scheme::AS);
+  p->reset(off, pm);
+  const StructSegment& br = app.structure.segments[1];
+  p->on_or_fired(br.fork, 1, ms(40), off, pm);  // zero time left
+  EXPECT_EQ(p->floor_freq(ms(40)), 1000 * kMHz);
+}
+
+TEST(SpecRounding, DownPicksLowerLevel) {
+  const Application app = sample_app(5);
+  // f_spec = 1GHz * 10/40 = 250 MHz, strictly between 150 and 400.
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+
+  PolicyOptions down;
+  down.spec_rounding = PolicyOptions::SpecRounding::Down;
+  auto ss1 = make_policy(Scheme::SS1, down);
+  ss1->reset(off, pm);
+  EXPECT_EQ(ss1->floor_freq(SimTime::zero()), 150 * kMHz);
+
+  auto as = make_policy(Scheme::AS, down);
+  as->reset(off, pm);
+  EXPECT_EQ(as->floor_freq(SimTime::zero()), 150 * kMHz);
+
+  // Rounding up (the default) picks the higher bracket.
+  auto ss1_up = make_policy(Scheme::SS1);
+  ss1_up->reset(off, pm);
+  EXPECT_EQ(ss1_up->floor_freq(SimTime::zero()), 400 * kMHz);
+}
+
+TEST(SpecRounding, ExactLevelUnaffected) {
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(25));  // f_spec = 400 MHz exact
+  const PowerModel pm(LevelTable::intel_xscale());
+  for (auto r : {PolicyOptions::SpecRounding::Up,
+                 PolicyOptions::SpecRounding::Down}) {
+    PolicyOptions o;
+    o.spec_rounding = r;
+    auto p = make_policy(Scheme::SS1, o);
+    p->reset(off, pm);
+    EXPECT_EQ(p->floor_freq(SimTime::zero()), 400 * kMHz);
+  }
+}
+
+TEST(SpecRounding, Ss2BracketingUnchanged) {
+  // SS2 already uses both bracketing levels; rounding mode only affects
+  // its degenerate single-speed case.
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+  PolicyOptions down;
+  down.spec_rounding = PolicyOptions::SpecRounding::Down;
+  auto p = make_policy(Scheme::SS2, down);
+  p->reset(off, pm);
+  EXPECT_EQ(p->floor_freq(SimTime::zero()), 150 * kMHz);   // before theta
+  EXPECT_EQ(p->floor_freq(ms(39)), 400 * kMHz);            // after theta
+}
+
+TEST(QuantizeDown, Clamps) {
+  const LevelTable t = LevelTable::intel_xscale();
+  EXPECT_EQ(t.level(t.quantize_down(500 * kMHz)).freq, 400 * kMHz);
+  EXPECT_EQ(t.level(t.quantize_down(400 * kMHz)).freq, 400 * kMHz);
+  EXPECT_EQ(t.level(t.quantize_down(100 * kMHz)).freq, 150 * kMHz);  // clamp
+  EXPECT_EQ(t.level(t.quantize_down(5000 * kMHz)).freq, 1000 * kMHz);
+}
+
+TEST(Policy, FloorsAreAlwaysTableFrequencies) {
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(37));  // awkward ratio
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  for (Scheme s : {Scheme::SS1, Scheme::SS2, Scheme::AS}) {
+    auto p = make_policy(s);
+    p->reset(off, pm);
+    const Freq f = p->floor_freq(SimTime::zero());
+    bool found = false;
+    for (const Level& l : pm.table().levels())
+      if (l.freq == f) found = true;
+    EXPECT_TRUE(found) << to_string(s) << " floor " << f
+                       << " is not a table level";
+  }
+}
+
+}  // namespace
+}  // namespace paserta

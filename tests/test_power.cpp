@@ -1,0 +1,145 @@
+// Unit tests for DVS level tables and the power/energy model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "power/power_model.h"
+
+namespace paserta {
+namespace {
+
+TEST(LevelTable, TransmetaShape) {
+  const LevelTable t = LevelTable::transmeta_tm5400();
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.f_min(), 200 * kMHz);
+  EXPECT_EQ(t.f_max(), 700 * kMHz);
+  EXPECT_DOUBLE_EQ(t.min_level().volts, 1.10);
+  EXPECT_DOUBLE_EQ(t.max_level().volts, 1.65);
+  // ~33 MHz steps.
+  const Freq step = t.level(1).freq - t.level(0).freq;
+  EXPECT_NEAR(static_cast<double>(step), 500e6 / 15.0, 1e6);
+}
+
+TEST(LevelTable, XScaleShape) {
+  const LevelTable t = LevelTable::intel_xscale();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.f_min(), 150 * kMHz);
+  EXPECT_EQ(t.f_max(), 1000 * kMHz);
+  EXPECT_DOUBLE_EQ(t.level(1).volts, 1.0);
+  EXPECT_EQ(t.level(2).freq, 600 * kMHz);
+}
+
+TEST(LevelTable, QuantizeUpPicksNextLevel) {
+  const LevelTable t = LevelTable::intel_xscale();
+  EXPECT_EQ(t.level(t.quantize_up(500 * kMHz)).freq, 600 * kMHz);
+  EXPECT_EQ(t.level(t.quantize_up(600 * kMHz)).freq, 600 * kMHz);
+  EXPECT_EQ(t.level(t.quantize_up(601 * kMHz)).freq, 800 * kMHz);
+}
+
+TEST(LevelTable, QuantizeUpClampsAtExtremes) {
+  const LevelTable t = LevelTable::intel_xscale();
+  // Below the minimum speed: run at f_min (the paper's key constraint).
+  EXPECT_EQ(t.quantize_up(1), 0u);
+  EXPECT_EQ(t.level(t.quantize_up(10 * kMHz)).freq, 150 * kMHz);
+  // Above the maximum: clamp to f_max.
+  EXPECT_EQ(t.level(t.quantize_up(2000 * kMHz)).freq, 1000 * kMHz);
+}
+
+TEST(LevelTable, IndexOf) {
+  const LevelTable t = LevelTable::intel_xscale();
+  EXPECT_EQ(t.index_of(800 * kMHz), 3u);
+  EXPECT_THROW(t.index_of(123 * kMHz), Error);
+}
+
+TEST(LevelTable, SyntheticConstruction) {
+  const LevelTable t =
+      LevelTable::synthetic("s", 5, 100 * kMHz, 500 * kMHz, 1.0, 2.0);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.level(0).freq, 100 * kMHz);
+  EXPECT_EQ(t.level(4).freq, 500 * kMHz);
+  EXPECT_DOUBLE_EQ(t.level(2).volts, 1.5);
+}
+
+TEST(LevelTable, SingleLevelSynthetic) {
+  const LevelTable t =
+      LevelTable::synthetic("one", 1, 100 * kMHz, 500 * kMHz, 1.0, 2.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.f_max(), 500 * kMHz);
+}
+
+TEST(LevelTable, RejectsUnsortedAndEmpty) {
+  EXPECT_THROW(LevelTable("bad", {}), Error);
+  EXPECT_THROW(LevelTable("bad", {{200 * kMHz, 1.2}, {100 * kMHz, 1.0}}),
+               Error);
+  EXPECT_THROW(LevelTable("bad", {{100 * kMHz, 1.2}, {200 * kMHz, 1.0}}),
+               Error);  // voltage decreasing with frequency
+}
+
+// ------------------------------------------------------------- PowerModel
+
+TEST(PowerModel, CubicPowerLaw) {
+  // P = Cef * V^2 * f.
+  const PowerModel pm(LevelTable::intel_xscale(), 1e-9, 0.05);
+  EXPECT_NEAR(pm.power(pm.table().index_of(1000 * kMHz)),
+              1e-9 * 1.8 * 1.8 * 1e9, 1e-12);
+  EXPECT_NEAR(pm.max_power(), 3.24, 1e-9);
+  EXPECT_NEAR(pm.idle_power(), 0.05 * 3.24, 1e-9);
+}
+
+TEST(PowerModel, HalfSpeedQuartersEnergyWithIdealVoltage) {
+  // The paper's motivating example (§2.3): half speed with proportional
+  // voltage -> quarter of the energy for the same work, double the time.
+  const LevelTable t =
+      LevelTable::synthetic("lin", 2, 500 * kMHz, 1000 * kMHz, 0.9, 1.8);
+  const PowerModel pm(t, 1e-9, 0.0);
+  const SimTime work = SimTime::from_ms(10);  // at f_max
+  const Energy e_full = pm.busy_energy(1, work);
+  const Energy e_half = pm.busy_energy(0, scale_time(work, 1000, 500));
+  EXPECT_NEAR(e_half / e_full, 0.25, 1e-9);
+}
+
+TEST(PowerModel, BusyEnergyLinearInTime) {
+  const PowerModel pm(LevelTable::intel_xscale());
+  const Energy e1 = pm.busy_energy(2, SimTime::from_ms(1));
+  const Energy e2 = pm.busy_energy(2, SimTime::from_ms(2));
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-15);
+}
+
+TEST(PowerModel, TransitionEnergyUsesHigherLevel) {
+  const PowerModel pm(LevelTable::intel_xscale());
+  const SimTime t = SimTime::from_us(5);
+  const Energy up = pm.transition_energy(0, 4, t);
+  const Energy down = pm.transition_energy(4, 0, t);
+  EXPECT_DOUBLE_EQ(up, down);
+  EXPECT_NEAR(up, pm.max_power() * t.sec(), 1e-15);
+}
+
+TEST(PowerModel, RejectsBadParameters) {
+  EXPECT_THROW(PowerModel(LevelTable::intel_xscale(), -1.0, 0.05), Error);
+  EXPECT_THROW(PowerModel(LevelTable::intel_xscale(), 1e-9, 1.5), Error);
+}
+
+// -------------------------------------------------------------- Overheads
+
+TEST(Overheads, WorstCaseBudget) {
+  Overheads ovh;
+  ovh.speed_compute_cycles = 300;
+  ovh.speed_change_time = SimTime::from_us(5);
+  // Budget = 300 cycles at f_min (slowest possible) + switch time.
+  const LevelTable t = LevelTable::intel_xscale();
+  const SimTime budget = ovh.worst_case_budget(t);
+  EXPECT_EQ(budget, cycles_to_time(300, 150 * kMHz) + SimTime::from_us(5));
+  EXPECT_EQ(budget, SimTime::from_us(7));  // 2 us + 5 us
+}
+
+TEST(Overheads, ZeroOverheadsZeroBudget) {
+  Overheads ovh;
+  ovh.speed_compute_cycles = 0;
+  ovh.speed_change_time = SimTime::zero();
+  EXPECT_EQ(ovh.worst_case_budget(LevelTable::intel_xscale()),
+            SimTime::zero());
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,132 @@
+// Tests for the power-vs-time reconstruction. The load-bearing property:
+// integrating the reconstructed curve reproduces the engine's energy
+// ledger exactly, for every scheme — an independent audit of the
+// accounting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/atr.h"
+#include "apps/synthetic.h"
+#include "core/offline.h"
+#include "sim/power_trace.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+
+struct Env {
+  Application app;
+  PowerModel pm;
+  Overheads ovh;
+  OfflineResult off;
+};
+
+Env make_env(Application app, const LevelTable& table, int cpus, double load) {
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = cpus;
+  o.overhead_budget = ovh.worst_case_budget(table);
+  const SimTime w = canonical_worst_makespan(app, cpus, o.overhead_budget);
+  o.deadline = SimTime{static_cast<std::int64_t>(
+      static_cast<double>(w.ps) / load + 1)};
+  OfflineResult off = analyze_offline(app, o);
+  return Env{std::move(app), PowerModel(table), ovh, std::move(off)};
+}
+
+TEST(PowerTrace, IntegralMatchesLedgerAllSchemes) {
+  Env e = make_env(apps::build_synthetic(), LevelTable::intel_xscale(), 2,
+                   0.6);
+  Rng rng(5);
+  for (int run = 0; run < 5; ++run) {
+    const RunScenario sc = draw_scenario(e.app.graph, rng);
+    for (Scheme s : {Scheme::NPM, Scheme::SPM, Scheme::GSS, Scheme::SS1,
+                     Scheme::SS2, Scheme::AS}) {
+      const SimResult r = simulate(e.app, e.off, e.pm, e.ovh, s, sc);
+      const PowerTrace pt =
+          build_power_trace(e.app, e.off, e.pm, e.ovh, r);
+      EXPECT_NEAR(pt.total_energy(), r.total_energy(),
+                  1e-9 * std::max(1.0, r.total_energy()))
+          << to_string(s);
+    }
+  }
+}
+
+TEST(PowerTrace, IntegralMatchesLedgerTransmeta6Cpu) {
+  Env e = make_env(apps::build_atr(), LevelTable::transmeta_tm5400(), 6, 0.4);
+  Rng rng(9);
+  const RunScenario sc = draw_scenario(e.app.graph, rng);
+  const SimResult r = simulate(e.app, e.off, e.pm, e.ovh, Scheme::GSS, sc);
+  const PowerTrace pt = build_power_trace(e.app, e.off, e.pm, e.ovh, r);
+  EXPECT_NEAR(pt.total_energy(), r.total_energy(), 1e-9);
+}
+
+TEST(PowerTrace, SegmentsAreContiguousAndCoverWindow) {
+  Env e = make_env(apps::build_synthetic(), LevelTable::intel_xscale(), 2,
+                   0.5);
+  Rng rng(1);
+  const RunScenario sc = draw_scenario(e.app.graph, rng);
+  const SimResult r = simulate(e.app, e.off, e.pm, e.ovh, Scheme::AS, sc);
+  const PowerTrace pt = build_power_trace(e.app, e.off, e.pm, e.ovh, r);
+  ASSERT_FALSE(pt.segments.empty());
+  EXPECT_EQ(pt.segments.front().begin, SimTime::zero());
+  EXPECT_EQ(pt.segments.back().end, e.off.deadline());
+  for (std::size_t i = 1; i < pt.segments.size(); ++i) {
+    EXPECT_EQ(pt.segments[i].begin, pt.segments[i - 1].end);
+    // Neighbours merged: power actually changes at boundaries.
+    EXPECT_NE(pt.segments[i].watts, pt.segments[i - 1].watts);
+  }
+}
+
+TEST(PowerTrace, AllIdleRunIsFlat) {
+  // NPM with a huge deadline: after the work finishes the curve drops to
+  // m * idle power and stays there.
+  Program p;
+  p.task("T", ms(2), ms(1));
+  Application app = build_application("flat", p);
+  Env e = make_env(std::move(app), LevelTable::intel_xscale(), 2, 0.05);
+  const RunScenario sc = worst_case_scenario(e.app.graph);
+  const SimResult r = simulate(e.app, e.off, e.pm, e.ovh, Scheme::NPM, sc);
+  const PowerTrace pt = build_power_trace(e.app, e.off, e.pm, e.ovh, r);
+  // Final segment: both cpus idle.
+  EXPECT_NEAR(pt.segments.back().watts, 2 * e.pm.idle_power(), 1e-12);
+  // Peak: one cpu at max power + one idle.
+  EXPECT_NEAR(pt.peak_watts(), e.pm.max_power() + e.pm.idle_power(), 1e-12);
+}
+
+TEST(PowerTrace, EnergyBetweenClips) {
+  Env e = make_env(apps::build_synthetic(), LevelTable::intel_xscale(), 2,
+                   0.5);
+  Rng rng(2);
+  const RunScenario sc = draw_scenario(e.app.graph, rng);
+  const SimResult r = simulate(e.app, e.off, e.pm, e.ovh, Scheme::GSS, sc);
+  const PowerTrace pt = build_power_trace(e.app, e.off, e.pm, e.ovh, r);
+  const Energy whole = pt.energy_between(SimTime::zero(), e.off.deadline());
+  EXPECT_NEAR(whole, pt.total_energy(), 1e-12);
+  const SimTime mid{e.off.deadline().ps / 2};
+  const Energy left = pt.energy_between(SimTime::zero(), mid);
+  const Energy right = pt.energy_between(mid, e.off.deadline());
+  EXPECT_NEAR(left + right, whole, 1e-12);
+  EXPECT_EQ(pt.energy_between(e.off.deadline(), e.off.deadline() + ms(5)),
+            0.0);
+}
+
+TEST(PowerTrace, CsvOutputShape) {
+  Env e = make_env(apps::build_synthetic(), LevelTable::intel_xscale(), 2,
+                   0.5);
+  Rng rng(3);
+  const RunScenario sc = draw_scenario(e.app.graph, rng);
+  const SimResult r = simulate(e.app, e.off, e.pm, e.ovh, Scheme::GSS, sc);
+  const PowerTrace pt = build_power_trace(e.app, e.off, e.pm, e.ovh, r);
+  std::ostringstream oss;
+  write_power_trace_csv(oss, pt);
+  const std::string s = oss.str();
+  EXPECT_EQ(s.rfind("time_ms,watts\n", 0), 0u);
+  // header + one row per segment + final endpoint.
+  const auto lines = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), pt.segments.size() + 2);
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,265 @@
+// Unit tests for the hierarchical Program builder: flattening, glue
+// insertion, branch structure, loop expansion and collapse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/program.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+TaskSpec t(const char* n, double w, double a) {
+  return TaskSpec{n, ms(w), ms(a)};
+}
+
+std::size_t count_kind(const AndOrGraph& g, NodeKind k) {
+  std::size_t n = 0;
+  for (NodeId id : g.all_nodes())
+    if (g.node(id).kind == k) ++n;
+  return n;
+}
+
+TEST(Program, EmptyProgramRejected) {
+  Program p;
+  EXPECT_THROW(build_application("x", p), Error);
+}
+
+TEST(Program, SingleTask) {
+  Program p;
+  p.task("solo", ms(5), ms(3));
+  const Application app = build_application("one", p);
+  EXPECT_EQ(app.graph.size(), 1u);
+  EXPECT_EQ(app.structure.segments.size(), 1u);
+  EXPECT_EQ(app.structure.segments[0].kind, StructSegment::Kind::Section);
+}
+
+TEST(Program, ChainBuildsSerialEdges) {
+  Program p;
+  p.chain({t("a", 1, 1), t("b", 2, 1), t("c", 3, 1)});
+  const Application app = build_application("chain", p);
+  const NodeId a = *app.graph.find("a");
+  const NodeId b = *app.graph.find("b");
+  const NodeId c = *app.graph.find("c");
+  EXPECT_EQ(app.graph.node(a).succs, (std::vector<NodeId>{b}));
+  EXPECT_EQ(app.graph.node(b).succs, (std::vector<NodeId>{c}));
+}
+
+TEST(Program, ParallelTasksShareNoEdges) {
+  Program p;
+  p.parallel({t("a", 1, 1), t("b", 2, 1)});
+  const Application app = build_application("par", p);
+  EXPECT_TRUE(app.graph.node(*app.graph.find("a")).succs.empty());
+  EXPECT_TRUE(app.graph.node(*app.graph.find("b")).succs.empty());
+}
+
+TEST(Program, SequentialSectionsConnect) {
+  // Two-sink section followed by a two-source section requires a glue AND.
+  Program p;
+  p.parallel({t("a", 1, 1), t("b", 2, 1)});
+  p.parallel({t("c", 1, 1), t("d", 2, 1)});
+  const Application app = build_application("seq", p);
+  EXPECT_EQ(count_kind(app.graph, NodeKind::AndNode), 1u);
+  // The glue belongs to the first section.
+  EXPECT_EQ(app.structure.segments[0].members.size(), 3u);
+  EXPECT_EQ(app.structure.segments[1].members.size(), 2u);
+  app.graph.validate();
+}
+
+TEST(Program, SingleSinkToMultiSourceNeedsNoGlue) {
+  Program p;
+  p.task("head", ms(1), ms(1));
+  p.parallel({t("x", 1, 1), t("y", 1, 1)});
+  const Application app = build_application("fan", p);
+  EXPECT_EQ(count_kind(app.graph, NodeKind::AndNode), 0u);
+  const NodeId head = *app.graph.find("head");
+  EXPECT_EQ(app.graph.node(head).succs.size(), 2u);
+}
+
+TEST(Program, BranchCreatesForkAndJoin) {
+  Program a, b;
+  a.task("fa", ms(8), ms(6));
+  b.task("gb", ms(5), ms(3));
+  Program p;
+  p.task("pre", ms(1), ms(1));
+  p.branch("o", {{0.3, std::move(a)}, {0.7, std::move(b)}});
+  const Application app = build_application("br", p);
+  EXPECT_EQ(count_kind(app.graph, NodeKind::OrNode), 2u);
+  EXPECT_EQ(app.or_fork_count(), 1u);
+
+  const StructSegment& seg = app.structure.segments[1];
+  EXPECT_EQ(seg.kind, StructSegment::Kind::Branch);
+  EXPECT_EQ(seg.alternatives.size(), 2u);
+  EXPECT_DOUBLE_EQ(seg.alt_prob[0], 0.3);
+  EXPECT_DOUBLE_EQ(seg.alt_prob[1], 0.7);
+  const Node& fork = app.graph.node(seg.fork);
+  ASSERT_EQ(fork.succ_prob.size(), 2u);
+  EXPECT_DOUBLE_EQ(fork.succ_prob[0] + fork.succ_prob[1], 1.0);
+}
+
+TEST(Program, BranchProbabilitiesValidated) {
+  Program a;
+  a.task("x", ms(1), ms(1));
+  Program p;
+  EXPECT_THROW(p.branch("bad", {{0.4, a}, {0.4, a}}), Error);
+  EXPECT_THROW(p.branch("bad", {}), Error);
+  EXPECT_THROW(p.branch("bad", {{1.5, a}}), Error);
+}
+
+TEST(Program, EmptyAlternativeBecomesSkipDummy) {
+  Program work;
+  work.task("w", ms(4), ms(2));
+  Program p;
+  p.task("pre", ms(1), ms(1));
+  p.branch("opt", {{0.5, std::move(work)}, {0.5, Program{}}});
+  const Application app = build_application("skip", p);
+  // One AND dummy for the skipped path.
+  EXPECT_EQ(count_kind(app.graph, NodeKind::AndNode), 1u);
+  app.graph.validate();
+}
+
+TEST(Program, MultiEntryAlternativeGetsGlueFork) {
+  Program alt;
+  alt.parallel({t("x", 1, 1), t("y", 1, 1)});
+  Program other;
+  other.task("z", ms(1), ms(1));
+  Program p;
+  p.task("pre", ms(1), ms(1));
+  p.branch("o", {{0.5, std::move(alt)}, {0.5, std::move(other)}});
+  const Application app = build_application("glue", p);
+  // glue AND fork for the two-entry alternative + glue AND join for its
+  // two exits.
+  EXPECT_EQ(count_kind(app.graph, NodeKind::AndNode), 2u);
+  app.graph.validate();
+}
+
+TEST(Program, NestedBranches) {
+  Program inner_a, inner_b;
+  inner_a.task("ia", ms(1), ms(1));
+  inner_b.task("ib", ms(2), ms(1));
+  Program outer_alt;
+  outer_alt.task("oa_pre", ms(1), ms(1));
+  outer_alt.branch("inner", {{0.5, std::move(inner_a)}, {0.5, std::move(inner_b)}});
+  Program other;
+  other.task("ob", ms(3), ms(2));
+  Program p;
+  p.task("pre", ms(1), ms(1));
+  p.branch("outer", {{0.6, std::move(outer_alt)}, {0.4, std::move(other)}});
+  const Application app = build_application("nested", p);
+  EXPECT_EQ(app.or_fork_count(), 2u);
+  app.graph.validate();
+}
+
+// ------------------------------------------------------------------ loops
+
+TEST(Loop, UnrollTwoIterations) {
+  Program body;
+  body.task("body", ms(2), ms(1));
+  Program p;
+  p.loop("L", std::move(body), {0.5, 0.5});
+  const Application app = build_application("loop2", p);
+  // Two body copies (renamed body#1 / body#2) and one OR exit structure.
+  EXPECT_EQ(app.graph.task_count(), 2u);
+  EXPECT_TRUE(app.graph.find("body#1").has_value());
+  EXPECT_TRUE(app.graph.find("body#2").has_value());
+  EXPECT_EQ(app.or_fork_count(), 1u);
+  app.graph.validate();
+}
+
+TEST(Loop, UnrollRespectsConditionalProbabilities) {
+  Program body;
+  body.task("b", ms(1), ms(1));
+  Program p;
+  p.loop("L", std::move(body), {0.25, 0.25, 0.5});
+  const Application app = build_application("loop3", p);
+  EXPECT_EQ(app.graph.task_count(), 3u);
+  // First exit fork: P(stop after 1) = 0.25.
+  // Second: P(stop after 2 | reached 2) = 0.25/0.75 = 1/3.
+  std::vector<double> exit_probs;
+  for (NodeId id : app.graph.all_nodes()) {
+    const Node& n = app.graph.node(id);
+    if (n.is_or_fork()) exit_probs.push_back(n.succ_prob[0]);
+  }
+  ASSERT_EQ(exit_probs.size(), 2u);
+  std::sort(exit_probs.begin(), exit_probs.end());
+  EXPECT_NEAR(exit_probs[0], 0.25, 1e-12);
+  EXPECT_NEAR(exit_probs[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Loop, ZeroProbabilityIterationEmitsNoBranch) {
+  Program body;
+  body.task("b", ms(1), ms(1));
+  Program p;
+  // Cannot stop after iteration 1: exactly one fork (after iteration 2).
+  p.loop("L", std::move(body), {0.0, 0.5, 0.5});
+  const Application app = build_application("loopz", p);
+  EXPECT_EQ(app.graph.task_count(), 3u);
+  EXPECT_EQ(app.or_fork_count(), 1u);
+}
+
+TEST(Loop, SingleIterationIsJustTheBody) {
+  Program body;
+  body.task("b", ms(1), ms(1));
+  Program p;
+  p.loop("L", std::move(body), {1.0});
+  const Application app = build_application("loop1", p);
+  EXPECT_EQ(app.graph.size(), 1u);  // no OR structure at all
+}
+
+TEST(Loop, TrailingZeroProbabilitiesTrimmed) {
+  Program body;
+  body.task("b", ms(1), ms(1));
+  Program p;
+  p.loop("L", std::move(body), {1.0, 0.0, 0.0});
+  const Application app = build_application("looptrim", p);
+  EXPECT_EQ(app.graph.task_count(), 1u);
+}
+
+TEST(Loop, CollapseMakesSingleAggregateTask) {
+  Program body;
+  body.chain({t("x", 2, 1), t("y", 3, 2)});
+  Program p;
+  p.loop("L", std::move(body), {0.5, 0.5}, LoopMode::Collapse);
+  const Application app = build_application("collapse", p);
+  ASSERT_EQ(app.graph.size(), 1u);
+  const Node& n = app.graph.node(NodeId{0});
+  // WCET = 2 iterations x (2+3) ms; ACET = 1.5 iterations x (1+2) ms.
+  EXPECT_EQ(n.wcet, ms(10));
+  EXPECT_EQ(n.acet, ms(4.5));
+}
+
+TEST(Loop, ValidatesDistribution) {
+  Program body;
+  body.task("b", ms(1), ms(1));
+  Program p;
+  EXPECT_THROW(p.loop("L", body, {0.5, 0.4}), Error);   // sums to 0.9
+  EXPECT_THROW(p.loop("L", body, {}), Error);           // empty
+  EXPECT_THROW(p.loop("L", Program{}, {1.0}), Error);   // empty body
+}
+
+TEST(Program, BranchAsFirstSegmentMakesForkRoot) {
+  Program a, b;
+  a.task("x", ms(1), ms(1));
+  b.task("y", ms(1), ms(1));
+  Program p;
+  p.branch("first", {{0.5, std::move(a)}, {0.5, std::move(b)}});
+  const Application app = build_application("rootfork", p);
+  const auto sources = app.graph.sources();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(app.graph.node(sources[0]).kind, NodeKind::OrNode);
+  app.graph.validate();
+}
+
+TEST(Program, CopySemantics) {
+  Program p;
+  p.task("a", ms(1), ms(1));
+  Program q = p;  // deep copy
+  q.task("b", ms(1), ms(1));
+  EXPECT_EQ(p.segment_count(), 1u);
+  EXPECT_EQ(q.segment_count(), 2u);
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,263 @@
+// Property-based tests (parameterized gtest): over random AND/OR
+// applications x schemes x CPU counts x seeds, the invariants of the
+// paper's Theorem 1 and of the energy model must hold universally.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/random_app.h"
+#include "core/offline.h"
+#include "harness/experiment.h"
+#include "sim/engine.h"
+#include "sim/verify.h"
+
+namespace paserta {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t app_seed;
+  int cpus;
+  double load;
+};
+
+class SchedulingProperties
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, double>> {
+ protected:
+  void SetUp() override {
+    const auto [seed, cpus, load] = GetParam();
+    apps::RandomAppConfig cfg;
+    Rng rng(seed);
+    app_ = apps::random_application(rng, cfg, "prop");
+    cpus_ = cpus;
+    const SimTime w = canonical_worst_makespan(
+        app_, cpus_, ovh_.worst_case_budget(pm_.table()));
+    OfflineOptions o;
+    o.cpus = cpus_;
+    o.deadline = SimTime{static_cast<std::int64_t>(
+        static_cast<double>(w.ps) / load + 1)};
+    o.overhead_budget = ovh_.worst_case_budget(pm_.table());
+    off_ = analyze_offline(app_, o);
+    scenario_rng_ = Rng(seed ^ 0xDEADBEEFULL);
+  }
+
+  Application app_;
+  int cpus_ = 2;
+  PowerModel pm_{LevelTable::transmeta_tm5400()};
+  Overheads ovh_;
+  OfflineResult off_;
+  Rng scenario_rng_{0};
+};
+
+constexpr Scheme kDynamicSchemes[] = {Scheme::GSS, Scheme::SS1, Scheme::SS2,
+                                      Scheme::AS};
+
+TEST_P(SchedulingProperties, Theorem1_NoDeadlineMisses) {
+  ASSERT_TRUE(off_.feasible());
+  for (int run = 0; run < 8; ++run) {
+    const RunScenario sc = draw_scenario(app_.graph, scenario_rng_);
+    for (Scheme s : {Scheme::NPM, Scheme::SPM, Scheme::GSS, Scheme::SS1,
+                     Scheme::SS2, Scheme::AS}) {
+      const SimResult r = simulate(app_, off_, pm_, ovh_, s, sc);
+      ASSERT_TRUE(r.deadline_met)
+          << to_string(s) << " missed deadline (finish "
+          << to_string(r.finish_time) << " vs D "
+          << to_string(off_.deadline()) << ")";
+    }
+  }
+}
+
+TEST_P(SchedulingProperties, Theorem1_WorstCaseScenario) {
+  ASSERT_TRUE(off_.feasible());
+  // The adversarial case: every task at WCET, default fork choices.
+  const RunScenario sc = worst_case_scenario(app_.graph);
+  for (Scheme s : kDynamicSchemes) {
+    const SimResult r = simulate(app_, off_, pm_, ovh_, s, sc);
+    ASSERT_TRUE(r.deadline_met) << to_string(s);
+  }
+}
+
+TEST_P(SchedulingProperties, TracesWellFormed) {
+  for (int run = 0; run < 4; ++run) {
+    const RunScenario sc = draw_scenario(app_.graph, scenario_rng_);
+    for (Scheme s : {Scheme::NPM, Scheme::SPM, Scheme::GSS, Scheme::AS}) {
+      const SimResult r = simulate(app_, off_, pm_, ovh_, s, sc);
+      const VerifyReport rep = verify_trace(app_, off_, sc, r);
+      ASSERT_TRUE(rep.ok)
+          << to_string(s) << ": "
+          << (rep.violations.empty() ? "?" : rep.violations[0]);
+    }
+  }
+}
+
+TEST_P(SchedulingProperties, ManagedEnergyNeverExceedsNpm) {
+  for (int run = 0; run < 4; ++run) {
+    const RunScenario sc = draw_scenario(app_.graph, scenario_rng_);
+    const SimResult npm = simulate(app_, off_, pm_, ovh_, Scheme::NPM, sc);
+    for (Scheme s : {Scheme::SPM, Scheme::GSS, Scheme::SS1, Scheme::SS2,
+                     Scheme::AS}) {
+      const SimResult r = simulate(app_, off_, pm_, ovh_, s, sc);
+      ASSERT_LE(r.total_energy(), npm.total_energy() * (1.0 + 1e-9))
+          << to_string(s);
+    }
+  }
+}
+
+TEST_P(SchedulingProperties, DeterministicReplay) {
+  Rng r1(42), r2(42);
+  const RunScenario s1 = draw_scenario(app_.graph, r1);
+  const RunScenario s2 = draw_scenario(app_.graph, r2);
+  const SimResult a = simulate(app_, off_, pm_, ovh_, Scheme::AS, s1);
+  const SimResult b = simulate(app_, off_, pm_, ovh_, Scheme::AS, s2);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.speed_changes, b.speed_changes);
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].node, b.trace[i].node);
+    EXPECT_EQ(a.trace[i].cpu, b.trace[i].cpu);
+    EXPECT_EQ(a.trace[i].finish, b.trace[i].finish);
+  }
+}
+
+TEST_P(SchedulingProperties, SpeculativeTasksNeverRunBelowTheFloor) {
+  // SS1's floor is constant, so every computation node must execute at a
+  // level at least as fast as the floor.
+  auto policy = make_policy(Scheme::SS1);
+  policy->reset(off_, pm_);
+  const Freq floor = policy->floor_freq(SimTime::zero());
+  for (int run = 0; run < 3; ++run) {
+    const RunScenario sc = draw_scenario(app_.graph, scenario_rng_);
+    policy->reset(off_, pm_);
+    const SimResult r = simulate(app_, off_, pm_, ovh_, *policy, sc);
+    for (const TaskRecord& rec : r.trace) {
+      if (app_.graph.node(rec.node).is_dummy()) continue;
+      EXPECT_GE(pm_.table().level(rec.level).freq, floor);
+    }
+  }
+}
+
+using PropertyParam = std::tuple<std::uint64_t, int, double>;
+
+std::string property_case_name(
+    const ::testing::TestParamInfo<PropertyParam>& info) {
+  const auto [seed, cpus, load] = info.param;
+  return "seed" + std::to_string(seed) + "_cpus" + std::to_string(cpus) +
+         "_load" + std::to_string(static_cast<int>(load * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomApps, SchedulingProperties,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull,
+                                         21ull, 34ull),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(0.3, 0.7, 1.0)),
+    property_case_name);
+
+TEST_P(SchedulingProperties, CanonicalExactness) {
+  // With zero overheads, all-WCET actuals and every fork taking its
+  // longest-remaining alternative, the NPM run IS the canonical schedule:
+  // it must finish exactly at W. Ties the online engine to the offline
+  // analysis bit-for-bit.
+  OfflineOptions o;
+  o.cpus = cpus_;
+  o.deadline = off_.deadline();
+  o.overhead_budget = SimTime::zero();
+  const OfflineResult off0 = analyze_offline(app_, o);
+
+  std::vector<int> choices(app_.graph.size(), -1);
+  for (NodeId id : app_.graph.all_nodes()) {
+    if (!app_.graph.node(id).is_or_fork()) continue;
+    const OrForkProfile& prof = off0.fork_profile(id);
+    int best = 0;
+    for (std::size_t a = 1; a < prof.rem_w_alt.size(); ++a)
+      if (prof.rem_w_alt[a] > prof.rem_w_alt[best])
+        best = static_cast<int>(a);
+    choices[id.value] = best;
+  }
+  const RunScenario sc = worst_case_scenario(app_.graph, &choices);
+  Overheads none;
+  none.speed_compute_cycles = 0;
+  none.speed_change_time = SimTime::zero();
+  const SimResult r = simulate(app_, off0, pm_, none, Scheme::NPM, sc);
+  EXPECT_EQ(r.finish_time, off0.worst_makespan());
+}
+
+// ---- Offline-analysis properties over random apps ------------------------
+
+class OfflineProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineProperties, LstOrderingAndFeasibility) {
+  apps::RandomAppConfig cfg;
+  Rng rng(GetParam());
+  const Application app = apps::random_application(rng, cfg);
+  for (int cpus : {1, 2, 4}) {
+    const SimTime w = canonical_worst_makespan(app, cpus, SimTime::zero());
+    OfflineOptions o;
+    o.cpus = cpus;
+    o.deadline = w;  // exactly feasible
+    const OfflineResult off = analyze_offline(app, o);
+    ASSERT_TRUE(off.feasible());
+    for (NodeId id : app.graph.all_nodes()) {
+      // LSTs are within [0, D] and every EET within (0, D].
+      EXPECT_GE(off.lst(id), SimTime::zero());
+      EXPECT_LE(off.eet(id), off.deadline());
+      // Precedence: a node's LST is not before any predecessor's LST
+      // ... unless they sit on exclusive paths (OR-join preds), where the
+      // shifted schedules are per-path; restrict to same-path edges.
+      if (app.graph.node(id).kind != NodeKind::OrNode) {
+        for (NodeId pred : app.graph.node(id).preds) {
+          EXPECT_LE(off.lst(pred), off.lst(id))
+              << app.graph.node(pred).name << " -> "
+              << app.graph.node(id).name;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OfflineProperties, AverageNeverExceedsWorst) {
+  apps::RandomAppConfig cfg;
+  Rng rng(GetParam());
+  const Application app = apps::random_application(rng, cfg);
+  OfflineOptions o;
+  o.cpus = 2;
+  o.deadline = SimTime::from_sec(10);
+  const OfflineResult off = analyze_offline(app, o);
+  EXPECT_LE(off.average_makespan(), off.worst_makespan());
+  EXPECT_GT(off.average_makespan(), SimTime::zero());
+  for (NodeId id : app.graph.all_nodes()) {
+    if (!app.graph.node(id).is_or_fork()) continue;
+    const OrForkProfile& prof = off.fork_profile(id);
+    for (std::size_t a = 0; a < prof.rem_w_alt.size(); ++a)
+      EXPECT_LE(prof.rem_a_alt[a], prof.rem_w_alt[a]);
+  }
+}
+
+TEST_P(OfflineProperties, ExecutionOrdersAreConsistent) {
+  apps::RandomAppConfig cfg;
+  Rng rng(GetParam());
+  const Application app = apps::random_application(rng, cfg);
+  OfflineOptions o;
+  o.cpus = 3;
+  o.deadline = SimTime::from_sec(10);
+  const OfflineResult off = analyze_offline(app, o);
+  // EO values are bounded by max_eo and unique among co-executable nodes:
+  // check uniqueness per fully-sampled scenario.
+  Rng srng(GetParam() * 7 + 1);
+  const RunScenario sc = draw_scenario(app.graph, srng);
+  const auto executed = executed_set(app.graph, sc);
+  std::vector<std::uint32_t> eos;
+  for (NodeId id : app.graph.all_nodes()) {
+    EXPECT_LT(off.eo(id), off.max_eo());
+    if (executed[id.value]) eos.push_back(off.eo(id));
+  }
+  std::sort(eos.begin(), eos.end());
+  EXPECT_TRUE(std::adjacent_find(eos.begin(), eos.end()) == eos.end())
+      << "duplicate EO among co-executable nodes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineProperties,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,164 @@
+// Second property suite: the Theorem-1 and energy invariants across the
+// *platform* dimensions — level table, transition overhead, speculative
+// rounding and loop treatment — complementing test_property.cpp's sweep
+// over application shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/random_app.h"
+#include "apps/synthetic.h"
+#include "core/offline.h"
+#include "harness/experiment.h"
+#include "sim/engine.h"
+#include "sim/verify.h"
+
+namespace paserta {
+namespace {
+
+enum class TableKind { Transmeta, XScale, TwoLevels, Continuous };
+
+LevelTable make_table(TableKind k) {
+  switch (k) {
+    case TableKind::Transmeta: return LevelTable::transmeta_tm5400();
+    case TableKind::XScale: return LevelTable::intel_xscale();
+    case TableKind::TwoLevels:
+      return LevelTable::synthetic("two", 2, 300 * kMHz, 900 * kMHz, 1.0,
+                                   1.8);
+    case TableKind::Continuous:
+      return LevelTable::ideal_continuous(100 * kMHz, 1000 * kMHz, 0.8, 1.8);
+  }
+  return LevelTable::intel_xscale();
+}
+
+const char* table_name(TableKind k) {
+  switch (k) {
+    case TableKind::Transmeta: return "Transmeta";
+    case TableKind::XScale: return "XScale";
+    case TableKind::TwoLevels: return "TwoLevels";
+    case TableKind::Continuous: return "Continuous";
+  }
+  return "?";
+}
+
+using Param = std::tuple<TableKind, int /*overhead_us*/, bool /*round_down*/>;
+
+class PlatformProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto [kind, ovh_us, round_down] = GetParam();
+    pm_.emplace(make_table(kind));
+    ovh_.speed_change_time = SimTime::from_us(static_cast<double>(ovh_us));
+    popt_.spec_rounding = round_down ? PolicyOptions::SpecRounding::Down
+                                     : PolicyOptions::SpecRounding::Up;
+  }
+
+  /// Analyze at the given load and return the offline result.
+  OfflineResult analyze(const Application& app, int cpus, double load) {
+    OfflineOptions o;
+    o.cpus = cpus;
+    o.overhead_budget = ovh_.worst_case_budget(pm_->table());
+    const SimTime w = canonical_worst_makespan(app, cpus, o.overhead_budget);
+    o.deadline = SimTime{static_cast<std::int64_t>(
+        static_cast<double>(w.ps) / load + 1)};
+    return analyze_offline(app, o);
+  }
+
+  std::optional<PowerModel> pm_;
+  Overheads ovh_;
+  PolicyOptions popt_;
+};
+
+TEST_P(PlatformProperties, NoMissesOnSyntheticApp) {
+  const Application app = apps::build_synthetic();
+  for (int cpus : {1, 2, 3}) {
+    for (double load : {0.4, 0.95}) {
+      const OfflineResult off = analyze(app, cpus, load);
+      ASSERT_TRUE(off.feasible());
+      Rng rng(99 + cpus);
+      for (int run = 0; run < 5; ++run) {
+        const RunScenario sc = draw_scenario(app.graph, rng);
+        for (Scheme s : {Scheme::NPM, Scheme::SPM, Scheme::GSS, Scheme::SS1,
+                         Scheme::SS2, Scheme::AS}) {
+          auto policy = make_policy(s, popt_);
+          policy->reset(off, *pm_);
+          const SimResult r = simulate(app, off, *pm_, ovh_, *policy, sc);
+          ASSERT_TRUE(r.deadline_met)
+              << to_string(s) << " cpus " << cpus << " load " << load;
+          const VerifyReport rep = verify_trace(app, off, sc, r);
+          ASSERT_TRUE(rep.ok)
+              << to_string(s) << ": "
+              << (rep.violations.empty() ? "?" : rep.violations[0]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PlatformProperties, WorstCaseAdversary) {
+  const Application app = apps::build_synthetic();
+  const OfflineResult off = analyze(app, 2, 1.0);
+  ASSERT_TRUE(off.feasible());
+  const RunScenario sc = worst_case_scenario(app.graph);
+  for (Scheme s : {Scheme::GSS, Scheme::SS1, Scheme::SS2, Scheme::AS}) {
+    auto policy = make_policy(s, popt_);
+    policy->reset(off, *pm_);
+    const SimResult r = simulate(app, off, *pm_, ovh_, *policy, sc);
+    ASSERT_TRUE(r.deadline_met) << to_string(s);
+  }
+}
+
+TEST_P(PlatformProperties, ManagedNeverAboveNpm) {
+  const Application app = apps::build_synthetic();
+  const OfflineResult off = analyze(app, 2, 0.5);
+  Rng rng(5);
+  for (int run = 0; run < 5; ++run) {
+    const RunScenario sc = draw_scenario(app.graph, rng);
+    const SimResult npm = simulate(app, off, *pm_, ovh_, Scheme::NPM, sc);
+    for (Scheme s : {Scheme::SPM, Scheme::GSS, Scheme::SS1, Scheme::SS2,
+                     Scheme::AS}) {
+      auto policy = make_policy(s, popt_);
+      policy->reset(off, *pm_);
+      const SimResult r = simulate(app, off, *pm_, ovh_, *policy, sc);
+      ASSERT_LE(r.total_energy(), npm.total_energy() * (1.0 + 1e-9))
+          << to_string(s);
+    }
+  }
+}
+
+TEST_P(PlatformProperties, CollapsedLoopsAlsoSafe) {
+  apps::SyntheticConfig cfg;
+  cfg.loop_mode = LoopMode::Collapse;
+  const Application app = apps::build_synthetic(cfg);
+  const OfflineResult off = analyze(app, 2, 0.8);
+  ASSERT_TRUE(off.feasible());
+  Rng rng(17);
+  for (int run = 0; run < 3; ++run) {
+    const RunScenario sc = draw_scenario(app.graph, rng);
+    for (Scheme s : {Scheme::GSS, Scheme::AS}) {
+      auto policy = make_policy(s, popt_);
+      policy->reset(off, *pm_);
+      ASSERT_TRUE(simulate(app, off, *pm_, ovh_, *policy, sc).deadline_met)
+          << to_string(s);
+    }
+  }
+}
+
+std::string platform_case_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [kind, ovh_us, round_down] = info.param;
+  return std::string(table_name(kind)) + "_ovh" + std::to_string(ovh_us) +
+         (round_down ? "_down" : "_up");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, PlatformProperties,
+    ::testing::Combine(::testing::Values(TableKind::Transmeta,
+                                         TableKind::XScale,
+                                         TableKind::TwoLevels,
+                                         TableKind::Continuous),
+                       ::testing::Values(0, 5, 150),
+                       ::testing::Bool()),
+    platform_case_name);
+
+}  // namespace
+}  // namespace paserta

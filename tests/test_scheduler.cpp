@@ -1,0 +1,131 @@
+// Tests for the PowerAwareScheduler facade.
+#include <gtest/gtest.h>
+
+#include "apps/atr.h"
+#include "common/error.h"
+#include "core/scheduler.h"
+#include "sim/scenario.h"
+
+namespace paserta {
+namespace {
+
+PowerAwareScheduler::Config base_config() {
+  PowerAwareScheduler::Config cfg;
+  cfg.cpus = 2;
+  cfg.table = LevelTable::intel_xscale();
+  cfg.scheme = Scheme::GSS;
+  cfg.load = 0.6;
+  return cfg;
+}
+
+TEST(Scheduler, ConfigValidation) {
+  auto cfg = base_config();
+  cfg.deadline = SimTime::from_ms(100);  // both deadline and load set
+  EXPECT_THROW(PowerAwareScheduler(apps::build_atr(), cfg), Error);
+
+  cfg = base_config();
+  cfg.load.reset();  // neither set
+  EXPECT_THROW(PowerAwareScheduler(apps::build_atr(), cfg), Error);
+
+  cfg = base_config();
+  cfg.load = 1.5;
+  EXPECT_THROW(PowerAwareScheduler(apps::build_atr(), cfg), Error);
+}
+
+TEST(Scheduler, InfeasibleDeadlineRejected) {
+  auto cfg = base_config();
+  cfg.load.reset();
+  cfg.deadline = SimTime::from_us(1);
+  EXPECT_THROW(PowerAwareScheduler(apps::build_atr(), cfg), Error);
+}
+
+TEST(Scheduler, LoadDerivesDeadline) {
+  const auto cfg = base_config();
+  PowerAwareScheduler sched(apps::build_atr(), cfg);
+  const SimTime w = sched.offline().worst_makespan();
+  // deadline = ceil(W / 0.6).
+  EXPECT_GE(sched.deadline() * 6, w * 10);
+  EXPECT_LE((sched.deadline() * 6 - w * 10).ps, 10);
+  EXPECT_TRUE(sched.offline().feasible());
+}
+
+TEST(Scheduler, FramesAccumulateSummary) {
+  PowerAwareScheduler sched(apps::build_atr(), base_config());
+  Rng rng(31);
+  for (int f = 0; f < 25; ++f) {
+    const SimResult r = sched.run_frame(rng);
+    EXPECT_TRUE(r.deadline_met);
+  }
+  const auto& s = sched.summary();
+  EXPECT_EQ(s.frames, 25u);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_EQ(s.energy_joules.count(), 25u);
+  EXPECT_EQ(s.norm_energy.count(), 25u);
+  EXPECT_GT(s.norm_energy.mean(), 0.0);
+  EXPECT_LE(s.norm_energy.max(), 1.0 + 1e-9);
+  EXPECT_GT(s.finish_frac.mean(), 0.0);
+  EXPECT_LE(s.finish_frac.max(), 1.0 + 1e-12);
+}
+
+TEST(Scheduler, NpmTrackingOptional) {
+  auto cfg = base_config();
+  cfg.track_npm_baseline = false;
+  PowerAwareScheduler sched(apps::build_atr(), cfg);
+  Rng rng(2);
+  sched.run_frame(rng);
+  EXPECT_EQ(sched.summary().norm_energy.count(), 0u);
+  EXPECT_EQ(sched.summary().energy_joules.count(), 1u);
+}
+
+TEST(Scheduler, ResetSummary) {
+  PowerAwareScheduler sched(apps::build_atr(), base_config());
+  Rng rng(3);
+  sched.run_frame(rng);
+  EXPECT_EQ(sched.summary().frames, 1u);
+  sched.reset_summary();
+  EXPECT_EQ(sched.summary().frames, 0u);
+}
+
+TEST(Scheduler, ExplicitScenarioReplay) {
+  PowerAwareScheduler sched(apps::build_atr(), base_config());
+  Rng rng(17);
+  const RunScenario sc = draw_scenario(sched.app().graph, rng);
+  const SimResult a = sched.run_frame(sc);
+  const SimResult b = sched.run_frame(sc);
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+  EXPECT_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(Scheduler, AdaptiveSchemeStateResetsBetweenFrames) {
+  // AS mutates its floor during a frame; the facade must reset the policy
+  // so frame order does not change results.
+  auto cfg = base_config();
+  cfg.scheme = Scheme::AS;
+  PowerAwareScheduler sched(apps::build_atr(), cfg);
+  Rng rng(5);
+  const RunScenario s1 = draw_scenario(sched.app().graph, rng);
+  const RunScenario s2 = draw_scenario(sched.app().graph, rng);
+  const double e1_first = sched.run_frame(s1).total_energy();
+  sched.run_frame(s2);
+  const double e1_again = sched.run_frame(s1).total_energy();
+  EXPECT_DOUBLE_EQ(e1_first, e1_again);
+}
+
+TEST(Scheduler, SchemesDifferInEnergy) {
+  Rng rng(9);
+  const Application app = apps::build_atr();
+  const RunScenario sc = draw_scenario(app.graph, rng);
+
+  auto run_with = [&](Scheme s) {
+    auto cfg = base_config();
+    cfg.scheme = s;
+    PowerAwareScheduler sched(apps::build_atr(), cfg);
+    return sched.run_frame(sc).total_energy();
+  };
+  const double gss = run_with(Scheme::GSS);
+  const double npm = run_with(Scheme::NPM);
+  EXPECT_LT(gss, npm);
+}
+
+}  // namespace
+}  // namespace paserta

@@ -1,0 +1,126 @@
+#include <sstream>
+#include <algorithm>
+// Tests for the SVG schedule renderer.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "core/offline.h"
+#include "sim/svg.h"
+
+namespace paserta {
+namespace {
+
+struct Env {
+  Application app = apps::build_synthetic();
+  PowerModel pm{LevelTable::intel_xscale()};
+  Overheads ovh;
+  OfflineResult off;
+  SimResult result;
+
+  Env() {
+    OfflineOptions o;
+    o.cpus = 2;
+    o.overhead_budget = ovh.worst_case_budget(pm.table());
+    o.deadline = canonical_worst_makespan(app, 2, o.overhead_budget) * 2;
+    off = analyze_offline(app, o);
+    Rng rng(8);
+    result = simulate(app, off, pm, ovh, Scheme::GSS,
+                      draw_scenario(app.graph, rng));
+  }
+};
+
+/// Minimal well-formedness: every '<tag' has a matching close and
+/// attribute quotes are balanced.
+void expect_balanced_xml(const std::string& svg) {
+  EXPECT_EQ(std::count(svg.begin(), svg.end(), '"') % 2, 0);
+  const auto opens = [&](const std::string& tag) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = svg.find("<" + tag, pos)) != std::string::npos) {
+      ++n;
+      ++pos;
+    }
+    return n;
+  };
+  const auto closed_inline = [&](const std::string& tag) {
+    // count "<tag ... />" self-closes plus "</tag>" closes
+    std::size_t n = 0, pos = 0;
+    while ((pos = svg.find("</" + tag + ">", pos)) != std::string::npos) {
+      ++n;
+      ++pos;
+    }
+    return n;
+  };
+  EXPECT_EQ(opens("svg"), 1u);
+  EXPECT_EQ(closed_inline("svg"), 1u);
+  EXPECT_EQ(opens("title"), closed_inline("title"));
+  EXPECT_EQ(opens("text"), closed_inline("text"));
+}
+
+TEST(Svg, StructureAndContent) {
+  Env e;
+  const std::string svg =
+      svg_gantt_to_string(e.app, e.off, e.pm, e.ovh, e.result);
+  EXPECT_EQ(svg.rfind("<svg ", 0), 0u);
+  expect_balanced_xml(svg);
+  // Lanes for both CPUs and at least one task rect with a tooltip.
+  EXPECT_NE(svg.find("cpu0"), std::string::npos);
+  EXPECT_NE(svg.find("cpu1"), std::string::npos);
+  EXPECT_NE(svg.find("class=\"task\""), std::string::npos);
+  EXPECT_NE(svg.find("MHz"), std::string::npos);
+  // Deadline marker and power curve present by default.
+  EXPECT_NE(svg.find("class=\"deadline\""), std::string::npos);
+  EXPECT_NE(svg.find("class=\"power\""), std::string::npos);
+}
+
+TEST(Svg, SwitchMarkers) {
+  Env e;
+  ASSERT_GT(e.result.speed_changes, 0u);
+  const std::string svg =
+      svg_gantt_to_string(e.app, e.off, e.pm, e.ovh, e.result);
+  EXPECT_NE(svg.find("class=\"switch\""), std::string::npos);
+}
+
+TEST(Svg, OptionsRespected) {
+  Env e;
+  SvgOptions opt;
+  opt.show_power_curve = false;
+  opt.show_labels = false;
+  const std::string svg =
+      svg_gantt_to_string(e.app, e.off, e.pm, e.ovh, e.result, opt);
+  EXPECT_EQ(svg.find("class=\"power\""), std::string::npos);
+  EXPECT_THROW(
+      (void)svg_gantt_to_string(e.app, e.off, e.pm, e.ovh, e.result,
+                                SvgOptions{100}),
+      Error);
+}
+
+TEST(Svg, EscapesTaskNames) {
+  Program p;
+  p.task("a<b>&c", SimTime::from_ms(5), SimTime::from_ms(3));
+  Application app = build_application("esc", p);
+  const PowerModel pm(LevelTable::intel_xscale());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 1;
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  o.deadline = SimTime::from_ms(20);
+  const OfflineResult off = analyze_offline(app, o);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS,
+                               worst_case_scenario(app.graph));
+  const std::string svg = svg_gantt_to_string(app, off, pm, ovh, r);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;c"), std::string::npos);
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+}
+
+TEST(Svg, EnergyAnnotationMatchesLedger) {
+  Env e;
+  const std::string svg =
+      svg_gantt_to_string(e.app, e.off, e.pm, e.ovh, e.result);
+  std::ostringstream expect;
+  expect << e.result.total_energy() * 1e3;
+  EXPECT_NE(svg.find(expect.str().substr(0, 6)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paserta

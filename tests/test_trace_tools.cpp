@@ -1,0 +1,170 @@
+// Tests for the trace tooling: Gantt rendering and trace analytics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "core/offline.h"
+#include "sim/gantt.h"
+#include "sim/trace_stats.h"
+
+namespace paserta {
+namespace {
+
+SimTime ms(double v) { return SimTime::from_ms(v); }
+
+struct Fixture {
+  Application app;
+  PowerModel pm;
+  Overheads ovh;
+  OfflineResult off;
+  RunScenario sc;
+  SimResult result;
+};
+
+Fixture run_simple(Scheme scheme) {
+  Program p;
+  p.section(SectionSpec{{{"Alpha", ms(8), ms(4)},
+                         {"Beta", ms(4), ms(2)},
+                         {"Gamma", ms(4), ms(2)}},
+                        {}});
+  Application app = build_application("g", p);
+  PowerModel pm(LevelTable::intel_xscale());
+  Overheads ovh;
+  ovh.speed_compute_cycles = 0;
+  ovh.speed_change_time = SimTime::zero();
+  OfflineOptions o;
+  o.cpus = 2;
+  o.deadline = ms(16);
+  OfflineResult off = analyze_offline(app, o);
+  RunScenario sc = worst_case_scenario(app.graph);
+  SimResult r = simulate(app, off, pm, ovh, scheme, sc);
+  return Fixture{std::move(app), std::move(pm), ovh, std::move(off),
+                 std::move(sc), std::move(r)};
+}
+
+// ------------------------------------------------------------------ gantt
+
+TEST(Gantt, RendersLanesAndDeadline) {
+  const Fixture f = run_simple(Scheme::GSS);
+  const std::string g = gantt_to_string(f.app, f.off, f.pm, f.result);
+  EXPECT_NE(g.find("cpu0 |"), std::string::npos);
+  EXPECT_NE(g.find("cpu1 |"), std::string::npos);
+  EXPECT_NE(g.find("  f  |"), std::string::npos);  // frequency ribbon
+  // Task initials appear.
+  EXPECT_NE(g.find('A'), std::string::npos);
+  EXPECT_NE(g.find('B'), std::string::npos);
+  EXPECT_NE(g.find('G'), std::string::npos);
+  EXPECT_NE(g.find("deadline"), std::string::npos);
+}
+
+TEST(Gantt, SwitchMarkersForDynamicSchemes) {
+  const Fixture f = run_simple(Scheme::GSS);
+  ASSERT_GT(f.result.speed_changes, 0u);
+  const std::string g = gantt_to_string(f.app, f.off, f.pm, f.result);
+  EXPECT_NE(g.find('!'), std::string::npos);
+}
+
+TEST(Gantt, OptionsRespected) {
+  const Fixture f = run_simple(Scheme::NPM);
+  GanttOptions opt;
+  opt.frequency_ribbon = false;
+  opt.width = 40;
+  const std::string g = gantt_to_string(f.app, f.off, f.pm, f.result, opt);
+  EXPECT_EQ(g.find("  f  |"), std::string::npos);
+  EXPECT_THROW(
+      (void)gantt_to_string(f.app, f.off, f.pm, f.result, GanttOptions{8}),
+      Error);
+}
+
+TEST(Gantt, OrNodesMarked) {
+  const Application app = apps::build_synthetic();
+  const PowerModel pm(LevelTable::intel_xscale());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 2;
+  o.deadline = ms(100);
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  const OfflineResult off = analyze_offline(app, o);
+  Rng rng(4);
+  const RunScenario sc = draw_scenario(app.graph, rng);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  const std::string g = gantt_to_string(app, off, pm, r);
+  EXPECT_NE(g.find('o'), std::string::npos);  // OR nodes
+}
+
+// ------------------------------------------------------------ trace stats
+
+TEST(TraceStats, BusyTimeAndTaskCount) {
+  const Fixture f = run_simple(Scheme::NPM);
+  const TraceStats st = analyze_trace(f.app, f.off, f.pm, f.result);
+  EXPECT_EQ(st.tasks_executed, 3u);
+  // NPM at f_max: busy time equals summed WCETs (worst-case scenario).
+  EXPECT_EQ(st.busy_time, ms(16));
+  EXPECT_EQ(st.overhead_time, SimTime::zero());
+  EXPECT_EQ(st.speed_changes, 0u);
+  // All residency at the top level.
+  EXPECT_DOUBLE_EQ(st.residency.back().busy_fraction, 1.0);
+  EXPECT_EQ(st.residency.back().busy_time, ms(16));
+  for (std::size_t i = 0; i + 1 < st.residency.size(); ++i)
+    EXPECT_EQ(st.residency[i].busy_time, SimTime::zero());
+  EXPECT_EQ(st.dominant_level().level, f.pm.table().size() - 1);
+}
+
+TEST(TraceStats, UtilizationAgainstWindow) {
+  const Fixture f = run_simple(Scheme::NPM);
+  const TraceStats st = analyze_trace(f.app, f.off, f.pm, f.result);
+  // Window = 2 cpus x 16ms = 32ms; busy = 16ms.
+  EXPECT_DOUBLE_EQ(st.utilization, 0.5);
+  EXPECT_EQ(st.idle_time, ms(16));
+}
+
+TEST(TraceStats, ResidencyFractionsSumToOne) {
+  const Fixture f = run_simple(Scheme::GSS);
+  const TraceStats st = analyze_trace(f.app, f.off, f.pm, f.result);
+  const double total = std::accumulate(
+      st.residency.begin(), st.residency.end(), 0.0,
+      [](double acc, const LevelResidency& r) { return acc + r.busy_fraction; });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // GSS slowed down: the dominant level is below the top.
+  EXPECT_LT(st.dominant_level().level, f.pm.table().size() - 1);
+}
+
+TEST(TraceStats, EnergyMatchesSimResult) {
+  const Fixture f = run_simple(Scheme::GSS);
+  const TraceStats st = analyze_trace(f.app, f.off, f.pm, f.result);
+  const double resid_energy = std::accumulate(
+      st.residency.begin(), st.residency.end(), 0.0,
+      [](double acc, const LevelResidency& r) { return acc + r.energy; });
+  EXPECT_NEAR(resid_energy, f.result.busy_energy, 1e-12);
+  EXPECT_DOUBLE_EQ(st.busy_energy, f.result.busy_energy);
+  EXPECT_DOUBLE_EQ(st.idle_energy, f.result.idle_energy);
+}
+
+TEST(TraceStats, ClaimedSlackPositiveWithStaticSlack) {
+  const Fixture f = run_simple(Scheme::GSS);
+  const TraceStats st = analyze_trace(f.app, f.off, f.pm, f.result);
+  // Tasks dispatched well before their latest start times.
+  EXPECT_GT(st.mean_claimed_slack, SimTime::zero());
+}
+
+TEST(TraceStats, OverheadTimeTracked) {
+  Program p;
+  p.chain({{"a", ms(5), ms(5)}, {"b", ms(5), ms(5)}});
+  const Application app = build_application("ovh", p);
+  const PowerModel pm(LevelTable::intel_xscale());
+  Overheads ovh;  // 300 cycles + 5us
+  OfflineOptions o;
+  o.cpus = 1;
+  o.deadline = ms(30);
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  const OfflineResult off = analyze_offline(app, o);
+  const RunScenario sc = worst_case_scenario(app.graph);
+  const SimResult r = simulate(app, off, pm, ovh, Scheme::GSS, sc);
+  const TraceStats st = analyze_trace(app, off, pm, r);
+  EXPECT_GT(st.overhead_time, SimTime::zero());
+}
+
+}  // namespace
+}  // namespace paserta

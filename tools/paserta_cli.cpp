@@ -1,0 +1,343 @@
+// paserta_cli — command-line front end to the library.
+//
+//   paserta_cli analyze  <workload> [options]   offline analysis report
+//   paserta_cli simulate <workload> [options]   one run + gantt + stats
+//   paserta_cli sweep    <workload> [options]   load/alpha sweep (CSV/JSON)
+//   paserta_cli metrics  <workload>             structural metrics
+//   paserta_cli dot      <workload>             Graphviz dump
+//   paserta_cli tables                          DVS level tables
+//
+// <workload> is a text file (docs/WORKLOAD_FORMAT.md) or a built-in:
+// @atr, @synthetic, @mpeg.
+//
+// Common options:
+//   --cpus N           processors (default 2)
+//   --table NAME       transmeta | xscale (default transmeta)
+//   --load L           deadline = W / L (default 0.5)
+//   --deadline-ms D    absolute deadline (overrides --load)
+//   --heuristic H      ltf | stf | fifo (default ltf)
+// simulate:
+//   --scheme S         npm | spm | gss | ss1 | ss2 | as (default gss)
+//   --seed N           scenario seed (default 1)
+//   --power-csv        dump the power-vs-time curve as CSV
+//   --svg FILE         write an SVG gantt + power chart to FILE
+// sweep:
+//   --x load|alpha     swept parameter (default load)
+//   --runs N           Monte-Carlo runs per point (default 200)
+//   --from F --to T --step S   sweep range (defaults 0.1..1.0 step 0.1)
+//   --json             emit JSON instead of CSV
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/atr.h"
+#include "apps/mpeg.h"
+#include "apps/synthetic.h"
+#include "core/offline.h"
+#include "core/oracle.h"
+#include "graph/dot.h"
+#include "graph/metrics.h"
+#include "graph/text_format.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "harness/report.h"
+#include "sim/gantt.h"
+#include "sim/power_trace.h"
+#include "sim/svg.h"
+#include "sim/trace_stats.h"
+
+using namespace paserta;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string workload;
+  int cpus = 2;
+  std::string table = "transmeta";
+  double load = 0.5;
+  std::optional<double> deadline_ms;
+  std::string heuristic = "ltf";
+  std::string scheme = "gss";
+  std::uint64_t seed = 1;
+  bool power_csv = false;
+  std::string svg_path;
+  std::string x = "load";
+  int runs = 200;
+  double from = 0.1, to = 1.0, step = 0.1;
+  bool json = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n";
+  std::cerr <<
+      "usage: paserta_cli <analyze|simulate|sweep|dot|tables> [workload] "
+      "[options]\n  see the header of tools/paserta_cli.cpp for options\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  if (argc < 2) usage();
+  o.command = argv[1];
+  int i = 2;
+  if (o.command != "tables") {
+    if (i >= argc || argv[i][0] == '-') usage("missing workload file");
+    o.workload = argv[i++];
+  }
+  auto need_value = [&](const char* flag) -> std::string {
+    if (i >= argc) usage((std::string(flag) + " needs a value").c_str());
+    return argv[i++];
+  };
+  for (; i < argc;) {
+    const std::string flag = argv[i++];
+    if (flag == "--cpus") o.cpus = std::stoi(need_value("--cpus"));
+    else if (flag == "--table") o.table = need_value("--table");
+    else if (flag == "--load") o.load = std::stod(need_value("--load"));
+    else if (flag == "--deadline-ms")
+      o.deadline_ms = std::stod(need_value("--deadline-ms"));
+    else if (flag == "--heuristic") o.heuristic = need_value("--heuristic");
+    else if (flag == "--scheme") o.scheme = need_value("--scheme");
+    else if (flag == "--seed")
+      o.seed = std::stoull(need_value("--seed"));
+    else if (flag == "--power-csv") o.power_csv = true;
+    else if (flag == "--svg") o.svg_path = need_value("--svg");
+    else if (flag == "--x") o.x = need_value("--x");
+    else if (flag == "--runs") o.runs = std::stoi(need_value("--runs"));
+    else if (flag == "--from") o.from = std::stod(need_value("--from"));
+    else if (flag == "--to") o.to = std::stod(need_value("--to"));
+    else if (flag == "--step") o.step = std::stod(need_value("--step"));
+    else if (flag == "--json") o.json = true;
+    else usage(("unknown flag " + flag).c_str());
+  }
+  return o;
+}
+
+LevelTable table_of(const Options& o) {
+  if (o.table == "transmeta") return LevelTable::transmeta_tm5400();
+  if (o.table == "xscale") return LevelTable::intel_xscale();
+  usage("unknown --table (use transmeta or xscale)");
+}
+
+ListHeuristic heuristic_of(const Options& o) {
+  if (o.heuristic == "ltf") return ListHeuristic::LongestTaskFirst;
+  if (o.heuristic == "stf") return ListHeuristic::ShortestTaskFirst;
+  if (o.heuristic == "fifo") return ListHeuristic::InsertionOrder;
+  usage("unknown --heuristic (use ltf, stf or fifo)");
+}
+
+Scheme scheme_of(const Options& o) {
+  static const std::map<std::string, Scheme> m{
+      {"npm", Scheme::NPM}, {"spm", Scheme::SPM}, {"gss", Scheme::GSS},
+      {"ss1", Scheme::SS1}, {"ss2", Scheme::SS2}, {"as", Scheme::AS}};
+  const auto it = m.find(o.scheme);
+  if (it == m.end()) usage("unknown --scheme");
+  return it->second;
+}
+
+Application load(const Options& o) {
+  if (!o.workload.empty() && o.workload[0] == '@') {
+    if (o.workload == "@atr") return apps::build_atr();
+    if (o.workload == "@synthetic") return apps::build_synthetic();
+    if (o.workload == "@mpeg") return apps::build_mpeg();
+    usage(("unknown built-in workload " + o.workload +
+           " (use @atr, @synthetic or @mpeg)").c_str());
+  }
+  std::ifstream in(o.workload);
+  if (!in) {
+    std::cerr << "cannot open workload '" << o.workload << "'\n";
+    std::exit(1);
+  }
+  return load_application(in);
+}
+
+OfflineResult analyze_with(const Application& app, const Options& o,
+                           const PowerModel& pm, const Overheads& ovh) {
+  OfflineOptions opt;
+  opt.cpus = o.cpus;
+  opt.heuristic = heuristic_of(o);
+  opt.overhead_budget = ovh.worst_case_budget(pm.table());
+  if (o.deadline_ms) {
+    opt.deadline = SimTime::from_ms(*o.deadline_ms);
+  } else {
+    const SimTime w = canonical_worst_makespan(app, o.cpus,
+                                               opt.overhead_budget,
+                                               opt.heuristic);
+    opt.deadline = SimTime{static_cast<std::int64_t>(
+        static_cast<double>(w.ps) / o.load + 1)};
+  }
+  return analyze_offline(app, opt);
+}
+
+int cmd_analyze(const Options& o) {
+  const Application app = load(o);
+  const PowerModel pm(table_of(o));
+  Overheads ovh;
+  const OfflineResult off = analyze_with(app, o, pm, ovh);
+
+  std::cout << "application : " << app.name << "\n"
+            << "nodes       : " << app.graph.size() << " ("
+            << app.graph.task_count() << " tasks, " << app.or_fork_count()
+            << " OR forks)\n"
+            << "cpus        : " << off.cpus() << "\n"
+            << "heuristic   : " << o.heuristic << "\n"
+            << "W (worst)   : " << to_string(off.worst_makespan()) << "\n"
+            << "A (average) : " << to_string(off.average_makespan()) << "\n"
+            << "deadline    : " << to_string(off.deadline()) << "\n"
+            << "feasible    : " << (off.feasible() ? "yes" : "NO") << "\n\n";
+
+  Table t({"node", "kind", "eo", "wcet_ms", "acet_ms", "lst_ms", "eet_ms"});
+  for (NodeId id : app.graph.all_nodes()) {
+    const Node& n = app.graph.node(id);
+    t.add_row({n.name, to_string(n.kind), std::to_string(off.eo(id)),
+               Table::num(n.wcet.ms(), 3), Table::num(n.acet.ms(), 3),
+               Table::num(off.lst(id).ms(), 3),
+               Table::num(off.eet(id).ms(), 3)});
+  }
+  t.write_pretty(std::cout);
+
+  for (NodeId id : app.graph.all_nodes()) {
+    if (!app.graph.node(id).is_or_fork()) continue;
+    const OrForkProfile& p = off.fork_profile(id);
+    std::cout << "\nPMP at fork '" << app.graph.node(id).name << "':";
+    for (std::size_t a = 0; a < p.rem_w_alt.size(); ++a)
+      std::cout << "  path" << a << " w=" << to_string(p.rem_w_alt[a])
+                << " a=" << to_string(p.rem_a_alt[a]);
+    std::cout << "\n";
+  }
+  return off.feasible() ? 0 : 1;
+}
+
+int cmd_simulate(const Options& o) {
+  const Application app = load(o);
+  const PowerModel pm(table_of(o));
+  Overheads ovh;
+  const OfflineResult off = analyze_with(app, o, pm, ovh);
+  if (!off.feasible())
+    std::cerr << "warning: infeasible deadline, guarantee void\n";
+
+  Rng rng(o.seed);
+  const RunScenario sc = draw_scenario(app.graph, rng);
+  const SimResult r = simulate(app, off, pm, ovh, scheme_of(o), sc);
+  const TraceStats st = analyze_trace(app, off, pm, r);
+  const OracleResult oracle = clairvoyant_oracle(app, off, pm, ovh, sc);
+
+  std::cout << "scheme        : " << o.scheme << "\n"
+            << "energy        : " << r.total_energy() * 1e3 << " mJ  (busy "
+            << r.busy_energy * 1e3 << ", overhead " << r.overhead_energy * 1e3
+            << ", idle " << r.idle_energy * 1e3 << ")\n"
+            << "oracle bound  : " << oracle.energy * 1e3 << " mJ @ "
+            << pm.table().level(oracle.level).freq / kMHz << " MHz\n"
+            << "finish        : " << to_string(r.finish_time) << " of "
+            << to_string(off.deadline())
+            << (r.deadline_met ? "  (met)" : "  (MISS)") << "\n"
+            << "speed changes : " << r.speed_changes << "\n"
+            << "utilization   : " << static_cast<int>(st.utilization * 100)
+            << "%\n\n";
+  render_gantt(std::cout, app, off, pm, r);
+
+  if (o.power_csv) {
+    std::cout << "\n";
+    write_power_trace_csv(std::cout,
+                          build_power_trace(app, off, pm, ovh, r));
+  }
+  if (!o.svg_path.empty()) {
+    std::ofstream svg(o.svg_path);
+    if (!svg) {
+      std::cerr << "cannot write '" << o.svg_path << "'\n";
+      return 1;
+    }
+    write_svg_gantt(svg, app, off, pm, ovh, r);
+    std::cout << "wrote " << o.svg_path << "\n";
+  }
+  return r.deadline_met ? 0 : 1;
+}
+
+int cmd_sweep(const Options& o) {
+  const Application app = load(o);
+  ExperimentConfig cfg;
+  cfg.cpus = o.cpus;
+  cfg.table = table_of(o);
+  cfg.runs = o.runs;
+  cfg.seed = o.seed;
+  cfg.heuristic = heuristic_of(o);
+
+  std::vector<SweepPoint> points;
+  if (o.x == "load") {
+    points = sweep_load(app, cfg, sweep_range(o.from, o.to, o.step));
+  } else if (o.x == "alpha") {
+    points = sweep_alpha(app, cfg, o.load, sweep_range(o.from, o.to, o.step));
+  } else {
+    usage("--x must be load or alpha");
+  }
+
+  if (o.json) {
+    JsonExportOptions jopt;
+    jopt.experiment_id = app.name + "-" + o.x;
+    jopt.caption = "paserta_cli sweep";
+    jopt.x_name = o.x;
+    write_sweep_json(std::cout, points, jopt);
+    std::cout << "\n";
+  } else {
+    sweep_table(points, o.x).write_csv(std::cout);
+  }
+  return 0;
+}
+
+int cmd_metrics(const Options& o) {
+  const Application app = load(o);
+  const GraphMetrics m = compute_metrics(app);
+  std::cout << "application   : " << app.name << "\n"
+            << "nodes         : " << m.nodes << " (" << m.tasks
+            << " tasks, " << m.and_nodes << " AND, " << m.or_nodes
+            << " OR of which " << m.or_forks << " forks)\n"
+            << "edges         : " << m.edges << "\n"
+            << "paths         : " << m.path_count << "\n"
+            << "critical path : " << to_string(m.critical_path) << "\n"
+            << "max work      : " << to_string(m.max_work) << "\n"
+            << "expected work : " << to_string(m.expected_work) << "\n"
+            << "parallelism   : " << m.parallelism << "\n";
+  return 0;
+}
+
+int cmd_dot(const Options& o) {
+  const Application app = load(o);
+  write_dot(std::cout, app.graph, app.name);
+  return 0;
+}
+
+int cmd_tables() {
+  for (const LevelTable& t :
+       {LevelTable::transmeta_tm5400(), LevelTable::intel_xscale()}) {
+    const PowerModel pm(t);
+    std::cout << t.name() << " (" << t.size() << " levels)\n";
+    Table tab({"f_MHz", "V", "P_W"});
+    for (const Level& l : t.levels())
+      tab.add_row({Table::num(static_cast<double>(l.freq) / 1e6, 0),
+                   Table::num(l.volts, 3), Table::num(pm.power(t.index_of(l.freq)), 3)});
+    tab.write_pretty(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse_args(argc, argv);
+    if (o.command == "analyze") return cmd_analyze(o);
+    if (o.command == "simulate") return cmd_simulate(o);
+    if (o.command == "sweep") return cmd_sweep(o);
+    if (o.command == "metrics") return cmd_metrics(o);
+    if (o.command == "dot") return cmd_dot(o);
+    if (o.command == "tables") return cmd_tables();
+    usage(("unknown command " + o.command).c_str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
