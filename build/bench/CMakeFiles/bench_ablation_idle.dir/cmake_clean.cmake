@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_idle.dir/bench_ablation_idle.cpp.o"
+  "CMakeFiles/bench_ablation_idle.dir/bench_ablation_idle.cpp.o.d"
+  "bench_ablation_idle"
+  "bench_ablation_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_loopmode.dir/bench_ablation_loopmode.cpp.o"
+  "CMakeFiles/bench_ablation_loopmode.dir/bench_ablation_loopmode.cpp.o.d"
+  "bench_ablation_loopmode"
+  "bench_ablation_loopmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loopmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minspeed.dir/bench_ablation_minspeed.cpp.o"
+  "CMakeFiles/bench_ablation_minspeed.dir/bench_ablation_minspeed.cpp.o.d"
+  "bench_ablation_minspeed"
+  "bench_ablation_minspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

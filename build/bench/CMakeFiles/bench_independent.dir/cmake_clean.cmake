@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_independent.dir/bench_independent.cpp.o"
+  "CMakeFiles/bench_independent.dir/bench_independent.cpp.o.d"
+  "bench_independent"
+  "bench_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layered.dir/bench_layered.cpp.o"
+  "CMakeFiles/bench_layered.dir/bench_layered.cpp.o.d"
+  "bench_layered"
+  "bench_layered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_procs.dir/bench_procs.cpp.o"
+  "CMakeFiles/bench_procs.dir/bench_procs.cpp.o.d"
+  "bench_procs"
+  "bench_procs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_branching.dir/adaptive_branching.cpp.o"
+  "CMakeFiles/adaptive_branching.dir/adaptive_branching.cpp.o.d"
+  "adaptive_branching"
+  "adaptive_branching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_branching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atr_pipeline.dir/atr_pipeline.cpp.o"
+  "CMakeFiles/atr_pipeline.dir/atr_pipeline.cpp.o.d"
+  "atr_pipeline"
+  "atr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_explorer.dir/energy_explorer.cpp.o"
+  "CMakeFiles/energy_explorer.dir/energy_explorer.cpp.o.d"
+  "energy_explorer"
+  "energy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

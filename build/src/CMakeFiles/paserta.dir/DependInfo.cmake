@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/atr.cpp" "src/CMakeFiles/paserta.dir/apps/atr.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/apps/atr.cpp.o.d"
+  "/root/repo/src/apps/layered.cpp" "src/CMakeFiles/paserta.dir/apps/layered.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/apps/layered.cpp.o.d"
+  "/root/repo/src/apps/mpeg.cpp" "src/CMakeFiles/paserta.dir/apps/mpeg.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/apps/mpeg.cpp.o.d"
+  "/root/repo/src/apps/random_app.cpp" "src/CMakeFiles/paserta.dir/apps/random_app.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/apps/random_app.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/CMakeFiles/paserta.dir/apps/synthetic.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/apps/synthetic.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/paserta.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/paserta.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/significance.cpp" "src/CMakeFiles/paserta.dir/common/significance.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/common/significance.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/paserta.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/CMakeFiles/paserta.dir/common/time.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/common/time.cpp.o.d"
+  "/root/repo/src/core/independent.cpp" "src/CMakeFiles/paserta.dir/core/independent.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/core/independent.cpp.o.d"
+  "/root/repo/src/core/list_sched.cpp" "src/CMakeFiles/paserta.dir/core/list_sched.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/core/list_sched.cpp.o.d"
+  "/root/repo/src/core/offline.cpp" "src/CMakeFiles/paserta.dir/core/offline.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/core/offline.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/CMakeFiles/paserta.dir/core/oracle.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/core/oracle.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/paserta.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/paserta.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/paserta.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/paserta.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/paserta.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/program.cpp" "src/CMakeFiles/paserta.dir/graph/program.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/graph/program.cpp.o.d"
+  "/root/repo/src/graph/text_format.cpp" "src/CMakeFiles/paserta.dir/graph/text_format.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/graph/text_format.cpp.o.d"
+  "/root/repo/src/graph/validate.cpp" "src/CMakeFiles/paserta.dir/graph/validate.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/graph/validate.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/paserta.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/figures.cpp" "src/CMakeFiles/paserta.dir/harness/figures.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/harness/figures.cpp.o.d"
+  "/root/repo/src/harness/json.cpp" "src/CMakeFiles/paserta.dir/harness/json.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/harness/json.cpp.o.d"
+  "/root/repo/src/harness/regression.cpp" "src/CMakeFiles/paserta.dir/harness/regression.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/harness/regression.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/paserta.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/harness/report.cpp.o.d"
+  "/root/repo/src/power/level_table.cpp" "src/CMakeFiles/paserta.dir/power/level_table.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/power/level_table.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/paserta.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/paserta.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/CMakeFiles/paserta.dir/sim/gantt.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/sim/gantt.cpp.o.d"
+  "/root/repo/src/sim/power_trace.cpp" "src/CMakeFiles/paserta.dir/sim/power_trace.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/sim/power_trace.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/paserta.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/svg.cpp" "src/CMakeFiles/paserta.dir/sim/svg.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/sim/svg.cpp.o.d"
+  "/root/repo/src/sim/trace_stats.cpp" "src/CMakeFiles/paserta.dir/sim/trace_stats.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/sim/trace_stats.cpp.o.d"
+  "/root/repo/src/sim/verify.cpp" "src/CMakeFiles/paserta.dir/sim/verify.cpp.o" "gcc" "src/CMakeFiles/paserta.dir/sim/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_harness.dir/test_parallel_harness.cpp.o"
+  "CMakeFiles/test_parallel_harness.dir/test_parallel_harness.cpp.o.d"
+  "test_parallel_harness"
+  "test_parallel_harness.pdb"
+  "test_parallel_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

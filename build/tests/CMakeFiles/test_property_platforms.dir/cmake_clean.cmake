@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_platforms.dir/test_property_platforms.cpp.o"
+  "CMakeFiles/test_property_platforms.dir/test_property_platforms.cpp.o.d"
+  "test_property_platforms"
+  "test_property_platforms.pdb"
+  "test_property_platforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_significance.dir/test_significance.cpp.o"
+  "CMakeFiles/test_significance.dir/test_significance.cpp.o.d"
+  "test_significance"
+  "test_significance.pdb"
+  "test_significance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paserta_cli.dir/paserta_cli.cpp.o"
+  "CMakeFiles/paserta_cli.dir/paserta_cli.cpp.o.d"
+  "paserta_cli"
+  "paserta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paserta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
