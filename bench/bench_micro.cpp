@@ -73,6 +73,34 @@ BENCHMARK(BM_SimulateScheme)
     ->Arg(static_cast<int>(Scheme::GSS))
     ->Arg(static_cast<int>(Scheme::AS));
 
+// Same simulation through the reusable-workspace overload with trace
+// recording off — the configuration the Monte-Carlo harness runs in. The
+// delta against BM_SimulateScheme is the per-run allocation + trace cost.
+void BM_SimulateWorkspace(benchmark::State& state) {
+  const Application app = apps::build_synthetic();
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 2;
+  o.deadline = SimTime::from_ms(120);
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  const OfflineResult off = analyze_offline(app, o);
+  auto policy = make_policy(static_cast<Scheme>(state.range(0)));
+  policy->reset(off, pm);
+  Rng rng(5);
+  const RunScenario sc = draw_scenario(app.graph, rng);
+  SimWorkspace ws;
+  SimOptions opt;
+  opt.record_trace = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(app, off, pm, ovh, *policy, sc, ws, opt));
+  }
+}
+BENCHMARK(BM_SimulateWorkspace)
+    ->Arg(static_cast<int>(Scheme::NPM))
+    ->Arg(static_cast<int>(Scheme::GSS))
+    ->Arg(static_cast<int>(Scheme::AS));
+
 void BM_DrawScenario(benchmark::State& state) {
   const Application app = big_random_app(3);
   Rng rng(9);

@@ -1,0 +1,45 @@
+// Throughput of the Monte-Carlo hot loop on the paper's Fig. 4 point (ATR
+// on the 2-CPU Transmeta platform at load 0.5): runs/sec serial and with a
+// worker pool, emitted as JSON on stdout. Traces are off, so the loop runs
+// with zero steady-state allocation (one SimWorkspace per worker).
+//
+// Usage: bench_throughput [runs] [threads]
+//   runs     Monte-Carlo runs per measurement (default 2000)
+//   threads  pool size for the threaded sample (default: hardware threads)
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/offline.h"
+#include "harness/figures.h"
+#include "harness/throughput.h"
+
+int main(int argc, char** argv) {
+  using namespace paserta;
+  const int runs = benchutil::runs_from_args(argc, argv, 2000);
+  int threads = argc > 2 ? std::atoi(argv[2]) : 0;
+  if (threads <= 0)
+    threads = std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+
+  const FigureDef fig = paper_figure("fig4a", runs);
+  const Application app = figure_workload(fig);
+  ExperimentConfig cfg = fig.config;
+  // Only the summary is consumed: leave verify_traces off so the engine
+  // records no traces and the hot loop is allocation-free.
+  cfg.verify_traces = false;
+
+  const double load = 0.5;
+  const SimTime w = canonical_worst_makespan(
+      app, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+      cfg.heuristic);
+  const SimTime deadline{
+      static_cast<std::int64_t>(std::ceil(static_cast<double>(w.ps) / load))};
+
+  const ThroughputReport report = measure_throughput(
+      app, cfg, deadline, {1, threads}, fig.id + "@load=0.5");
+  std::cout << throughput_to_json(report);
+  return 0;
+}

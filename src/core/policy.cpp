@@ -1,6 +1,7 @@
 #include "core/policy.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -81,60 +82,6 @@ class GssPolicy final : public SpeedPolicy {
   void reset(const OfflineResult&, const PowerModel&) override {}
 };
 
-/// SS1 and SS2 (paper §4.1).
-class StaticSpecPolicy final : public SpeedPolicy {
- public:
-  StaticSpecPolicy(bool two_speeds, PolicyOptions::SpecRounding rounding)
-      : two_speeds_(two_speeds), rounding_(rounding) {}
-
-  const char* name() const override { return two_speeds_ ? "SS2" : "SS1"; }
-  Kind kind() const override { return Kind::Dynamic; }
-
-  void reset(const OfflineResult& off, const PowerModel& pm) override {
-    const LevelTable& t = pm.table();
-    const Freq raw =
-        required_freq(t.f_max(), off.average_makespan(), off.deadline());
-    const std::size_t hi = t.quantize_up(raw);
-    if (!two_speeds_ || hi == 0 || t.level(hi).freq == raw ||
-        raw <= t.f_min()) {
-      // Single-speed speculation (or the speculated speed is exactly a
-      // level / below the minimum level): one constant floor, rounded per
-      // the policy options.
-      const std::size_t idx =
-          rounding_ == PolicyOptions::SpecRounding::Up ? hi
-                                                       : t.quantize_down(raw);
-      f_low_ = f_high_ = t.level(idx).freq;
-      theta_ = SimTime::zero();
-      return;
-    }
-    f_low_ = t.level(hi - 1).freq;
-    f_high_ = t.level(hi).freq;
-    // Run at f_low until theta, f_high afterwards, such that the two-speed
-    // profile does the same expected work as running at `raw` for D:
-    //   theta = D * (f_high - raw) / (f_high - f_low).
-    const double frac = static_cast<double>(f_high_ - raw) /
-                        static_cast<double>(f_high_ - f_low_);
-    theta_ = SimTime{
-        static_cast<std::int64_t>(frac * static_cast<double>(off.deadline().ps))};
-  }
-
-  Freq floor_freq(SimTime now) const override {
-    return (two_speeds_ && now < theta_) ? f_low_ : f_high_;
-  }
-
-  /// Exposed for tests.
-  SimTime theta() const { return theta_; }
-  Freq f_low() const { return f_low_; }
-  Freq f_high() const { return f_high_; }
-
- private:
-  bool two_speeds_;
-  PolicyOptions::SpecRounding rounding_;
-  Freq f_low_ = 0;
-  Freq f_high_ = 0;
-  SimTime theta_{};
-};
-
 /// AS (paper §4.2): re-speculate after every OR node from the expected
 /// average-case remaining time.
 class AdaptiveSpecPolicy final : public SpeedPolicy {
@@ -176,6 +123,36 @@ void FixedLevelPolicy::reset(const OfflineResult&, const PowerModel& pm) {
   PASERTA_REQUIRE(level_ < pm.table().size(),
                   "fixed level " << level_ << " out of range for table '"
                                  << pm.table().name() << "'");
+}
+
+void StaticSpecPolicy::reset(const OfflineResult& off, const PowerModel& pm) {
+  const LevelTable& t = pm.table();
+  const Freq raw =
+      required_freq(t.f_max(), off.average_makespan(), off.deadline());
+  const std::size_t hi = t.quantize_up(raw);
+  if (!two_speeds_ || hi == 0 || t.level(hi).freq == raw ||
+      raw <= t.f_min()) {
+    // Single-speed speculation (or the speculated speed is exactly a
+    // level / below the minimum level): one constant floor, rounded per
+    // the policy options.
+    const std::size_t idx =
+        rounding_ == PolicyOptions::SpecRounding::Up ? hi
+                                                     : t.quantize_down(raw);
+    f_low_ = f_high_ = t.level(idx).freq;
+    theta_ = SimTime::zero();
+    return;
+  }
+  f_low_ = t.level(hi - 1).freq;
+  f_high_ = t.level(hi).freq;
+  // Run at f_low until theta, f_high afterwards, such that the two-speed
+  // profile does the same expected work as running at `raw` for D:
+  //   theta = D * (f_high - raw) / (f_high - f_low),
+  // rounded to the nearest picosecond (truncation would bias theta low by
+  // up to 1 ps whenever the product is not exactly representable).
+  const double frac = static_cast<double>(f_high_ - raw) /
+                      static_cast<double>(f_high_ - f_low_);
+  theta_ = SimTime{static_cast<std::int64_t>(
+      std::llround(frac * static_cast<double>(off.deadline().ps)))};
 }
 
 std::unique_ptr<SpeedPolicy> make_policy(Scheme s,

@@ -96,6 +96,34 @@ class FixedLevelPolicy final : public SpeedPolicy {
   std::size_t level_;
 };
 
+/// SS1 and SS2 (paper §4.1). Exposed concretely — make_policy returns this
+/// type for Scheme::SS1/SS2 — so tests can pin the speculation internals
+/// (the bracket frequencies and the switch point theta) exactly.
+class StaticSpecPolicy final : public SpeedPolicy {
+ public:
+  StaticSpecPolicy(bool two_speeds, PolicyOptions::SpecRounding rounding)
+      : two_speeds_(two_speeds), rounding_(rounding) {}
+
+  const char* name() const override { return two_speeds_ ? "SS2" : "SS1"; }
+  Kind kind() const override { return Kind::Dynamic; }
+  void reset(const OfflineResult& off, const PowerModel& pm) override;
+
+  Freq floor_freq(SimTime now) const override {
+    return (two_speeds_ && now < theta_) ? f_low_ : f_high_;
+  }
+
+  SimTime theta() const { return theta_; }
+  Freq f_low() const { return f_low_; }
+  Freq f_high() const { return f_high_; }
+
+ private:
+  bool two_speeds_;
+  PolicyOptions::SpecRounding rounding_;
+  Freq f_low_ = 0;
+  Freq f_high_ = 0;
+  SimTime theta_{};
+};
+
 /// Frequency needed to fit `work` (time at f_max) into `avail`:
 /// ceil(f_max * work / avail), the deadline-safe direction. Returns f_max
 /// when avail <= 0.

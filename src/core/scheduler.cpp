@@ -13,7 +13,8 @@ PowerAwareScheduler::PowerAwareScheduler(Application app, const Config& cfg)
       ovh_(cfg.overheads),
       scheme_(cfg.scheme),
       policy_(make_policy(cfg.scheme)),
-      track_npm_(cfg.track_npm_baseline) {
+      track_npm_(cfg.track_npm_baseline),
+      record_trace_(cfg.record_trace) {
   PASERTA_REQUIRE(cfg.deadline.has_value() != cfg.load.has_value(),
                   "set exactly one of Config::deadline and Config::load");
 
@@ -44,8 +45,11 @@ SimResult PowerAwareScheduler::run_frame(Rng& rng) {
 }
 
 SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {
+  SimOptions sim_opt;
+  sim_opt.record_trace = record_trace_;
   policy_->reset(off_, pm_);
-  SimResult r = simulate(app_, off_, pm_, ovh_, *policy_, scenario);
+  SimResult r = simulate(app_, off_, pm_, ovh_, *policy_, scenario, ws_,
+                         sim_opt);
 
   ++summary_.frames;
   if (!r.deadline_met) ++summary_.deadline_misses;
@@ -54,9 +58,18 @@ SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {
   summary_.finish_frac.add(static_cast<double>(r.finish_time.ps) /
                            static_cast<double>(off_.deadline().ps));
   if (track_npm_) {
+    // The baseline run only feeds the summary, never a trace consumer.
     npm_->reset(off_, pm_);
-    const SimResult base = simulate(app_, off_, pm_, ovh_, *npm_, scenario);
-    summary_.norm_energy.add(r.total_energy() / base.total_energy());
+    const SimResult base = simulate(app_, off_, pm_, ovh_, *npm_, scenario,
+                                    ws_, SimOptions{/*record_trace=*/false});
+    const Energy base_total = base.total_energy();
+    // A zero-energy baseline (degenerate workload) would make the
+    // normalized energy NaN/Inf; count the frame instead of poisoning
+    // the running statistics.
+    if (base_total > 0.0)
+      summary_.norm_energy.add(r.total_energy() / base_total);
+    else
+      ++summary_.degenerate_frames;
   }
   return r;
 }

@@ -31,11 +31,19 @@ class PowerAwareScheduler {
     std::optional<double> load;
     /// Also simulate NPM per frame to report normalized energy.
     bool track_npm_baseline = true;
+    /// Record the per-task trace in every run_frame() result. Turn off
+    /// for high-volume frame streams that only read the summary — frames
+    /// then reuse the internal workspace with zero per-frame allocation.
+    bool record_trace = true;
   };
 
   struct Summary {
     std::uint64_t frames = 0;
     std::uint64_t deadline_misses = 0;
+    /// Frames whose NPM baseline consumed zero energy (degenerate
+    /// workload): normalized energy is undefined, so they are counted
+    /// here and excluded from norm_energy.
+    std::uint64_t degenerate_frames = 0;
     RunningStat energy_joules;
     RunningStat norm_energy;  // populated when track_npm_baseline
     RunningStat speed_changes;
@@ -69,6 +77,8 @@ class PowerAwareScheduler {
   std::unique_ptr<SpeedPolicy> policy_;
   std::unique_ptr<SpeedPolicy> npm_;
   bool track_npm_ = false;
+  bool record_trace_ = true;
+  SimWorkspace ws_;  // reused by every frame (and the NPM baseline)
   Summary summary_;
 };
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ class AndOrGraph {
   const Node& node(NodeId id) const { return nodes_.at(id.value); }
   Node& node(NodeId id) { return nodes_.at(id.value); }
   const Node& operator[](NodeId id) const { return nodes_.at(id.value); }
+
+  /// Contiguous node storage, indexed by NodeId::value. Hot paths that
+  /// have already validated their ids (the simulation engine) index this
+  /// span directly instead of paying node()'s bounds check per access.
+  std::span<const Node> nodes() const { return nodes_; }
 
   /// All node ids, in insertion order.
   std::vector<NodeId> all_nodes() const;

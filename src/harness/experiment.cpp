@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 
@@ -29,6 +30,7 @@ struct SchemeOutcome {
   double busy_frac = 0.0;
   double overhead_frac = 0.0;
   double idle_frac = 0.0;
+  bool has_norm = false;
   bool has_fracs = false;
   bool missed = false;
   bool verify_failed = false;
@@ -36,32 +38,47 @@ struct SchemeOutcome {
 
 struct RunOutcome {
   double npm_energy = 0.0;
+  bool degenerate = false;  // NPM baseline consumed zero energy
   std::vector<SchemeOutcome> schemes;
 };
 
-/// Evaluates one run on its own seed-derived stream. Thread-safe: all
-/// shared inputs are const; policies are caller-provided (one set per
-/// worker).
-RunOutcome evaluate_run(const Application& app, const ExperimentConfig& cfg,
-                        const OfflineResult& off, const PowerModel& pm,
-                        SimTime deadline,
-                        std::vector<std::unique_ptr<SpeedPolicy>>& policies,
-                        SpeedPolicy& npm, int run) {
+/// Evaluates one run on its own seed-derived stream into `out` (whose
+/// `schemes` vector is preallocated by run_point). Thread-safe: all shared
+/// inputs are const; policies, the workspace and the scenario buffer are
+/// caller-provided (one set per worker), so the loop over runs performs no
+/// heap allocation in steady state.
+void evaluate_run(const Application& app, const ExperimentConfig& cfg,
+                  const OfflineResult& off, const PowerModel& pm,
+                  SimTime deadline,
+                  std::vector<std::unique_ptr<SpeedPolicy>>& policies,
+                  SpeedPolicy& npm, int run, SimWorkspace& ws,
+                  RunScenario& sc, RunOutcome& out) {
   Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
-  const RunScenario sc = draw_scenario(app.graph, run_rng);
+  draw_scenario(app.graph, run_rng, sc);
 
-  RunOutcome out;
+  // Traces are only materialized when something consumes them.
+  SimOptions sim_opt;
+  sim_opt.record_trace = cfg.verify_traces;
+
   npm.reset(off, pm);
-  const SimResult base = simulate(app, off, pm, cfg.overheads, npm, sc);
+  const SimResult base =
+      simulate(app, off, pm, cfg.overheads, npm, sc, ws, sim_opt);
   out.npm_energy = base.total_energy();
+  // A degenerate workload (no computation and zero idle power) yields a
+  // zero NPM baseline; dividing by it would poison RunningStat with
+  // NaN/Inf, so such runs are flagged and excluded from norm_energy.
+  out.degenerate = !(out.npm_energy > 0.0);
 
-  out.schemes.resize(cfg.schemes.size());
   for (std::size_t s = 0; s < cfg.schemes.size(); ++s) {
     SpeedPolicy& policy = *policies[s];
     policy.reset(off, pm);
-    const SimResult r = simulate(app, off, pm, cfg.overheads, policy, sc);
+    const SimResult r =
+        simulate(app, off, pm, cfg.overheads, policy, sc, ws, sim_opt);
     SchemeOutcome& so = out.schemes[s];
-    so.norm_energy = r.total_energy() / base.total_energy();
+    if (!out.degenerate) {
+      so.norm_energy = r.total_energy() / out.npm_energy;
+      so.has_norm = true;
+    }
     so.speed_changes = static_cast<double>(r.speed_changes);
     so.finish_frac = static_cast<double>(r.finish_time.ps) /
                      static_cast<double>(deadline.ps);
@@ -78,7 +95,6 @@ RunOutcome evaluate_run(const Application& app, const ExperimentConfig& cfg,
       so.verify_failed = !rep.ok;
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -105,17 +121,23 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
   for (std::size_t s = 0; s < cfg.schemes.size(); ++s)
     point.stats[s].scheme = cfg.schemes[s];
 
+  // Preallocate every per-run slot before the workers start, so the run
+  // loop itself writes in place without allocating.
   std::vector<RunOutcome> outcomes(static_cast<std::size_t>(cfg.runs));
+  for (RunOutcome& out : outcomes) out.schemes.resize(cfg.schemes.size());
 
   auto worker = [&](int first, int step) {
-    // Each worker owns one set of (stateful) policy objects.
+    // Each worker owns one set of (stateful) policy objects, one engine
+    // workspace and one scenario buffer, all reused across its runs.
     std::vector<std::unique_ptr<SpeedPolicy>> policies;
     for (Scheme s : cfg.schemes)
       policies.push_back(make_policy(s, cfg.policy_options));
     auto npm = make_policy(Scheme::NPM);
+    SimWorkspace ws;
+    RunScenario sc;
     for (int run = first; run < cfg.runs; run += step)
-      outcomes[static_cast<std::size_t>(run)] =
-          evaluate_run(app, cfg, off, pm, deadline, policies, *npm, run);
+      evaluate_run(app, cfg, off, pm, deadline, policies, *npm, run, ws, sc,
+                   outcomes[static_cast<std::size_t>(run)]);
   };
 
   const int threads = std::min(cfg.threads, cfg.runs);
@@ -132,10 +154,11 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
   // every thread count.
   for (const RunOutcome& run : outcomes) {
     point.npm_energy.add(run.npm_energy);
+    if (run.degenerate) ++point.degenerate_runs;
     for (std::size_t s = 0; s < run.schemes.size(); ++s) {
       const SchemeOutcome& so = run.schemes[s];
       SchemeStats& st = point.stats[s];
-      st.norm_energy.add(so.norm_energy);
+      if (so.has_norm) st.norm_energy.add(so.norm_energy);
       st.speed_changes.add(so.speed_changes);
       st.finish_frac.add(so.finish_frac);
       if (so.has_fracs) {
@@ -192,9 +215,18 @@ std::vector<SweepPoint> sweep_alpha(const Application& app,
 
 std::vector<double> sweep_range(double from, double to, double step) {
   PASERTA_REQUIRE(step > 0.0 && from <= to, "invalid sweep range");
+  // Integer step index: accumulating `x += step` in floating point drifts
+  // across many steps and could emit the endpoint twice when the
+  // accumulated value lands within the tolerance just above `to`. The
+  // relative tolerance decides whether the endpoint itself sits on the
+  // grid (e.g. (1.0 - 0.1) / 0.1 evaluates to 8.999...).
+  const double raw = (to - from) / step;
+  const auto steps =
+      static_cast<std::int64_t>(raw + 1e-9 * std::max(1.0, raw));
   std::vector<double> xs;
-  for (double x = from; x <= to + 1e-9; x += step)
-    xs.push_back(std::min(x, to));
+  xs.reserve(static_cast<std::size_t>(steps) + 1);
+  for (std::int64_t i = 0; i <= steps; ++i)
+    xs.push_back(std::min(from + static_cast<double>(i) * step, to));
   return xs;
 }
 

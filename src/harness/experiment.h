@@ -62,6 +62,10 @@ struct SweepPoint {
   SimTime deadline{};
   SimTime worst_makespan{};
   RunningStat npm_energy;  // absolute joules, for reference
+  /// Runs whose NPM baseline consumed zero energy (degenerate workload:
+  /// no computation and zero idle power). Normalized energy is undefined
+  /// for them, so they are counted here and excluded from norm_energy.
+  std::uint32_t degenerate_runs = 0;
   std::vector<SchemeStats> stats;
 
   const SchemeStats& of(Scheme s) const;

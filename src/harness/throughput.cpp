@@ -1,0 +1,83 @@
+#include "harness/throughput.h"
+
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream oss;
+  oss << std::setprecision(12) << v;
+  return oss.str();
+}
+
+}  // namespace
+
+ThroughputReport measure_throughput(const Application& app,
+                                    ExperimentConfig cfg, SimTime deadline,
+                                    const std::vector<int>& thread_counts,
+                                    const std::string& label) {
+  PASERTA_REQUIRE(!thread_counts.empty(), "need at least one thread count");
+  ThroughputReport report;
+  report.label = label;
+  report.runs = cfg.runs;
+  report.schemes = static_cast<int>(cfg.schemes.size());
+
+  // Untimed warm-up: fault in code paths and allocator state so the first
+  // timed sample is not penalized relative to the later ones.
+  cfg.threads = thread_counts.front();
+  (void)run_point(app, cfg, deadline, 0.0);
+
+  using clock = std::chrono::steady_clock;
+  for (int threads : thread_counts) {
+    cfg.threads = threads;
+    const auto t0 = clock::now();
+    (void)run_point(app, cfg, deadline, 0.0);
+    const auto t1 = clock::now();
+    ThroughputSample s;
+    s.threads = threads;
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.runs_per_sec =
+        s.seconds > 0.0 ? static_cast<double>(cfg.runs) / s.seconds : 0.0;
+    report.samples.push_back(s);
+  }
+  return report;
+}
+
+std::string throughput_to_json(const ThroughputReport& report) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"benchmark\": \"throughput\",\n"
+     << "  \"label\": \"" << escape(report.label) << "\",\n"
+     << "  \"runs\": " << report.runs << ",\n"
+     << "  \"schemes\": " << report.schemes << ",\n"
+     << "  \"samples\": [\n";
+  for (std::size_t i = 0; i < report.samples.size(); ++i) {
+    const ThroughputSample& s = report.samples[i];
+    os << "    {\"threads\": " << s.threads
+       << ", \"seconds\": " << num(s.seconds)
+       << ", \"runs_per_sec\": " << num(s.runs_per_sec) << "}"
+       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace paserta

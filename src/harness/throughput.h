@@ -1,0 +1,41 @@
+// Throughput measurement for the Monte-Carlo hot loop.
+//
+// Times run_point on a fixed configuration across a list of thread counts
+// and reports runs/sec as a small self-contained JSON document. Lives in
+// the library — rather than inlined in the bench binary — so the timing
+// plumbing and the JSON shape are unit-testable; bench_throughput is a
+// thin wrapper over this module.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace paserta {
+
+struct ThroughputSample {
+  int threads = 1;
+  double seconds = 0.0;       // wall time of the timed run_point call
+  double runs_per_sec = 0.0;  // runs / seconds
+};
+
+struct ThroughputReport {
+  std::string label;  // e.g. "fig4a@load=0.5"
+  int runs = 0;       // Monte-Carlo runs per measurement
+  int schemes = 0;    // schemes per run (the NPM baseline is extra)
+  std::vector<ThroughputSample> samples;
+};
+
+/// Times run_point(app, cfg, deadline, ...) once per entry of
+/// `thread_counts` (cfg.threads is overridden), after one untimed warm-up
+/// at the first thread count to fault in code and allocator state.
+ThroughputReport measure_throughput(const Application& app,
+                                    ExperimentConfig cfg, SimTime deadline,
+                                    const std::vector<int>& thread_counts,
+                                    const std::string& label);
+
+/// Renders the report as a JSON object (pretty-printed, newline-terminated).
+std::string throughput_to_json(const ThroughputReport& report);
+
+}  // namespace paserta

@@ -1,69 +1,105 @@
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <queue>
-#include <set>
+#include <functional>
+#include <span>
 
 #include "common/error.h"
 
 namespace paserta {
 namespace {
 
+/// Number of nodes on the taken path, computed with workspace scratch so
+/// the per-run completeness check allocates nothing in steady state. Same
+/// closure as executed_set(), counting instead of materializing.
+std::uint32_t count_executed(const AndOrGraph& g, const RunScenario& sc,
+                             SimWorkspace& ws) {
+  const std::size_t n = g.size();
+  ws.reach_nup.resize(n);
+  ws.reached.assign(n, 0);
+  ws.reach_stack.clear();
+  // Index loop instead of all_nodes(): the latter materializes a vector,
+  // which would put an allocation back into every run.
+  const std::span<const Node> nodes = g.nodes();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const Node& node = nodes[v];
+    ws.reach_nup[v] =
+        node.kind == NodeKind::OrNode
+            ? std::min<std::uint32_t>(
+                  1, static_cast<std::uint32_t>(node.preds.size()))
+            : static_cast<std::uint32_t>(node.preds.size());
+    if (ws.reach_nup[v] == 0) ws.reach_stack.push_back(v);
+  }
+  std::uint32_t count = 0;
+  while (!ws.reach_stack.empty()) {
+    const NodeId id{ws.reach_stack.back()};
+    ws.reach_stack.pop_back();
+    if (ws.reached[id.value]) continue;
+    ws.reached[id.value] = 1;
+    ++count;
+    const Node& node = nodes[id.value];
+    if (node.is_or_fork()) {
+      const int chosen = sc.choice_of(id);
+      ws.reach_stack.push_back(
+          node.succs[static_cast<std::size_t>(chosen)].value);
+    } else {
+      for (NodeId s : node.succs) {
+        if (ws.reach_nup[s.value] > 0 && --ws.reach_nup[s.value] == 0)
+          ws.reach_stack.push_back(s.value);
+      }
+    }
+  }
+  return count;
+}
+
 class Engine {
  public:
   Engine(const Application& app, const OfflineResult& off, const PowerModel& pm,
-         const Overheads& ovh, SpeedPolicy& policy, const RunScenario& sc)
+         const Overheads& ovh, SpeedPolicy& policy, const RunScenario& sc,
+         SimWorkspace& ws, const SimOptions& opt)
       : app_(app),
         g_(app.graph),
+        nodes_(app.graph.nodes()),
+        eo_(off.eo_),
+        eet_(off.eet_),
         off_(off),
         pm_(pm),
         ovh_(ovh),
         policy_(policy),
-        sc_(sc) {}
+        sc_(sc),
+        ws_(ws),
+        opt_(opt) {}
 
   SimResult run();
 
  private:
-  struct Cpu {
-    std::size_t level = 0;
-    bool sleeping = false;
-    SimTime busy{};  // total non-idle time (exec + overheads)
-  };
-
-  struct Completion {
-    SimTime finish;
-    std::uint64_t seq;
-    int cpu;
-    NodeId node;
-    bool operator>(const Completion& o) const {
-      if (finish != o.finish) return finish > o.finish;
-      return seq > o.seq;
-    }
-  };
+  using Cpu = SimWorkspace::Cpu;
+  using Completion = SimWorkspace::Completion;
 
   void dispatch(int cpu, SimTime t);
   void on_completion(int cpu, NodeId node, SimTime t);
   void enqueue_ready(NodeId id);
+  std::pair<std::uint32_t, std::uint32_t> pop_ready();
   void release_successors(NodeId id);
   bool head_dispatchable() const;
   void wake_one(SimTime t);
 
   const Application& app_;
   const AndOrGraph& g_;
+  // simulate() validates that scenario and offline data match the graph,
+  // so the per-dispatch paths below index unchecked.
+  const std::span<const Node> nodes_;
+  const std::span<const std::uint32_t> eo_;
+  const std::span<const SimTime> eet_;
   const OfflineResult& off_;
   const PowerModel& pm_;
   const Overheads& ovh_;
   SpeedPolicy& policy_;
   const RunScenario& sc_;
+  SimWorkspace& ws_;
+  const SimOptions& opt_;
 
-  std::vector<std::uint32_t> nup_;
-  // Ready queue ordered by (EO, node id); EOs of coexisting ready nodes are
-  // unique by construction, the id is a deterministic safety net.
-  std::set<std::pair<std::uint32_t, std::uint32_t>> ready_;
   std::uint32_t neo_ = 0;
-  std::vector<Cpu> cpus_;
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
-      events_;
   std::uint64_t seq_ = 0;
 
   SimResult result_;
@@ -71,30 +107,38 @@ class Engine {
 };
 
 void Engine::enqueue_ready(NodeId id) {
-  ready_.insert({off_.eo(id), id.value});
+  ws_.ready.emplace_back(eo_[id.value], id.value);
+  std::push_heap(ws_.ready.begin(), ws_.ready.end(), std::greater<>{});
+}
+
+std::pair<std::uint32_t, std::uint32_t> Engine::pop_ready() {
+  std::pop_heap(ws_.ready.begin(), ws_.ready.end(), std::greater<>{});
+  const auto head = ws_.ready.back();
+  ws_.ready.pop_back();
+  return head;
 }
 
 void Engine::release_successors(NodeId id) {
-  for (NodeId s : g_.node(id).succs) {
-    PASERTA_ASSERT(nup_[s.value] > 0, "NUP underflow at node '"
-                                          << g_.node(s).name << "'");
-    if (--nup_[s.value] == 0) enqueue_ready(s);
+  for (NodeId s : nodes_[id.value].succs) {
+    PASERTA_ASSERT(ws_.nup[s.value] > 0, "NUP underflow at node '"
+                                             << nodes_[s.value].name << "'");
+    if (--ws_.nup[s.value] == 0) enqueue_ready(s);
   }
 }
 
 bool Engine::head_dispatchable() const {
-  if (ready_.empty()) return false;
-  const auto [eo, idv] = *ready_.begin();
+  if (ws_.ready.empty()) return false;
+  const auto [eo, idv] = ws_.ready.front();
   if (eo == neo_) return true;
   // OR nodes may jump NEO forward past the EOs of untaken alternatives.
-  return g_.node(NodeId{idv}).kind == NodeKind::OrNode && eo > neo_;
+  return nodes_[idv].kind == NodeKind::OrNode && eo > neo_;
 }
 
 void Engine::wake_one(SimTime t) {
   if (!head_dispatchable()) return;
-  for (int c = 0; c < static_cast<int>(cpus_.size()); ++c) {
-    if (cpus_[c].sleeping) {
-      cpus_[c].sleeping = false;
+  for (int c = 0; c < static_cast<int>(ws_.cpus.size()); ++c) {
+    if (ws_.cpus[c].sleeping) {
+      ws_.cpus[c].sleeping = false;
       dispatch(c, t);
       return;
     }
@@ -102,16 +146,15 @@ void Engine::wake_one(SimTime t) {
 }
 
 void Engine::dispatch(int cpu_id, SimTime t) {
-  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  Cpu& cpu = ws_.cpus[static_cast<std::size_t>(cpu_id)];
   for (;;) {
     if (!head_dispatchable()) {
       cpu.sleeping = true;  // Figure 2 step 3: wait()
       return;
     }
-    const auto [eo, idv] = *ready_.begin();
-    ready_.erase(ready_.begin());
+    const auto [eo, idv] = pop_ready();
     const NodeId id{idv};
-    const Node& n = g_.node(id);
+    const Node& n = nodes_[idv];
     PASERTA_ASSERT(eo >= neo_, "execution order went backwards");
     neo_ = eo + 1;  // Figure 2 steps 4 & 7
     ++result_.dispatched;
@@ -128,13 +171,13 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     if (n.is_dummy()) {
       rec.exec_start = rec.finish = t;
       if (n.is_or_fork()) {
-        const int chosen = sc_.choice_of(id);
+        const int chosen = sc_.or_choice[idv];
         PASERTA_ASSERT(chosen >= 0 &&
                            static_cast<std::size_t>(chosen) < n.succs.size(),
                        "scenario lacks a choice for fork '" << n.name << "'");
         rec.chosen_alt = chosen;
         const NodeId child = n.succs[static_cast<std::size_t>(chosen)];
-        nup_[child.value] = 0;
+        ws_.nup[child.value] = 0;
         enqueue_ready(child);
         if (policy_.kind() == SpeedPolicy::Kind::Dynamic)
           policy_.on_or_fired(id, chosen, t, off_, pm_);
@@ -144,7 +187,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
             policy_.kind() == SpeedPolicy::Kind::Dynamic)
           policy_.on_or_fired(id, -1, t, off_, pm_);
       }
-      result_.trace.push_back(rec);
+      if (opt_.record_trace) ws_.trace.push_back(rec);
       continue;  // same processor keeps dispatching at the same instant
     }
 
@@ -165,7 +208,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       // estimated end time EET = LST + inflated WCET. Reserve the switch
       // overhead before sizing the speed (conservative: the reservation is
       // kept even if the level ends up unchanged).
-      const SimTime avail = off_.eet(id) - start - ovh_.speed_change_time;
+      const SimTime avail = eet_[idv] - start - ovh_.speed_change_time;
       const Freq gss = required_freq(table.f_max(), n.wcet, avail);
       const Freq target = std::max(gss, policy_.floor_freq(start));
       const std::size_t new_lvl = table.quantize_up(target);
@@ -182,7 +225,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       }
     }
 
-    const SimTime actual = sc_.actual_of(id);
+    const SimTime actual = sc_.actual[idv];
     PASERTA_ASSERT(actual > SimTime::zero() && actual <= n.wcet,
                    "scenario actual time out of (0, WCET] for '" << n.name
                                                                  << "'");
@@ -195,8 +238,9 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     rec.exec_start = start;
     rec.finish = finish;
     rec.level = lvl;
-    result_.trace.push_back(rec);
-    events_.push(Completion{finish, seq_++, cpu_id, id});
+    if (opt_.record_trace) ws_.trace.push_back(rec);
+    ws_.events.push_back(Completion{finish, seq_++, cpu_id, id});
+    std::push_heap(ws_.events.begin(), ws_.events.end(), std::greater<>{});
 
     // Figure 2 step 5: if another processor sleeps and the (new) head is
     // dispatchable, signal it before executing.
@@ -213,44 +257,46 @@ void Engine::on_completion(int cpu_id, NodeId node, SimTime t) {
 
 SimResult Engine::run() {
   const std::size_t n = g_.size();
-  nup_.resize(n);
-  for (NodeId id : g_.all_nodes()) {
-    const Node& node = g_.node(id);
+  ws_.nup.resize(n);
+  ws_.ready.clear();
+  ws_.events.clear();
+  ws_.trace.clear();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const Node& node = nodes_[v];
     // OR nodes fire on their first (and only executed) finishing
     // predecessor: NUP starts at 1 (Figure 2 initialization).
-    nup_[id.value] = node.kind == NodeKind::OrNode
-                         ? std::min<std::uint32_t>(
-                               1, static_cast<std::uint32_t>(node.preds.size()))
-                         : static_cast<std::uint32_t>(node.preds.size());
-    if (nup_[id.value] == 0) enqueue_ready(id);
+    ws_.nup[v] = node.kind == NodeKind::OrNode
+                     ? std::min<std::uint32_t>(
+                           1, static_cast<std::uint32_t>(node.preds.size()))
+                     : static_cast<std::uint32_t>(node.preds.size());
+    if (ws_.nup[v] == 0) enqueue_ready(NodeId{v});
   }
 
   const std::size_t initial_level =
       policy_.kind() == SpeedPolicy::Kind::Static
           ? policy_.static_level()
           : pm_.table().size() - 1;  // dynamic schemes power up at f_max
-  cpus_.assign(static_cast<std::size_t>(off_.cpus()),
-               Cpu{initial_level, false, SimTime::zero()});
+  ws_.cpus.assign(static_cast<std::size_t>(off_.cpus()),
+                  Cpu{initial_level, false, SimTime::zero()});
 
   for (int c = 0; c < off_.cpus(); ++c) {
-    if (!cpus_[static_cast<std::size_t>(c)].sleeping) {
+    if (!ws_.cpus[static_cast<std::size_t>(c)].sleeping) {
       // dispatch() may have been woken transitively already; the flag
       // check keeps each CPU's first dispatch single.
       dispatch(c, SimTime::zero());
     }
   }
 
-  while (!events_.empty()) {
-    const Completion e = events_.top();
-    events_.pop();
+  while (!ws_.events.empty()) {
+    std::pop_heap(ws_.events.begin(), ws_.events.end(), std::greater<>{});
+    const Completion e = ws_.events.back();
+    ws_.events.pop_back();
     on_completion(e.cpu, e.node, e.finish);
   }
 
   // Completeness: every node on the taken path must have been dispatched.
-  const std::vector<bool> expected = executed_set(g_, sc_);
-  const auto expected_count = static_cast<std::uint32_t>(
-      std::count(expected.begin(), expected.end(), true));
-  PASERTA_ASSERT(ready_.empty(), "simulation ended with ready work");
+  const std::uint32_t expected_count = count_executed(g_, sc_, ws_);
+  PASERTA_ASSERT(ws_.ready.empty(), "simulation ended with ready work");
   PASERTA_ASSERT(result_.dispatched == expected_count,
                  "simulation dispatched " << result_.dispatched << " of "
                                           << expected_count
@@ -260,9 +306,13 @@ SimResult Engine::run() {
   result_.deadline_met = result_.finish_time <= off_.deadline();
 
   // Idle/sleep energy over [0, deadline].
-  for (const Cpu& c : cpus_) {
+  for (const Cpu& c : ws_.cpus) {
     const SimTime idle = off_.deadline() - c.busy;
     if (idle > SimTime::zero()) result_.idle_energy += pm_.idle_energy(idle);
+  }
+  if (opt_.record_trace) {
+    result_.trace = std::move(ws_.trace);
+    ws_.trace.clear();  // leave the moved-from buffer in a defined state
   }
   return result_;
 }
@@ -302,12 +352,24 @@ std::vector<bool> executed_set(const AndOrGraph& g, const RunScenario& sc) {
 
 SimResult simulate(const Application& app, const OfflineResult& off,
                    const PowerModel& pm, const Overheads& overheads,
-                   SpeedPolicy& policy, const RunScenario& scenario) {
+                   SpeedPolicy& policy, const RunScenario& scenario,
+                   SimWorkspace& workspace, const SimOptions& options) {
   PASERTA_REQUIRE(scenario.actual.size() == app.graph.size() &&
                       scenario.or_choice.size() == app.graph.size(),
                   "scenario size does not match the application graph");
-  Engine engine(app, off, pm, overheads, policy, scenario);
+  PASERTA_REQUIRE(off.eo_.size() == app.graph.size() &&
+                      off.eet_.size() == app.graph.size(),
+                  "offline result does not match the application graph");
+  Engine engine(app, off, pm, overheads, policy, scenario, workspace, options);
   return engine.run();
+}
+
+SimResult simulate(const Application& app, const OfflineResult& off,
+                   const PowerModel& pm, const Overheads& overheads,
+                   SpeedPolicy& policy, const RunScenario& scenario) {
+  SimWorkspace workspace;
+  return simulate(app, off, pm, overheads, policy, scenario, workspace,
+                  SimOptions{});
 }
 
 SimResult simulate(const Application& app, const OfflineResult& off,

@@ -18,9 +18,17 @@
 //
 // Energy is integrated over [0, deadline]: busy + overhead + transition
 // energy plus idle/sleep energy at the model's idle power.
+//
+// The engine keeps no heap state of its own: every per-run buffer lives in
+// a caller-owned SimWorkspace that is cleared — not reallocated — between
+// runs, so Monte-Carlo loops (harness/experiment.cpp) pay zero per-run
+// allocation. Trace recording is opt-in via SimOptions::record_trace; the
+// convenience overloads without a workspace record traces (the verifier,
+// Gantt/SVG tools and tests consume them).
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/offline.h"
@@ -45,6 +53,54 @@ struct TaskRecord {
   int chosen_alt = -1;      // OR forks: selected alternative
 };
 
+/// Per-run simulation knobs.
+struct SimOptions {
+  /// Record one TaskRecord per dispatched node into SimResult::trace.
+  /// Only the trace verifier, the Gantt/SVG renderers and the trace
+  /// analytics need traces; aggregate-only consumers (the Monte-Carlo
+  /// harness) turn this off to keep the hot loop allocation-free.
+  bool record_trace = true;
+};
+
+/// Reusable scratch space of the simulation engine: the NUP counters,
+/// ready queue, completion heap, per-CPU state, trace buffer and the
+/// scratch of the end-of-run completeness check. One workspace serves one
+/// simulation at a time (one per worker thread); buffers grow to the
+/// high-water mark of the runs they serve and are then reused without
+/// touching the allocator. Treat the members as engine-internal: construct
+/// the object and pass it to simulate().
+struct SimWorkspace {
+  struct Cpu {
+    std::size_t level = 0;
+    bool sleeping = false;
+    SimTime busy{};  // total non-idle time (exec + overheads)
+  };
+
+  struct Completion {
+    SimTime finish{};
+    std::uint64_t seq = 0;
+    int cpu = -1;
+    NodeId node{};
+    bool operator>(const Completion& o) const {
+      if (finish != o.finish) return finish > o.finish;
+      return seq > o.seq;
+    }
+  };
+
+  std::vector<std::uint32_t> nup;
+  // Ready queue: binary min-heap keyed on (EO, node id). EOs of coexisting
+  // ready nodes are unique by construction, the id is a deterministic
+  // safety net.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ready;
+  std::vector<Completion> events;  // binary min-heap on (finish, seq)
+  std::vector<Cpu> cpus;
+  std::vector<TaskRecord> trace;
+  // Scratch of the taken-path closure (completeness check).
+  std::vector<std::uint32_t> reach_nup;
+  std::vector<std::uint32_t> reach_stack;
+  std::vector<char> reached;
+};
+
 /// Result of one simulated run of one scheme.
 struct SimResult {
   Energy busy_energy = 0.0;        // task execution
@@ -54,7 +110,7 @@ struct SimResult {
   std::uint32_t speed_changes = 0;
   std::uint32_t dispatched = 0;
   bool deadline_met = false;
-  std::vector<TaskRecord> trace;
+  std::vector<TaskRecord> trace;   // empty unless SimOptions::record_trace
 
   Energy total_energy() const {
     return busy_energy + overhead_energy + idle_energy;
@@ -64,7 +120,16 @@ struct SimResult {
 /// Simulates one run. `off` must come from analyze_offline on the same
 /// application with the same CPU count; `off.feasible()` should hold for
 /// the deadline guarantee to apply (the engine still runs otherwise and
-/// reports deadline_met = false when it misses).
+/// reports deadline_met = false when it misses). The workspace overload is
+/// the hot-loop entry point: it performs no heap allocation once the
+/// workspace buffers have reached their steady-state sizes.
+SimResult simulate(const Application& app, const OfflineResult& off,
+                   const PowerModel& pm, const Overheads& overheads,
+                   SpeedPolicy& policy, const RunScenario& scenario,
+                   SimWorkspace& workspace, const SimOptions& options = {});
+
+/// Convenience: simulate with a one-shot internal workspace, recording a
+/// full trace (the pre-workspace behaviour; used by tools and tests).
 SimResult simulate(const Application& app, const OfflineResult& off,
                    const PowerModel& pm, const Overheads& overheads,
                    SpeedPolicy& policy, const RunScenario& scenario);

@@ -30,6 +30,9 @@ void render_gantt(std::ostream& os, const Application& app,
                   const OfflineResult& off, const PowerModel& pm,
                   const SimResult& result, const GanttOptions& opt) {
   PASERTA_REQUIRE(opt.width >= 16, "gantt width must be at least 16 columns");
+  PASERTA_REQUIRE(!result.trace.empty() || result.dispatched == 0,
+                  "cannot render a Gantt chart from a result without a "
+                  "trace; simulate with record_trace enabled");
   const int cpus = off.cpus();
   const SimTime horizon = std::max(off.deadline(), result.finish_time);
 

@@ -8,11 +8,18 @@ namespace paserta {
 
 RunScenario draw_scenario(const AndOrGraph& g, Rng& rng) {
   RunScenario sc;
-  sc.actual.resize(g.size(), SimTime::zero());
-  sc.or_choice.resize(g.size(), -1);
+  draw_scenario(g, rng, sc);
+  return sc;
+}
 
-  for (NodeId id : g.all_nodes()) {
-    const Node& n = g.node(id);
+void draw_scenario(const AndOrGraph& g, Rng& rng, RunScenario& out) {
+  out.actual.assign(g.size(), SimTime::zero());
+  out.or_choice.assign(g.size(), -1);
+
+  // Index loop instead of all_nodes(): the latter materializes a vector,
+  // which would put an allocation back into every hot-loop draw.
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(NodeId{v});
     if (n.kind == NodeKind::Computation) {
       const double mean = static_cast<double>(n.acet.ps);
       const double sigma = static_cast<double>((n.wcet - n.acet).ps) / 3.0;
@@ -20,13 +27,11 @@ RunScenario draw_scenario(const AndOrGraph& g, Rng& rng) {
       const double lo =
           std::max(1.0, 2.0 * mean - static_cast<double>(n.wcet.ps));
       x = std::clamp(x, lo, static_cast<double>(n.wcet.ps));
-      sc.actual[id.value] = SimTime{static_cast<std::int64_t>(x + 0.5)};
+      out.actual[v] = SimTime{static_cast<std::int64_t>(x + 0.5)};
     } else if (n.is_or_fork()) {
-      sc.or_choice[id.value] =
-          static_cast<int>(rng.next_discrete(n.succ_prob));
+      out.or_choice[v] = static_cast<int>(rng.next_discrete(n.succ_prob));
     }
   }
-  return sc;
 }
 
 RunScenario worst_case_scenario(const AndOrGraph& g,

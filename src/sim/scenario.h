@@ -30,6 +30,11 @@ struct RunScenario {
 /// choice (DESIGN.md §3.6).
 RunScenario draw_scenario(const AndOrGraph& g, Rng& rng);
 
+/// In-place variant for hot loops: overwrites `out`, reusing its buffers
+/// (no allocation after the first call with the same graph). Draws the
+/// same values as the returning overload for the same RNG state.
+void draw_scenario(const AndOrGraph& g, Rng& rng, RunScenario& out);
+
 /// The adversarial scenario: every task takes its WCET and every fork takes
 /// its worst-case (longest remaining canonical time is unknown here, so the
 /// caller passes explicit choices; by default alternative 0).

@@ -12,6 +12,15 @@ VerifyReport verify_trace(const Application& app, const OfflineResult& off,
   VerifyReport rep;
   const AndOrGraph& g = app.graph;
 
+  // A result produced with SimOptions::record_trace off carries no trace;
+  // report that directly instead of a misleading coverage failure per node.
+  if (result.trace.empty() && result.dispatched > 0) {
+    rep.fail("result has no trace (" + std::to_string(result.dispatched) +
+             " nodes dispatched) — simulate with record_trace enabled to "
+             "verify");
+    return rep;
+  }
+
   auto describe = [&](NodeId id) {
     std::ostringstream oss;
     oss << "'" << g.node(id).name << "' (node " << id.value << ")";

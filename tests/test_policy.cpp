@@ -132,6 +132,22 @@ TEST(Ss2, TwoSpeedsAroundSpeculation) {
   EXPECT_EQ(p->floor_freq(ms(39)), 400 * kMHz);
 }
 
+TEST(Ss2, ThetaRoundsToNearestPicosecond) {
+  const Application app = sample_app(5);
+  const OfflineResult off = analyze(app, ms(40));
+  const PowerModel pm(LevelTable::intel_xscale());
+  StaticSpecPolicy p(true, PolicyOptions::SpecRounding::Up);
+  p.reset(off, pm);
+  ASSERT_EQ(p.f_low(), 150 * kMHz);
+  ASSERT_EQ(p.f_high(), 400 * kMHz);
+  // theta = D * (400-250)/(400-150) = 24ms exactly — but the fraction 0.6
+  // has no finite binary representation, so 0.6 * 4e10 ps evaluates to
+  // 23999999999.999996...: a truncating cast lands one picosecond short,
+  // while rounding to nearest hits 24'000'000'000 on the dot.
+  EXPECT_EQ(p.theta().ps, 24'000'000'000LL);
+  EXPECT_EQ(p.theta(), ms(24));
+}
+
 TEST(Ss2, DegeneratesToSingleSpeedOnExactLevel) {
   const Application app = sample_app(5);
   // A = 10ms, D = 25ms -> f_spec = 400 MHz exactly (a level).
