@@ -1,28 +1,80 @@
-// Throughput of the Monte-Carlo hot loop on the paper's Fig. 4 point (ATR
-// on the 2-CPU Transmeta platform at load 0.5): runs/sec serial and with a
-// worker pool, emitted as JSON on stdout. Traces are off, so the loop runs
-// with zero steady-state allocation (one SimWorkspace per worker).
+// Throughput of the Monte-Carlo harness on the paper's Fig. 4 workload
+// (ATR on the 2-CPU Transmeta platform), emitted as JSON on stdout:
 //
-// Usage: bench_throughput [runs] [threads]
-//   runs     Monte-Carlo runs per measurement (default 2000)
-//   threads  pool size for the threaded sample (default: hardware threads)
+//   point  runs/sec of one run_point call (load 0.5) per thread count —
+//          the PR-1 hot-loop metric, unchanged;
+//   sweep  points/sec of a whole 10-point load sweep per thread count,
+//          pooled (persistent pool, chunked claiming, point overlap, one
+//          canonical offline analysis) vs the pre-pool baseline (fresh
+//          thread spawn/join and a fresh offline analysis per point), with
+//          speedup and scaling efficiency.
+//
+// Traces are off, so the loop runs with zero steady-state allocation (one
+// SimWorkspace per worker slot). Sweep runs-per-point defaults to runs/10:
+// the sweep mode exists to measure orchestration overhead, which the
+// paper's sweep shape exposes when points are short.
+//
+// Usage: bench_throughput [runs] [threads] [--out=FILE]
+//   runs     Monte-Carlo runs per point-mode measurement (default 2000)
+//   threads  max worker count sampled (default: hardware threads, min 4)
+//   --out    also write the JSON document to FILE (the repo keeps a
+//            committed baseline in BENCH_throughput.json)
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/offline.h"
 #include "harness/figures.h"
 #include "harness/throughput.h"
 
+namespace {
+
+constexpr const char* kUsage =
+    "bench_throughput [runs] [threads] [--out=FILE]";
+
+std::vector<int> thread_ladder(int max_threads) {
+  std::vector<int> counts;
+  for (int t : {1, 2, 4, 8, max_threads}) {
+    if (t <= max_threads &&
+        (counts.empty() || counts.back() < t))
+      counts.push_back(t);
+  }
+  return counts;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace paserta;
-  const int runs = benchutil::runs_from_args(argc, argv, 2000);
-  int threads = argc > 2 ? std::atoi(argv[2]) : 0;
-  if (threads <= 0)
-    threads = std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+
+  std::string out_path;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+      if (out_path.empty()) {
+        std::cerr << "error: --out needs a file path\nusage: " << kUsage
+                  << "\n";
+        return 2;
+      }
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int runs =
+      positional.size() > 0
+          ? benchutil::positive_int_arg(positional[0], "runs", kUsage)
+          : 2000;
+  int threads =
+      positional.size() > 1
+          ? benchutil::positive_int_arg(positional[1], "threads", kUsage)
+          : std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
 
   const FigureDef fig = paper_figure("fig4a", runs);
   const Application app = figure_workload(fig);
@@ -38,8 +90,30 @@ int main(int argc, char** argv) {
   const SimTime deadline{
       static_cast<std::int64_t>(std::ceil(static_cast<double>(w.ps) / load))};
 
-  const ThroughputReport report = measure_throughput(
+  const ThroughputReport point_report = measure_throughput(
       app, cfg, deadline, {1, threads}, fig.id + "@load=0.5");
-  std::cout << throughput_to_json(report);
+
+  // Sweep mode: the paper's 10-point §5.1 load grid with short points, so
+  // orchestration (thread churn, repeated offline analyses, point
+  // serialization) dominates and the executor's win is visible.
+  ExperimentConfig sweep_cfg = cfg;
+  sweep_cfg.runs = std::max(20, runs / 100);
+  const std::vector<double> loads = sweep_range(0.1, 1.0, 0.1);
+  const SweepThroughputReport sweep_report =
+      measure_sweep_throughput(app, sweep_cfg, loads, thread_ladder(threads),
+                               fig.id + "@loads=0.1..1.0");
+
+  const std::string doc = "{\n\"point\": " + throughput_to_json(point_report) +
+                          ",\n\"sweep\": " +
+                          sweep_throughput_to_json(sweep_report) + "}\n";
+  std::cout << doc;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "error: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << doc;
+  }
   return 0;
 }

@@ -5,6 +5,8 @@
 // machine-readable CSV series plus the experiment parameters.
 #pragma once
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -14,11 +16,30 @@
 
 namespace paserta::benchutil {
 
-inline int runs_from_args(int argc, char** argv, int def = 1000) {
-  if (argc > 1) {
-    const int r = std::atoi(argv[1]);
-    if (r > 0) return r;
+/// Strict positive-integer parse of a full token. Garbage ("abc"), partial
+/// numbers ("12abc"), out-of-range values and non-positive counts all fail
+/// loudly with usage text instead of being silently coerced the way
+/// std::atoi would ("abc" -> default, "12abc" -> 12).
+inline int positive_int_arg(const char* token, const char* what,
+                            const char* usage) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(token, &end, 10);
+  if (end == token || *end != '\0' || errno == ERANGE || v < 1 ||
+      v > INT_MAX) {
+    std::cerr << "error: invalid " << what << " '" << token
+              << "' (expected a positive integer)\n"
+              << "usage: " << usage << "\n";
+    std::exit(2);
   }
+  return static_cast<int>(v);
+}
+
+inline int runs_from_args(int argc, char** argv, int def = 1000) {
+  if (argc > 1)
+    return positive_int_arg(argv[1], "runs",
+                            "bench [runs]   (runs: Monte-Carlo runs per "
+                            "point, positive integer)");
   return def;
 }
 

@@ -1,6 +1,7 @@
 #include "core/offline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "common/error.h"
@@ -25,10 +26,101 @@ struct ProgramTimes {
   SimTime a{};
 };
 
-class Analyzer {
+std::atomic<std::uint64_t> g_canonical_count{0};
+
+}  // namespace
+
+/// Deadline-independent payload of one phase-1 analysis. The per-node
+/// tables are copied into every OfflineResult derived from it; the segment
+/// cache drives the per-deadline shift walk.
+struct CanonicalData {
+  const Application* app = nullptr;
+  CanonicalOptions opt;
+  SimTime worst_makespan{};
+  SimTime average_makespan{};
+  std::uint32_t max_eo = 0;
+  std::vector<std::uint32_t> eo;
+  std::vector<SimTime> inflated_wcet;
+  std::vector<SimTime> rem_a;
+  std::vector<SimTime> rem_w;
+  std::unordered_map<std::uint32_t, OrForkProfile> fork_profiles;
+  std::unordered_map<const StructSegment*, SegAnalysis> segs;
+};
+
+/// The only writer of CanonicalAnalysis and OfflineResult (their friend):
+/// phase 1 fills a CanonicalData, phase 2 shifts it to a deadline.
+class OfflineAnalyzer {
  public:
-  Analyzer(const Application& app, const OfflineOptions& opt)
-      : app_(app), opt_(opt) {}
+  static CanonicalAnalysis analyze(const Application& app,
+                                   const CanonicalOptions& opt) {
+    PASERTA_REQUIRE(opt.cpus >= 1, "need at least one processor");
+    PASERTA_REQUIRE(!opt.overhead_budget.is_negative(),
+                    "overhead budget must be non-negative");
+    PASERTA_REQUIRE(!app.structure.segments.empty(),
+                    "application '" << app.name << "' has no structure");
+
+    auto data = std::make_shared<CanonicalData>();
+    data->app = &app;
+    data->opt = opt;
+
+    const std::size_t n = app.graph.size();
+    data->eo.assign(n, NodeId::kInvalid);
+    data->inflated_wcet.assign(n, SimTime::zero());
+    data->rem_a.assign(n, SimTime::zero());
+    data->rem_w.assign(n, SimTime::zero());
+
+    OfflineAnalyzer an(app, opt, *data);
+    const ProgramTimes t = an.compute_times(app.structure);
+    data->worst_makespan = t.w;
+    data->average_makespan = t.a;
+    data->max_eo = an.assign_eo(app.structure, 0);
+    PASERTA_ASSERT(
+        std::none_of(data->eo.begin(), data->eo.end(),
+                     [](std::uint32_t e) { return e == NodeId::kInvalid; }),
+        "offline phase left a node without an execution order");
+    an.assign_rem(app.structure, SimTime::zero(), SimTime::zero());
+    for (NodeId id : app.graph.all_nodes())
+      data->inflated_wcet[id.value] = an.inflated_wcet(id);
+
+    g_canonical_count.fetch_add(1, std::memory_order_relaxed);
+    CanonicalAnalysis result;
+    result.data_ = std::move(data);
+    return result;
+  }
+
+  static OfflineResult apply(const CanonicalAnalysis& canonical,
+                             SimTime deadline) {
+    PASERTA_REQUIRE(canonical.valid(),
+                    "apply_deadline needs a valid canonical analysis");
+    PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
+    const CanonicalData& d = *canonical.data_;
+
+    OfflineResult r;
+    r.cpus_ = d.opt.cpus;
+    r.deadline_ = deadline;
+    r.overhead_budget_ = d.opt.overhead_budget;
+    r.worst_makespan_ = d.worst_makespan;
+    r.average_makespan_ = d.average_makespan;
+    r.max_eo_ = d.max_eo;
+    r.eo_ = d.eo;
+    r.inflated_wcet_ = d.inflated_wcet;
+    r.rem_a_ = d.rem_a;
+    r.rem_w_ = d.rem_w;
+    r.fork_profiles_ = d.fork_profiles;
+
+    const std::size_t n = d.app->graph.size();
+    r.lst_.assign(n, SimTime::zero());
+    r.eet_.assign(n, SimTime::zero());
+    assign_lst(d, d.app->structure, deadline, r);
+    for (std::uint32_t v = 0; v < n; ++v)
+      r.eet_[v] = r.lst_[v] + r.inflated_wcet_[v];
+    return r;
+  }
+
+ private:
+  OfflineAnalyzer(const Application& app, const CanonicalOptions& opt,
+                  CanonicalData& data)
+      : app_(app), opt_(opt), data_(data) {}
 
   ProgramTimes compute_times(const StructProgram& p) {
     ProgramTimes total;
@@ -45,7 +137,7 @@ class Analyzer {
         sa.a = acet_sched.makespan;
         total.w += sa.w;
         total.a += sa.a;
-        cache_.emplace(&seg, std::move(sa));
+        data_.segs.emplace(&seg, std::move(sa));
       } else {
         SegAnalysis sa;
         SimTime w_max{};
@@ -59,72 +151,45 @@ class Analyzer {
         }
         total.w += w_max;
         total.a += SimTime{static_cast<std::int64_t>(a_exp + 0.5)};
-        cache_.emplace(&seg, std::move(sa));
+        data_.segs.emplace(&seg, std::move(sa));
       }
     }
     return total;
   }
 
-  std::uint32_t assign_eo(const StructProgram& p, std::uint32_t counter,
-                          OfflineResult& r) {
+  std::uint32_t assign_eo(const StructProgram& p, std::uint32_t counter) {
     for (const StructSegment& seg : p.segments) {
       if (seg.kind == StructSegment::Kind::Section) {
-        for (NodeId id : cache_.at(&seg).wcet_sched.dispatch_order)
-          r.eo_[id.value] = counter++;
+        for (NodeId id : data_.segs.at(&seg).wcet_sched.dispatch_order)
+          data_.eo[id.value] = counter++;
       } else {
-        r.eo_[seg.fork.value] = counter++;
+        data_.eo[seg.fork.value] = counter++;
         const std::uint32_t base = counter;
         std::uint32_t max_span = 0;
         for (const StructProgram& alt : seg.alternatives) {
-          const std::uint32_t end = assign_eo(alt, base, r);
+          const std::uint32_t end = assign_eo(alt, base);
           max_span = std::max(max_span, end - base);
         }
         counter = base + max_span;
-        r.eo_[seg.join.value] = counter++;
+        data_.eo[seg.join.value] = counter++;
       }
     }
     return counter;
   }
 
-  /// Shifts this program's canonical schedule so it finishes exactly at
-  /// `end`; records LSTs. Returns the program's shifted start time.
-  SimTime assign_lst(const StructProgram& p, SimTime end, OfflineResult& r) {
-    for (auto it = p.segments.rbegin(); it != p.segments.rend(); ++it) {
-      const StructSegment& seg = *it;
-      const SegAnalysis& sa = cache_.at(&seg);
-      if (seg.kind == StructSegment::Kind::Section) {
-        const SimTime shift = end - sa.w;
-        for (const auto& [node, item] : sa.wcet_sched.items)
-          r.lst_[node] = item.start + shift;
-        end = shift;
-      } else {
-        r.lst_[seg.join.value] = end;
-        SimTime w_max{};
-        for (std::size_t i = 0; i < seg.alternatives.size(); ++i) {
-          assign_lst(seg.alternatives[i], end, r);
-          w_max = std::max(w_max, sa.alt_w[i]);
-        }
-        const SimTime fork_time = end - w_max;
-        r.lst_[seg.fork.value] = fork_time;
-        end = fork_time;
-      }
-    }
-    return end;
-  }
-
   /// Backward walk computing remaining worst/average times after each OR
   /// node and the per-alternative fork profiles (the PMP data of §2.2).
   void assign_rem(const StructProgram& p, SimTime rem_w_after,
-                  SimTime rem_a_after, OfflineResult& r) {
+                  SimTime rem_a_after) {
     for (auto it = p.segments.rbegin(); it != p.segments.rend(); ++it) {
       const StructSegment& seg = *it;
-      const SegAnalysis& sa = cache_.at(&seg);
+      const SegAnalysis& sa = data_.segs.at(&seg);
       if (seg.kind == StructSegment::Kind::Section) {
         rem_w_after += sa.w;
         rem_a_after += sa.a;
       } else {
-        r.rem_w_[seg.join.value] = rem_w_after;
-        r.rem_a_[seg.join.value] = rem_a_after;
+        data_.rem_w[seg.join.value] = rem_w_after;
+        data_.rem_a[seg.join.value] = rem_a_after;
         OrForkProfile prof;
         SimTime rem_w_fork{};
         double rem_a_fork = 0.0;
@@ -134,16 +199,43 @@ class Analyzer {
           rem_w_fork = std::max(rem_w_fork, prof.rem_w_alt.back());
           rem_a_fork += seg.alt_prob[i] *
                         static_cast<double>(prof.rem_a_alt.back().ps);
-          assign_rem(seg.alternatives[i], rem_w_after, rem_a_after, r);
+          assign_rem(seg.alternatives[i], rem_w_after, rem_a_after);
         }
-        r.rem_w_[seg.fork.value] = rem_w_fork;
-        r.rem_a_[seg.fork.value] =
+        data_.rem_w[seg.fork.value] = rem_w_fork;
+        data_.rem_a[seg.fork.value] =
             SimTime{static_cast<std::int64_t>(rem_a_fork + 0.5)};
-        r.fork_profiles_.emplace(seg.fork.value, std::move(prof));
-        rem_w_after = r.rem_w_[seg.fork.value];
-        rem_a_after = r.rem_a_[seg.fork.value];
+        data_.fork_profiles.emplace(seg.fork.value, std::move(prof));
+        rem_w_after = data_.rem_w[seg.fork.value];
+        rem_a_after = data_.rem_a[seg.fork.value];
       }
     }
+  }
+
+  /// Shifts this program's canonical schedule so it finishes exactly at
+  /// `end`; records LSTs. Returns the program's shifted start time.
+  static SimTime assign_lst(const CanonicalData& d, const StructProgram& p,
+                            SimTime end, OfflineResult& r) {
+    for (auto it = p.segments.rbegin(); it != p.segments.rend(); ++it) {
+      const StructSegment& seg = *it;
+      const SegAnalysis& sa = d.segs.at(&seg);
+      if (seg.kind == StructSegment::Kind::Section) {
+        const SimTime shift = end - sa.w;
+        for (const auto& [node, item] : sa.wcet_sched.items)
+          r.lst_[node] = item.start + shift;
+        end = shift;
+      } else {
+        r.lst_[seg.join.value] = end;
+        SimTime w_max{};
+        for (std::size_t i = 0; i < seg.alternatives.size(); ++i) {
+          assign_lst(d, seg.alternatives[i], end, r);
+          w_max = std::max(w_max, sa.alt_w[i]);
+        }
+        const SimTime fork_time = end - w_max;
+        r.lst_[seg.fork.value] = fork_time;
+        end = fork_time;
+      }
+    }
+    return end;
   }
 
   SimTime inflated_wcet(NodeId id) const {
@@ -155,73 +247,85 @@ class Analyzer {
     return n.is_dummy() ? SimTime::zero() : n.acet + opt_.overhead_budget;
   }
 
- private:
   const Application& app_;
-  const OfflineOptions& opt_;
-  std::unordered_map<const StructSegment*, SegAnalysis> cache_;
+  const CanonicalOptions& opt_;
+  CanonicalData& data_;
 };
 
-}  // namespace
+SimTime CanonicalAnalysis::worst_makespan() const {
+  return data_ ? data_->worst_makespan : SimTime::zero();
+}
+SimTime CanonicalAnalysis::average_makespan() const {
+  return data_ ? data_->average_makespan : SimTime::zero();
+}
+int CanonicalAnalysis::cpus() const { return data_ ? data_->opt.cpus : 0; }
+SimTime CanonicalAnalysis::overhead_budget() const {
+  return data_ ? data_->opt.overhead_budget : SimTime::zero();
+}
+ListHeuristic CanonicalAnalysis::heuristic() const {
+  return data_ ? data_->opt.heuristic : ListHeuristic::LongestTaskFirst;
+}
+const Application& CanonicalAnalysis::application() const {
+  PASERTA_REQUIRE(data_ != nullptr, "empty canonical analysis");
+  return *data_->app;
+}
+
+CanonicalAnalysis analyze_canonical(const Application& app,
+                                    const CanonicalOptions& options) {
+  return OfflineAnalyzer::analyze(app, options);
+}
+
+OfflineResult apply_deadline(const CanonicalAnalysis& canonical,
+                             SimTime deadline) {
+  return OfflineAnalyzer::apply(canonical, deadline);
+}
 
 OfflineResult analyze_offline(const Application& app,
                               const OfflineOptions& options) {
-  PASERTA_REQUIRE(options.cpus >= 1, "need at least one processor");
-  PASERTA_REQUIRE(options.deadline > SimTime::zero(),
-                  "deadline must be positive");
-  PASERTA_REQUIRE(!options.overhead_budget.is_negative(),
-                  "overhead budget must be non-negative");
-  PASERTA_REQUIRE(!app.structure.segments.empty(),
-                  "application '" << app.name << "' has no structure");
-
-  OfflineResult r;
-  r.cpus_ = options.cpus;
-  r.deadline_ = options.deadline;
-  r.overhead_budget_ = options.overhead_budget;
-
-  const std::size_t n = app.graph.size();
-  r.eo_.assign(n, NodeId::kInvalid);
-  r.lst_.assign(n, SimTime::zero());
-  r.eet_.assign(n, SimTime::zero());
-  r.inflated_wcet_.assign(n, SimTime::zero());
-  r.rem_a_.assign(n, SimTime::zero());
-  r.rem_w_.assign(n, SimTime::zero());
-
-  Analyzer an(app, options);
-
-  // Round 1: canonical schedules, W/A, execution orders, PMP profiles.
-  const ProgramTimes t = an.compute_times(app.structure);
-  r.worst_makespan_ = t.w;
-  r.average_makespan_ = t.a;
-  r.max_eo_ = an.assign_eo(app.structure, 0, r);
-  PASERTA_ASSERT(
-      std::none_of(r.eo_.begin(), r.eo_.end(),
-                   [](std::uint32_t e) { return e == NodeId::kInvalid; }),
-      "offline phase left a node without an execution order");
-  an.assign_rem(app.structure, SimTime::zero(), SimTime::zero(), r);
-
-  // Round 2: shift everything to finish exactly at the deadline.
-  an.assign_lst(app.structure, options.deadline, r);
-
-  for (NodeId id : app.graph.all_nodes()) {
-    r.inflated_wcet_[id.value] = an.inflated_wcet(id);
-    r.eet_[id.value] = r.lst_[id.value] + r.inflated_wcet_[id.value];
-  }
-  return r;
+  CanonicalOptions copt;
+  copt.cpus = options.cpus;
+  copt.overhead_budget = options.overhead_budget;
+  copt.heuristic = options.heuristic;
+  return apply_deadline(analyze_canonical(app, copt), options.deadline);
 }
 
 SimTime canonical_worst_makespan(const Application& app, int cpus,
                                  SimTime overhead_budget,
                                  ListHeuristic heuristic) {
-  OfflineOptions opt;
+  CanonicalOptions opt;
   opt.cpus = cpus;
-  opt.deadline = SimTime::max();  // placeholder; only W is used
   opt.overhead_budget = overhead_budget;
   opt.heuristic = heuristic;
-  // A full analysis would overflow LST arithmetic with SimTime::max();
-  // run the forward pass only.
-  PASERTA_REQUIRE(cpus >= 1, "need at least one processor");
-  Analyzer an(app, opt);
-  return an.compute_times(app.structure).w;
+  return analyze_canonical(app, opt).worst_makespan();
+}
+
+std::uint64_t canonical_analysis_count() {
+  return g_canonical_count.load(std::memory_order_relaxed);
+}
+
+std::size_t OfflineCache::KeyHash::operator()(const Key& k) const {
+  // splitmix64-style mix of the key fields.
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = mix(0, reinterpret_cast<std::uintptr_t>(k.graph));
+  h = mix(h, static_cast<std::uint64_t>(k.cpus));
+  h = mix(h, static_cast<std::uint64_t>(k.overhead_budget_ps));
+  h = mix(h, static_cast<std::uint64_t>(k.heuristic));
+  return static_cast<std::size_t>(h);
+}
+
+const CanonicalAnalysis& OfflineCache::get(const Application& app,
+                                           const CanonicalOptions& options) {
+  Key key;
+  key.graph = &app.graph;
+  key.cpus = options.cpus;
+  key.overhead_budget_ps = options.overhead_budget.ps;
+  key.heuristic = options.heuristic;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+  return entries_.emplace(key, analyze_canonical(app, options)).first->second;
 }
 
 }  // namespace paserta

@@ -1,22 +1,27 @@
-// Offline phase of the AND/OR greedy slack-sharing algorithm (paper §3.2).
+// Offline phase of the AND/OR greedy slack-sharing algorithm (paper §3.2),
+// split into two phases so sweeps do not repeat deadline-independent work.
 //
-// Round 1 builds canonical LTF schedules for every program section (WCETs
-// at f_max, inflated by a per-dispatch overhead budget so the online
-// guarantee survives speed-computation and voltage-switch costs), derives
-// the execution order (EO) of every node — including the OR rules: an OR
-// node's EO is one past the largest EO of its predecessors, and tasks on
-// different alternatives of the same fork share EO values — and collects
-// the per-path worst/average remaining times stored at the power-management
-// points.
+// Phase 1 — *canonical* (round 1): builds canonical LTF schedules for every
+// program section (WCETs at f_max, inflated by a per-dispatch overhead
+// budget so the online guarantee survives speed-computation and
+// voltage-switch costs), derives the execution order (EO) of every node —
+// including the OR rules: an OR node's EO is one past the largest EO of its
+// predecessors, and tasks on different alternatives of the same fork share
+// EO values — and collects the per-path worst/average remaining times
+// stored at the power-management points. Nothing in this phase depends on
+// the deadline, so a sweep over deadlines (paper §5.1: D = W / load) runs
+// it exactly once; see analyze_canonical / OfflineCache.
 //
-// Round 2 shifts every canonical schedule (recursively through embedded OR
-// structures) so it finishes exactly at the deadline, yielding each node's
-// latest start time LST(i): the time it must start for the rest of the
-// shifted schedule to meet the deadline. The online phase claims slack for
-// a task as LST(i) - t.
+// Phase 2 — *shift* (round 2): shifts every canonical schedule (recursively
+// through embedded OR structures) so it finishes exactly at the deadline,
+// yielding each node's latest start time LST(i): the time it must start for
+// the rest of the shifted schedule to meet the deadline. The online phase
+// claims slack for a task as LST(i) - t. This phase is a cheap linear walk
+// over the cached canonical schedules; see apply_deadline.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -41,12 +46,49 @@ struct OfflineOptions {
   ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
 };
 
+/// The deadline-independent subset of OfflineOptions: everything phase 1
+/// depends on. Two analyses with equal CanonicalOptions on the same graph
+/// are interchangeable — the basis of OfflineCache's key.
+struct CanonicalOptions {
+  int cpus = 2;
+  SimTime overhead_budget{};
+  ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
+};
+
 /// Remaining-time profile attached to an OR fork's power-management point:
 /// per alternative, the worst/average time from the fork to the end of the
 /// application along that path (the paper's w_p and a_p).
 struct OrForkProfile {
   std::vector<SimTime> rem_w_alt;
   std::vector<SimTime> rem_a_alt;
+};
+
+class OfflineAnalyzer;  // offline.cpp: the sole writer of the types below
+struct CanonicalData;   // offline.cpp: phase-1 payload (segment schedules)
+
+/// Immutable result of phase 1 for one (application, CanonicalOptions)
+/// pair. Holds pointers into the application's structure, so the
+/// Application object must outlive every CanonicalAnalysis derived from it
+/// (sweeps keep the app alive for their whole duration). Copies share the
+/// underlying payload; the type is cheap to pass by value.
+class CanonicalAnalysis {
+ public:
+  CanonicalAnalysis() = default;
+
+  bool valid() const { return data_ != nullptr; }
+  /// W: canonical worst-case finish time along the longest path.
+  SimTime worst_makespan() const;
+  /// A: probability-weighted average-case finish time of the application.
+  SimTime average_makespan() const;
+  int cpus() const;
+  SimTime overhead_budget() const;
+  ListHeuristic heuristic() const;
+  /// The application this analysis was computed for.
+  const Application& application() const;
+
+ private:
+  friend class OfflineAnalyzer;
+  std::shared_ptr<const CanonicalData> data_;
 };
 
 class OfflineResult {
@@ -85,9 +127,17 @@ class OfflineResult {
 
   std::uint32_t max_eo() const { return max_eo_; }
 
-  // Implementation detail: the fields below are populated by
-  // analyze_offline (and its internal Analyzer); use the accessors above.
- public:
+  /// Whole-table views for the simulation engine's hot path (one bounds
+  /// check per run instead of one per dispatch).
+  const std::vector<std::uint32_t>& eo_table() const { return eo_; }
+  const std::vector<SimTime>& eet_table() const { return eet_; }
+
+ private:
+  // Populated exclusively by OfflineAnalyzer (offline.cpp), so results can
+  // only come out of analyze_offline / apply_deadline — nothing can bypass
+  // the canonical cache by poking fields.
+  friend class OfflineAnalyzer;
+
   int cpus_ = 0;
   SimTime deadline_{};
   SimTime overhead_budget_{};
@@ -103,7 +153,19 @@ class OfflineResult {
   std::uint32_t max_eo_ = 0;
 };
 
-/// Runs both offline rounds. Throws paserta::Error on invalid options.
+/// Phase 1: canonical schedules, makespans, EOs, PMP profiles. Throws
+/// paserta::Error on invalid options. Increments canonical_analysis_count().
+CanonicalAnalysis analyze_canonical(const Application& app,
+                                    const CanonicalOptions& options);
+
+/// Phase 2: derives the per-deadline OfflineResult (LST/EET shift) from a
+/// cached phase-1 analysis. Cheap (linear in graph size); call it once per
+/// sweep point against one shared CanonicalAnalysis.
+OfflineResult apply_deadline(const CanonicalAnalysis& canonical,
+                             SimTime deadline);
+
+/// Runs both offline rounds (analyze_canonical + apply_deadline). Throws
+/// paserta::Error on invalid options.
 OfflineResult analyze_offline(const Application& app,
                               const OfflineOptions& options);
 
@@ -112,5 +174,39 @@ OfflineResult analyze_offline(const Application& app,
 SimTime canonical_worst_makespan(
     const Application& app, int cpus, SimTime overhead_budget,
     ListHeuristic heuristic = ListHeuristic::LongestTaskFirst);
+
+/// Process-wide count of phase-1 (round 1) analyses performed. Test hook:
+/// lets sweeps assert they ran exactly one canonical analysis. Monotonic;
+/// take a before/after difference rather than resetting.
+std::uint64_t canonical_analysis_count();
+
+/// Memoizes analyze_canonical per (graph identity, cpus, overhead_budget,
+/// heuristic). Graph identity is the graph object's address: the cache is
+/// meant to be scoped to one sweep (or one driver) that keeps its
+/// applications alive and unmodified; do not cache across mutations of the
+/// same graph object (sweep_alpha redraws ACETs, so it must NOT reuse a
+/// cache entry across alphas — it keys nothing here and analyzes fresh).
+/// Not thread-safe; confine one cache to one driving thread.
+class OfflineCache {
+ public:
+  /// Returns the cached analysis for (app.graph, options), computing and
+  /// inserting it on first use.
+  const CanonicalAnalysis& get(const Application& app,
+                               const CanonicalOptions& options);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    const void* graph = nullptr;
+    int cpus = 0;
+    std::int64_t overhead_budget_ps = 0;
+    ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  std::unordered_map<Key, CanonicalAnalysis, KeyHash> entries_;
+};
 
 }  // namespace paserta

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <span>
 #include <thread>
 
 #include "common/error.h"
 #include "core/offline.h"
+#include "harness/pool.h"
 #include "sim/engine.h"
 #include "sim/scenario.h"
 #include "sim/verify.h"
@@ -43,10 +46,10 @@ struct RunOutcome {
 };
 
 /// Evaluates one run on its own seed-derived stream into `out` (whose
-/// `schemes` vector is preallocated by run_point). Thread-safe: all shared
+/// `schemes` vector is preallocated by the driver). Thread-safe: all shared
 /// inputs are const; policies, the workspace and the scenario buffer are
-/// caller-provided (one set per worker), so the loop over runs performs no
-/// heap allocation in steady state.
+/// caller-provided (one set per worker slot), so the loop over runs
+/// performs no heap allocation in steady state.
 void evaluate_run(const Application& app, const ExperimentConfig& cfg,
                   const OfflineResult& off, const PowerModel& pm,
                   SimTime deadline,
@@ -97,61 +100,54 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
   }
 }
 
-}  // namespace
+/// Worker-local state, one set per pool slot, reused across every chunk
+/// (and every point) that slot processes. Lazily constructed by the slot's
+/// own thread on its first chunk.
+struct WorkerCtx {
+  std::vector<std::unique_ptr<SpeedPolicy>> policies;
+  std::unique_ptr<SpeedPolicy> npm;
+  SimWorkspace ws;
+  RunScenario sc;
 
-SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
-                     SimTime deadline, double x_value) {
+  explicit WorkerCtx(const ExperimentConfig& cfg) {
+    for (Scheme s : cfg.schemes)
+      policies.push_back(make_policy(s, cfg.policy_options));
+    npm = make_policy(Scheme::NPM);
+  }
+};
+
+/// One prepared sweep point: the (application, offline result, deadline)
+/// triple the Monte-Carlo loop needs. Pointees must outlive the call.
+struct PointSpec {
+  const Application* app = nullptr;
+  const OfflineResult* off = nullptr;
+  SimTime deadline{};
+  double x = 0.0;
+};
+
+int chunk_size_for(const ExperimentConfig& cfg) {
+  if (cfg.chunk_runs > 0) return cfg.chunk_runs;
+  return 16;  // fine enough to balance, coarse enough to amortize claims
+}
+
+void validate_config(const ExperimentConfig& cfg) {
   PASERTA_REQUIRE(cfg.runs >= 1, "need at least one run");
   PASERTA_REQUIRE(cfg.threads >= 1, "need at least one worker thread");
-  PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
+  PASERTA_REQUIRE(cfg.chunk_runs >= 0, "chunk_runs must be non-negative");
+}
 
-  const PowerModel pm(cfg.table, cfg.c_ef, cfg.idle_fraction);
-  OfflineOptions opt;
-  opt.cpus = cfg.cpus;
-  opt.deadline = deadline;
-  opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
-  opt.heuristic = cfg.heuristic;
-  const OfflineResult off = analyze_offline(app, opt);
-
+SweepPoint finalize_point(const ExperimentConfig& cfg, const PointSpec& spec,
+                          const std::vector<RunOutcome>& outcomes) {
   SweepPoint point;
-  point.x = x_value;
-  point.deadline = deadline;
-  point.worst_makespan = off.worst_makespan();
+  point.x = spec.x;
+  point.deadline = spec.deadline;
+  point.worst_makespan = spec.off->worst_makespan();
   point.stats.resize(cfg.schemes.size());
   for (std::size_t s = 0; s < cfg.schemes.size(); ++s)
     point.stats[s].scheme = cfg.schemes[s];
 
-  // Preallocate every per-run slot before the workers start, so the run
-  // loop itself writes in place without allocating.
-  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(cfg.runs));
-  for (RunOutcome& out : outcomes) out.schemes.resize(cfg.schemes.size());
-
-  auto worker = [&](int first, int step) {
-    // Each worker owns one set of (stateful) policy objects, one engine
-    // workspace and one scenario buffer, all reused across its runs.
-    std::vector<std::unique_ptr<SpeedPolicy>> policies;
-    for (Scheme s : cfg.schemes)
-      policies.push_back(make_policy(s, cfg.policy_options));
-    auto npm = make_policy(Scheme::NPM);
-    SimWorkspace ws;
-    RunScenario sc;
-    for (int run = first; run < cfg.runs; run += step)
-      evaluate_run(app, cfg, off, pm, deadline, policies, *npm, run, ws, sc,
-                   outcomes[static_cast<std::size_t>(run)]);
-  };
-
-  const int threads = std::min(cfg.threads, cfg.runs);
-  if (threads <= 1) {
-    worker(0, 1);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t, threads);
-    for (auto& th : pool) th.join();
-  }
-
   // Accumulate strictly in run order: identical floating-point results for
-  // every thread count.
+  // every thread count, chunk size and point interleaving.
   for (const RunOutcome& run : outcomes) {
     point.npm_energy.add(run.npm_energy);
     if (run.degenerate) ++point.degenerate_runs;
@@ -173,41 +169,208 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
   return point;
 }
 
+/// The shared Monte-Carlo loop: evaluates every (point, run) pair of
+/// `specs` by claiming chunked run ranges from the worker pool. The flat
+/// chunk space spans all points, so independent points overlap and the
+/// pool stays saturated even when `cfg.runs` is small.
+std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
+                                        const ExperimentConfig& cfg) {
+  validate_config(cfg);
+  for (const PointSpec& spec : specs)
+    PASERTA_REQUIRE(spec.deadline > SimTime::zero(),
+                    "deadline must be positive");
+  if (specs.empty()) return {};
+
+  const PowerModel pm(cfg.table, cfg.c_ef, cfg.idle_fraction);
+  const int runs = cfg.runs;
+  const int chunk = chunk_size_for(cfg);
+  const int chunks_per_point = (runs + chunk - 1) / chunk;
+  const int npoints = static_cast<int>(specs.size());
+  const int total_chunks = npoints * chunks_per_point;
+
+  // Preallocate every per-run slot before the workers start, so the run
+  // loop itself writes in place without allocating.
+  std::vector<std::vector<RunOutcome>> outcomes(specs.size());
+  for (auto& per_point : outcomes) {
+    per_point.resize(static_cast<std::size_t>(runs));
+    for (RunOutcome& out : per_point) out.schemes.resize(cfg.schemes.size());
+  }
+
+  const int max_workers = std::min(cfg.threads, total_chunks);
+  std::vector<std::unique_ptr<WorkerCtx>> ctxs(
+      static_cast<std::size_t>(std::max(1, max_workers)));
+
+  const auto body = [&](int c, int slot) {
+    auto& ctx = ctxs[static_cast<std::size_t>(slot)];
+    if (!ctx) ctx = std::make_unique<WorkerCtx>(cfg);
+    const int p = c / chunks_per_point;
+    const int first = (c % chunks_per_point) * chunk;
+    const int last = std::min(runs, first + chunk);
+    const PointSpec& spec = specs[static_cast<std::size_t>(p)];
+    auto& per_point = outcomes[static_cast<std::size_t>(p)];
+    for (int run = first; run < last; ++run)
+      evaluate_run(*spec.app, cfg, *spec.off, pm, spec.deadline,
+                   ctx->policies, *ctx->npm, run, ctx->ws, ctx->sc,
+                   per_point[static_cast<std::size_t>(run)]);
+  };
+
+  if (max_workers <= 1) {
+    // Fully serial: never touches (or instantiates) the process pool.
+    for (int c = 0; c < total_chunks; ++c) body(c, 0);
+  } else {
+    WorkerPool& pool = WorkerPool::process_pool();
+    pool.ensure_threads(max_workers - 1);
+    pool.parallel_chunks(total_chunks, max_workers, body);
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p)
+    points.push_back(finalize_point(cfg, specs[p], outcomes[p]));
+  return points;
+}
+
+CanonicalOptions canonical_options(const ExperimentConfig& cfg) {
+  CanonicalOptions opt;
+  opt.cpus = cfg.cpus;
+  opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
+  opt.heuristic = cfg.heuristic;
+  return opt;
+}
+
+SimTime deadline_for(SimTime worst_makespan, double load) {
+  PASERTA_REQUIRE(load > 0.0, "load must be positive, got " << load);
+  return SimTime{static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(worst_makespan.ps) / load))};
+}
+
+}  // namespace
+
+SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
+                     SimTime deadline, double x_value, OfflineCache* cache) {
+  validate_config(cfg);
+  PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
+
+  OfflineResult off;
+  if (cache != nullptr) {
+    off = apply_deadline(cache->get(app, canonical_options(cfg)), deadline);
+  } else {
+    OfflineOptions opt;
+    opt.cpus = cfg.cpus;
+    opt.deadline = deadline;
+    opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
+    opt.heuristic = cfg.heuristic;
+    off = analyze_offline(app, opt);
+  }
+
+  PointSpec spec;
+  spec.app = &app;
+  spec.off = &off;
+  spec.deadline = deadline;
+  spec.x = x_value;
+  return run_point_specs({&spec, 1}, cfg).front();
+}
+
+SweepPoint run_point_unpooled(const Application& app,
+                              const ExperimentConfig& cfg, SimTime deadline,
+                              double x_value) {
+  validate_config(cfg);
+  PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
+
+  const PowerModel pm(cfg.table, cfg.c_ef, cfg.idle_fraction);
+  OfflineOptions opt;
+  opt.cpus = cfg.cpus;
+  opt.deadline = deadline;
+  opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
+  opt.heuristic = cfg.heuristic;
+  const OfflineResult off = analyze_offline(app, opt);
+
+  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(cfg.runs));
+  for (RunOutcome& out : outcomes) out.schemes.resize(cfg.schemes.size());
+
+  auto worker = [&](int first, int step) {
+    WorkerCtx ctx(cfg);
+    for (int run = first; run < cfg.runs; run += step)
+      evaluate_run(app, cfg, off, pm, deadline, ctx.policies, *ctx.npm, run,
+                   ctx.ws, ctx.sc,
+                   outcomes[static_cast<std::size_t>(run)]);
+  };
+
+  const int threads = std::min(cfg.threads, cfg.runs);
+  if (threads <= 1) {
+    worker(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t, threads);
+    for (auto& th : pool) th.join();
+  }
+
+  PointSpec spec;
+  spec.app = &app;
+  spec.off = &off;
+  spec.deadline = deadline;
+  spec.x = x_value;
+  return finalize_point(cfg, spec, outcomes);
+}
+
 std::vector<SweepPoint> sweep_load(const Application& app,
                                    const ExperimentConfig& cfg,
                                    const std::vector<double>& loads) {
-  const SimTime w = canonical_worst_makespan(
-      app, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
-      cfg.heuristic);
-  std::vector<SweepPoint> points;
-  points.reserve(loads.size());
+  validate_config(cfg);
+  // One canonical (round-1) analysis for the whole sweep: only the
+  // deadline varies across points, and the deadline enters the offline
+  // data solely through the cheap round-2 shift.
+  OfflineCache cache;
+  const CanonicalAnalysis& canon = cache.get(app, canonical_options(cfg));
+
+  std::vector<OfflineResult> offs;
+  std::vector<PointSpec> specs;
+  offs.reserve(loads.size());
+  specs.reserve(loads.size());
   for (double load : loads) {
-    PASERTA_REQUIRE(load > 0.0, "load must be positive, got " << load);
-    const SimTime deadline{static_cast<std::int64_t>(
-        std::ceil(static_cast<double>(w.ps) / load))};
-    points.push_back(run_point(app, cfg, deadline, load));
+    const SimTime deadline = deadline_for(canon.worst_makespan(), load);
+    offs.push_back(apply_deadline(canon, deadline));
+    PointSpec spec;
+    spec.app = &app;
+    spec.off = &offs.back();
+    spec.deadline = deadline;
+    spec.x = load;
+    specs.push_back(spec);
   }
+
+  if (cfg.parallel_points) return run_point_specs(specs, cfg);
+  std::vector<SweepPoint> points;
+  points.reserve(specs.size());
+  for (const PointSpec& spec : specs)
+    points.push_back(run_point_specs({&spec, 1}, cfg).front());
   return points;
 }
 
 std::vector<SweepPoint> sweep_alpha(const Application& app,
                                     const ExperimentConfig& cfg, double load,
                                     const std::vector<double>& alphas) {
+  validate_config(cfg);
+  // The deadline derives from WCETs only, so it is alpha-independent:
+  // compute it once, before any ACET redraw.
+  const SimTime w = canonical_worst_makespan(
+      app, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+      cfg.heuristic);
+  const SimTime deadline = deadline_for(w, load);
+
+  // One variant buffer reused across alphas: assign_alpha overwrites every
+  // computation node's ACET from its (untouched) WCET, so successive
+  // redraws into the same buffer are equivalent to fresh copies. Points
+  // therefore run in sequence; their runs still use the worker pool, and
+  // each alpha needs its own canonical analysis anyway (ACETs feed the
+  // average-case profiles).
+  Application variant = app;
   std::vector<SweepPoint> points;
   points.reserve(alphas.size());
   for (std::size_t i = 0; i < alphas.size(); ++i) {
     const double alpha = alphas[i];
-    Application variant = app;  // fresh copy: ACETs are redrawn per alpha
     Rng acet_rng(cfg.seed ^ (0x517CC1B727220A95ULL + i));
     assign_alpha(variant.graph, alpha, &acet_rng);
-
-    // The deadline derives from WCETs only, so it is alpha-independent;
-    // recompute anyway for clarity (identical value).
-    const SimTime w = canonical_worst_makespan(
-        variant, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
-        cfg.heuristic);
-    const SimTime deadline{static_cast<std::int64_t>(
-        std::ceil(static_cast<double>(w.ps) / load))};
     points.push_back(run_point(variant, cfg, deadline, alpha));
   }
   return points;

@@ -8,6 +8,16 @@
 //
 // Sweeps vary either the load (deadline = W / load, paper §5.1) or alpha
 // (ACET/WCET ratio, paper §5.2).
+//
+// Execution model: runs are partitioned into chunked index ranges claimed
+// atomically from the persistent WorkerPool (harness/pool.h) — no per-point
+// thread spawn/join. A load sweep additionally (a) runs the
+// deadline-independent canonical offline analysis exactly once through an
+// OfflineCache and (b) overlaps its points on the pool, so the machine
+// stays saturated even when `runs` per point is small. All of this is
+// unobservable in the output: every run draws from its own seed-derived
+// stream and results accumulate in run order, so SweepPoints are
+// bit-identical for every thread count, chunk size and point interleaving.
 #pragma once
 
 #include <functional>
@@ -15,6 +25,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/offline.h"
 #include "core/policy.h"
 #include "graph/program.h"
 #include "power/power_model.h"
@@ -31,10 +42,19 @@ struct ExperimentConfig {
                                  Scheme::SS2, Scheme::AS};
   int runs = 1000;
   std::uint64_t seed = 42;
-  /// Worker threads for the Monte-Carlo loop (1 = serial). Results are
-  /// bit-identical for any thread count: each run draws from its own
-  /// seed-derived stream and per-thread accumulators merge in run order.
+  /// Maximum concurrent workers for the Monte-Carlo loop (1 = serial, no
+  /// pool involvement). Results are bit-identical for any value: each run
+  /// draws from its own seed-derived stream and accumulation happens in
+  /// run order.
   int threads = 1;
+  /// Runs per atomically-claimed work unit (0 = auto). Any value yields
+  /// identical results; smaller chunks balance better, larger chunks touch
+  /// the shared counter less.
+  int chunk_runs = 0;
+  /// Overlap independent sweep points on the worker pool (sweep_load).
+  /// Off = points evaluated one after another (each still run-parallel).
+  /// Either way the output is identical; this is purely a scheduling knob.
+  bool parallel_points = true;
   /// Canonical-schedule priority rule (paper evaluates LTF).
   ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
   /// Speculative-floor rounding mode (see PolicyOptions).
@@ -73,18 +93,35 @@ struct SweepPoint {
 
 /// Evaluates one point. `deadline` must be >= the canonical worst-case
 /// makespan for the guarantee to hold (the harness does not enforce it, so
-/// infeasible what-if points can be explored; misses are counted).
+/// infeasible what-if points can be explored; misses are counted). With a
+/// `cache`, the deadline-independent canonical analysis is looked up there
+/// instead of recomputed (sweeps pass one cache for all their points).
 SweepPoint run_point(const Application& app, const ExperimentConfig& config,
-                     SimTime deadline, double x_value);
+                     SimTime deadline, double x_value,
+                     OfflineCache* cache = nullptr);
+
+/// The pre-pool implementation: spawns and joins a fresh strided
+/// std::thread set and runs its own offline analysis. Kept as the
+/// benchmark baseline for the pooled path (harness/throughput.cpp) and as
+/// a cross-check in tests — output is bit-identical to run_point.
+SweepPoint run_point_unpooled(const Application& app,
+                              const ExperimentConfig& config,
+                              SimTime deadline, double x_value);
 
 /// Load sweep: deadline = W / load for each load in `loads` (0 < load <= 1).
+/// Performs exactly one canonical offline analysis (shared across points
+/// via OfflineCache) and, with config.parallel_points, overlaps the points
+/// on the worker pool.
 std::vector<SweepPoint> sweep_load(const Application& app,
                                    const ExperimentConfig& config,
                                    const std::vector<double>& loads);
 
 /// Alpha sweep at a fixed load: for each alpha the application's ACETs are
 /// redrawn as N(alpha*wcet, ((1-alpha)wcet/3)^2) (clamped), the offline
-/// analysis is redone, and the point is evaluated.
+/// analysis is redone, and the point is evaluated. The deadline derives
+/// from WCETs only, so it is computed once; one application buffer is
+/// reused across alphas (each redraw overwrites every ACET). Points run in
+/// sequence — they share that buffer — but each point's runs use the pool.
 std::vector<SweepPoint> sweep_alpha(const Application& app,
                                     const ExperimentConfig& config,
                                     double load,

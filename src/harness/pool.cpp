@@ -1,0 +1,175 @@
+#include "harness/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace paserta {
+namespace {
+
+/// Set while a thread executes a parallel_chunks body; a nested call from
+/// inside a body would deadlock on the run mutex, so it degrades to inline
+/// serial execution instead.
+thread_local bool t_inside_body = false;
+
+}  // namespace
+
+struct WorkerPool::Impl {
+  /// One parallel loop in flight. Slot/active bookkeeping is guarded by
+  /// `m`; only the chunk counter and abort flag are lock-free, because they
+  /// sit on the claim path of every chunk.
+  struct Job {
+    const std::function<void(int, int)>* body = nullptr;
+    int chunks = 0;
+    int max_workers = 1;
+    std::atomic<int> next_chunk{0};
+    std::atomic<bool> abort{false};
+    int next_slot = 1;  // guarded by m (slot 0 is the caller)
+    int active = 0;     // participants currently between claim and exit
+    std::exception_ptr error;  // first body exception (guarded by m)
+  };
+
+  std::mutex m;
+  std::condition_variable wake;   // workers: a new job was published
+  std::condition_variable done;   // caller: a participant finished
+  Job* job = nullptr;             // guarded by m
+  std::uint64_t generation = 0;   // guarded by m; bumped per published job
+  bool stop = false;              // guarded by m
+  std::vector<std::thread> threads;  // guarded by spawn_m
+  std::mutex spawn_m;
+  std::atomic<int> thread_count{0};
+  std::mutex run_m;  // serializes parallel loops
+
+  void run_chunks(Job& job_ref, int slot) {
+    for (;;) {
+      if (job_ref.abort.load(std::memory_order_relaxed)) return;
+      const int c = job_ref.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job_ref.chunks) return;
+      t_inside_body = true;
+      try {
+        (*job_ref.body)(c, slot);
+        t_inside_body = false;
+      } catch (...) {
+        t_inside_body = false;
+        std::lock_guard<std::mutex> lock(m);
+        if (!job_ref.error) job_ref.error = std::current_exception();
+        job_ref.abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  void worker_main() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(m);
+    for (;;) {
+      wake.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      Job* j = job;
+      // Job pointer reads, slot claims and the active count all happen
+      // under `m`, so a job cleared by the caller can never be entered
+      // late and the caller can never observe active == 0 while a
+      // participant is between claiming a slot and exiting.
+      if (j == nullptr || j->next_slot >= j->max_workers) continue;
+      const int slot = j->next_slot++;
+      ++j->active;
+      lock.unlock();
+      run_chunks(*j, slot);
+      lock.lock();
+      if (--j->active == 0) done.notify_all();
+    }
+  }
+
+  void spawn(int target) {
+    std::lock_guard<std::mutex> lock(spawn_m);
+    target = std::min(target, WorkerPool::kMaxThreads);
+    while (static_cast<int>(threads.size()) < target) {
+      threads.emplace_back([this] { worker_main(); });
+      thread_count.store(static_cast<int>(threads.size()),
+                         std::memory_order_relaxed);
+    }
+  }
+};
+
+WorkerPool::WorkerPool(int threads) : impl_(new Impl) {
+  PASERTA_REQUIRE(threads >= 0, "worker count must be non-negative");
+  impl_->spawn(threads);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+int WorkerPool::thread_count() const {
+  return impl_->thread_count.load(std::memory_order_relaxed);
+}
+
+void WorkerPool::ensure_threads(int threads) { impl_->spawn(threads); }
+
+void WorkerPool::parallel_chunks(
+    int chunk_count, int max_workers,
+    const std::function<void(int chunk, int slot)>& body) {
+  PASERTA_REQUIRE(chunk_count >= 0, "chunk count must be non-negative");
+  if (chunk_count == 0) return;
+  max_workers = std::clamp(max_workers, 1, chunk_count);
+
+  const int helpers = std::min(max_workers - 1, thread_count());
+  if (helpers <= 0 || t_inside_body) {
+    // Serial path: no pool involvement, chunks in increasing order. Also
+    // the nested-call fallback (a body starting its own loop).
+    const bool was_inside = t_inside_body;
+    t_inside_body = true;
+    try {
+      for (int c = 0; c < chunk_count; ++c) body(c, 0);
+    } catch (...) {
+      t_inside_body = was_inside;
+      throw;
+    }
+    t_inside_body = was_inside;
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(impl_->run_m);
+  Impl::Job job;
+  job.body = &body;
+  job.chunks = chunk_count;
+  job.max_workers = max_workers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+
+  impl_->run_chunks(job, 0);  // the caller is participant slot 0
+
+  {
+    // All chunks have been handed out (or the job aborted), so any late
+    // worker runs zero body calls; wait for in-flight participants only.
+    std::unique_lock<std::mutex> lock(impl_->m);
+    impl_->done.wait(lock, [&] { return job.active == 0; });
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+WorkerPool& WorkerPool::process_pool() {
+  static WorkerPool pool(std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace paserta

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "core/offline.h"
 
 namespace paserta {
 namespace {
@@ -27,6 +28,27 @@ std::string num(double v) {
   return oss.str();
 }
 
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/// The pre-pool sweep shape: one shared worst-case makespan, then one
+/// run_point_unpooled per load — fresh thread spawn/join and a fresh
+/// offline analysis for every point.
+void legacy_sweep_load(const Application& app, const ExperimentConfig& cfg,
+                       const std::vector<double>& loads) {
+  const SimTime w = canonical_worst_makespan(
+      app, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+      cfg.heuristic);
+  for (double load : loads) {
+    const SimTime deadline{static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(w.ps) / load))};
+    (void)run_point_unpooled(app, cfg, deadline, load);
+  }
+}
+
 }  // namespace
 
 ThroughputReport measure_throughput(const Application& app,
@@ -39,20 +61,18 @@ ThroughputReport measure_throughput(const Application& app,
   report.runs = cfg.runs;
   report.schemes = static_cast<int>(cfg.schemes.size());
 
-  // Untimed warm-up: fault in code paths and allocator state so the first
-  // timed sample is not penalized relative to the later ones.
+  // Untimed warm-up: fault in code paths, allocator state and the worker
+  // pool so the first timed sample is not penalized relative to later ones.
   cfg.threads = thread_counts.front();
   (void)run_point(app, cfg, deadline, 0.0);
 
-  using clock = std::chrono::steady_clock;
   for (int threads : thread_counts) {
     cfg.threads = threads;
-    const auto t0 = clock::now();
+    const auto t0 = clock_type::now();
     (void)run_point(app, cfg, deadline, 0.0);
-    const auto t1 = clock::now();
     ThroughputSample s;
     s.threads = threads;
-    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.seconds = seconds_since(t0);
     s.runs_per_sec =
         s.seconds > 0.0 ? static_cast<double>(cfg.runs) / s.seconds : 0.0;
     report.samples.push_back(s);
@@ -73,6 +93,83 @@ std::string throughput_to_json(const ThroughputReport& report) {
     os << "    {\"threads\": " << s.threads
        << ", \"seconds\": " << num(s.seconds)
        << ", \"runs_per_sec\": " << num(s.runs_per_sec) << "}"
+       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+SweepThroughputReport measure_sweep_throughput(
+    const Application& app, ExperimentConfig cfg,
+    const std::vector<double>& loads, const std::vector<int>& thread_counts,
+    const std::string& label) {
+  PASERTA_REQUIRE(!thread_counts.empty(), "need at least one thread count");
+  PASERTA_REQUIRE(!loads.empty(), "need at least one sweep point");
+  SweepThroughputReport report;
+  report.label = label;
+  report.points = static_cast<int>(loads.size());
+  report.runs = cfg.runs;
+  report.schemes = static_cast<int>(cfg.schemes.size());
+  cfg.parallel_points = true;
+
+  // Untimed warm-up of the pooled path (faults in the pool's threads too).
+  cfg.threads = thread_counts.front();
+  (void)sweep_load(app, cfg, loads);
+
+  for (int threads : thread_counts) {
+    cfg.threads = threads;
+    SweepThroughputSample s;
+    s.threads = threads;
+
+    auto t0 = clock_type::now();
+    (void)sweep_load(app, cfg, loads);
+    s.pooled_seconds = seconds_since(t0);
+
+    t0 = clock_type::now();
+    legacy_sweep_load(app, cfg, loads);
+    s.legacy_seconds = seconds_since(t0);
+
+    const auto pts = static_cast<double>(loads.size());
+    s.pooled_points_per_sec =
+        s.pooled_seconds > 0.0 ? pts / s.pooled_seconds : 0.0;
+    s.legacy_points_per_sec =
+        s.legacy_seconds > 0.0 ? pts / s.legacy_seconds : 0.0;
+    s.speedup =
+        s.pooled_seconds > 0.0 ? s.legacy_seconds / s.pooled_seconds : 0.0;
+    report.samples.push_back(s);
+  }
+
+  // Scaling efficiency relative to the first (typically 1-thread) sample.
+  const SweepThroughputSample& base = report.samples.front();
+  for (SweepThroughputSample& s : report.samples) {
+    if (base.pooled_points_per_sec > 0.0 && s.threads > 0) {
+      s.efficiency = (s.pooled_points_per_sec / base.pooled_points_per_sec) *
+                     static_cast<double>(base.threads) /
+                     static_cast<double>(s.threads);
+    }
+  }
+  return report;
+}
+
+std::string sweep_throughput_to_json(const SweepThroughputReport& report) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"benchmark\": \"sweep_throughput\",\n"
+     << "  \"label\": \"" << escape(report.label) << "\",\n"
+     << "  \"points\": " << report.points << ",\n"
+     << "  \"runs\": " << report.runs << ",\n"
+     << "  \"schemes\": " << report.schemes << ",\n"
+     << "  \"samples\": [\n";
+  for (std::size_t i = 0; i < report.samples.size(); ++i) {
+    const SweepThroughputSample& s = report.samples[i];
+    os << "    {\"threads\": " << s.threads
+       << ", \"pooled_seconds\": " << num(s.pooled_seconds)
+       << ", \"pooled_points_per_sec\": " << num(s.pooled_points_per_sec)
+       << ", \"legacy_seconds\": " << num(s.legacy_seconds)
+       << ", \"legacy_points_per_sec\": " << num(s.legacy_points_per_sec)
+       << ", \"speedup\": " << num(s.speedup)
+       << ", \"efficiency\": " << num(s.efficiency) << "}"
        << (i + 1 < report.samples.size() ? "," : "") << "\n";
   }
   os << "  ]\n"

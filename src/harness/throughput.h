@@ -1,10 +1,16 @@
-// Throughput measurement for the Monte-Carlo hot loop.
+// Throughput measurement for the Monte-Carlo hot loop and for whole sweeps.
 //
-// Times run_point on a fixed configuration across a list of thread counts
-// and reports runs/sec as a small self-contained JSON document. Lives in
+// Point mode times run_point on a fixed configuration across a list of
+// thread counts and reports runs/sec. Sweep mode times a whole load sweep
+// (the paper's §5.1 shape) two ways per thread count — the pooled,
+// point-overlapped, canonical-cached path (sweep_load) against the pre-pool
+// baseline (run_point_unpooled per point: fresh thread spawn/join and a
+// fresh offline analysis each) — and reports points/sec, the speedup of the
+// pooled path over the baseline, and scaling efficiency across thread
+// counts. Both are emitted as small self-contained JSON documents. Lives in
 // the library — rather than inlined in the bench binary — so the timing
-// plumbing and the JSON shape are unit-testable; bench_throughput is a
-// thin wrapper over this module.
+// plumbing and the JSON shape are unit-testable; bench_throughput is a thin
+// wrapper over this module.
 #pragma once
 
 #include <string>
@@ -37,5 +43,42 @@ ThroughputReport measure_throughput(const Application& app,
 
 /// Renders the report as a JSON object (pretty-printed, newline-terminated).
 std::string throughput_to_json(const ThroughputReport& report);
+
+struct SweepThroughputSample {
+  int threads = 1;
+  // Pooled path: sweep_load (persistent pool, chunked claiming, point
+  // overlap, one canonical analysis for the whole sweep).
+  double pooled_seconds = 0.0;
+  double pooled_points_per_sec = 0.0;
+  // Baseline path: serial points, run_point_unpooled each (fresh
+  // std::thread spawn/join and a fresh offline analysis per point) — the
+  // pre-pool behaviour of the harness.
+  double legacy_seconds = 0.0;
+  double legacy_points_per_sec = 0.0;
+  /// legacy_seconds / pooled_seconds at this thread count.
+  double speedup = 0.0;
+  /// Pooled scaling efficiency relative to the report's first sample:
+  /// (pooled_pps / pooled_pps_first) * threads_first / threads.
+  double efficiency = 0.0;
+};
+
+struct SweepThroughputReport {
+  std::string label;
+  int points = 0;   // sweep points per measurement
+  int runs = 0;     // Monte-Carlo runs per point
+  int schemes = 0;  // schemes per run (the NPM baseline is extra)
+  std::vector<SweepThroughputSample> samples;
+};
+
+/// Times sweep_load(app, cfg, loads) — pooled and legacy — once per entry
+/// of `thread_counts`, after one untimed pooled warm-up at the first
+/// thread count. cfg.parallel_points is forced on for the pooled path.
+SweepThroughputReport measure_sweep_throughput(
+    const Application& app, ExperimentConfig cfg,
+    const std::vector<double>& loads, const std::vector<int>& thread_counts,
+    const std::string& label);
+
+/// Renders the report as a JSON object (pretty-printed, newline-terminated).
+std::string sweep_throughput_to_json(const SweepThroughputReport& report);
 
 }  // namespace paserta

@@ -60,8 +60,8 @@ class Engine {
       : app_(app),
         g_(app.graph),
         nodes_(app.graph.nodes()),
-        eo_(off.eo_),
-        eet_(off.eet_),
+        eo_(off.eo_table()),
+        eet_(off.eet_table()),
         off_(off),
         pm_(pm),
         ovh_(ovh),
@@ -357,8 +357,8 @@ SimResult simulate(const Application& app, const OfflineResult& off,
   PASERTA_REQUIRE(scenario.actual.size() == app.graph.size() &&
                       scenario.or_choice.size() == app.graph.size(),
                   "scenario size does not match the application graph");
-  PASERTA_REQUIRE(off.eo_.size() == app.graph.size() &&
-                      off.eet_.size() == app.graph.size(),
+  PASERTA_REQUIRE(off.eo_table().size() == app.graph.size() &&
+                      off.eet_table().size() == app.graph.size(),
                   "offline result does not match the application graph");
   Engine engine(app, off, pm, overheads, policy, scenario, workspace, options);
   return engine.run();

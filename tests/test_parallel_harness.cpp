@@ -1,11 +1,15 @@
-#include <set>
 // Tests for the parallel Monte-Carlo harness: thread-count invariance
-// (bit-identical results), stream-seed independence, and throughput sanity.
+// (bit-identical results), stream-seed independence, and sweep_alpha's
+// buffer-reuse optimization.
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
 
 #include "apps/synthetic.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/offline.h"
 #include "harness/experiment.h"
 #include "sim/scenario.h"
 
@@ -86,6 +90,50 @@ TEST(StreamSeed, StreamsAreDecorrelated) {
   EXPECT_NEAR(diffs.mean(), 0.0, 0.03);
   // Variance of the difference of two independent U(0,1) is 1/6.
   EXPECT_NEAR(diffs.variance(), 1.0 / 6.0, 0.02);
+}
+
+/// The pre-optimization sweep_alpha, kept as the semantic reference: a
+/// fresh Application copy per alpha and a recomputed (alpha-independent)
+/// deadline. The production version reuses one variant buffer and hoists
+/// the deadline; its output must stay bit-identical to this.
+std::vector<SweepPoint> sweep_alpha_reference(const Application& app,
+                                              const ExperimentConfig& cfg,
+                                              double load,
+                                              const std::vector<double>& alphas) {
+  std::vector<SweepPoint> points;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    const double alpha = alphas[i];
+    Application variant = app;
+    Rng acet_rng(cfg.seed ^ (0x517CC1B727220A95ULL + i));
+    assign_alpha(variant.graph, alpha, &acet_rng);
+    const SimTime w = canonical_worst_makespan(
+        variant, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+        cfg.heuristic);
+    const SimTime deadline{static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(w.ps) / load))};
+    points.push_back(run_point(variant, cfg, deadline, alpha));
+  }
+  return points;
+}
+
+TEST(ParallelHarness, SweepAlphaMatchesFreshCopyReference) {
+  const Application app = apps::build_synthetic();
+  const ExperimentConfig cfg = config(25, 2);
+  const std::vector<double> alphas = {0.2, 0.5, 0.5, 0.9};
+  const double load = 0.6;
+
+  const std::vector<SweepPoint> ref = sweep_alpha_reference(app, cfg, load,
+                                                            alphas);
+  const std::vector<SweepPoint> opt = sweep_alpha(app, cfg, load, alphas);
+
+  ASSERT_EQ(ref.size(), opt.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "alpha=" << alphas[i] << " i=" << i);
+    EXPECT_DOUBLE_EQ(ref[i].x, opt[i].x);
+    EXPECT_EQ(ref[i].deadline, opt[i].deadline);
+    EXPECT_EQ(ref[i].worst_makespan, opt[i].worst_makespan);
+    expect_identical(ref[i], opt[i]);
+  }
 }
 
 TEST(ParallelHarness, RunsAreOrderIndependent) {

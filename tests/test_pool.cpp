@@ -1,0 +1,203 @@
+// Tests for the persistent worker pool (harness/pool.h) and the pooled
+// sweep executor built on it: chunk coverage, exception propagation, and —
+// the contract the paper's figures depend on — bit-identical SweepPoints
+// for every thread count, chunk size and point-interleaving mode. The
+// determinism tests carry the `pool_smoke` ctest label so they can be run
+// standalone under TSan (cmake -DPASERTA_SANITIZE=thread; ctest -L
+// pool_smoke).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "core/offline.h"
+#include "harness/experiment.h"
+#include "harness/pool.h"
+
+namespace paserta {
+namespace {
+
+TEST(WorkerPool, EveryChunkExactlyOnce) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3);
+  std::vector<std::atomic<int>> counts(257);
+  pool.parallel_chunks(257, 4, [&](int chunk, int slot) {
+    ASSERT_GE(chunk, 0);
+    ASSERT_LT(chunk, 257);
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, 4);
+    counts[static_cast<std::size_t>(chunk)]++;
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossCallsAndWorkerCounts) {
+  WorkerPool pool(2);
+  for (int max_workers : {1, 2, 5}) {
+    std::atomic<int> sum{0};
+    pool.parallel_chunks(40, max_workers,
+                         [&](int chunk, int) { sum += chunk; });
+    EXPECT_EQ(sum.load(), 40 * 39 / 2);
+  }
+}
+
+TEST(WorkerPool, ZeroThreadsRunsInline) {
+  WorkerPool pool(0);
+  // With no background workers every chunk runs on the caller, slot 0, in
+  // increasing order.
+  std::vector<int> order;
+  pool.parallel_chunks(5, 8, [&](int chunk, int slot) {
+    EXPECT_EQ(slot, 0);
+    order.push_back(chunk);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, ZeroChunksIsANoop) {
+  WorkerPool pool(1);
+  pool.parallel_chunks(0, 4, [&](int, int) { FAIL() << "no chunks to run"; });
+}
+
+TEST(WorkerPool, BodyExceptionPropagatesToCaller) {
+  WorkerPool pool(3);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_chunks(1000, 4,
+                                    [&](int chunk, int) {
+                                      ++executed;
+                                      if (chunk == 7)
+                                        throw Error("boom in chunk 7");
+                                    }),
+               Error);
+  // The abort flag stops remaining chunks: far fewer than 1000 ran.
+  EXPECT_LT(executed.load(), 1000);
+  // The pool survives and is usable afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_chunks(10, 4, [&](int, int) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(WorkerPool, NestedCallDegradesToInline) {
+  WorkerPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_chunks(4, 2, [&](int, int) {
+    // A body starting its own loop must not deadlock; it runs inline.
+    pool.parallel_chunks(3, 2, [&](int, int) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 12);
+}
+
+TEST(WorkerPool, EnsureThreadsGrows) {
+  WorkerPool pool(1);
+  pool.ensure_threads(3);
+  EXPECT_EQ(pool.thread_count(), 3);
+  pool.ensure_threads(2);  // never shrinks
+  EXPECT_EQ(pool.thread_count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Executor determinism: the SweepPoint outputs must be bit-identical to the
+// serial run for every thread count, chunk size and point-parallel mode.
+
+ExperimentConfig config(int runs, int threads) {
+  ExperimentConfig cfg;
+  cfg.cpus = 2;
+  cfg.table = LevelTable::intel_xscale();
+  cfg.runs = runs;
+  cfg.threads = threads;
+  cfg.seed = 20260806;
+  return cfg;
+}
+
+void expect_stat_identical(const RunningStat& a, const RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+void expect_point_identical(const SweepPoint& a, const SweepPoint& b) {
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_EQ(a.deadline, b.deadline);
+  EXPECT_EQ(a.worst_makespan, b.worst_makespan);
+  EXPECT_EQ(a.degenerate_runs, b.degenerate_runs);
+  expect_stat_identical(a.npm_energy, b.npm_energy);
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (std::size_t s = 0; s < a.stats.size(); ++s) {
+    EXPECT_EQ(a.stats[s].scheme, b.stats[s].scheme);
+    expect_stat_identical(a.stats[s].norm_energy, b.stats[s].norm_energy);
+    expect_stat_identical(a.stats[s].speed_changes, b.stats[s].speed_changes);
+    expect_stat_identical(a.stats[s].finish_frac, b.stats[s].finish_frac);
+    expect_stat_identical(a.stats[s].busy_frac, b.stats[s].busy_frac);
+    expect_stat_identical(a.stats[s].overhead_frac,
+                          b.stats[s].overhead_frac);
+    expect_stat_identical(a.stats[s].idle_frac, b.stats[s].idle_frac);
+    EXPECT_EQ(a.stats[s].deadline_misses, b.stats[s].deadline_misses);
+    EXPECT_EQ(a.stats[s].verify_failures, b.stats[s].verify_failures);
+  }
+}
+
+void expect_sweep_identical(const std::vector<SweepPoint>& a,
+                            const std::vector<SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_point_identical(a[i], b[i]);
+}
+
+TEST(PoolDeterminism, SweepInvariantAcrossThreadsChunksPointModes) {
+  const Application app = apps::build_synthetic();
+  const std::vector<double> loads = {0.3, 0.5, 0.9};
+
+  ExperimentConfig base_cfg = config(30, 1);
+  base_cfg.parallel_points = false;
+  const std::vector<SweepPoint> baseline = sweep_load(app, base_cfg, loads);
+
+  for (int threads : {1, 2, 5}) {
+    for (int chunk : {0, 1, 7, 64}) {
+      for (bool parallel_points : {false, true}) {
+        ExperimentConfig cfg = config(30, threads);
+        cfg.chunk_runs = chunk;
+        cfg.parallel_points = parallel_points;
+        const std::vector<SweepPoint> sweep = sweep_load(app, cfg, loads);
+        SCOPED_TRACE(testing::Message()
+                     << "threads=" << threads << " chunk=" << chunk
+                     << " parallel_points=" << parallel_points);
+        expect_sweep_identical(baseline, sweep);
+      }
+    }
+  }
+}
+
+TEST(PoolDeterminism, PooledMatchesUnpooledRunPoint) {
+  const Application app = apps::build_synthetic();
+  const SimTime d = SimTime::from_ms(120);
+  for (int threads : {1, 3}) {
+    const SweepPoint legacy =
+        run_point_unpooled(app, config(40, threads), d, 0.0);
+    const SweepPoint pooled = run_point(app, config(40, threads), d, 0.0);
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    expect_point_identical(legacy, pooled);
+  }
+}
+
+TEST(PoolDeterminism, LoadSweepRunsExactlyOneCanonicalAnalysis) {
+  const Application app = apps::build_synthetic();
+  const std::vector<double> loads = sweep_range(0.1, 1.0, 0.1);
+  ASSERT_EQ(loads.size(), 10u);
+
+  for (bool parallel_points : {true, false}) {
+    ExperimentConfig cfg = config(5, 2);
+    cfg.parallel_points = parallel_points;
+    const std::uint64_t before = canonical_analysis_count();
+    const std::vector<SweepPoint> sweep = sweep_load(app, cfg, loads);
+    EXPECT_EQ(sweep.size(), 10u);
+    EXPECT_EQ(canonical_analysis_count() - before, 1u)
+        << "a load sweep must run round 1 once, parallel_points="
+        << parallel_points;
+  }
+}
+
+}  // namespace
+}  // namespace paserta
