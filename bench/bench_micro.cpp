@@ -9,6 +9,7 @@
 #include "core/list_sched.h"
 #include "core/offline.h"
 #include "sim/engine.h"
+#include "sim/sampler.h"
 
 namespace paserta {
 namespace {
@@ -111,6 +112,20 @@ void BM_DrawScenario(benchmark::State& state) {
                           static_cast<std::int64_t>(app.graph.size()));
 }
 BENCHMARK(BM_DrawScenario);
+
+void BM_SamplerDraw(benchmark::State& state) {
+  const Application app = big_random_app(3);
+  const ScenarioSampler sampler(app.graph);
+  Rng rng(9);
+  RunScenario sc;
+  for (auto _ : state) {
+    sampler.draw_into(rng, sc);
+    benchmark::DoNotOptimize(sc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(app.graph.size()));
+}
+BENCHMARK(BM_SamplerDraw);
 
 void BM_GraphValidate(benchmark::State& state) {
   const Application app = big_random_app(4);

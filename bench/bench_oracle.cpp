@@ -5,6 +5,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/oracle.h"
+#include "sim/sampler.h"
 #include "core/offline.h"
 
 using namespace paserta;
@@ -12,6 +13,8 @@ using namespace paserta;
 int main(int argc, char** argv) {
   const int runs = benchutil::runs_from_args(argc, argv, 300);
   const Application app = apps::build_synthetic();
+  // One sampler for the whole grid (stream-compatible with draw_scenario).
+  const ScenarioSampler sampler(app.graph);
   const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8};
   const Scheme schemes[] = {Scheme::SPM, Scheme::GSS, Scheme::SS1,
                             Scheme::SS2, Scheme::AS};
@@ -39,7 +42,7 @@ int main(int argc, char** argv) {
       std::vector<RunningStat> gap(std::size(schemes));
       for (int r = 0; r < runs; ++r) {
         Rng rng = master.fork();
-        const RunScenario sc = draw_scenario(app.graph, rng);
+        const RunScenario sc = sampler.draw(rng);
         const OracleResult oracle = clairvoyant_oracle(app, off, pm, ovh, sc);
         for (std::size_t s = 0; s < std::size(schemes); ++s) {
           const SimResult res = simulate(app, off, pm, ovh, schemes[s], sc);

@@ -7,12 +7,16 @@
 #include "common/significance.h"
 #include "core/offline.h"
 #include "sim/engine.h"
+#include "sim/sampler.h"
 
 using namespace paserta;
 
 int main(int argc, char** argv) {
   const int runs = benchutil::runs_from_args(argc, argv, 1000);
   const Application app = apps::build_atr();
+  // One sampler for all loads/tables: the graph never changes, and
+  // draw() is stream-compatible with the per-run draw_scenario walk.
+  const ScenarioSampler sampler(app.graph);
 
   for (const LevelTable& table :
        {LevelTable::transmeta_tm5400(), LevelTable::intel_xscale()}) {
@@ -36,7 +40,7 @@ int main(int argc, char** argv) {
       RunningStat as_vs_gss, as_vs_ss1;
       for (int r = 0; r < runs; ++r) {
         Rng rng(Rng::stream_seed(1234, static_cast<std::uint64_t>(r)));
-        const RunScenario sc = draw_scenario(app.graph, rng);
+        const RunScenario sc = sampler.draw(rng);
         const double npm =
             simulate(app, off, pm, ovh, Scheme::NPM, sc).total_energy();
         const double gss =

@@ -17,12 +17,17 @@
 // Usage: bench_throughput [runs] [threads] [--out=FILE]
 //   runs     Monte-Carlo runs per point-mode measurement (default 2000)
 //   threads  max worker count sampled (default: hardware threads, min 4)
-//   --out    also write the JSON document to FILE (the repo keeps a
-//            committed baseline in BENCH_throughput.json)
+//   --out    append the measurement to the history array in FILE (the repo
+//            keeps a committed history in BENCH_throughput.json). Each
+//            entry carries {git_rev, date} provenance; a legacy
+//            single-object file is preserved as the first entry.
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +41,32 @@ namespace {
 
 constexpr const char* kUsage =
     "bench_throughput [runs] [threads] [--out=FILE]";
+
+/// Short git revision of the working tree, "unknown" when git (or the
+/// repository) is unavailable — the bench must work from a tarball too.
+std::string git_revision() {
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {};
+  std::string rev;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) rev = buf;
+  const int status = pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+    rev.pop_back();
+  if (status != 0 || rev.empty()) return "unknown";
+  return rev;
+}
+
+/// Current UTC date, ISO "YYYY-MM-DD".
+std::string utc_date() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) == nullptr) return "unknown";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday);
+  return buf;
+}
 
 std::vector<int> thread_ladder(int max_threads) {
   std::vector<int> counts;
@@ -108,12 +139,25 @@ int main(int argc, char** argv) {
                           sweep_throughput_to_json(sweep_report) + "}\n";
   std::cout << doc;
   if (!out_path.empty()) {
-    std::ofstream out(out_path);
+    // Append to the measurement history rather than overwrite: the file
+    // keeps one {git_rev, date, point, sweep} entry per recorded run.
+    std::string existing;
+    {
+      std::ifstream in(out_path);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        existing = buf.str();
+      }
+    }
+    const std::string entry =
+        throughput_history_entry(git_revision(), utc_date(), doc);
+    std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
       std::cerr << "error: cannot write '" << out_path << "'\n";
       return 1;
     }
-    out << doc;
+    out << throughput_history_append(existing, entry);
   }
   return 0;
 }

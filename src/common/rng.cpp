@@ -13,10 +13,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
@@ -25,23 +21,6 @@ void Rng::reseed(std::uint64_t seed) {
   // xoshiro must not be seeded with the all-zero state.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
   have_spare_ = false;
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::next_double() {
-  // 53 high bits -> uniform in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t Rng::next_below(std::uint64_t n) {
@@ -53,23 +32,6 @@ std::uint64_t Rng::next_below(std::uint64_t n) {
   }
 }
 
-double Rng::next_gaussian() {
-  if (have_spare_) {
-    have_spare_ = false;
-    return spare_;
-  }
-  double u, v, s;
-  do {
-    u = 2.0 * next_double() - 1.0;
-    v = 2.0 * next_double() - 1.0;
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double mul = std::sqrt(-2.0 * std::log(s) / s);
-  spare_ = v * mul;
-  have_spare_ = true;
-  return u * mul;
-}
-
 std::size_t Rng::next_discrete(std::span<const double> weights) {
   PASERTA_REQUIRE(!weights.empty(), "next_discrete needs at least one weight");
   double total = 0.0;
@@ -78,12 +40,7 @@ std::size_t Rng::next_discrete(std::span<const double> weights) {
     total += w;
   }
   PASERTA_REQUIRE(total > 0.0, "discrete distribution weights sum to zero");
-  double x = next_double() * total;
-  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
-    if (x < weights[i]) return i;
-    x -= weights[i];
-  }
-  return weights.size() - 1;
+  return next_discrete_prenorm(weights, total);
 }
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL); }

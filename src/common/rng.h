@@ -7,6 +7,7 @@
 // distributions the simulator needs.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -23,17 +24,48 @@ class Rng {
 
   void reseed(std::uint64_t seed);
 
-  /// Uniform 64-bit value.
-  std::uint64_t next_u64();
+  /// Uniform 64-bit value. Defined inline (as are the other per-draw
+  /// primitives below): scenario sampling draws dozens of variates per
+  /// Monte-Carlo run, and keeping the generator core visible to callers
+  /// lets it inline into those loops.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double next_double();
+  double next_double() {
+    // 53 high bits -> uniform in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, n) using rejection sampling (unbiased).
   std::uint64_t next_below(std::uint64_t n);
 
   /// Standard normal variate (Marsaglia polar method).
-  double next_gaussian();
+  double next_gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
 
   /// Normal with the given mean / standard deviation.
   double next_normal(double mean, double stddev) {
@@ -41,8 +73,28 @@ class Rng {
   }
 
   /// Sample an index from a discrete distribution. `weights` need not be
-  /// normalized but must be non-negative with a positive sum.
+  /// normalized but must be non-negative with a positive sum. Validates and
+  /// sums the weights on every call — fine for cold paths; hot loops should
+  /// prevalidate once and use next_discrete_prenorm.
   std::size_t next_discrete(std::span<const double> weights);
+
+  /// Hot-path overload for prevalidated weight tables: `total` is the
+  /// weights' sum, computed once ahead of time with the same left-to-right
+  /// accumulation next_discrete uses. Performs the exact same arithmetic
+  /// walk as next_discrete (deliberately a subtract-walk, not a
+  /// cumulative-table compare, so the floating-point comparisons — and
+  /// therefore the drawn indices and the RNG stream — are bit-identical to
+  /// the checked version; see DESIGN.md §10). The caller guarantees:
+  /// weights non-empty, all non-negative, total > 0.
+  std::size_t next_discrete_prenorm(std::span<const double> weights,
+                                    double total) {
+    double x = next_double() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      if (x < weights[i]) return i;
+      x -= weights[i];
+    }
+    return weights.size() - 1;
+  }
 
   /// Derive an independent child generator; used to give each Monte-Carlo
   /// run its own stream so scheme evaluation order cannot perturb draws.
@@ -54,6 +106,10 @@ class Rng {
   static std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4]{};
   bool have_spare_ = false;
   double spare_ = 0.0;

@@ -76,7 +76,20 @@ constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ps * k
 /// ceil(t * num / den) with a 128-bit intermediate; exact for all inputs the
 /// simulator produces. Used to stretch execution times across frequencies:
 /// a task needing `t` at `f_max` needs `scale_time(t, f_max, f)` at `f`.
+///
+/// Fast path: when `t.ps * num + den - 1` fits in 64 bits — true for every
+/// workload in the paper (sub-second times, sub-GHz frequencies) — the
+/// ceil-divide is one hardware divide instead of a libgcc __udivti3 call.
+/// Both paths compute the identical quotient.
 constexpr SimTime scale_time(SimTime t, std::uint64_t num, std::uint64_t den) {
+  if (t.ps >= 0 && num > 0) {
+    const auto a = static_cast<std::uint64_t>(t.ps);
+    const std::uint64_t limit = ~std::uint64_t{0} - (den - 1);
+    if (a <= limit / num) {
+      const std::uint64_t q = (a * num + (den - 1)) / den;
+      return SimTime{static_cast<std::int64_t>(q)};
+    }
+  }
   const auto wide = static_cast<__int128>(t.ps) * static_cast<__int128>(num);
   const auto d = static_cast<__int128>(den);
   const __int128 q = (wide + d - 1) / d;
@@ -84,7 +97,14 @@ constexpr SimTime scale_time(SimTime t, std::uint64_t num, std::uint64_t den) {
 }
 
 /// Time taken by `cycles` processor cycles at frequency `f` (rounded up).
+/// Same 64-bit fast path as scale_time.
 constexpr SimTime cycles_to_time(std::uint64_t cycles, Freq f) {
+  constexpr std::uint64_t kPsPerSec = 1'000'000'000'000ULL;
+  const std::uint64_t limit = ~std::uint64_t{0} - (f - 1);
+  if (cycles <= limit / kPsPerSec) {
+    const std::uint64_t q = (cycles * kPsPerSec + (f - 1)) / f;
+    return SimTime{static_cast<std::int64_t>(q)};
+  }
   const auto wide = static_cast<__int128>(cycles) * 1'000'000'000'000LL;
   const auto d = static_cast<__int128>(f);
   return SimTime{static_cast<std::int64_t>((wide + d - 1) / d)};

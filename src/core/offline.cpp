@@ -40,6 +40,19 @@ struct CanonicalData {
   SimTime average_makespan{};
   std::uint32_t max_eo = 0;
   std::vector<std::uint32_t> eo;
+  /// Initial NUP per node (Figure 2 initialization: preds for AND /
+  /// computation, min(1, preds) for OR) and the nodes starting at zero —
+  /// precomputed here so the engine resets its counters with one memcpy
+  /// per run instead of re-walking the Node structs.
+  std::vector<std::uint32_t> nup_init;
+  std::vector<std::uint32_t> sources;
+  /// Flat dispatch descriptors (NodeFlag masks, raw WCETs, CSR successor
+  /// lists): everything a dispatch needs from the Node structs, laid out
+  /// contiguously for the engine hot path.
+  std::vector<std::uint8_t> node_flags;
+  std::vector<SimTime> wcet;
+  std::vector<std::uint32_t> succ_off;
+  std::vector<std::uint32_t> succ_flat;
   std::vector<SimTime> inflated_wcet;
   std::vector<SimTime> rem_a;
   std::vector<SimTime> rem_w;
@@ -65,6 +78,31 @@ class OfflineAnalyzer {
 
     const std::size_t n = app.graph.size();
     data->eo.assign(n, NodeId::kInvalid);
+    data->nup_init.resize(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const Node& node = app.graph.node(NodeId{v});
+      data->nup_init[v] =
+          node.kind == NodeKind::OrNode
+              ? std::min<std::uint32_t>(
+                    1, static_cast<std::uint32_t>(node.preds.size()))
+              : static_cast<std::uint32_t>(node.preds.size());
+      if (data->nup_init[v] == 0) data->sources.push_back(v);
+    }
+    data->node_flags.resize(n);
+    data->wcet.resize(n);
+    data->succ_off.resize(n + 1, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const Node& node = app.graph.node(NodeId{v});
+      std::uint8_t flags = 0;
+      if (node.is_dummy()) flags |= kNodeFlagDummy;
+      if (node.is_or_fork()) flags |= kNodeFlagOrFork;
+      if (node.kind == NodeKind::OrNode) flags |= kNodeFlagOrNode;
+      data->node_flags[v] = flags;
+      data->wcet[v] = node.wcet;
+      data->succ_off[v] = static_cast<std::uint32_t>(data->succ_flat.size());
+      for (NodeId s : node.succs) data->succ_flat.push_back(s.value);
+    }
+    data->succ_off[n] = static_cast<std::uint32_t>(data->succ_flat.size());
     data->inflated_wcet.assign(n, SimTime::zero());
     data->rem_a.assign(n, SimTime::zero());
     data->rem_w.assign(n, SimTime::zero());
@@ -103,6 +141,12 @@ class OfflineAnalyzer {
     r.average_makespan_ = d.average_makespan;
     r.max_eo_ = d.max_eo;
     r.eo_ = d.eo;
+    r.nup_init_ = d.nup_init;
+    r.sources_ = d.sources;
+    r.node_flags_ = d.node_flags;
+    r.wcet_ = d.wcet;
+    r.succ_off_ = d.succ_off;
+    r.succ_flat_ = d.succ_flat;
     r.inflated_wcet_ = d.inflated_wcet;
     r.rem_a_ = d.rem_a;
     r.rem_w_ = d.rem_w;

@@ -66,6 +66,14 @@ struct OrForkProfile {
 class OfflineAnalyzer;  // offline.cpp: the sole writer of the types below
 struct CanonicalData;   // offline.cpp: phase-1 payload (segment schedules)
 
+/// Per-node kind flags in OfflineResult::node_flag_table(), precomputed so
+/// the engine's dispatch loop never touches the pointer-heavy Node structs.
+enum NodeFlag : std::uint8_t {
+  kNodeFlagDummy = 1u,   // AND/OR node: executes in zero time
+  kNodeFlagOrFork = 2u,  // OR node with more than one successor
+  kNodeFlagOrNode = 4u,  // OR node of any arity (EO may jump ahead)
+};
+
 /// Immutable result of phase 1 for one (application, CanonicalOptions)
 /// pair. Holds pointers into the application's structure, so the
 /// Application object must outlive every CanonicalAnalysis derived from it
@@ -132,6 +140,37 @@ class OfflineResult {
   const std::vector<std::uint32_t>& eo_table() const { return eo_; }
   const std::vector<SimTime>& eet_table() const { return eet_; }
 
+  /// Initial NUP (number of unfinished predecessors) per node: preds for
+  /// AND/computation nodes, min(1, preds) for OR nodes (Figure 2
+  /// initialization). Precomputed in phase 1 so the engine resets its
+  /// per-run counters with one memcpy instead of re-walking the Node
+  /// structs; the debug completeness traversal reuses it too.
+  const std::vector<std::uint32_t>& nup_init_table() const {
+    return nup_init_;
+  }
+  /// Nodes whose initial NUP is zero, in ascending id order — the engine's
+  /// initial ready set.
+  const std::vector<std::uint32_t>& source_table() const { return sources_; }
+
+  /// Per-node NodeFlag masks (dummy / OR fork / OR node) — the dispatch
+  /// loop's replacement for Node::kind and the is_* predicates.
+  const std::vector<std::uint8_t>& node_flag_table() const {
+    return node_flags_;
+  }
+  /// Raw (uninflated) WCET per node, the quantity the online phase sizes
+  /// speeds against (zero for dummy nodes).
+  const std::vector<SimTime>& wcet_table() const { return wcet_; }
+  /// Flattened successor adjacency in CSR form: the successors of node v
+  /// are succ_list_table()[succ_offset_table()[v] ..
+  /// succ_offset_table()[v+1]]. Successor order matches Node::succs, so OR
+  /// forks index alternatives identically.
+  const std::vector<std::uint32_t>& succ_offset_table() const {
+    return succ_off_;
+  }
+  const std::vector<std::uint32_t>& succ_list_table() const {
+    return succ_flat_;
+  }
+
  private:
   // Populated exclusively by OfflineAnalyzer (offline.cpp), so results can
   // only come out of analyze_offline / apply_deadline — nothing can bypass
@@ -144,6 +183,12 @@ class OfflineResult {
   SimTime worst_makespan_{};
   SimTime average_makespan_{};
   std::vector<std::uint32_t> eo_;
+  std::vector<std::uint32_t> nup_init_;
+  std::vector<std::uint32_t> sources_;
+  std::vector<std::uint8_t> node_flags_;
+  std::vector<SimTime> wcet_;
+  std::vector<std::uint32_t> succ_off_;
+  std::vector<std::uint32_t> succ_flat_;
   std::vector<SimTime> lst_;
   std::vector<SimTime> eet_;
   std::vector<SimTime> inflated_wcet_;

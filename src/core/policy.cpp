@@ -19,17 +19,6 @@ const char* to_string(Scheme s) {
   return "?";
 }
 
-Freq required_freq(Freq f_max, SimTime work, SimTime avail) {
-  if (avail <= SimTime::zero()) return f_max;
-  if (work <= SimTime::zero()) return 0;
-  const auto num =
-      static_cast<__int128>(f_max) * static_cast<__int128>(work.ps);
-  const auto den = static_cast<__int128>(avail.ps);
-  const __int128 f = (num + den - 1) / den;
-  if (f >= static_cast<__int128>(f_max)) return f_max;
-  return static_cast<Freq>(f);
-}
-
 namespace {
 
 /// Speculative speed f_max * work / horizon, rounded to a table level per

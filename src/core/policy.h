@@ -126,7 +126,27 @@ class StaticSpecPolicy final : public SpeedPolicy {
 
 /// Frequency needed to fit `work` (time at f_max) into `avail`:
 /// ceil(f_max * work / avail), the deadline-safe direction. Returns f_max
-/// when avail <= 0.
-Freq required_freq(Freq f_max, SimTime work, SimTime avail);
+/// when avail <= 0. Inline — the engine calls it once per dynamic
+/// dispatch. Fast path mirroring scale_time: when f_max * work + avail - 1
+/// fits in 64 bits (every workload in the paper), one hardware divide
+/// replaces the libgcc 128-bit division; both paths compute the identical
+/// quotient.
+inline Freq required_freq(Freq f_max, SimTime work, SimTime avail) {
+  if (avail <= SimTime::zero()) return f_max;
+  if (work <= SimTime::zero()) return 0;
+  const auto w = static_cast<std::uint64_t>(work.ps);
+  const auto d = static_cast<std::uint64_t>(avail.ps);
+  const std::uint64_t limit = ~std::uint64_t{0} - (d - 1);
+  if (w <= limit / f_max) {
+    const std::uint64_t f = (f_max * w + (d - 1)) / d;
+    return f >= f_max ? f_max : static_cast<Freq>(f);
+  }
+  const auto num =
+      static_cast<__int128>(f_max) * static_cast<__int128>(work.ps);
+  const auto den = static_cast<__int128>(avail.ps);
+  const __int128 f = (num + den - 1) / den;
+  if (f >= static_cast<__int128>(f_max)) return f_max;
+  return static_cast<Freq>(f);
+}
 
 }  // namespace paserta

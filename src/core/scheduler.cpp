@@ -12,6 +12,7 @@ PowerAwareScheduler::PowerAwareScheduler(Application app, const Config& cfg)
       pm_(cfg.table, cfg.c_ef, cfg.idle_fraction),
       ovh_(cfg.overheads),
       scheme_(cfg.scheme),
+      sampler_(app_.graph),
       policy_(make_policy(cfg.scheme)),
       track_npm_(cfg.track_npm_baseline),
       record_trace_(cfg.record_trace) {
@@ -41,7 +42,7 @@ PowerAwareScheduler::PowerAwareScheduler(Application app, const Config& cfg)
 }
 
 SimResult PowerAwareScheduler::run_frame(Rng& rng) {
-  return run_frame(draw_scenario(app_.graph, rng));
+  return run_frame(sampler_.draw(rng));
 }
 
 SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {

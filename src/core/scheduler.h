@@ -13,6 +13,7 @@
 #include "core/offline.h"
 #include "core/policy.h"
 #include "sim/engine.h"
+#include "sim/sampler.h"
 
 namespace paserta {
 
@@ -54,7 +55,10 @@ class PowerAwareScheduler {
   /// (canonical worst case exceeds it — the offline phase "fails").
   PowerAwareScheduler(Application app, const Config& config);
 
-  /// Simulates one frame on a freshly drawn scenario.
+  /// Simulates one frame on a freshly drawn scenario (drawn through the
+  /// scheduler's precompiled ScenarioSampler — bit-identical to
+  /// draw_scenario on the same RNG state, without the per-frame parameter
+  /// re-derivation).
   SimResult run_frame(Rng& rng);
   /// Simulates one frame on the given scenario (e.g. replayed or crafted).
   SimResult run_frame(const RunScenario& scenario);
@@ -73,6 +77,7 @@ class PowerAwareScheduler {
   PowerModel pm_;
   Overheads ovh_;
   Scheme scheme_;
+  ScenarioSampler sampler_;  // compiled once against app_'s fixed graph
   OfflineResult off_;
   std::unique_ptr<SpeedPolicy> policy_;
   std::unique_ptr<SpeedPolicy> npm_;

@@ -10,6 +10,7 @@
 #include "core/offline.h"
 #include "harness/pool.h"
 #include "sim/engine.h"
+#include "sim/sampler.h"
 #include "sim/scenario.h"
 #include "sim/verify.h"
 
@@ -39,47 +40,70 @@ struct SchemeOutcome {
   bool verify_failed = false;
 };
 
-struct RunOutcome {
-  double npm_energy = 0.0;
-  bool degenerate = false;  // NPM baseline consumed zero energy
-  std::vector<SchemeOutcome> schemes;
+/// All per-run measurements of one point, laid out run-major in flat
+/// preallocated arrays (schemes[run * nschemes + s]): no per-run heap
+/// blocks, and both the worker writes and the run-ordered accumulation
+/// walk memory sequentially.
+struct PointOutcomes {
+  std::vector<double> npm_energy;        // one per run
+  std::vector<std::uint8_t> degenerate;  // NPM baseline consumed zero energy
+  std::vector<SchemeOutcome> schemes;    // runs x cfg.schemes, run-major
+
+  explicit PointOutcomes(int runs, std::size_t nschemes)
+      : npm_energy(static_cast<std::size_t>(runs), 0.0),
+        degenerate(static_cast<std::size_t>(runs), 0),
+        schemes(static_cast<std::size_t>(runs) * nschemes) {}
 };
 
-/// Evaluates one run on its own seed-derived stream into `out` (whose
-/// `schemes` vector is preallocated by the driver). Thread-safe: all shared
-/// inputs are const; policies, the workspace and the scenario buffer are
+/// Evaluates one run on its own seed-derived stream into its slots of
+/// `store`. Thread-safe: all shared inputs are const, distinct runs write
+/// distinct slots; policies, the workspace and the scenario buffer are
 /// caller-provided (one set per worker slot), so the loop over runs
-/// performs no heap allocation in steady state.
+/// performs no heap allocation in steady state. Scenario generation goes
+/// through the precompiled `sampler` when one is given; a null sampler
+/// falls back to the legacy per-run draw_scenario walk (bit-identical by
+/// contract — run_point_unpooled stays on it as the in-tree reference).
 void evaluate_run(const Application& app, const ExperimentConfig& cfg,
                   const OfflineResult& off, const PowerModel& pm,
-                  SimTime deadline,
+                  SimTime deadline, const ScenarioSampler* sampler,
                   std::vector<std::unique_ptr<SpeedPolicy>>& policies,
                   SpeedPolicy& npm, int run, SimWorkspace& ws,
-                  RunScenario& sc, RunOutcome& out) {
+                  RunScenario& sc, PointOutcomes& store) {
   Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
-  draw_scenario(app.graph, run_rng, sc);
+  if (sampler != nullptr) {
+    sampler->draw_into(run_rng, sc);
+  } else {
+    draw_scenario(app.graph, run_rng, sc);
+  }
 
-  // Traces are only materialized when something consumes them.
+  // Traces are only materialized when something consumes them; the
+  // verifying (test) configuration also keeps the engine's debug
+  // completeness traversal on.
   SimOptions sim_opt;
   sim_opt.record_trace = cfg.verify_traces;
+  sim_opt.check_completeness = cfg.verify_traces;
 
   npm.reset(off, pm);
   const SimResult base =
       simulate(app, off, pm, cfg.overheads, npm, sc, ws, sim_opt);
-  out.npm_energy = base.total_energy();
+  const double npm_energy = base.total_energy();
   // A degenerate workload (no computation and zero idle power) yields a
   // zero NPM baseline; dividing by it would poison RunningStat with
   // NaN/Inf, so such runs are flagged and excluded from norm_energy.
-  out.degenerate = !(out.npm_energy > 0.0);
+  const bool degenerate = !(npm_energy > 0.0);
+  store.npm_energy[static_cast<std::size_t>(run)] = npm_energy;
+  store.degenerate[static_cast<std::size_t>(run)] = degenerate ? 1 : 0;
+  SchemeOutcome* row = store.schemes.data() +
+                       static_cast<std::size_t>(run) * cfg.schemes.size();
 
   for (std::size_t s = 0; s < cfg.schemes.size(); ++s) {
     SpeedPolicy& policy = *policies[s];
     policy.reset(off, pm);
     const SimResult r =
         simulate(app, off, pm, cfg.overheads, policy, sc, ws, sim_opt);
-    SchemeOutcome& so = out.schemes[s];
-    if (!out.degenerate) {
-      so.norm_energy = r.total_energy() / out.npm_energy;
+    SchemeOutcome& so = row[s];
+    if (!degenerate) {
+      so.norm_energy = r.total_energy() / npm_energy;
       so.has_norm = true;
     }
     so.speed_changes = static_cast<double>(r.speed_changes);
@@ -137,22 +161,24 @@ void validate_config(const ExperimentConfig& cfg) {
 }
 
 SweepPoint finalize_point(const ExperimentConfig& cfg, const PointSpec& spec,
-                          const std::vector<RunOutcome>& outcomes) {
+                          const PointOutcomes& outcomes) {
   SweepPoint point;
   point.x = spec.x;
   point.deadline = spec.deadline;
   point.worst_makespan = spec.off->worst_makespan();
-  point.stats.resize(cfg.schemes.size());
-  for (std::size_t s = 0; s < cfg.schemes.size(); ++s)
+  const std::size_t nschemes = cfg.schemes.size();
+  point.stats.resize(nschemes);
+  for (std::size_t s = 0; s < nschemes; ++s)
     point.stats[s].scheme = cfg.schemes[s];
 
   // Accumulate strictly in run order: identical floating-point results for
   // every thread count, chunk size and point interleaving.
-  for (const RunOutcome& run : outcomes) {
-    point.npm_energy.add(run.npm_energy);
-    if (run.degenerate) ++point.degenerate_runs;
-    for (std::size_t s = 0; s < run.schemes.size(); ++s) {
-      const SchemeOutcome& so = run.schemes[s];
+  for (std::size_t run = 0; run < outcomes.npm_energy.size(); ++run) {
+    point.npm_energy.add(outcomes.npm_energy[run]);
+    if (outcomes.degenerate[run]) ++point.degenerate_runs;
+    const SchemeOutcome* row = outcomes.schemes.data() + run * nschemes;
+    for (std::size_t s = 0; s < nschemes; ++s) {
+      const SchemeOutcome& so = row[s];
       SchemeStats& st = point.stats[s];
       if (so.has_norm) st.norm_energy.add(so.norm_energy);
       st.speed_changes.add(so.speed_changes);
@@ -190,10 +216,26 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
 
   // Preallocate every per-run slot before the workers start, so the run
   // loop itself writes in place without allocating.
-  std::vector<std::vector<RunOutcome>> outcomes(specs.size());
-  for (auto& per_point : outcomes) {
-    per_point.resize(static_cast<std::size_t>(runs));
-    for (RunOutcome& out : per_point) out.schemes.resize(cfg.schemes.size());
+  std::vector<PointOutcomes> outcomes;
+  outcomes.reserve(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p)
+    outcomes.emplace_back(runs, cfg.schemes.size());
+
+  // One compiled sampler per distinct application: load-sweep points share
+  // one graph, so a 10-point sweep compiles exactly one. Compiled up front
+  // on the driving thread; workers only read it.
+  std::vector<std::unique_ptr<ScenarioSampler>> samplers;
+  std::vector<const Application*> sampler_apps;
+  std::vector<const ScenarioSampler*> spec_samplers(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    std::size_t j = 0;
+    while (j < sampler_apps.size() && sampler_apps[j] != specs[i].app) ++j;
+    if (j == sampler_apps.size()) {
+      sampler_apps.push_back(specs[i].app);
+      samplers.push_back(
+          std::make_unique<ScenarioSampler>(specs[i].app->graph));
+    }
+    spec_samplers[i] = samplers[j].get();
   }
 
   const int max_workers = std::min(cfg.threads, total_chunks);
@@ -207,11 +249,11 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     const int first = (c % chunks_per_point) * chunk;
     const int last = std::min(runs, first + chunk);
     const PointSpec& spec = specs[static_cast<std::size_t>(p)];
-    auto& per_point = outcomes[static_cast<std::size_t>(p)];
+    PointOutcomes& per_point = outcomes[static_cast<std::size_t>(p)];
     for (int run = first; run < last; ++run)
       evaluate_run(*spec.app, cfg, *spec.off, pm, spec.deadline,
-                   ctx->policies, *ctx->npm, run, ctx->ws, ctx->sc,
-                   per_point[static_cast<std::size_t>(run)]);
+                   spec_samplers[static_cast<std::size_t>(p)], ctx->policies,
+                   *ctx->npm, run, ctx->ws, ctx->sc, per_point);
   };
 
   if (max_workers <= 1) {
@@ -285,15 +327,16 @@ SweepPoint run_point_unpooled(const Application& app,
   opt.heuristic = cfg.heuristic;
   const OfflineResult off = analyze_offline(app, opt);
 
-  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(cfg.runs));
-  for (RunOutcome& out : outcomes) out.schemes.resize(cfg.schemes.size());
+  PointOutcomes outcomes(cfg.runs, cfg.schemes.size());
 
   auto worker = [&](int first, int step) {
     WorkerCtx ctx(cfg);
+    // nullptr sampler: the baseline keeps the legacy per-run
+    // draw_scenario walk, so it doubles as the sampler's bit-identity
+    // reference (tests compare it against the pooled path).
     for (int run = first; run < cfg.runs; run += step)
-      evaluate_run(app, cfg, off, pm, deadline, ctx.policies, *ctx.npm, run,
-                   ctx.ws, ctx.sc,
-                   outcomes[static_cast<std::size_t>(run)]);
+      evaluate_run(app, cfg, off, pm, deadline, /*sampler=*/nullptr,
+                   ctx.policies, *ctx.npm, run, ctx.ws, ctx.sc, outcomes);
   };
 
   const int threads = std::min(cfg.threads, cfg.runs);

@@ -101,9 +101,12 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& config,
                      OfflineCache* cache = nullptr);
 
 /// The pre-pool implementation: spawns and joins a fresh strided
-/// std::thread set and runs its own offline analysis. Kept as the
-/// benchmark baseline for the pooled path (harness/throughput.cpp) and as
-/// a cross-check in tests — output is bit-identical to run_point.
+/// std::thread set, runs its own offline analysis, and draws scenarios
+/// through the legacy per-run draw_scenario walk (not the precompiled
+/// ScenarioSampler). Kept as the benchmark baseline for the pooled path
+/// (harness/throughput.cpp) and as a cross-check in tests — output is
+/// bit-identical to run_point, which also pins the sampler against the
+/// legacy scenario path.
 SweepPoint run_point_unpooled(const Application& app,
                               const ExperimentConfig& config,
                               SimTime deadline, double x_value);

@@ -177,4 +177,53 @@ std::string sweep_throughput_to_json(const SweepThroughputReport& report) {
   return os.str();
 }
 
+std::string throughput_history_entry(const std::string& git_rev,
+                                     const std::string& date,
+                                     const std::string& doc) {
+  const std::size_t open = doc.find('{');
+  const std::size_t close = doc.rfind('}');
+  PASERTA_REQUIRE(open != std::string::npos && close != std::string::npos &&
+                      open < close,
+                  "history entry needs a JSON object document");
+  std::string inner = doc.substr(open + 1, close - open - 1);
+  // Trim leading whitespace so the spliced field list stays tidy.
+  const std::size_t first = inner.find_first_not_of(" \t\n\r");
+  inner = first == std::string::npos ? std::string{} : inner.substr(first);
+  std::string entry = "{\n\"git_rev\": \"" + escape(git_rev) +
+                      "\",\n\"date\": \"" + escape(date) + "\",\n";
+  if (inner.empty() || inner[0] == '}') {
+    // Empty document: drop the trailing comma separator.
+    entry.erase(entry.size() - 2, 1);
+    entry += "}\n";
+    return entry;
+  }
+  entry += inner;
+  if (entry.back() != '\n') entry.push_back('\n');
+  entry += "}\n";
+  return entry;
+}
+
+std::string throughput_history_append(const std::string& existing,
+                                      const std::string& entry) {
+  const std::size_t last = existing.find_last_not_of(" \t\n\r");
+  if (last == std::string::npos) return "[\n" + entry + "]\n";
+  if (existing[last] == ']') {
+    // Already a history array: splice before the closing bracket, with a
+    // comma unless the array is empty.
+    const std::string head = existing.substr(0, last);
+    const std::size_t tail = head.find_last_not_of(" \t\n\r");
+    const bool empty_array = tail != std::string::npos && head[tail] == '[';
+    std::string out = head;
+    if (const std::size_t t2 = out.find_last_not_of(" \t\n\r");
+        t2 != std::string::npos)
+      out.erase(t2 + 1);
+    out += empty_array ? "\n" : ",\n";
+    out += entry;
+    out += "]\n";
+    return out;
+  }
+  // Legacy single-object baseline: keep it as the first history entry.
+  return "[\n" + existing.substr(0, last + 1) + ",\n" + entry + "]\n";
+}
+
 }  // namespace paserta

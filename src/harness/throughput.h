@@ -81,4 +81,27 @@ SweepThroughputReport measure_sweep_throughput(
 /// Renders the report as a JSON object (pretty-printed, newline-terminated).
 std::string sweep_throughput_to_json(const SweepThroughputReport& report);
 
+// ---- measurement history ---------------------------------------------
+//
+// BENCH_throughput.json is a *history*: a JSON array of measurement
+// entries, one appended per bench_throughput --out run, so regressions can
+// be traced to a revision instead of the previous numbers being destroyed
+// by every refresh. Both functions are pure string transforms (no file
+// I/O) so the splicing is unit-testable; the bench binary owns the file.
+
+/// Wraps one measurement document (a JSON object, e.g. the {"point":...,
+/// "sweep":...} composite bench_throughput emits) into a history entry by
+/// splicing provenance fields in front of the document's own:
+/// {"git_rev": <rev>, "date": <date>, <document fields...>}.
+std::string throughput_history_entry(const std::string& git_rev,
+                                     const std::string& date,
+                                     const std::string& doc);
+
+/// Appends `entry` to the history array `existing` (the current file
+/// content). Empty/blank input starts a new one-entry array; a legacy
+/// single-object baseline (the pre-history file format) is preserved as
+/// the array's first entry. Returns the new file content.
+std::string throughput_history_append(const std::string& existing,
+                                      const std::string& entry);
+
 }  // namespace paserta

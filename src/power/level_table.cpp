@@ -27,22 +27,6 @@ LevelTable::LevelTable(std::string name, std::vector<Level> levels)
   }
 }
 
-std::size_t LevelTable::quantize_up(Freq desired) const {
-  const auto it = std::lower_bound(
-      levels_.begin(), levels_.end(), desired,
-      [](const Level& l, Freq f) { return l.freq < f; });
-  if (it == levels_.end()) return levels_.size() - 1;
-  return static_cast<std::size_t>(it - levels_.begin());
-}
-
-std::size_t LevelTable::quantize_down(Freq desired) const {
-  const auto it = std::upper_bound(
-      levels_.begin(), levels_.end(), desired,
-      [](Freq f, const Level& l) { return f < l.freq; });
-  if (it == levels_.begin()) return 0;
-  return static_cast<std::size_t>(it - levels_.begin()) - 1;
-}
-
 std::size_t LevelTable::index_of(Freq f) const {
   for (std::size_t i = 0; i < levels_.size(); ++i)
     if (levels_[i].freq == f) return i;

@@ -1,6 +1,7 @@
 // Discrete voltage/frequency level tables (paper §2.3, Tables 1 & 2).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -38,13 +39,27 @@ class LevelTable {
 
   /// Index of the slowest level with freq >= desired; clamps to the extreme
   /// levels (below f_min -> index 0, above f_max -> last index). This is the
-  /// "minimal speed limitation" central to the paper's findings.
-  std::size_t quantize_up(Freq desired) const;
+  /// "minimal speed limitation" central to the paper's findings. Inline:
+  /// the engine quantizes once per dynamic dispatch, and tables are small
+  /// enough that the call overhead would rival the search.
+  std::size_t quantize_up(Freq desired) const {
+    const auto it = std::lower_bound(
+        levels_.begin(), levels_.end(), desired,
+        [](const Level& l, Freq f) { return l.freq < f; });
+    if (it == levels_.end()) return levels_.size() - 1;
+    return static_cast<std::size_t>(it - levels_.begin());
+  }
 
   /// Index of the fastest level with freq <= desired; clamps to the extreme
   /// levels. Deadline-UNSAFE for required speeds — used only for
   /// speculative floors, which the greedy component backstops.
-  std::size_t quantize_down(Freq desired) const;
+  std::size_t quantize_down(Freq desired) const {
+    const auto it = std::upper_bound(
+        levels_.begin(), levels_.end(), desired,
+        [](Freq f, const Level& l) { return f < l.freq; });
+    if (it == levels_.begin()) return 0;
+    return static_cast<std::size_t>(it - levels_.begin()) - 1;
+  }
 
   /// Index of the level with exactly this frequency; throws if absent.
   std::size_t index_of(Freq f) const;

@@ -9,6 +9,10 @@ PowerModel::PowerModel(LevelTable table, double c_ef, double idle_fraction)
   PASERTA_REQUIRE(c_ef_ > 0.0, "effective capacitance must be positive");
   PASERTA_REQUIRE(idle_fraction_ >= 0.0 && idle_fraction_ <= 1.0,
                   "idle fraction must be in [0,1]");
+  level_power_.reserve(table_.size());
+  for (std::size_t i = 0; i < table_.size(); ++i)
+    level_power_.push_back(power(table_.level(i)));
+  idle_power_ = idle_fraction_ * max_power();
 }
 
 }  // namespace paserta

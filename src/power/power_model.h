@@ -57,23 +57,28 @@ class PowerModel {
   }
 
   /// Maximum power (at the top level).
-  Energy max_power() const { return power(table_.max_level()); }
+  Energy max_power() const { return level_power_.back(); }
 
   /// Idle/sleep power (fraction of max).
-  Energy idle_power() const { return idle_fraction_ * max_power(); }
+  Energy idle_power() const { return idle_power_; }
+
+  /// Power at every level, indexed by level — precomputed at construction
+  /// so per-dispatch energy accounting is a load and a multiply (the
+  /// simulation engine keeps a span over this).
+  const std::vector<Energy>& level_powers() const { return level_power_; }
 
   /// Energy of running busy for `t` at level `i`.
   Energy busy_energy(std::size_t level_index, SimTime t) const {
-    return power(level_index) * t.sec();
+    return level_power_[level_index] * t.sec();
   }
 
   /// Energy of idling for `t`.
-  Energy idle_energy(SimTime t) const { return idle_power() * t.sec(); }
+  Energy idle_energy(SimTime t) const { return idle_power_ * t.sec(); }
 
   /// Energy of one voltage transition between levels `from` and `to`
   /// lasting `t`: power at the higher of the two levels for the duration.
   Energy transition_energy(std::size_t from, std::size_t to, SimTime t) const {
-    const Energy p = std::max(power(from), power(to));
+    const Energy p = std::max(level_power_[from], level_power_[to]);
     return p * t.sec();
   }
 
@@ -81,6 +86,8 @@ class PowerModel {
   LevelTable table_;
   double c_ef_;
   double idle_fraction_;
+  std::vector<Energy> level_power_;  // power(level(i)) for every i
+  Energy idle_power_ = 0.0;
 };
 
 }  // namespace paserta

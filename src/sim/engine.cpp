@@ -10,26 +10,18 @@ namespace paserta {
 namespace {
 
 /// Number of nodes on the taken path, computed with workspace scratch so
-/// the per-run completeness check allocates nothing in steady state. Same
-/// closure as executed_set(), counting instead of materializing.
+/// the debug completeness check allocates nothing in steady state. Same
+/// closure as executed_set(), counting instead of materializing; the NUP
+/// initialization comes from the offline result's precomputed table
+/// (shared with the engine's own per-run reset).
 std::uint32_t count_executed(const AndOrGraph& g, const RunScenario& sc,
+                             const std::vector<std::uint32_t>& nup_init,
+                             const std::vector<std::uint32_t>& sources,
                              SimWorkspace& ws) {
-  const std::size_t n = g.size();
-  ws.reach_nup.resize(n);
-  ws.reached.assign(n, 0);
-  ws.reach_stack.clear();
-  // Index loop instead of all_nodes(): the latter materializes a vector,
-  // which would put an allocation back into every run.
+  ws.reach_nup = nup_init;
+  ws.reached.assign(g.size(), 0);
+  ws.reach_stack.assign(sources.begin(), sources.end());
   const std::span<const Node> nodes = g.nodes();
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const Node& node = nodes[v];
-    ws.reach_nup[v] =
-        node.kind == NodeKind::OrNode
-            ? std::min<std::uint32_t>(
-                  1, static_cast<std::uint32_t>(node.preds.size()))
-            : static_cast<std::uint32_t>(node.preds.size());
-    if (ws.reach_nup[v] == 0) ws.reach_stack.push_back(v);
-  }
   std::uint32_t count = 0;
   while (!ws.reach_stack.empty()) {
     const NodeId id{ws.reach_stack.back()};
@@ -62,6 +54,16 @@ class Engine {
         nodes_(app.graph.nodes()),
         eo_(off.eo_table()),
         eet_(off.eet_table()),
+        nup_init_(off.nup_init_table()),
+        flags_(off.node_flag_table()),
+        wcet_(off.wcet_table()),
+        succ_off_(off.succ_offset_table()),
+        succ_flat_(off.succ_list_table()),
+        levels_(pm.table().levels()),
+        power_(pm.level_powers()),
+        f_max_(pm.table().f_max()),
+        dynamic_(policy.kind() == SpeedPolicy::Kind::Dynamic),
+        trace_(opt.record_trace),
         off_(off),
         pm_(pm),
         ovh_(ovh),
@@ -87,10 +89,23 @@ class Engine {
   const Application& app_;
   const AndOrGraph& g_;
   // simulate() validates that scenario and offline data match the graph,
-  // so the per-dispatch paths below index unchecked.
+  // so the per-dispatch paths below index unchecked. The dispatch loop
+  // reads only the flat per-node tables (flags/WCET/CSR successors) and the
+  // precomputed per-level powers; the Node structs are touched solely by
+  // failed-assertion messages.
   const std::span<const Node> nodes_;
   const std::span<const std::uint32_t> eo_;
   const std::span<const SimTime> eet_;
+  const std::span<const std::uint32_t> nup_init_;
+  const std::span<const std::uint8_t> flags_;
+  const std::span<const SimTime> wcet_;
+  const std::span<const std::uint32_t> succ_off_;
+  const std::span<const std::uint32_t> succ_flat_;
+  const std::span<const Level> levels_;
+  const std::span<const Energy> power_;
+  const Freq f_max_;
+  const bool dynamic_;  // policy_.kind(), resolved once per run
+  const bool trace_;    // opt_.record_trace, hoisted out of the loop
   const OfflineResult& off_;
   const PowerModel& pm_;
   const Overheads& ovh_;
@@ -101,37 +116,64 @@ class Engine {
 
   std::uint32_t neo_ = 0;
   std::uint64_t seq_ = 0;
+  // Inline run accounting (replaces the post-run closure traversal):
+  // activated_ counts nodes that received their first NUP decrement (or
+  // were force-readied by their OR fork), completed_ those whose NUP
+  // reached zero. activated_ == completed_ at the end of the run — together
+  // with an empty ready queue — certifies that exactly the taken path was
+  // dispatched; a gap means a node was partially released and the run
+  // deadlocked.
+  std::uint32_t activated_ = 0;
+  std::uint32_t completed_ = 0;
 
   SimResult result_;
   SimTime last_activity_{};
 };
 
 void Engine::enqueue_ready(NodeId id) {
-  ws_.ready.emplace_back(eo_[id.value], id.value);
-  std::push_heap(ws_.ready.begin(), ws_.ready.end(), std::greater<>{});
+  // Keep the queue sorted descending (minimum at the back). New work
+  // usually has the largest EO seen so far, so the scan from the back
+  // typically shifts the whole (tiny) queue or nothing.
+  const std::pair<std::uint32_t, std::uint32_t> entry{eo_[id.value],
+                                                      id.value};
+  auto& q = ws_.ready;
+  std::size_t i = q.size();
+  q.emplace_back(entry);
+  while (i > 0 && q[i - 1] < entry) {
+    q[i] = q[i - 1];
+    --i;
+  }
+  q[i] = entry;
 }
 
 std::pair<std::uint32_t, std::uint32_t> Engine::pop_ready() {
-  std::pop_heap(ws_.ready.begin(), ws_.ready.end(), std::greater<>{});
   const auto head = ws_.ready.back();
   ws_.ready.pop_back();
   return head;
 }
 
 void Engine::release_successors(NodeId id) {
-  for (NodeId s : nodes_[id.value].succs) {
-    PASERTA_ASSERT(ws_.nup[s.value] > 0, "NUP underflow at node '"
-                                             << nodes_[s.value].name << "'");
-    if (--ws_.nup[s.value] == 0) enqueue_ready(s);
+  const std::uint32_t begin = succ_off_[id.value];
+  const std::uint32_t end = succ_off_[id.value + 1];
+  for (std::uint32_t k = begin; k < end; ++k) {
+    const std::uint32_t sv = succ_flat_[k];
+    std::uint32_t& nup = ws_.nup[sv];
+    PASERTA_ASSERT(nup > 0,
+                   "NUP underflow at node '" << nodes_[sv].name << "'");
+    if (nup == nup_init_[sv]) ++activated_;
+    if (--nup == 0) {
+      ++completed_;
+      enqueue_ready(NodeId{sv});
+    }
   }
 }
 
 bool Engine::head_dispatchable() const {
   if (ws_.ready.empty()) return false;
-  const auto [eo, idv] = ws_.ready.front();
+  const auto [eo, idv] = ws_.ready.back();  // minimum of the sorted queue
   if (eo == neo_) return true;
   // OR nodes may jump NEO forward past the EOs of untaken alternatives.
-  return nodes_[idv].kind == NodeKind::OrNode && eo > neo_;
+  return (flags_[idv] & kNodeFlagOrNode) != 0 && eo > neo_;
 }
 
 void Engine::wake_one(SimTime t) {
@@ -154,53 +196,63 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     }
     const auto [eo, idv] = pop_ready();
     const NodeId id{idv};
-    const Node& n = nodes_[idv];
+    const std::uint8_t flags = flags_[idv];
     PASERTA_ASSERT(eo >= neo_, "execution order went backwards");
     neo_ = eo + 1;  // Figure 2 steps 4 & 7
     ++result_.dispatched;
     last_activity_ = std::max(last_activity_, t);
 
-    TaskRecord rec;
-    rec.node = id;
-    rec.cpu = cpu_id;
-    rec.eo = eo;
-    rec.dispatch_time = t;
-    rec.level = cpu.level;
-    rec.level_before = cpu.level;
-
-    if (n.is_dummy()) {
-      rec.exec_start = rec.finish = t;
-      if (n.is_or_fork()) {
+    if (flags & kNodeFlagDummy) {
+      int chosen_alt = -1;
+      if (flags & kNodeFlagOrFork) {
         const int chosen = sc_.or_choice[idv];
-        PASERTA_ASSERT(chosen >= 0 &&
-                           static_cast<std::size_t>(chosen) < n.succs.size(),
-                       "scenario lacks a choice for fork '" << n.name << "'");
-        rec.chosen_alt = chosen;
-        const NodeId child = n.succs[static_cast<std::size_t>(chosen)];
-        ws_.nup[child.value] = 0;
-        enqueue_ready(child);
-        if (policy_.kind() == SpeedPolicy::Kind::Dynamic)
-          policy_.on_or_fired(id, chosen, t, off_, pm_);
+        PASERTA_ASSERT(
+            chosen >= 0 && succ_off_[idv] + static_cast<std::uint32_t>(
+                               chosen) < succ_off_[idv + 1],
+            "scenario lacks a choice for fork '" << nodes_[idv].name << "'");
+        chosen_alt = chosen;
+        const std::uint32_t child =
+            succ_flat_[succ_off_[idv] + static_cast<std::uint32_t>(chosen)];
+        std::uint32_t& child_nup = ws_.nup[child];
+        PASERTA_ASSERT(child_nup > 0, "OR fork '"
+                                          << nodes_[idv].name
+                                          << "' re-readied its alternative");
+        // Forcing the chosen alternative ready opens (if untouched) and
+        // closes its activation in one step.
+        if (child_nup == nup_init_[child]) ++activated_;
+        ++completed_;
+        child_nup = 0;
+        enqueue_ready(NodeId{child});
+        if (dynamic_) policy_.on_or_fired(id, chosen, t, off_, pm_);
       } else {
         release_successors(id);
-        if (n.kind == NodeKind::OrNode &&
-            policy_.kind() == SpeedPolicy::Kind::Dynamic)
+        if ((flags & kNodeFlagOrNode) && dynamic_)
           policy_.on_or_fired(id, -1, t, off_, pm_);
       }
-      if (opt_.record_trace) ws_.trace.push_back(rec);
+      if (trace_) {
+        TaskRecord rec;
+        rec.node = id;
+        rec.cpu = cpu_id;
+        rec.eo = eo;
+        rec.dispatch_time = rec.exec_start = rec.finish = t;
+        rec.level = rec.level_before = cpu.level;
+        rec.chosen_alt = chosen_alt;
+        ws_.trace.push_back(rec);
+      }
       continue;  // same processor keeps dispatching at the same instant
     }
 
     // ---- Computation node: pick a speed and execute (Figure 2 step 5). --
     SimTime start = t;
-    std::size_t lvl = cpu.level;
-    const LevelTable& table = pm_.table();
+    const std::size_t lvl_before = cpu.level;
+    std::size_t lvl = lvl_before;
+    bool switched = false;
 
-    if (policy_.kind() == SpeedPolicy::Kind::Dynamic) {
+    if (dynamic_) {
       // Speed-computation overhead runs at the current frequency.
       const SimTime dt_compute =
-          cycles_to_time(ovh_.speed_compute_cycles, table.level(lvl).freq);
-      result_.overhead_energy += pm_.busy_energy(lvl, dt_compute);
+          cycles_to_time(ovh_.speed_compute_cycles, levels_[lvl].freq);
+      result_.overhead_energy += power_[lvl] * dt_compute.sec();
       cpu.busy += dt_compute;
       start += dt_compute;
 
@@ -209,38 +261,51 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       // overhead before sizing the speed (conservative: the reservation is
       // kept even if the level ends up unchanged).
       const SimTime avail = eet_[idv] - start - ovh_.speed_change_time;
-      const Freq gss = required_freq(table.f_max(), n.wcet, avail);
+      const Freq gss = required_freq(f_max_, wcet_[idv], avail);
       const Freq target = std::max(gss, policy_.floor_freq(start));
-      const std::size_t new_lvl = table.quantize_up(target);
+      const std::size_t new_lvl = pm_.table().quantize_up(target);
 
       if (new_lvl != lvl) {
         result_.overhead_energy +=
-            pm_.transition_energy(lvl, new_lvl, ovh_.speed_change_time);
+            std::max(power_[lvl], power_[new_lvl]) *
+            ovh_.speed_change_time.sec();
         cpu.busy += ovh_.speed_change_time;
         start += ovh_.speed_change_time;
         ++result_.speed_changes;
-        rec.switched = true;
+        switched = true;
         lvl = new_lvl;
         cpu.level = lvl;
       }
     }
 
     const SimTime actual = sc_.actual[idv];
-    PASERTA_ASSERT(actual > SimTime::zero() && actual <= n.wcet,
-                   "scenario actual time out of (0, WCET] for '" << n.name
-                                                                 << "'");
+    PASERTA_ASSERT(actual > SimTime::zero() && actual <= wcet_[idv],
+                   "scenario actual time out of (0, WCET] for '"
+                       << nodes_[idv].name << "'");
+    // scale_time(t, f, f) == t exactly (integer ceil), so running at f_max
+    // — every static NPM dispatch and any dynamic task without slack —
+    // skips the 128-bit division.
+    const Freq freq = levels_[lvl].freq;
     const SimTime duration =
-        scale_time(actual, table.f_max(), table.level(lvl).freq);
+        freq == f_max_ ? actual : scale_time(actual, f_max_, freq);
     const SimTime finish = start + duration;
-    result_.busy_energy += pm_.busy_energy(lvl, duration);
+    result_.busy_energy += power_[lvl] * duration.sec();
     cpu.busy += duration;
 
-    rec.exec_start = start;
-    rec.finish = finish;
-    rec.level = lvl;
-    if (opt_.record_trace) ws_.trace.push_back(rec);
+    if (trace_) {
+      TaskRecord rec;
+      rec.node = id;
+      rec.cpu = cpu_id;
+      rec.eo = eo;
+      rec.dispatch_time = t;
+      rec.exec_start = start;
+      rec.finish = finish;
+      rec.level = lvl;
+      rec.level_before = lvl_before;
+      rec.switched = switched;
+      ws_.trace.push_back(rec);
+    }
     ws_.events.push_back(Completion{finish, seq_++, cpu_id, id});
-    std::push_heap(ws_.events.begin(), ws_.events.end(), std::greater<>{});
 
     // Figure 2 step 5: if another processor sleeps and the (new) head is
     // dispatchable, signal it before executing.
@@ -256,26 +321,20 @@ void Engine::on_completion(int cpu_id, NodeId node, SimTime t) {
 }
 
 SimResult Engine::run() {
-  const std::size_t n = g_.size();
-  ws_.nup.resize(n);
+  // NUP reset is a single memcpy from the offline result's precomputed
+  // table (OR rule baked in: fire on the first finishing predecessor), and
+  // the initial ready set comes from its precomputed source list — the
+  // per-run walk over the Node structs is gone. Sources are listed in
+  // ascending id order, matching the index loop this replaces.
+  ws_.nup = off_.nup_init_table();
   ws_.ready.clear();
   ws_.events.clear();
   ws_.trace.clear();
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const Node& node = nodes_[v];
-    // OR nodes fire on their first (and only executed) finishing
-    // predecessor: NUP starts at 1 (Figure 2 initialization).
-    ws_.nup[v] = node.kind == NodeKind::OrNode
-                     ? std::min<std::uint32_t>(
-                           1, static_cast<std::uint32_t>(node.preds.size()))
-                     : static_cast<std::uint32_t>(node.preds.size());
-    if (ws_.nup[v] == 0) enqueue_ready(NodeId{v});
-  }
+  for (std::uint32_t v : off_.source_table()) enqueue_ready(NodeId{v});
 
   const std::size_t initial_level =
-      policy_.kind() == SpeedPolicy::Kind::Static
-          ? policy_.static_level()
-          : pm_.table().size() - 1;  // dynamic schemes power up at f_max
+      dynamic_ ? pm_.table().size() - 1  // dynamic schemes power up at f_max
+               : policy_.static_level();
   ws_.cpus.assign(static_cast<std::size_t>(off_.cpus()),
                   Cpu{initial_level, false, SimTime::zero()});
 
@@ -288,19 +347,36 @@ SimResult Engine::run() {
   }
 
   while (!ws_.events.empty()) {
-    std::pop_heap(ws_.events.begin(), ws_.events.end(), std::greater<>{});
-    const Completion e = ws_.events.back();
+    // At most one outstanding completion per CPU, so a linear min-scan
+    // beats heap maintenance; (finish, seq) is unique, so the extraction
+    // order matches the heap this replaces.
+    std::size_t min_i = 0;
+    for (std::size_t i = 1; i < ws_.events.size(); ++i)
+      if (ws_.events[min_i] > ws_.events[i]) min_i = i;
+    const Completion e = ws_.events[min_i];
+    ws_.events[min_i] = ws_.events.back();
     ws_.events.pop_back();
     on_completion(e.cpu, e.node, e.finish);
   }
 
   // Completeness: every node on the taken path must have been dispatched.
-  const std::uint32_t expected_count = count_executed(g_, sc_, ws_);
+  // The inline accounting certifies it in O(1): everything readied was
+  // taken (empty queue) and nothing was left partially released (a node
+  // stuck with 0 < NUP < initial NUP would show as activated > completed).
   PASERTA_ASSERT(ws_.ready.empty(), "simulation ended with ready work");
-  PASERTA_ASSERT(result_.dispatched == expected_count,
-                 "simulation dispatched " << result_.dispatched << " of "
-                                          << expected_count
-                                          << " expected nodes (deadlock?)");
+  PASERTA_ASSERT(activated_ == completed_,
+                 "simulation ended with " << activated_ - completed_
+                                          << " partially released nodes "
+                                             "(deadlock?)");
+  if (opt_.check_completeness) {
+    // Debug-only second opinion: recompute the closure from scratch.
+    const std::uint32_t expected_count = count_executed(
+        g_, sc_, off_.nup_init_table(), off_.source_table(), ws_);
+    PASERTA_ASSERT(result_.dispatched == expected_count,
+                   "simulation dispatched " << result_.dispatched << " of "
+                                            << expected_count
+                                            << " expected nodes (deadlock?)");
+  }
 
   result_.finish_time = last_activity_;
   result_.deadline_met = result_.finish_time <= off_.deadline();
@@ -358,7 +434,11 @@ SimResult simulate(const Application& app, const OfflineResult& off,
                       scenario.or_choice.size() == app.graph.size(),
                   "scenario size does not match the application graph");
   PASERTA_REQUIRE(off.eo_table().size() == app.graph.size() &&
-                      off.eet_table().size() == app.graph.size(),
+                      off.eet_table().size() == app.graph.size() &&
+                      off.nup_init_table().size() == app.graph.size() &&
+                      off.node_flag_table().size() == app.graph.size() &&
+                      off.wcet_table().size() == app.graph.size() &&
+                      off.succ_offset_table().size() == app.graph.size() + 1,
                   "offline result does not match the application graph");
   Engine engine(app, off, pm, overheads, policy, scenario, workspace, options);
   return engine.run();
@@ -368,8 +448,10 @@ SimResult simulate(const Application& app, const OfflineResult& off,
                    const PowerModel& pm, const Overheads& overheads,
                    SpeedPolicy& policy, const RunScenario& scenario) {
   SimWorkspace workspace;
+  SimOptions options;
+  options.check_completeness = true;  // one-shot callers keep the full check
   return simulate(app, off, pm, overheads, policy, scenario, workspace,
-                  SimOptions{});
+                  options);
 }
 
 SimResult simulate(const Application& app, const OfflineResult& off,

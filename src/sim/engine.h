@@ -60,6 +60,15 @@ struct SimOptions {
   /// analytics need traces; aggregate-only consumers (the Monte-Carlo
   /// harness) turn this off to keep the hot loop allocation-free.
   bool record_trace = true;
+  /// Debug completeness check: after the run, recompute the taken-path
+  /// closure with a full graph traversal and require that exactly those
+  /// nodes were dispatched. The engine always enforces the cheap inline
+  /// equivalent (O(1) accounting per release: an empty ready queue and no
+  /// partially-released node at the end), so this second walk is pure
+  /// defense-in-depth; the convenience simulate() overloads and the
+  /// trace-verifying harness path turn it on, Monte-Carlo hot loops leave
+  /// it off.
+  bool check_completeness = false;
 };
 
 /// Reusable scratch space of the simulation engine: the NUP counters,
@@ -88,14 +97,19 @@ struct SimWorkspace {
   };
 
   std::vector<std::uint32_t> nup;
-  // Ready queue: binary min-heap keyed on (EO, node id). EOs of coexisting
-  // ready nodes are unique by construction, the id is a deterministic
-  // safety net.
+  // Ready queue keyed on (EO, node id), kept sorted descending so the
+  // minimum sits at the back: pop is O(1), insert shifts the (tiny) tail.
+  // EOs of coexisting ready nodes are unique by construction, the id is a
+  // deterministic safety net; the unique total order makes the pop
+  // sequence identical to the binary heap this replaces.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> ready;
-  std::vector<Completion> events;  // binary min-heap on (finish, seq)
+  // Outstanding completions, at most one per CPU: extracted by linear
+  // min-scan on (finish, seq), which is unique, so extraction order is
+  // deterministic regardless of layout.
+  std::vector<Completion> events;
   std::vector<Cpu> cpus;
   std::vector<TaskRecord> trace;
-  // Scratch of the taken-path closure (completeness check).
+  // Scratch of the taken-path closure (SimOptions::check_completeness).
   std::vector<std::uint32_t> reach_nup;
   std::vector<std::uint32_t> reach_stack;
   std::vector<char> reached;
@@ -129,7 +143,8 @@ SimResult simulate(const Application& app, const OfflineResult& off,
                    SimWorkspace& workspace, const SimOptions& options = {});
 
 /// Convenience: simulate with a one-shot internal workspace, recording a
-/// full trace (the pre-workspace behaviour; used by tools and tests).
+/// full trace and running the debug completeness traversal (the
+/// pre-workspace behaviour; used by tools and tests).
 SimResult simulate(const Application& app, const OfflineResult& off,
                    const PowerModel& pm, const Overheads& overheads,
                    SpeedPolicy& policy, const RunScenario& scenario);

@@ -1,0 +1,93 @@
+#include "sim/sampler.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/error.h"
+
+namespace paserta {
+
+ScenarioSampler::ScenarioSampler(const AndOrGraph& g) {
+  const std::size_t n = g.size();
+  template_actual_.assign(n, SimTime::zero());
+  template_choice_.assign(n, -1);
+
+  const std::span<const Node> nodes = g.nodes();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const Node& node = nodes[v];
+    if (node.kind == NodeKind::Computation) {
+      // Same parameter derivation as draw_scenario (DESIGN.md §3.6):
+      // N(acet, ((wcet-acet)/3)^2) clamped to [max(1ps, 2*acet-wcet), wcet].
+      const double mean = static_cast<double>(node.acet.ps);
+      const double sigma =
+          static_cast<double>((node.wcet - node.acet).ps) / 3.0;
+      const double hi = static_cast<double>(node.wcet.ps);
+      const double lo = std::max(1.0, 2.0 * mean - hi);
+      if (sigma > 0.0) {
+        Op op;
+        op.node = v;
+        op.mean = mean;
+        op.sigma = sigma;
+        op.lo = lo;
+        op.hi = hi;
+        ops_.push_back(op);
+      } else {
+        // Degenerate (acet == wcet): draw_scenario clamps the mean without
+        // consuming randomness — bake the identical value into the template.
+        const double x = std::clamp(mean, lo, hi);
+        template_actual_[v] = SimTime{static_cast<std::int64_t>(x + 0.5)};
+      }
+    } else if (node.is_or_fork()) {
+      PASERTA_REQUIRE(node.succ_prob.size() == node.succs.size(),
+                      "OR fork '" << node.name
+                                  << "' lacks one probability per successor");
+      // Validate once, with the exact left-to-right summation
+      // Rng::next_discrete performs, so the precomputed total — and hence
+      // every per-draw comparison — is bit-identical to the checked path.
+      double total = 0.0;
+      for (double w : node.succ_prob) {
+        PASERTA_REQUIRE(w >= 0.0, "negative branch probability on fork '"
+                                      << node.name << "'");
+        total += w;
+      }
+      PASERTA_REQUIRE(total > 0.0, "branch probabilities of fork '"
+                                       << node.name << "' sum to zero");
+      Fork f;
+      f.first = static_cast<std::uint32_t>(weights_.size());
+      f.count = static_cast<std::uint32_t>(node.succ_prob.size());
+      f.total = total;
+      weights_.insert(weights_.end(), node.succ_prob.begin(),
+                      node.succ_prob.end());
+      Op op;
+      op.node = v;
+      op.fork = static_cast<std::int32_t>(forks_.size());
+      forks_.push_back(f);
+      ops_.push_back(op);
+    }
+  }
+}
+
+void ScenarioSampler::draw_into(Rng& rng, RunScenario& out) const {
+  out.actual = template_actual_;
+  out.or_choice = template_choice_;
+  const double* weights = weights_.data();
+  for (const Op& op : ops_) {
+    if (op.fork < 0) {
+      double x = rng.next_normal(op.mean, op.sigma);
+      x = std::clamp(x, op.lo, op.hi);
+      out.actual[op.node] = SimTime{static_cast<std::int64_t>(x + 0.5)};
+    } else {
+      const Fork& f = forks_[static_cast<std::size_t>(op.fork)];
+      out.or_choice[op.node] = static_cast<int>(rng.next_discrete_prenorm(
+          std::span<const double>{weights + f.first, f.count}, f.total));
+    }
+  }
+}
+
+RunScenario ScenarioSampler::draw(Rng& rng) const {
+  RunScenario sc;
+  draw_into(rng, sc);
+  return sc;
+}
+
+}  // namespace paserta

@@ -1,0 +1,86 @@
+// Precompiled scenario sampler: the hot-loop replacement for draw_scenario.
+//
+// A Monte-Carlo sweep draws thousands of scenarios from one unchanging
+// graph, yet draw_scenario re-derives every distribution parameter from the
+// AoS Node structs on every run: mean/sigma/clamp bounds per computation
+// node, plus a full validation + summation of the OR-fork weights inside
+// Rng::next_discrete per choice. ScenarioSampler hoists all of that out of
+// the run loop. Compiled once per AndOrGraph, it precomputes
+//
+//  * a flat op list over *only* the stochastic nodes, in node-index order:
+//    (node, mean, sigma, lo, hi) for computation nodes with sigma > 0 and
+//    prevalidated weight slices (with their precomputed sum) for OR forks;
+//  * a template scenario holding everything deterministic — zeros for
+//    dummies, -1 choices, and the fixed actual time of degenerate
+//    (acet == wcet) computation nodes — that each draw starts from with two
+//    memcpys.
+//
+// draw_into() then consumes the RNG stream in exactly the same order and
+// count as draw_scenario and performs the same floating-point arithmetic on
+// the same precomputed doubles, so the scenarios it produces are
+// bit-identical to the legacy path for any seed (regression-tested; the
+// stream-compatibility contract is written down in DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sim/scenario.h"
+
+namespace paserta {
+
+class ScenarioSampler {
+ public:
+  /// Compiles the sampler for `g`. Validates every OR fork's weight table
+  /// once (same rules as Rng::next_discrete: non-empty, non-negative,
+  /// positive sum); throws paserta::Error on violation. The sampler snap-
+  /// shots all node attributes, so it must be recompiled after the graph's
+  /// ACETs/WCETs or structure change (e.g. per alpha of an alpha sweep).
+  explicit ScenarioSampler(const AndOrGraph& g);
+
+  /// Draws a scenario into `out`, reusing its buffers (no allocation after
+  /// the first call). Bit-identical results and RNG stream to
+  /// draw_scenario(g, rng, out) for the same RNG state.
+  void draw_into(Rng& rng, RunScenario& out) const;
+
+  /// Convenience allocating overload, mirroring draw_scenario's.
+  RunScenario draw(Rng& rng) const;
+
+  /// Number of nodes of the compiled graph.
+  std::size_t node_count() const { return template_actual_.size(); }
+  /// Stochastic ops per draw: gaussian computation nodes + OR forks.
+  std::size_t op_count() const { return ops_.size(); }
+  std::size_t fork_count() const { return forks_.size(); }
+  std::size_t gaussian_count() const { return ops_.size() - forks_.size(); }
+
+ private:
+  /// One stochastic draw. Ops are stored in ascending node order — the
+  /// order draw_scenario visits them — which is what keeps the RNG stream
+  /// identical. `fork < 0` marks a gaussian op (mean/sigma/lo/hi valid);
+  /// otherwise `fork` indexes forks_.
+  struct Op {
+    std::uint32_t node = 0;
+    std::int32_t fork = -1;
+    double mean = 0.0;
+    double sigma = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  /// A prevalidated weight slice of weights_ plus its precomputed sum.
+  struct Fork {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    double total = 0.0;
+  };
+
+  std::vector<Op> ops_;
+  std::vector<Fork> forks_;
+  std::vector<double> weights_;  // all fork weights, flat
+  // Per-draw starting point: deterministic values baked in.
+  std::vector<SimTime> template_actual_;
+  std::vector<int> template_choice_;
+};
+
+}  // namespace paserta

@@ -39,16 +39,18 @@ RunScenario worst_case_scenario(const AndOrGraph& g,
   RunScenario sc;
   sc.actual.resize(g.size(), SimTime::zero());
   sc.or_choice.resize(g.size(), -1);
-  for (NodeId id : g.all_nodes()) {
-    const Node& n = g.node(id);
+  // Index loop instead of all_nodes(): the latter materializes a vector
+  // per call (see draw_scenario above).
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(NodeId{v});
     if (n.kind == NodeKind::Computation) {
-      sc.actual[id.value] = n.wcet;
+      sc.actual[v] = n.wcet;
     } else if (n.is_or_fork()) {
       int c = 0;
-      if (choices != nullptr) c = choices->at(id.value);
+      if (choices != nullptr) c = choices->at(v);
       PASERTA_REQUIRE(c >= 0 && static_cast<std::size_t>(c) < n.succs.size(),
                       "invalid fork choice for '" << n.name << "'");
-      sc.or_choice[id.value] = c;
+      sc.or_choice[v] = c;
     }
   }
   return sc;
@@ -60,7 +62,10 @@ void assign_alpha(AndOrGraph& g, double alpha, Rng* jitter_rng,
                   "alpha must be in (0,1], got " << alpha);
   PASERTA_REQUIRE(min_frac > 0.0 && min_frac <= 1.0,
                   "min_frac must be in (0,1]");
-  for (NodeId id : g.all_nodes()) {
+  // Index loop instead of all_nodes(): the latter materializes a vector
+  // per call, and alpha sweeps call this once per point.
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    const NodeId id{v};
     const Node& n = g.node(id);
     if (n.kind != NodeKind::Computation) continue;
     const double w = static_cast<double>(n.wcet.ps);

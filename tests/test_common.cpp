@@ -5,6 +5,8 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -140,6 +142,58 @@ TEST(Rng, DiscreteRejectsBadWeights) {
   EXPECT_THROW(rng.next_discrete(std::vector<double>{}), Error);
   EXPECT_THROW(rng.next_discrete(std::vector<double>{0.0, 0.0}), Error);
   EXPECT_THROW(rng.next_discrete(std::vector<double>{1.0, -0.5}), Error);
+}
+
+// Golden streams: the exact first variates of seed 42 (and a stream-seed
+// spot check), pinned as literals. Any change to the generator core, the
+// splitmix64 seeding, the double conversion, the polar gaussian or the
+// discrete walk — including "harmless" refactors like the header inlining
+// this guards — shifts every seeded experiment in the repo; this test makes
+// such a change impossible to miss. Hex float literals are exact.
+TEST(Rng, GoldenStreamSeed42) {
+  {
+    Rng r(42);
+    EXPECT_EQ(r.next_u64(), 15021278609987233951ull);
+    EXPECT_EQ(r.next_u64(), 5881210131331364753ull);
+    EXPECT_EQ(r.next_u64(), 18149643915985481100ull);
+    EXPECT_EQ(r.next_u64(), 12933668939759105464ull);
+  }
+  {
+    Rng r(42);
+    EXPECT_EQ(r.next_double(), 0x1.a0ec9a9e88ecdp-1);
+    EXPECT_EQ(r.next_double(), 0x1.467905d15dbccp-2);
+    EXPECT_EQ(r.next_double(), 0x1.f7c0f9f61849dp-1);
+    EXPECT_EQ(r.next_double(), 0x1.66fb3ec019b06p-1);
+  }
+  {
+    Rng r(42);
+    EXPECT_EQ(r.next_gaussian(), 0x1.f679d98b6ab7bp-1);
+    EXPECT_EQ(r.next_gaussian(), -0x1.21a610c887574p-1);  // cached spare
+    EXPECT_EQ(r.next_gaussian(), 0x1.571f94d19c30ap+0);
+    EXPECT_EQ(r.next_gaussian(), 0x1.9bf7e7b2c7e67p-2);
+  }
+  {
+    Rng r(42);
+    const std::vector<double> w{0.2, 0.5, 0.3};
+    std::string drawn;
+    for (int i = 0; i < 8; ++i)
+      drawn += static_cast<char>('0' + r.next_discrete(w));
+    EXPECT_EQ(drawn, "21222101");
+  }
+  EXPECT_EQ(Rng::stream_seed(42, 0), 5139283748462763858ull);
+  EXPECT_EQ(Rng::stream_seed(42, 1), 6349198060258255764ull);
+}
+
+// The unchecked prenorm overload must walk the weights exactly like the
+// checked one: same indices drawn, same stream consumed.
+TEST(Rng, DiscretePrenormMatchesChecked) {
+  const std::vector<double> w{0.05, 1.25, 0.0, 0.7, 2.0};
+  double total = 0.0;
+  for (double x : w) total += x;  // same left-to-right sum next_discrete uses
+  Rng a(2026), b(2026);
+  for (int i = 0; i < 5000; ++i)
+    ASSERT_EQ(a.next_discrete(w), b.next_discrete_prenorm(w, total));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
 }
 
 TEST(Rng, ForkIndependentStreams) {

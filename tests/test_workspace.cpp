@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "apps/atr.h"
 #include "apps/synthetic.h"
 #include "common/error.h"
 #include "core/scheduler.h"
@@ -105,6 +106,43 @@ TEST(Workspace, TraceRecordingOptIn) {
   const SimResult traced = simulate(app, off, pm, ovh, *p, sc, ws);
   EXPECT_EQ(traced.trace.size(), traced.dispatched);
   expect_same_numbers(silent, traced);
+}
+
+TEST(Workspace, CompletenessCheckAgreesWithInlineAccounting) {
+  // The engine's O(1) inline accounting (activated == completed counters
+  // maintained during dispatch) replaced the post-run executed_set
+  // traversal on the hot path; the traversal survives behind
+  // SimOptions::check_completeness. Both modes must accept the same runs
+  // and produce identical numbers — on OR-heavy workloads especially,
+  // where untaken alternatives must not count as pending work.
+  const Application app = apps::build_atr();
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 2;
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  o.deadline = canonical_worst_makespan(app, 2, o.overhead_budget) * 2;
+  const OfflineResult off = analyze_offline(app, o);
+
+  SimWorkspace ws;
+  Rng rng(77);
+  SimOptions fast;
+  fast.record_trace = false;
+  SimOptions checked = fast;
+  checked.check_completeness = true;
+  for (int draw = 0; draw < 8; ++draw) {
+    const RunScenario sc = draw_scenario(app.graph, rng);
+    for (Scheme s : {Scheme::NPM, Scheme::GSS, Scheme::AS}) {
+      auto p = make_policy(s);
+      p->reset(off, pm);
+      const SimResult plain = simulate(app, off, pm, ovh, *p, sc, ws, fast);
+      p->reset(off, pm);
+      const SimResult audited =
+          simulate(app, off, pm, ovh, *p, sc, ws, checked);
+      expect_same_numbers(plain, audited);
+      EXPECT_EQ(plain.dispatched, audited.dispatched);
+    }
+  }
 }
 
 TEST(Workspace, TraceConsumersRejectTracelessResults) {
@@ -364,6 +402,46 @@ TEST(Throughput, MeasuresAndEmitsJson) {
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
   EXPECT_EQ(json.back(), '\n');
+}
+
+// ------------------------------------------------ measurement history
+
+TEST(Throughput, HistoryEntrySplicesProvenance) {
+  const std::string entry = throughput_history_entry(
+      "abc1234", "2026-08-06", "{\n\"point\": {\"x\": 1}\n}\n");
+  EXPECT_NE(entry.find("\"git_rev\": \"abc1234\""), std::string::npos);
+  EXPECT_NE(entry.find("\"date\": \"2026-08-06\""), std::string::npos);
+  EXPECT_NE(entry.find("\"point\": {\"x\": 1}"), std::string::npos);
+  EXPECT_EQ(std::count(entry.begin(), entry.end(), '{'),
+            std::count(entry.begin(), entry.end(), '}'));
+}
+
+TEST(Throughput, HistoryAppendStartsNewArray) {
+  const std::string out = throughput_history_append("", "{\"a\": 1}\n");
+  EXPECT_EQ(out, "[\n{\"a\": 1}\n]\n");
+  EXPECT_EQ(throughput_history_append("  \n\t", "{\"a\": 1}\n"), out);
+}
+
+TEST(Throughput, HistoryAppendExtendsArray) {
+  const std::string once = throughput_history_append("", "{\"a\": 1}\n");
+  const std::string twice = throughput_history_append(once, "{\"b\": 2}\n");
+  EXPECT_EQ(twice, "[\n{\"a\": 1},\n{\"b\": 2}\n]\n");
+  EXPECT_EQ(throughput_history_append("[]", "{\"c\": 3}\n"),
+            "[\n{\"c\": 3}\n]\n");
+}
+
+TEST(Throughput, HistoryAppendWrapsLegacyBaseline) {
+  // The pre-history file format was a single JSON object; appending must
+  // keep it as the first entry instead of discarding the old numbers.
+  const std::string legacy = "{\n\"point\": {\"old\": true}\n}\n";
+  const std::string out = throughput_history_append(legacy, "{\"new\": 1}\n");
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_LT(out.find("\"old\": true"), out.find("\"new\": 1"));
+  EXPECT_EQ(out.substr(out.size() - 2), "]\n");
+  // A second append now follows the array path.
+  const std::string again = throughput_history_append(out, "{\"new\": 2}\n");
+  EXPECT_EQ(std::count(again.begin(), again.end(), '['), 1);
+  EXPECT_LT(again.find("\"new\": 1"), again.find("\"new\": 2"));
 }
 
 }  // namespace
