@@ -19,8 +19,9 @@
 //   threads  max worker count sampled (default: hardware threads, min 4)
 //   --out    append the measurement to the history array in FILE (the repo
 //            keeps a committed history in BENCH_throughput.json). Each
-//            entry carries {git_rev, date} provenance; a legacy
-//            single-object file is preserved as the first entry.
+//            entry carries {git_rev, dirty, date} provenance (dirty = the
+//            working tree had uncommitted changes); a legacy single-object
+//            file is preserved as the first entry.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -55,6 +56,21 @@ std::string git_revision() {
     rev.pop_back();
   if (status != 0 || rev.empty()) return "unknown";
   return rev;
+}
+
+/// True when the working tree has uncommitted changes (a measurement from
+/// a dirty tree cannot be attributed to its git_rev). Clean when git is
+/// unavailable — the revision is already "unknown" then.
+bool git_dirty() {
+  FILE* pipe = popen("git status --porcelain 2>/dev/null", "r");
+  if (pipe == nullptr) return false;
+  char buf[256];
+  bool dirty = false;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    if (buf[0] != '\0' && buf[0] != '\n') dirty = true;
+  }
+  const int status = pclose(pipe);
+  return status == 0 && dirty;
 }
 
 /// Current UTC date, ISO "YYYY-MM-DD".
@@ -134,13 +150,24 @@ int main(int argc, char** argv) {
       measure_sweep_throughput(app, sweep_cfg, loads, thread_ladder(threads),
                                fig.id + "@loads=0.1..1.0");
 
+  // Pool balance of one instrumented sweep at the max thread count: how
+  // evenly the chunks (and the time inside them) spread over the slots.
+  // Collected through a scoped registry, so it cannot perturb the timed
+  // measurements above (which run with observability off).
+  ExperimentConfig balance_cfg = sweep_cfg;
+  balance_cfg.threads = threads;
+  const std::string pool_doc =
+      measure_pool_balance_json(app, balance_cfg, loads);
+
   const std::string doc = "{\n\"point\": " + throughput_to_json(point_report) +
                           ",\n\"sweep\": " +
-                          sweep_throughput_to_json(sweep_report) + "}\n";
+                          sweep_throughput_to_json(sweep_report) +
+                          ",\n\"pool\": " + pool_doc + "\n}\n";
   std::cout << doc;
   if (!out_path.empty()) {
     // Append to the measurement history rather than overwrite: the file
-    // keeps one {git_rev, date, point, sweep} entry per recorded run.
+    // keeps one {git_rev, dirty, date, point, sweep, pool} entry per
+    // recorded run.
     std::string existing;
     {
       std::ifstream in(out_path);
@@ -151,7 +178,7 @@ int main(int argc, char** argv) {
       }
     }
     const std::string entry =
-        throughput_history_entry(git_revision(), utc_date(), doc);
+        throughput_history_entry(git_revision(), git_dirty(), utc_date(), doc);
     std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
       std::cerr << "error: cannot write '" << out_path << "'\n";

@@ -15,7 +15,8 @@ PowerAwareScheduler::PowerAwareScheduler(Application app, const Config& cfg)
       sampler_(app_.graph),
       policy_(make_policy(cfg.scheme)),
       track_npm_(cfg.track_npm_baseline),
-      record_trace_(cfg.record_trace) {
+      record_trace_(cfg.record_trace),
+      collect_metrics_(cfg.collect_metrics) {
   PASERTA_REQUIRE(cfg.deadline.has_value() != cfg.load.has_value(),
                   "set exactly one of Config::deadline and Config::load");
 
@@ -48,6 +49,7 @@ SimResult PowerAwareScheduler::run_frame(Rng& rng) {
 SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {
   SimOptions sim_opt;
   sim_opt.record_trace = record_trace_;
+  if (collect_metrics_) sim_opt.counters = &summary_.counters;
   policy_->reset(off_, pm_);
   SimResult r = simulate(app_, off_, pm_, ovh_, *policy_, scenario, ws_,
                          sim_opt);
@@ -61,8 +63,11 @@ SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {
   if (track_npm_) {
     // The baseline run only feeds the summary, never a trace consumer.
     npm_->reset(off_, pm_);
-    const SimResult base = simulate(app_, off_, pm_, ovh_, *npm_, scenario,
-                                    ws_, SimOptions{/*record_trace=*/false});
+    SimOptions base_opt;
+    base_opt.record_trace = false;
+    if (collect_metrics_) base_opt.counters = &summary_.npm_counters;
+    const SimResult base =
+        simulate(app_, off_, pm_, ovh_, *npm_, scenario, ws_, base_opt);
     const Energy base_total = base.total_energy();
     // A zero-energy baseline (degenerate workload) would make the
     // normalized energy NaN/Inf; count the frame instead of poisoning

@@ -36,6 +36,11 @@ class PowerAwareScheduler {
     /// for high-volume frame streams that only read the summary — frames
     /// then reuse the internal workspace with zero per-frame allocation.
     bool record_trace = true;
+    /// Accumulate engine telemetry (SimCounters: dispatch volume, DVS
+    /// activity, reclaimed slack) across frames into Summary::counters
+    /// (and Summary::npm_counters for the baseline runs). Observational
+    /// only — never changes a frame result.
+    bool collect_metrics = false;
   };
 
   struct Summary {
@@ -49,6 +54,9 @@ class PowerAwareScheduler {
     RunningStat norm_energy;  // populated when track_npm_baseline
     RunningStat speed_changes;
     RunningStat finish_frac;  // finish / deadline
+    /// Engine totals over all frames (zeros unless Config::collect_metrics).
+    SimCounters counters;
+    SimCounters npm_counters;  // NPM baseline runs (track_npm_baseline)
   };
 
   /// Throws paserta::Error on invalid config or an infeasible deadline
@@ -83,6 +91,7 @@ class PowerAwareScheduler {
   std::unique_ptr<SpeedPolicy> npm_;
   bool track_npm_ = false;
   bool record_trace_ = true;
+  bool collect_metrics_ = false;
   SimWorkspace ws_;  // reused by every frame (and the NPM baseline)
   Summary summary_;
 };

@@ -9,6 +9,9 @@
 #include "common/error.h"
 #include "core/offline.h"
 #include "harness/pool.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/sampler.h"
 #include "sim/scenario.h"
@@ -55,6 +58,19 @@ struct PointOutcomes {
         schemes(static_cast<std::size_t>(runs) * nschemes) {}
 };
 
+/// Observability context of one run, threaded through evaluate_run by the
+/// worker that owns the slot. Everything may be null/defaulted: a
+/// zero-initialized RunObs makes evaluate_run observation-free.
+struct RunObs {
+  Tracer* run_tracer = nullptr;  // non-null only at Tracer::Detail::kRuns
+  int slot = 0;
+  std::int64_t point = -1;
+  /// Slot-owned telemetry cells for this (point, slot): one SimCounters
+  /// per scheme in config order, then one for the NPM baseline. Null =
+  /// counting off.
+  SimCounters* cells = nullptr;
+};
+
 /// Evaluates one run on its own seed-derived stream into its slots of
 /// `store`. Thread-safe: all shared inputs are const, distinct runs write
 /// distinct slots; policies, the workspace and the scenario buffer are
@@ -68,7 +84,8 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
                   SimTime deadline, const ScenarioSampler* sampler,
                   std::vector<std::unique_ptr<SpeedPolicy>>& policies,
                   SpeedPolicy& npm, int run, SimWorkspace& ws,
-                  RunScenario& sc, PointOutcomes& store) {
+                  RunScenario& sc, PointOutcomes& store,
+                  const RunObs& obs = {}) {
   Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
   if (sampler != nullptr) {
     sampler->draw_into(run_rng, sc);
@@ -84,9 +101,13 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
   sim_opt.check_completeness = cfg.verify_traces;
 
   npm.reset(off, pm);
-  const SimResult base =
-      simulate(app, off, pm, cfg.overheads, npm, sc, ws, sim_opt);
-  const double npm_energy = base.total_energy();
+  sim_opt.counters =
+      obs.cells != nullptr ? obs.cells + cfg.schemes.size() : nullptr;
+  const double npm_energy = [&] {
+    TraceSpan span(obs.run_tracer, obs.slot, "NPM", obs.point, run);
+    return simulate(app, off, pm, cfg.overheads, npm, sc, ws, sim_opt)
+        .total_energy();
+  }();
   // A degenerate workload (no computation and zero idle power) yields a
   // zero NPM baseline; dividing by it would poison RunningStat with
   // NaN/Inf, so such runs are flagged and excluded from norm_energy.
@@ -99,8 +120,12 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
   for (std::size_t s = 0; s < cfg.schemes.size(); ++s) {
     SpeedPolicy& policy = *policies[s];
     policy.reset(off, pm);
-    const SimResult r =
-        simulate(app, off, pm, cfg.overheads, policy, sc, ws, sim_opt);
+    sim_opt.counters = obs.cells != nullptr ? obs.cells + s : nullptr;
+    const SimResult r = [&] {
+      TraceSpan span(obs.run_tracer, obs.slot, to_string(cfg.schemes[s]),
+                     obs.point, run);
+      return simulate(app, off, pm, cfg.overheads, policy, sc, ws, sim_opt);
+    }();
     SchemeOutcome& so = row[s];
     if (!degenerate) {
       so.norm_energy = r.total_energy() / npm_energy;
@@ -160,6 +185,25 @@ void validate_config(const ExperimentConfig& cfg) {
   PASERTA_REQUIRE(cfg.chunk_runs >= 0, "chunk_runs must be non-negative");
 }
 
+/// Latency buckets of the pool chunk histogram: ~log-spaced 10 us .. 10 s.
+constexpr double kChunkSecondsBounds[] = {1e-5, 3e-5, 1e-4, 3e-4, 1e-3,
+                                          3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
+                                          1.0,  3.0,  10.0};
+
+/// Adds one SimCounters total into "<prefix>.<field>" registry counters.
+/// Shard 0 is correct: the flush runs on the driving thread after the
+/// parallel section has joined.
+void flush_sim_counters(MetricsRegistry& reg, const std::string& prefix,
+                        const SimCounters& c) {
+  reg.counter(prefix + ".dispatches").add(0, c.dispatches);
+  reg.counter(prefix + ".tasks").add(0, c.tasks);
+  reg.counter(prefix + ".or_fires").add(0, c.or_fires);
+  reg.counter(prefix + ".speed_changes").add(0, c.speed_changes);
+  reg.counter(prefix + ".spec_picks").add(0, c.spec_picks);
+  reg.counter(prefix + ".greedy_picks").add(0, c.greedy_picks);
+  reg.counter(prefix + ".reclaimed_slack_ps").add(0, c.reclaimed_slack_ps);
+}
+
 SweepPoint finalize_point(const ExperimentConfig& cfg, const PointSpec& spec,
                           const PointOutcomes& outcomes) {
   SweepPoint point;
@@ -213,6 +257,46 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
   const int chunks_per_point = (runs + chunk - 1) / chunk;
   const int npoints = static_cast<int>(specs.size());
   const int total_chunks = npoints * chunks_per_point;
+  const int max_workers = std::min(cfg.threads, total_chunks);
+
+  // --- Observability. Everything in this block is write-only for the
+  // simulation (see the determinism contract in obs/metrics.h): the
+  // workers below behave identically whether it is active or not.
+  MetricsRegistry* const reg =
+      cfg.collect_metrics
+          ? (cfg.registry != nullptr ? cfg.registry
+                                     : &MetricsRegistry::global())
+          : nullptr;
+  Tracer* const tracer = cfg.tracer;
+  Tracer* const run_tracer =
+      (tracer != nullptr && tracer->detail() == Tracer::Detail::kRuns)
+          ? tracer
+          : nullptr;
+  PoolTelemetry tel;
+  const PoolTelemetry* telp = nullptr;
+  if (reg != nullptr) {
+    tel.chunks = &reg->counter("pool.chunks_completed");
+    tel.chunk_seconds =
+        &reg->histogram("pool.chunk_seconds", kChunkSecondsBounds);
+    tel.busy_ns = &reg->counter("pool.busy_ns");
+    tel.idle_ns = &reg->counter("pool.idle_ns");
+  }
+  if (cfg.progress != nullptr) {
+    tel.progress = cfg.progress;
+    cfg.progress->add_total(total_chunks);
+  }
+  if (reg != nullptr || cfg.progress != nullptr) telp = &tel;
+
+  // Engine-counter cells, one SimCounters row (schemes + NPM) per
+  // (point, slot): each worker accumulates into its own slot's row without
+  // synchronization, and the rows are summed in fixed slot order after the
+  // join, so the totals are thread-count independent.
+  const std::size_t nslots =
+      static_cast<std::size_t>(std::max(1, max_workers));
+  const std::size_t nschemes = cfg.schemes.size();
+  const std::size_t ncells = nschemes + 1;  // + NPM baseline
+  std::vector<SimCounters> cells(
+      cfg.collect_metrics ? specs.size() * nslots * ncells : 0);
 
   // Preallocate every per-run slot before the workers start, so the run
   // loop itself writes in place without allocating.
@@ -227,20 +311,21 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
   std::vector<std::unique_ptr<ScenarioSampler>> samplers;
   std::vector<const Application*> sampler_apps;
   std::vector<const ScenarioSampler*> spec_samplers(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    std::size_t j = 0;
-    while (j < sampler_apps.size() && sampler_apps[j] != specs[i].app) ++j;
-    if (j == sampler_apps.size()) {
-      sampler_apps.push_back(specs[i].app);
-      samplers.push_back(
-          std::make_unique<ScenarioSampler>(specs[i].app->graph));
+  {
+    TraceSpan span(tracer, 0, "compile_samplers");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      std::size_t j = 0;
+      while (j < sampler_apps.size() && sampler_apps[j] != specs[i].app) ++j;
+      if (j == sampler_apps.size()) {
+        sampler_apps.push_back(specs[i].app);
+        samplers.push_back(
+            std::make_unique<ScenarioSampler>(specs[i].app->graph));
+      }
+      spec_samplers[i] = samplers[j].get();
     }
-    spec_samplers[i] = samplers[j].get();
   }
 
-  const int max_workers = std::min(cfg.threads, total_chunks);
-  std::vector<std::unique_ptr<WorkerCtx>> ctxs(
-      static_cast<std::size_t>(std::max(1, max_workers)));
+  std::vector<std::unique_ptr<WorkerCtx>> ctxs(nslots);
 
   const auto body = [&](int c, int slot) {
     auto& ctx = ctxs[static_cast<std::size_t>(slot)];
@@ -250,25 +335,64 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     const int last = std::min(runs, first + chunk);
     const PointSpec& spec = specs[static_cast<std::size_t>(p)];
     PointOutcomes& per_point = outcomes[static_cast<std::size_t>(p)];
+    TraceSpan chunk_span(tracer, slot, "chunk", p, first);
+    RunObs obs;
+    obs.run_tracer = run_tracer;
+    obs.slot = slot;
+    obs.point = p;
+    if (!cells.empty())
+      obs.cells = cells.data() +
+                  (static_cast<std::size_t>(p) * nslots +
+                   static_cast<std::size_t>(slot)) *
+                      ncells;
     for (int run = first; run < last; ++run)
       evaluate_run(*spec.app, cfg, *spec.off, pm, spec.deadline,
                    spec_samplers[static_cast<std::size_t>(p)], ctx->policies,
-                   *ctx->npm, run, ctx->ws, ctx->sc, per_point);
+                   *ctx->npm, run, ctx->ws, ctx->sc, per_point, obs);
   };
 
-  if (max_workers <= 1) {
-    // Fully serial: never touches (or instantiates) the process pool.
-    for (int c = 0; c < total_chunks; ++c) body(c, 0);
-  } else {
-    WorkerPool& pool = WorkerPool::process_pool();
-    pool.ensure_threads(max_workers - 1);
-    pool.parallel_chunks(total_chunks, max_workers, body);
+  {
+    TraceSpan span(tracer, 0, "monte_carlo");
+    if (max_workers <= 1) {
+      // Fully serial: never touches (or instantiates) the process pool.
+      WorkerPool::serial_chunks(total_chunks, body, telp);
+    } else {
+      WorkerPool& pool = WorkerPool::process_pool();
+      pool.ensure_threads(max_workers - 1);
+      pool.parallel_chunks(total_chunks, max_workers, body, telp);
+    }
   }
 
   std::vector<SweepPoint> points;
   points.reserve(specs.size());
-  for (std::size_t p = 0; p < specs.size(); ++p)
-    points.push_back(finalize_point(cfg, specs[p], outcomes[p]));
+  {
+    TraceSpan span(tracer, 0, "finalize");
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      points.push_back(finalize_point(cfg, specs[p], outcomes[p]));
+      if (cfg.collect_metrics) {
+        // Sum the slot cells in fixed slot order (integer adds: the order
+        // would not matter anyway, but keep it canonical).
+        PointMetrics& m = points.back().metrics;
+        m.schemes.resize(nschemes);
+        for (std::size_t slot = 0; slot < nslots; ++slot) {
+          const SimCounters* cell =
+              cells.data() + (p * nslots + slot) * ncells;
+          for (std::size_t s = 0; s < nschemes; ++s)
+            m.schemes[s].add(cell[s]);
+          m.npm.add(cell[nschemes]);
+        }
+      }
+    }
+  }
+  if (reg != nullptr) {
+    for (const SweepPoint& pt : points) {
+      for (std::size_t s = 0; s < nschemes; ++s)
+        flush_sim_counters(
+            *reg, std::string("engine.") + to_string(cfg.schemes[s]),
+            pt.metrics.schemes[s]);
+      flush_sim_counters(*reg, "engine.NPM", pt.metrics.npm);
+    }
+  }
   return points;
 }
 
@@ -294,15 +418,18 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
   PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
 
   OfflineResult off;
-  if (cache != nullptr) {
-    off = apply_deadline(cache->get(app, canonical_options(cfg)), deadline);
-  } else {
-    OfflineOptions opt;
-    opt.cpus = cfg.cpus;
-    opt.deadline = deadline;
-    opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
-    opt.heuristic = cfg.heuristic;
-    off = analyze_offline(app, opt);
+  {
+    TraceSpan span(cfg.tracer, 0, "offline_analysis");
+    if (cache != nullptr) {
+      off = apply_deadline(cache->get(app, canonical_options(cfg)), deadline);
+    } else {
+      OfflineOptions opt;
+      opt.cpus = cfg.cpus;
+      opt.deadline = deadline;
+      opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
+      opt.heuristic = cfg.heuristic;
+      off = analyze_offline(app, opt);
+    }
   }
 
   PointSpec spec;
@@ -361,11 +488,17 @@ std::vector<SweepPoint> sweep_load(const Application& app,
                                    const ExperimentConfig& cfg,
                                    const std::vector<double>& loads) {
   validate_config(cfg);
+  TraceSpan sweep_span(cfg.tracer, 0, "sweep_load");
   // One canonical (round-1) analysis for the whole sweep: only the
   // deadline varies across points, and the deadline enters the offline
   // data solely through the cheap round-2 shift.
   OfflineCache cache;
-  const CanonicalAnalysis& canon = cache.get(app, canonical_options(cfg));
+  const CanonicalAnalysis* canon_ptr = nullptr;
+  {
+    TraceSpan span(cfg.tracer, 0, "offline_analysis");
+    canon_ptr = &cache.get(app, canonical_options(cfg));
+  }
+  const CanonicalAnalysis& canon = *canon_ptr;
 
   std::vector<OfflineResult> offs;
   std::vector<PointSpec> specs;

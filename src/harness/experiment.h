@@ -28,9 +28,13 @@
 #include "core/offline.h"
 #include "core/policy.h"
 #include "graph/program.h"
+#include "obs/metrics.h"
 #include "power/power_model.h"
 
 namespace paserta {
+
+class Tracer;            // obs/trace.h
+class ProgressReporter;  // obs/progress.h
 
 struct ExperimentConfig {
   int cpus = 2;
@@ -62,6 +66,25 @@ struct ExperimentConfig {
   /// Verify every trace against the model invariants (slower; used by
   /// tests, off by default in benches).
   bool verify_traces = false;
+
+  // --- Observability (obs/). Everything below is strictly write-only with
+  // respect to the simulation: enabling any of it cannot change a single
+  // output bit (regression-tested), only record what happened.
+  /// Collect engine SimCounters per (point, scheme) onto SweepPoint::
+  /// metrics, and pool-balance metrics (chunk counts/latency, busy/idle
+  /// time per slot) into `registry`. Off = zero instrumentation cost
+  /// beyond a few null checks.
+  bool collect_metrics = false;
+  /// Registry receiving the pool metrics and engine counter totals; null
+  /// with collect_metrics on = MetricsRegistry::global().
+  MetricsRegistry* registry = nullptr;
+  /// Span tracer: the harness records sweep / offline-analysis / chunk
+  /// spans (and per-simulation spans at Tracer::Detail::kRuns) for Chrome
+  /// trace export (obs/chrome_trace.h). Null = no tracing.
+  Tracer* tracer = nullptr;
+  /// Live progress: registered with the total chunk count up front, ticked
+  /// once per completed chunk. Null = silent.
+  ProgressReporter* progress = nullptr;
 };
 
 struct SchemeStats {
@@ -77,6 +100,17 @@ struct SchemeStats {
   std::uint32_t verify_failures = 0;
 };
 
+/// Engine telemetry totals of one point (ExperimentConfig::collect_metrics):
+/// SimCounters summed over all runs, per scheme plus the NPM baseline.
+/// Summation happens per (slot, scheme) cell in fixed slot order, so the
+/// totals are identical for every thread count and chunk interleaving.
+struct PointMetrics {
+  std::vector<SimCounters> schemes;  // parallel to ExperimentConfig::schemes
+  SimCounters npm;
+
+  bool enabled() const { return !schemes.empty(); }
+};
+
 struct SweepPoint {
   double x = 0.0;  // the swept parameter (load or alpha)
   SimTime deadline{};
@@ -87,6 +121,8 @@ struct SweepPoint {
   /// for them, so they are counted here and excluded from norm_energy.
   std::uint32_t degenerate_runs = 0;
   std::vector<SchemeStats> stats;
+  /// Empty unless ExperimentConfig::collect_metrics was on.
+  PointMetrics metrics;
 
   const SchemeStats& of(Scheme s) const;
 };

@@ -1,14 +1,17 @@
 #include "harness/json.h"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
-namespace paserta {
-namespace {
+#include "common/error.h"
 
-std::string escape(const std::string& s) {
+namespace paserta {
+
+std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
   for (char c : s) {
@@ -30,12 +33,17 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-std::string num(double v) {
+std::string json_num(double v) {
   if (!std::isfinite(v)) return "null";
   std::ostringstream oss;
   oss << std::setprecision(12) << v;
   return oss.str();
 }
+
+namespace {
+
+inline std::string escape(const std::string& s) { return json_escape(s); }
+inline std::string num(double v) { return json_num(v); }
 
 void write_stat(std::ostream& os, const char* key, const RunningStat& st) {
   os << "\"" << key << "\":{\"mean\":" << num(st.mean())
@@ -81,6 +89,214 @@ std::string sweep_to_json(const std::vector<SweepPoint>& points,
   std::ostringstream oss;
   write_sweep_json(oss, points, options);
   return oss.str();
+}
+
+// ---- parser -----------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  PASERTA_REQUIRE(v != nullptr, "JSON key '" << key << "' not found");
+  return *v;
+}
+
+namespace {
+
+/// Recursive-descent parser over the whole input string. Depth-limited so
+/// adversarial nesting cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    PASERTA_REQUIRE(pos_ == text_.size(),
+                    "trailing garbage after JSON document at byte " << pos_);
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const char* what) const {
+    PASERTA_REQUIRE(false, "malformed JSON: " << what << " at byte " << pos_);
+    std::abort();  // unreachable
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are rare in
+          // our documents; a lone surrogate is passed through encoded).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      v.type = JsonValue::Type::Object;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        v.object.emplace_back(std::move(key), value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.type = JsonValue::Type::Array;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v.array.push_back(value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.type = JsonValue::Type::String;
+      v.str = string_body();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.type = JsonValue::Type::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.type = JsonValue::Type::Bool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = pos_;
+      if (peek() == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      const std::string tok = text_.substr(start, pos_ - start);
+      char* end = nullptr;
+      v.type = JsonValue::Type::Number;
+      v.number = std::strtod(tok.c_str(), &end);
+      if (end == nullptr || *end != '\0') fail("malformed number");
+      return v;
+    }
+    fail("unexpected character");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return JsonParser(text).parse();
 }
 
 }  // namespace paserta

@@ -1,13 +1,25 @@
-// JSON export of sweep results, for plotting pipelines.
+// JSON support for the harness: sweep export, shared emit helpers, and a
+// small parser.
 //
-// Emits a self-describing document: experiment metadata plus one object
-// per point with per-scheme statistics (mean, ci95, min/max, switches,
-// misses). No external JSON dependency; the emitter escapes strings and
-// prints numbers round-trippably.
+// The sweep exporter emits a self-describing document: experiment metadata
+// plus one object per point with per-scheme statistics (mean, ci95,
+// min/max, switches, misses). No external JSON dependency; the emitter
+// escapes strings and prints numbers round-trippably. The same escape /
+// number helpers back every other JSON writer in the tree (obs/ metrics
+// and Chrome traces).
+//
+// The parser reads any JSON text into a JsonValue tree. It exists for
+// round-trip validation — tests parse the documents the writers emit
+// (sweep JSON, metrics snapshots, Chrome traces) back and inspect them —
+// and for tools that consume the repo's own JSON artifacts. It accepts
+// standard JSON (no comments, no trailing commas) and throws
+// paserta::Error with a byte offset on malformed input.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -25,5 +37,38 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepPoint>& points,
 
 std::string sweep_to_json(const std::vector<SweepPoint>& points,
                           const JsonExportOptions& options);
+
+/// Escapes a string for embedding between JSON double quotes (quotes,
+/// backslashes, and control characters).
+std::string json_escape(const std::string& s);
+
+/// Round-trippable JSON number (12 significant digits); non-finite values
+/// become "null" (JSON has no NaN/Inf).
+std::string json_num(double v);
+
+/// A parsed JSON document node. Object member order is preserved.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// find() that throws paserta::Error when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses one JSON document (throws paserta::Error on malformed input or
+/// trailing garbage).
+JsonValue json_parse(const std::string& text);
 
 }  // namespace paserta

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -9,14 +10,37 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 
 namespace paserta {
+
+// Every parallel loop has at most 1 caller + kMaxThreads workers, each
+// owning one metric shard; keep the two constants from drifting apart.
+static_assert(WorkerPool::kMaxThreads + 1 <= kMaxShards,
+              "obs::kMaxShards must cover every pool participant slot");
+
 namespace {
 
 /// Set while a thread executes a parallel_chunks body; a nested call from
 /// inside a body would deadlock on the run mutex, so it degrades to inline
 /// serial execution instead.
 thread_local bool t_inside_body = false;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accounts one completed chunk into every non-null telemetry sink.
+void record_chunk(const PoolTelemetry& tel, int slot, std::int64_t body_ns) {
+  if (tel.chunks) tel.chunks->add(slot);
+  if (tel.busy_ns) tel.busy_ns->add(slot, static_cast<std::uint64_t>(body_ns));
+  if (tel.chunk_seconds)
+    tel.chunk_seconds->record(slot, static_cast<double>(body_ns) * 1e-9);
+  if (tel.progress) tel.progress->add_done(1);
+}
 
 }  // namespace
 
@@ -26,6 +50,7 @@ struct WorkerPool::Impl {
   /// sit on the claim path of every chunk.
   struct Job {
     const std::function<void(int, int)>* body = nullptr;
+    const PoolTelemetry* telemetry = nullptr;
     int chunks = 0;
     int max_workers = 1;
     std::atomic<int> next_chunk{0};
@@ -47,6 +72,10 @@ struct WorkerPool::Impl {
   std::mutex run_m;  // serializes parallel loops
 
   void run_chunks(Job& job_ref, int slot) {
+    if (job_ref.telemetry != nullptr) {
+      run_chunks_instrumented(job_ref, slot);
+      return;
+    }
     for (;;) {
       if (job_ref.abort.load(std::memory_order_relaxed)) return;
       const int c = job_ref.next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -63,6 +92,40 @@ struct WorkerPool::Impl {
         return;
       }
     }
+  }
+
+  /// Same claim loop as run_chunks plus per-chunk timing: time inside the
+  /// body is busy, everything else between entering and leaving the loop
+  /// (claims, the final failed claim) is idle.
+  void run_chunks_instrumented(Job& job_ref, int slot) {
+    const PoolTelemetry& tel = *job_ref.telemetry;
+    std::int64_t mark = now_ns();  // start of the current idle stretch
+    const auto account_idle = [&](std::int64_t until) {
+      if (tel.idle_ns && until > mark)
+        tel.idle_ns->add(slot, static_cast<std::uint64_t>(until - mark));
+    };
+    for (;;) {
+      if (job_ref.abort.load(std::memory_order_relaxed)) break;
+      const int c = job_ref.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job_ref.chunks) break;
+      const std::int64_t t0 = now_ns();
+      account_idle(t0);
+      t_inside_body = true;
+      try {
+        (*job_ref.body)(c, slot);
+        t_inside_body = false;
+      } catch (...) {
+        t_inside_body = false;
+        record_chunk(tel, slot, now_ns() - t0);
+        std::lock_guard<std::mutex> lock(m);
+        if (!job_ref.error) job_ref.error = std::current_exception();
+        job_ref.abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      mark = now_ns();
+      record_chunk(tel, slot, mark - t0);
+    }
+    account_idle(now_ns());
   }
 
   void worker_main() {
@@ -121,7 +184,8 @@ void WorkerPool::ensure_threads(int threads) { impl_->spawn(threads); }
 
 void WorkerPool::parallel_chunks(
     int chunk_count, int max_workers,
-    const std::function<void(int chunk, int slot)>& body) {
+    const std::function<void(int chunk, int slot)>& body,
+    const PoolTelemetry* telemetry) {
   PASERTA_REQUIRE(chunk_count >= 0, "chunk count must be non-negative");
   if (chunk_count == 0) return;
   max_workers = std::clamp(max_workers, 1, chunk_count);
@@ -130,21 +194,14 @@ void WorkerPool::parallel_chunks(
   if (helpers <= 0 || t_inside_body) {
     // Serial path: no pool involvement, chunks in increasing order. Also
     // the nested-call fallback (a body starting its own loop).
-    const bool was_inside = t_inside_body;
-    t_inside_body = true;
-    try {
-      for (int c = 0; c < chunk_count; ++c) body(c, 0);
-    } catch (...) {
-      t_inside_body = was_inside;
-      throw;
-    }
-    t_inside_body = was_inside;
+    serial_chunks(chunk_count, body, telemetry);
     return;
   }
 
   std::lock_guard<std::mutex> run_lock(impl_->run_m);
   Impl::Job job;
   job.body = &body;
+  job.telemetry = telemetry;
   job.chunks = chunk_count;
   job.max_workers = max_workers;
   {
@@ -156,6 +213,8 @@ void WorkerPool::parallel_chunks(
 
   impl_->run_chunks(job, 0);  // the caller is participant slot 0
 
+  const std::int64_t wait_start =
+      (telemetry && telemetry->idle_ns) ? now_ns() : 0;
   {
     // All chunks have been handed out (or the job aborted), so any late
     // worker runs zero body calls; wait for in-flight participants only.
@@ -163,7 +222,35 @@ void WorkerPool::parallel_chunks(
     impl_->done.wait(lock, [&] { return job.active == 0; });
     impl_->job = nullptr;
   }
+  if (telemetry && telemetry->idle_ns) {
+    // The caller's wait for helpers to drain is slot 0 idle time.
+    telemetry->idle_ns->add(
+        0, static_cast<std::uint64_t>(now_ns() - wait_start));
+  }
   if (job.error) std::rethrow_exception(job.error);
+}
+
+void WorkerPool::serial_chunks(
+    int chunk_count, const std::function<void(int chunk, int slot)>& body,
+    const PoolTelemetry* telemetry) {
+  PASERTA_REQUIRE(chunk_count >= 0, "chunk count must be non-negative");
+  const bool was_inside = t_inside_body;
+  t_inside_body = true;
+  try {
+    if (telemetry == nullptr) {
+      for (int c = 0; c < chunk_count; ++c) body(c, 0);
+    } else {
+      for (int c = 0; c < chunk_count; ++c) {
+        const std::int64_t t0 = now_ns();
+        body(c, 0);
+        record_chunk(*telemetry, 0, now_ns() - t0);
+      }
+    }
+  } catch (...) {
+    t_inside_body = was_inside;
+    throw;
+  }
+  t_inside_body = was_inside;
 }
 
 WorkerPool& WorkerPool::process_pool() {

@@ -22,6 +22,8 @@
 
 namespace paserta {
 
+struct PoolTelemetry;  // obs/metrics.h
+
 /// A persistent pool of worker threads executing chunked parallel loops.
 /// One loop runs at a time (concurrent parallel_chunks calls from different
 /// threads serialize; nested calls from inside a body degrade to inline
@@ -52,8 +54,26 @@ class WorkerPool {
   /// exception thrown by a body aborts remaining chunks and is rethrown
   /// here. With max_workers <= 1 (or no background threads) the loop runs
   /// inline, in increasing chunk order, touching no synchronization.
+  ///
+  /// When `telemetry` is non-null the pool records, per participant slot:
+  /// completed chunks, per-chunk wall latency, time inside bodies (busy)
+  /// and time spent claiming/waiting (idle; the caller's wait for helpers
+  /// to drain counts into slot 0), and ticks the progress reporter once
+  /// per chunk. Null telemetry leaves the claim loop untimed — not even a
+  /// clock read.
   void parallel_chunks(int chunk_count, int max_workers,
-                       const std::function<void(int chunk, int slot)>& body);
+                       const std::function<void(int chunk, int slot)>& body,
+                       const PoolTelemetry* telemetry = nullptr);
+
+  /// Runs the same loop inline on the calling thread (slot 0), with the
+  /// same telemetry accounting as parallel_chunks. This is the shared
+  /// serial path: parallel_chunks degrades to it, and callers that decide
+  /// serial-vs-pooled themselves (the experiment harness's single-threaded
+  /// bypass) use it directly so serial runs report the same metrics
+  /// without instantiating the process pool.
+  static void serial_chunks(int chunk_count,
+                            const std::function<void(int chunk, int slot)>& body,
+                            const PoolTelemetry* telemetry = nullptr);
 
   /// The process-wide pool, created on first use with one background
   /// worker per hardware thread and grown on demand (ensure_threads) when

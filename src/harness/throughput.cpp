@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "core/offline.h"
+#include "obs/metrics.h"
 
 namespace paserta {
 namespace {
@@ -177,7 +178,55 @@ std::string sweep_throughput_to_json(const SweepThroughputReport& report) {
   return os.str();
 }
 
-std::string throughput_history_entry(const std::string& git_rev,
+std::string measure_pool_balance_json(const Application& app,
+                                      ExperimentConfig cfg,
+                                      const std::vector<double>& loads) {
+  PASERTA_REQUIRE(!loads.empty(), "need at least one sweep point");
+  MetricsRegistry reg;  // scoped: the measurement cannot bleed elsewhere
+  cfg.collect_metrics = true;
+  cfg.registry = &reg;
+  cfg.parallel_points = true;
+  (void)sweep_load(app, cfg, loads);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const auto counter_row =
+      [&](const std::string& name) -> const MetricsSnapshot::CounterRow* {
+    for (const auto& row : snap.counters)
+      if (row.name == name) return &row;
+    return nullptr;
+  };
+  const auto shard_list = [&](std::ostream& os, const std::string& name) {
+    os << "[";
+    if (const auto* row = counter_row(name)) {
+      for (std::size_t i = 0; i < row->shards.size(); ++i)
+        os << (i ? ", " : "") << row->shards[i];
+    }
+    os << "]";
+  };
+
+  std::ostringstream os;
+  os << "{\n"
+     << "    \"threads\": " << cfg.threads << ",\n"
+     << "    \"chunks_per_slot\": ";
+  shard_list(os, "pool.chunks_completed");
+  os << ",\n    \"busy_ns_per_slot\": ";
+  shard_list(os, "pool.busy_ns");
+  os << ",\n    \"idle_ns_per_slot\": ";
+  shard_list(os, "pool.idle_ns");
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "pool.chunk_seconds") {
+      count = h.count;
+      sum = h.sum;
+    }
+  }
+  os << ",\n    \"chunk_seconds\": {\"count\": " << count
+     << ", \"sum\": " << num(sum) << "}\n  }";
+  return os.str();
+}
+
+std::string throughput_history_entry(const std::string& git_rev, bool dirty,
                                      const std::string& date,
                                      const std::string& doc) {
   const std::size_t open = doc.find('{');
@@ -190,7 +239,8 @@ std::string throughput_history_entry(const std::string& git_rev,
   const std::size_t first = inner.find_first_not_of(" \t\n\r");
   inner = first == std::string::npos ? std::string{} : inner.substr(first);
   std::string entry = "{\n\"git_rev\": \"" + escape(git_rev) +
-                      "\",\n\"date\": \"" + escape(date) + "\",\n";
+                      "\",\n\"dirty\": " + (dirty ? "true" : "false") +
+                      ",\n\"date\": \"" + escape(date) + "\",\n";
   if (inner.empty() || inner[0] == '}') {
     // Empty document: drop the trailing comma separator.
     entry.erase(entry.size() - 2, 1);

@@ -81,6 +81,16 @@ SweepThroughputReport measure_sweep_throughput(
 /// Renders the report as a JSON object (pretty-printed, newline-terminated).
 std::string sweep_throughput_to_json(const SweepThroughputReport& report);
 
+/// Runs one pooled load sweep with metrics collection into a scoped local
+/// registry and renders the pool-balance picture as a JSON object:
+/// per-slot chunk counts and busy/idle time, plus the chunk-latency
+/// histogram totals. bench_throughput appends this as the "pool" section
+/// of its history entries so load-balance regressions are visible next to
+/// the throughput numbers.
+std::string measure_pool_balance_json(const Application& app,
+                                      ExperimentConfig cfg,
+                                      const std::vector<double>& loads);
+
 // ---- measurement history ---------------------------------------------
 //
 // BENCH_throughput.json is a *history*: a JSON array of measurement
@@ -92,8 +102,11 @@ std::string sweep_throughput_to_json(const SweepThroughputReport& report);
 /// Wraps one measurement document (a JSON object, e.g. the {"point":...,
 /// "sweep":...} composite bench_throughput emits) into a history entry by
 /// splicing provenance fields in front of the document's own:
-/// {"git_rev": <rev>, "date": <date>, <document fields...>}.
-std::string throughput_history_entry(const std::string& git_rev,
+/// {"git_rev": <rev>, "dirty": <bool>, "date": <date>, <document
+/// fields...>}. `dirty` records whether the working tree had uncommitted
+/// changes at measurement time — a number from a dirty tree cannot be
+/// attributed to its git_rev.
+std::string throughput_history_entry(const std::string& git_rev, bool dirty,
                                      const std::string& date,
                                      const std::string& doc);
 

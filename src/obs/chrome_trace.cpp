@@ -1,0 +1,71 @@
+#include "obs/chrome_trace.h"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "harness/json.h"
+#include "obs/trace.h"
+
+namespace paserta {
+namespace {
+
+/// Microseconds with nanosecond resolution kept as a decimal fraction —
+/// the trace-event spec's "ts"/"dur" unit.
+void write_us(std::ostream& os, std::int64_t ns) {
+  os << ns / 1000 << "." << (ns % 1000 < 100 ? "0" : "")
+     << (ns % 1000 < 10 ? "0" : "") << ns % 1000;
+}
+
+void write_args(std::ostream& os, const TraceEvent& ev) {
+  if (ev.point < 0 && ev.run < 0) return;
+  os << ", \"args\": {";
+  if (ev.point >= 0) os << "\"point\": " << ev.point;
+  if (ev.run >= 0) os << (ev.point >= 0 ? ", " : "") << "\"run\": " << ev.run;
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  const std::vector<TraceEvent> events = tracer.events();
+  std::set<int> slots;
+  for (const TraceEvent& ev : events) slots.insert(ev.slot);
+
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  // Thread-name metadata first: Perfetto labels each slot's track.
+  for (int slot : slots) {
+    os << (first ? "" : ",\n")
+       << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << slot
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << (slot == 0 ? "slot 0 (caller)" : "slot " + std::to_string(slot))
+       << "\"}}";
+    first = false;
+  }
+  for (const TraceEvent& ev : events) {
+    os << (first ? "" : ",\n") << "{\"name\": \"" << json_escape(ev.name)
+       << "\", \"cat\": \"paserta\", \"ph\": \""
+       << (ev.dur_ns < 0 ? "i" : "X") << "\", \"pid\": 1, \"tid\": "
+       << ev.slot << ", \"ts\": ";
+    write_us(os, ev.ts_ns);
+    if (ev.dur_ns >= 0) {
+      os << ", \"dur\": ";
+      write_us(os, ev.dur_ns);
+    } else {
+      os << ", \"s\": \"t\"";  // instant scope: thread
+    }
+    write_args(os, ev);
+    os << "}";
+    first = false;
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::string chrome_trace_to_json(const Tracer& tracer) {
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  return os.str();
+}
+
+}  // namespace paserta

@@ -1,0 +1,25 @@
+// Chrome/Perfetto trace-event export for obs/trace.h.
+//
+// Emits the JSON object format of the Trace Event spec ("traceEvents"
+// array of complete "X" and instant "i" events plus "M" thread-name
+// metadata), which both chrome://tracing and ui.perfetto.dev load
+// directly: one process, one track (tid) per worker-pool slot, span args
+// carrying the sweep-point and run indices. Timestamps are microseconds
+// relative to the tracer's epoch, as the spec requires.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace paserta {
+
+class Tracer;
+
+/// Writes the full trace document. Call after all recording threads have
+/// joined (Tracer::events contract).
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Same document as a string (tests, small traces).
+std::string chrome_trace_to_json(const Tracer& tracer);
+
+}  // namespace paserta

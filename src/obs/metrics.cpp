@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "harness/json.h"
+
+namespace paserta {
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (int s = 0; s < kMaxShards; ++s) total += shard_value(s);
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  double total = 0.0;
+  for (const Shard& s : shards_)
+    total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Gauge::reset() {
+  for (Shard& s : shards_) s.v.store(0.0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  PASERTA_REQUIRE(bounds_.size() + 1 <= kMaxBuckets,
+                  "histogram limited to " << kMaxBuckets - 1 << " bounds, got "
+                                          << bounds_.size());
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    PASERTA_REQUIRE(bounds_[i - 1] < bounds_[i],
+                    "histogram bounds must be strictly ascending");
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t b) const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_)
+    total += s.buckets[b].load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < bucket_count(); ++b) total += bucket_value(b);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_)
+    total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(upper_bounds);
+    return *slot;
+  }
+  PASERTA_REQUIRE(
+      slot->bounds() ==
+          std::vector<double>(upper_bounds.begin(), upper_bounds.end()),
+      "histogram '" << name << "' re-registered with different bounds");
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(m_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    MetricsSnapshot::CounterRow row;
+    row.name = name;
+    row.value = c->value();
+    int last = -1;
+    for (int s = 0; s < kMaxShards; ++s)
+      if (c->shard_value(s) != 0) last = s;
+    for (int s = 0; s <= last; ++s) row.shards.push_back(c->shard_value(s));
+    snap.counters.push_back(std::move(row));
+  }
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value()});
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.bounds = h->bounds();
+    for (std::size_t b = 0; b < h->bucket_count(); ++b)
+      row.buckets.push_back(h->bucket_value(b));
+    row.count = h->count();
+    row.sum = h->sum();
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;  // std::map iteration keeps every section name-sorted
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(m_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": [\n";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    const auto& c = snap.counters[i];
+    os << "    {\"name\": \"" << json_escape(c.name)
+       << "\", \"value\": " << c.value << ", \"shards\": [";
+    for (std::size_t s = 0; s < c.shards.size(); ++s)
+      os << (s ? ", " : "") << c.shards[s];
+    os << "]}" << (i + 1 < snap.counters.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"gauges\": [\n";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& g = snap.gauges[i];
+    os << "    {\"name\": \"" << json_escape(g.name)
+       << "\", \"value\": " << json_num(g.value) << "}"
+       << (i + 1 < snap.gauges.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"histograms\": [\n";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    os << "    {\"name\": \"" << json_escape(h.name)
+       << "\", \"count\": " << h.count << ", \"sum\": " << json_num(h.sum)
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const bool overflow = b >= h.bounds.size();
+      os << (b ? ", " : "") << "{\"le\": "
+         << (overflow ? std::string("\"inf\"") : json_num(h.bounds[b]))
+         << ", \"count\": " << h.buckets[b] << "}";
+    }
+    os << "]}" << (i + 1 < snap.histograms.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace paserta

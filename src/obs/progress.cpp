@@ -1,0 +1,82 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace paserta {
+
+ProgressReporter::ProgressReporter(Callback callback,
+                                   std::chrono::milliseconds min_interval)
+    : callback_(std::move(callback)),
+      interval_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       min_interval)
+                       .count()),
+      epoch_(std::chrono::steady_clock::now()) {
+  PASERTA_REQUIRE(callback_ != nullptr, "progress callback must be set");
+}
+
+void ProgressReporter::add_total(int n) {
+  PASERTA_REQUIRE(n >= 0, "progress total increment must be non-negative");
+  total_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ProgressReporter::add_done(int n) {
+  done_.fetch_add(n, std::memory_order_relaxed);
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  std::int64_t next = next_emit_ns_.load(std::memory_order_relaxed);
+  if (now < next) return;
+  // One racer wins the emission slot; the rest skip — the next tick will
+  // carry their progress anyway.
+  if (!next_emit_ns_.compare_exchange_strong(next, now + interval_ns_,
+                                             std::memory_order_relaxed))
+    return;
+  emit();
+}
+
+void ProgressReporter::emit() {
+  std::lock_guard<std::mutex> lock(emit_m_);
+  if (finished_) return;
+  ProgressSnapshot snap;
+  snap.done = done();
+  snap.total = total();
+  snap.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - epoch_)
+                     .count();
+  snap.per_sec = snap.seconds > 0.0
+                     ? static_cast<double>(snap.done) / snap.seconds
+                     : 0.0;
+  callback_(snap);
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(emit_m_);
+  if (finished_) return;
+  ProgressSnapshot snap;
+  snap.done = done();
+  snap.total = total();
+  snap.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - epoch_)
+                     .count();
+  snap.per_sec = snap.seconds > 0.0
+                     ? static_cast<double>(snap.done) / snap.seconds
+                     : 0.0;
+  snap.finished = true;
+  callback_(snap);
+  finished_ = true;
+}
+
+ProgressReporter::Callback stderr_progress_renderer(const std::string& label) {
+  return [label](const ProgressSnapshot& s) {
+    const int pct =
+        s.total > 0 ? static_cast<int>(100.0 * s.done / s.total) : 0;
+    std::fprintf(stderr, "\r%s: %d/%d (%d%%) %.1f/s%s", label.c_str(),
+                 s.done, s.total, pct, s.per_sec, s.finished ? "\n" : "");
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace paserta

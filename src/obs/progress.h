@@ -1,0 +1,77 @@
+// Live progress reporting for long sweeps.
+//
+// A ProgressReporter is fed one add_done() tick per completed work unit
+// (the pool's telemetry hook calls it per chunk) and invokes a
+// user-supplied callback at most once per rate-limit interval — workers
+// race on a relaxed compare-exchange for the next emission slot, so the
+// ticking path costs an atomic increment and a clock read, and the
+// callback itself is serialized. The total may grow while work is running
+// (add_total): a sweep registers its chunk count when it starts, so one
+// reporter can span several run_point calls (sweep_alpha's sequential
+// points). finish() force-emits the final state exactly once.
+//
+// Determinism contract: like the rest of obs/, progress is observational —
+// it never feeds back into scheduling or results.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace paserta {
+
+struct ProgressSnapshot {
+  int done = 0;
+  int total = 0;          // as registered so far; may still grow
+  double seconds = 0.0;   // since the reporter was constructed
+  double per_sec = 0.0;   // done / seconds
+  bool finished = false;  // set by finish()
+};
+
+class ProgressReporter {
+ public:
+  using Callback = std::function<void(const ProgressSnapshot&)>;
+
+  explicit ProgressReporter(
+      Callback callback,
+      std::chrono::milliseconds min_interval = std::chrono::milliseconds(200));
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Registers `n` more expected work units (thread-safe).
+  void add_total(int n);
+
+  /// Records `n` completed units; emits the callback if the rate limit
+  /// allows (thread-safe, called from pool workers).
+  void add_done(int n = 1);
+
+  /// Force-emits the final snapshot once; later calls are no-ops.
+  void finish();
+
+  int done() const { return done_.load(std::memory_order_relaxed); }
+  int total() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  void emit();
+
+  Callback callback_;
+  std::int64_t interval_ns_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<int> done_{0};
+  std::atomic<int> total_{0};
+  std::atomic<std::int64_t> next_emit_ns_{0};
+  std::mutex emit_m_;        // serializes the callback
+  bool finished_ = false;    // guarded by emit_m_
+};
+
+/// Callback rendering a single rewritten stderr line:
+///   "<label>: 123/290 (42%) 812.3/s"
+/// with a trailing newline on the finished snapshot.
+ProgressReporter::Callback stderr_progress_renderer(
+    const std::string& label = "progress");
+
+}  // namespace paserta

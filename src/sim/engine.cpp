@@ -64,6 +64,7 @@ class Engine {
         f_max_(pm.table().f_max()),
         dynamic_(policy.kind() == SpeedPolicy::Kind::Dynamic),
         trace_(opt.record_trace),
+        ctr_(opt.counters),
         off_(off),
         pm_(pm),
         ovh_(ovh),
@@ -106,6 +107,7 @@ class Engine {
   const Freq f_max_;
   const bool dynamic_;  // policy_.kind(), resolved once per run
   const bool trace_;    // opt_.record_trace, hoisted out of the loop
+  SimCounters* const ctr_;  // opt_.counters, null = no telemetry
   const OfflineResult& off_;
   const PowerModel& pm_;
   const Overheads& ovh_;
@@ -200,6 +202,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     PASERTA_ASSERT(eo >= neo_, "execution order went backwards");
     neo_ = eo + 1;  // Figure 2 steps 4 & 7
     ++result_.dispatched;
+    if (ctr_) ++ctr_->dispatches;
     last_activity_ = std::max(last_activity_, t);
 
     if (flags & kNodeFlagDummy) {
@@ -211,6 +214,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
                                chosen) < succ_off_[idv + 1],
             "scenario lacks a choice for fork '" << nodes_[idv].name << "'");
         chosen_alt = chosen;
+        if (ctr_) ++ctr_->or_fires;
         const std::uint32_t child =
             succ_flat_[succ_off_[idv] + static_cast<std::uint32_t>(chosen)];
         std::uint32_t& child_nup = ws_.nup[child];
@@ -262,8 +266,15 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       // kept even if the level ends up unchanged).
       const SimTime avail = eet_[idv] - start - ovh_.speed_change_time;
       const Freq gss = required_freq(f_max_, wcet_[idv], avail);
-      const Freq target = std::max(gss, policy_.floor_freq(start));
+      const Freq floor = policy_.floor_freq(start);
+      const Freq target = std::max(gss, floor);
       const std::size_t new_lvl = pm_.table().quantize_up(target);
+      if (ctr_) {
+        // Did the speculative floor override greedy slack reclamation?
+        // (GSS's floor is 0, so it always counts as a greedy pick.)
+        if (floor > gss) ++ctr_->spec_picks;
+        else ++ctr_->greedy_picks;
+      }
 
       if (new_lvl != lvl) {
         result_.overhead_energy +=
@@ -272,6 +283,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
         cpu.busy += ovh_.speed_change_time;
         start += ovh_.speed_change_time;
         ++result_.speed_changes;
+        if (ctr_) ++ctr_->speed_changes;
         switched = true;
         lvl = new_lvl;
         cpu.level = lvl;
@@ -291,6 +303,13 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     const SimTime finish = start + duration;
     result_.busy_energy += power_[lvl] * duration.sec();
     cpu.busy += duration;
+    if (ctr_) {
+      ++ctr_->tasks;
+      // Slack actually spent: the extra wall time bought by running below
+      // f_max (zero whenever the task ran at full speed).
+      ctr_->reclaimed_slack_ps +=
+          static_cast<std::uint64_t>((duration - actual).ps);
+    }
 
     if (trace_) {
       TaskRecord rec;

@@ -34,6 +34,7 @@
 #include "core/offline.h"
 #include "core/policy.h"
 #include "graph/program.h"
+#include "obs/metrics.h"
 #include "power/power_model.h"
 #include "sim/scenario.h"
 
@@ -69,6 +70,11 @@ struct SimOptions {
   /// trace-verifying harness path turn it on, Monte-Carlo hot loops leave
   /// it off.
   bool check_completeness = false;
+  /// Optional telemetry sink: when set, the engine adds dispatch counts,
+  /// DVS activity and reclaimed-slack time for this run into the struct
+  /// (plain accumulation, no synchronization — the cell must be owned by
+  /// the calling thread). Null keeps the hot path increment-free.
+  SimCounters* counters = nullptr;
 };
 
 /// Reusable scratch space of the simulation engine: the NUP counters,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "apps/synthetic.h"
+#include "common/error.h"
 #include "harness/json.h"
 
 namespace paserta {
@@ -83,6 +84,73 @@ TEST(Json, EmptySweepIsValid) {
   opt.experiment_id = "empty";
   const std::string j = sweep_to_json({}, opt);
   EXPECT_NE(j.find("\"points\":[]"), std::string::npos);
+}
+
+// ------------------------------------------------------------- parser
+
+TEST(JsonParse, ObjectsArraysAndScalars) {
+  const JsonValue v = json_parse(
+      "{\"a\": 1.5, \"b\": [true, false, null, \"s\"], \"c\": {\"d\": -2e3}}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("a").number, 1.5);
+  const JsonValue& b = v.at("b");
+  ASSERT_TRUE(b.is_array());
+  ASSERT_EQ(b.array.size(), 4u);
+  EXPECT_TRUE(b.array[0].boolean);
+  EXPECT_FALSE(b.array[1].boolean);
+  EXPECT_TRUE(b.array[2].is_null());
+  EXPECT_EQ(b.array[3].str, "s");
+  EXPECT_DOUBLE_EQ(v.at("c").at("d").number, -2000.0);
+}
+
+TEST(JsonParse, PreservesObjectMemberOrder) {
+  const JsonValue v = json_parse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue v = json_parse(
+      "\"q\\\" b\\\\ s\\/ n\\n t\\t u\\u0041 e\\u00e9\"");
+  EXPECT_EQ(v.str, "q\" b\\ s/ n\n t\t u\x41 e\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), Error);
+  EXPECT_THROW(json_parse("{"), Error);
+  EXPECT_THROW(json_parse("[1,]"), Error);
+  EXPECT_THROW(json_parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(json_parse("nul"), Error);
+  EXPECT_THROW(json_parse("1 2"), Error);  // trailing garbage
+  EXPECT_THROW(json_parse("\"unterminated"), Error);
+}
+
+TEST(JsonParse, FindAndAtSemantics) {
+  const JsonValue v = json_parse("{\"k\": 1}");
+  EXPECT_NE(v.find("k"), nullptr);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), Error);
+  const JsonValue arr = json_parse("[1]");
+  EXPECT_EQ(arr.find("k"), nullptr);  // not an object
+}
+
+TEST(JsonParse, RoundTripsSweepExport) {
+  const auto points = tiny_sweep();
+  JsonExportOptions opt;
+  opt.experiment_id = "figT";
+  opt.caption = "round \"trip\"\n";
+  opt.x_name = "load";
+  const JsonValue v = json_parse(sweep_to_json(points, opt));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("experiment").str, "figT");
+  EXPECT_EQ(v.at("caption").str, "round \"trip\"\n");
+  const JsonValue& pts = v.at("points");
+  ASSERT_TRUE(pts.is_array());
+  ASSERT_EQ(pts.array.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts.array[0].at("load").number, 0.5);
+  EXPECT_TRUE(pts.array[1].at("schemes").at("GSS").is_object());
 }
 
 TEST(Json, BreakdownFractionsPresentAndSane) {

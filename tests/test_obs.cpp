@@ -1,0 +1,556 @@
+// Tests for the observability subsystem (src/obs/): sharded metrics,
+// span tracing with Chrome export, progress reporting, the pool telemetry
+// hooks — and the determinism contract: enabling any of it must not change
+// a single output bit of the experiment harness.
+//
+// The concurrency tests double as the TSan target (ctest -L pool_smoke
+// under -DPASERTA_SANITIZE=thread): single-writer shard increments racing
+// with live cross-shard reads must stay clean.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "harness/pool.h"
+#include "harness/report.h"
+#include "harness/throughput.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace paserta {
+namespace {
+
+// ------------------------------------------------------------- counters
+
+TEST(Counter, ShardsAggregateInSlotOrder) {
+  Counter c;
+  c.add(0, 5);
+  c.add(3, 7);
+  c.add(kMaxShards - 1, 1);
+  EXPECT_EQ(c.value(), 13u);
+  EXPECT_EQ(c.shard_value(0), 5u);
+  EXPECT_EQ(c.shard_value(3), 7u);
+  EXPECT_EQ(c.shard_value(1), 0u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentShardWritersWithLiveReader) {
+  // One writer per slot plus a live cross-shard reader: the single-writer
+  // relaxed store(load + n) pattern must be exact per shard and TSan-clean
+  // against value() snapshots taken mid-loop.
+  Counter c;
+  std::atomic<std::uint64_t> live_max{0};
+  WorkerPool pool(3);
+  const int chunks = 400;
+  pool.parallel_chunks(chunks, 4, [&](int chunk, int slot) {
+    c.add(slot);
+    if (chunk % 16 == 0) {
+      // Live read while other shards are being written.
+      std::uint64_t seen = c.value();
+      std::uint64_t prev = live_max.load();
+      while (seen > prev && !live_max.compare_exchange_weak(prev, seen)) {
+      }
+    }
+  });
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(chunks));
+  EXPECT_LE(live_max.load(), static_cast<std::uint64_t>(chunks));
+  // Every shard total survives exactly (no lost updates within a shard).
+  std::uint64_t sum = 0;
+  for (int s = 0; s < kMaxShards; ++s) sum += c.shard_value(s);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(chunks));
+}
+
+TEST(Gauge, AddAndSetPerShard) {
+  Gauge g;
+  g.add(0, 1.5);
+  g.add(1, 2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set(1, 0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ------------------------------------------------------------ histogram
+
+TEST(Histogram, BucketEdgesAreLeSemantics) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram h(bounds);
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+
+  h.record(0, 0.5);    // <= 1        -> bucket 0
+  h.record(0, 1.0);    // == bound    -> bucket 0 (le, not lt)
+  h.record(0, 1.0001); // just above  -> bucket 1
+  h.record(0, 10.0);   // == bound    -> bucket 1
+  h.record(0, 99.9);   //             -> bucket 2
+  h.record(0, 100.0);  // == last     -> bucket 2
+  h.record(0, 1e6);    // overflow    -> bucket 3
+
+  EXPECT_EQ(h.bucket_value(0), 2u);
+  EXPECT_EQ(h.bucket_value(1), 2u);
+  EXPECT_EQ(h.bucket_value(2), 2u);
+  EXPECT_EQ(h.bucket_value(3), 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 1e6, 1e-9);
+}
+
+TEST(Histogram, RejectsNonAscendingBounds) {
+  const double bad[] = {1.0, 1.0};
+  EXPECT_THROW(Histogram h(bad), Error);
+  const double worse[] = {2.0, 1.0};
+  EXPECT_THROW(Histogram h(worse), Error);
+}
+
+TEST(Histogram, ShardedRecordingAggregates) {
+  const double bounds[] = {10.0};
+  Histogram h(bounds);
+  WorkerPool pool(3);
+  pool.parallel_chunks(200, 4, [&](int chunk, int slot) {
+    h.record(slot, chunk < 150 ? 1.0 : 100.0);
+  });
+  EXPECT_EQ(h.bucket_value(0), 150u);
+  EXPECT_EQ(h.bucket_value(1), 50u);
+  EXPECT_EQ(h.count(), 200u);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, RegisterOrGetReturnsStableRefs) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(0, 3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h1 = reg.histogram("h", bounds);
+  Histogram& h2 = reg.histogram("h", bounds);
+  EXPECT_EQ(&h1, &h2);
+  const double other[] = {5.0};
+  EXPECT_THROW(reg.histogram("h", other), Error);
+
+  reg.reset();  // zeroes values, keeps registrations (and handles) alive
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(&reg.counter("x"), &a);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndTrimmed) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(2, 9);
+  reg.counter("alpha").add(0, 1);
+  reg.gauge("g").set(0, 2.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  // Shards trimmed at the last non-zero cell.
+  EXPECT_EQ(snap.counters[0].shards.size(), 1u);
+  ASSERT_EQ(snap.counters[1].shards.size(), 3u);
+  EXPECT_EQ(snap.counters[1].shards[2], 9u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 2.5);
+}
+
+TEST(MetricsRegistry, JsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.counter("engine.GSS.tasks").add(1, 42);
+  const double bounds[] = {0.5, 1.5};
+  Histogram& h = reg.histogram("lat", bounds);
+  h.record(0, 0.25);
+  h.record(0, 7.0);
+
+  const JsonValue doc = json_parse(metrics_to_json(reg.snapshot()));
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue& counters = doc.at("counters");
+  ASSERT_TRUE(counters.is_array());
+  ASSERT_EQ(counters.array.size(), 1u);
+  EXPECT_EQ(counters.array[0].at("name").str, "engine.GSS.tasks");
+  EXPECT_DOUBLE_EQ(counters.array[0].at("value").number, 42.0);
+
+  const JsonValue& hists = doc.at("histograms");
+  ASSERT_EQ(hists.array.size(), 1u);
+  const JsonValue& buckets = hists.array[0].at("buckets");
+  ASSERT_EQ(buckets.array.size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets.array[0].at("le").number, 0.5);
+  EXPECT_DOUBLE_EQ(buckets.array[0].at("count").number, 1.0);
+  EXPECT_EQ(buckets.array[2].at("le").str, "inf");
+  EXPECT_DOUBLE_EQ(buckets.array[2].at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(hists.array[0].at("count").number, 2.0);
+}
+
+// -------------------------------------------------------------- tracing
+
+TEST(Tracer, SpansMergeSortedAcrossSlots) {
+  Tracer tracer;
+  tracer.record(1, "late", 200, 10);
+  tracer.record(0, "outer", 100, 500, /*point=*/2);
+  tracer.record(0, "inner", 150, 50, 2, 7);
+  tracer.instant(1, "mark", 3);
+
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  ASSERT_EQ(tracer.event_count(), 4u);
+  EXPECT_STREQ(events[0].name, "outer");   // earliest ts first
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_STREQ(events[2].name, "late");
+  EXPECT_EQ(events[0].point, 2);
+  EXPECT_EQ(events[1].run, 7);
+  // The instant records "now", which is far later than the fixed stamps.
+  EXPECT_STREQ(events[3].name, "mark");
+  EXPECT_LT(events[3].dur_ns, 0);
+}
+
+TEST(Tracer, NullTracerSpanIsNoOp) {
+  // Must not crash or record anything; call sites stay unconditional.
+  TraceSpan span(nullptr, 0, "nothing");
+}
+
+TEST(Tracer, RaiiSpanMeasuresNonNegativeDuration) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, 0, "scope", 1, 2);
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "scope");
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_EQ(events[0].point, 1);
+  EXPECT_EQ(events[0].run, 2);
+}
+
+TEST(ChromeTrace, ExportParsesAndCarriesEvents) {
+  Tracer tracer;
+  tracer.record(0, "sweep", 1000, 2'000'000, 0);
+  tracer.record(1, "chunk", 1500, 500'000, 0, 16);
+  tracer.instant(1, "note", 0);
+
+  const JsonValue doc = json_parse(chrome_trace_to_json(tracer));
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  // 2 thread_name metadata (slots 0 and 1) + 3 events.
+  ASSERT_EQ(events.array.size(), 5u);
+
+  int meta = 0, complete = 0, instant = 0;
+  for (const JsonValue& ev : events.array) {
+    const std::string ph = ev.at("ph").str;
+    if (ph == "M") {
+      ++meta;
+      EXPECT_EQ(ev.at("name").str, "thread_name");
+    } else if (ph == "X") {
+      ++complete;
+      EXPECT_TRUE(ev.find("dur") != nullptr);
+    } else if (ph == "i") {
+      ++instant;
+      EXPECT_EQ(ev.at("s").str, "t");
+    }
+    EXPECT_DOUBLE_EQ(ev.at("pid").number, 1.0);
+  }
+  EXPECT_EQ(meta, 2);
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(instant, 1);
+
+  // ts/dur are microseconds: the 2 ms span must export as dur 2000.
+  for (const JsonValue& ev : events.array) {
+    if (ev.at("ph").str == "X" && ev.at("name").str == "sweep") {
+      EXPECT_DOUBLE_EQ(ev.at("dur").number, 2000.0);
+      EXPECT_DOUBLE_EQ(ev.at("ts").number, 1.0);
+      EXPECT_DOUBLE_EQ(ev.at("args").at("point").number, 0.0);
+    }
+    if (ev.at("ph").str == "X" && ev.at("name").str == "chunk")
+      EXPECT_DOUBLE_EQ(ev.at("args").at("run").number, 16.0);
+  }
+}
+
+// ------------------------------------------------------------- progress
+
+TEST(Progress, TicksAndFinishesOnce) {
+  std::vector<ProgressSnapshot> snaps;
+  ProgressReporter rep([&](const ProgressSnapshot& s) { snaps.push_back(s); },
+                       std::chrono::milliseconds(0));
+  rep.add_total(8);
+  for (int i = 0; i < 8; ++i) rep.add_done();
+  EXPECT_EQ(rep.done(), 8);
+  EXPECT_EQ(rep.total(), 8);
+  ASSERT_FALSE(snaps.empty());
+  EXPECT_FALSE(snaps.back().finished);
+
+  rep.finish();
+  rep.finish();  // idempotent
+  ASSERT_FALSE(snaps.empty());
+  EXPECT_TRUE(snaps.back().finished);
+  EXPECT_EQ(snaps.back().done, 8);
+  const auto finished =
+      std::count_if(snaps.begin(), snaps.end(),
+                    [](const ProgressSnapshot& s) { return s.finished; });
+  EXPECT_EQ(finished, 1);
+}
+
+TEST(Progress, RateLimitSuppressesIntermediateEmits) {
+  int emits = 0;
+  ProgressReporter rep([&](const ProgressSnapshot&) { ++emits; },
+                       std::chrono::hours(1));
+  rep.add_total(1000);
+  for (int i = 0; i < 1000; ++i) rep.add_done();
+  // The first tick claims the emission slot; everything after sits inside
+  // the (huge) interval.
+  EXPECT_EQ(emits, 1);
+  rep.finish();
+  EXPECT_EQ(emits, 2);
+}
+
+TEST(Progress, RejectsNullCallbackAndNegativeTotals) {
+  EXPECT_THROW(ProgressReporter rep(nullptr), Error);
+  ProgressReporter rep([](const ProgressSnapshot&) {});
+  EXPECT_THROW(rep.add_total(-1), Error);
+}
+
+// ------------------------------------------------------- pool telemetry
+
+TEST(PoolTelemetry, CountsChunksBusyAndProgress) {
+  MetricsRegistry reg;
+  const double bounds[] = {1e-6, 1e-3, 1.0};
+  PoolTelemetry tel;
+  tel.chunks = &reg.counter("pool.chunks_completed");
+  tel.busy_ns = &reg.counter("pool.busy_ns");
+  tel.idle_ns = &reg.counter("pool.idle_ns");
+  tel.chunk_seconds = &reg.histogram("pool.chunk_seconds", bounds);
+  int ticks = 0;
+  ProgressReporter progress([&](const ProgressSnapshot&) { ++ticks; },
+                            std::chrono::milliseconds(0));
+  tel.progress = &progress;
+  progress.add_total(64);
+
+  WorkerPool pool(3);
+  std::atomic<int> executed{0};
+  pool.parallel_chunks(
+      64, 4, [&](int, int) { executed.fetch_add(1); }, &tel);
+
+  EXPECT_EQ(executed.load(), 64);
+  EXPECT_EQ(tel.chunks->value(), 64u);
+  EXPECT_EQ(tel.chunk_seconds->count(), 64u);
+  EXPECT_GT(tel.busy_ns->value(), 0u);
+  EXPECT_EQ(progress.done(), 64);
+  EXPECT_GT(ticks, 0);
+}
+
+TEST(PoolTelemetry, SerialChunksReportsOnSlotZero) {
+  MetricsRegistry reg;
+  PoolTelemetry tel;
+  tel.chunks = &reg.counter("chunks");
+  tel.busy_ns = &reg.counter("busy");
+  WorkerPool::serial_chunks(10, [&](int, int slot) { EXPECT_EQ(slot, 0); },
+                            &tel);
+  EXPECT_EQ(tel.chunks->value(), 10u);
+  EXPECT_EQ(tel.chunks->shard_value(0), 10u);  // everything on the caller
+}
+
+TEST(PoolTelemetry, NullTelemetryUnchangedBehaviour) {
+  WorkerPool pool(2);
+  std::atomic<int> executed{0};
+  pool.parallel_chunks(16, 3, [&](int, int) { executed.fetch_add(1); },
+                       nullptr);
+  EXPECT_EQ(executed.load(), 16);
+}
+
+// ----------------------------------------- harness: determinism contract
+
+ExperimentConfig harness_config(int runs, int threads) {
+  ExperimentConfig cfg;
+  cfg.cpus = 2;
+  cfg.runs = runs;
+  cfg.threads = threads;
+  cfg.seed = 20260806;
+  return cfg;
+}
+
+/// Full-fidelity serialization of a sweep: the CSV the CLI emits plus the
+/// JSON export (mean/ci/min/max/n per stat). Byte equality here is the
+/// bit-identity the determinism contract promises.
+std::string serialize_sweep(const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  sweep_table(points, "load").write_csv(os);
+  JsonExportOptions jopt;
+  jopt.experiment_id = "obs-identity";
+  jopt.x_name = "load";
+  write_sweep_json(os, points, jopt);
+  return os.str();
+}
+
+TEST(ObsDeterminism, SweepBitIdenticalWithObservabilityOnOrOff) {
+  const Application app = apps::build_synthetic();
+  const std::vector<double> loads = {0.3, 0.6, 1.0};
+
+  const std::string baseline =
+      serialize_sweep(sweep_load(app, harness_config(30, 1), loads));
+
+  for (int threads : {1, 4}) {
+    // Everything on: metrics into a scoped registry, run-detail tracing,
+    // progress with a counting callback.
+    MetricsRegistry reg;
+    Tracer tracer(Tracer::Detail::kRuns);
+    ProgressReporter progress([](const ProgressSnapshot&) {},
+                              std::chrono::milliseconds(0));
+    ExperimentConfig cfg = harness_config(30, threads);
+    cfg.collect_metrics = true;
+    cfg.registry = &reg;
+    cfg.tracer = &tracer;
+    cfg.progress = &progress;
+
+    const std::vector<SweepPoint> points = sweep_load(app, cfg, loads);
+    EXPECT_EQ(serialize_sweep(points), baseline)
+        << "observability changed sweep output at threads=" << threads;
+
+    // The observability itself did fire.
+    EXPECT_GT(reg.counter("pool.chunks_completed").value(), 0u);
+    EXPECT_GT(tracer.event_count(), 0u);
+    EXPECT_GT(progress.done(), 0);
+    EXPECT_EQ(progress.done(), progress.total());
+    ASSERT_EQ(points.size(), loads.size());
+    for (const SweepPoint& pt : points) EXPECT_TRUE(pt.metrics.enabled());
+  }
+
+  // Plain parallel without observability must also match.
+  EXPECT_EQ(
+      serialize_sweep(sweep_load(app, harness_config(30, 4), loads)),
+      baseline);
+}
+
+TEST(ObsDeterminism, RunPointIdenticalWithMetricsOn) {
+  const Application app = apps::build_synthetic();
+  const SimTime d = SimTime::from_ms(120);
+
+  const SweepPoint plain = run_point(app, harness_config(25, 1), d, 0.0);
+  ExperimentConfig cfg = harness_config(25, 3);
+  MetricsRegistry reg;
+  cfg.collect_metrics = true;
+  cfg.registry = &reg;
+  const SweepPoint observed = run_point(app, cfg, d, 0.0);
+
+  EXPECT_EQ(serialize_sweep({observed}), serialize_sweep({plain}));
+  EXPECT_FALSE(plain.metrics.enabled());
+  EXPECT_TRUE(observed.metrics.enabled());
+}
+
+// --------------------------------------------- harness: metric semantics
+
+TEST(ObsMetrics, PointMetricsMatchSchemeStats) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = harness_config(40, 2);
+  MetricsRegistry reg;
+  cfg.collect_metrics = true;
+  cfg.registry = &reg;
+  const SweepPoint pt = run_point(app, cfg, SimTime::from_ms(120), 0.0);
+
+  ASSERT_EQ(pt.metrics.schemes.size(), cfg.schemes.size());
+  const double runs = static_cast<double>(cfg.runs);
+  for (std::size_t s = 0; s < cfg.schemes.size(); ++s) {
+    const SimCounters& c = pt.metrics.schemes[s];
+    // The counter total must equal the per-run RunningStat sum.
+    const double stat_sum = pt.stats[s].speed_changes.mean() * runs;
+    EXPECT_NEAR(static_cast<double>(c.speed_changes), stat_sum,
+                1e-6 * std::max(1.0, stat_sum))
+        << to_string(cfg.schemes[s]);
+    // Dispatch volume depends only on the scenarios (shared across
+    // schemes), so every scheme — and the NPM baseline — agrees.
+    EXPECT_EQ(c.dispatches, pt.metrics.npm.dispatches)
+        << to_string(cfg.schemes[s]);
+    EXPECT_EQ(c.tasks, pt.metrics.npm.tasks);
+    EXPECT_EQ(c.or_fires, pt.metrics.npm.or_fires);
+    EXPECT_GT(c.tasks, 0u);
+    // Dynamic schemes make exactly one floor-vs-greedy decision per task;
+    // static schemes (and NPM) make none.
+    const Scheme scheme = cfg.schemes[s];
+    if (scheme == Scheme::NPM || scheme == Scheme::SPM) {
+      EXPECT_EQ(c.spec_picks + c.greedy_picks, 0u);
+    } else {
+      EXPECT_EQ(c.spec_picks + c.greedy_picks, c.tasks);
+    }
+    if (scheme == Scheme::GSS) EXPECT_EQ(c.spec_picks, 0u);
+  }
+  // NPM never changes speed and reclaims no slack.
+  EXPECT_EQ(pt.metrics.npm.speed_changes, 0u);
+  EXPECT_EQ(pt.metrics.npm.reclaimed_slack_ps, 0u);
+
+  // The registry carries the flushed engine totals and the pool telemetry.
+  EXPECT_EQ(reg.counter("engine.NPM.dispatches").value(),
+            pt.metrics.npm.dispatches);
+  const int chunks = reg.counter("pool.chunks_completed").value() > 0
+                         ? static_cast<int>(
+                               reg.counter("pool.chunks_completed").value())
+                         : 0;
+  EXPECT_GT(chunks, 0);
+}
+
+TEST(ObsMetrics, ChunkAccountingCoversAllChunks) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = harness_config(33, 2);
+  cfg.chunk_runs = 8;  // 33 runs -> 5 chunks (ceil)
+  MetricsRegistry reg;
+  cfg.collect_metrics = true;
+  cfg.registry = &reg;
+  ProgressReporter progress([](const ProgressSnapshot&) {},
+                            std::chrono::hours(1));
+  cfg.progress = &progress;
+  (void)run_point(app, cfg, SimTime::from_ms(120), 0.0);
+
+  EXPECT_EQ(reg.counter("pool.chunks_completed").value(), 5u);
+  EXPECT_EQ(progress.total(), 5);
+  EXPECT_EQ(progress.done(), 5);
+}
+
+TEST(ObsMetrics, ChunkDetailTracerOmitsPerRunSpans) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = harness_config(20, 1);
+  Tracer tracer(Tracer::Detail::kChunks);
+  cfg.tracer = &tracer;
+  (void)run_point(app, cfg, SimTime::from_ms(120), 0.0);
+
+  bool saw_chunk = false;
+  for (const TraceEvent& ev : tracer.events()) {
+    const std::string name = ev.name;
+    saw_chunk = saw_chunk || name == "chunk";
+    EXPECT_NE(name, "GSS");  // per-simulation spans need Detail::kRuns
+    EXPECT_NE(name, "NPM");
+  }
+  EXPECT_TRUE(saw_chunk);
+
+  // At kRuns detail the per-scheme spans appear.
+  Tracer deep(Tracer::Detail::kRuns);
+  ExperimentConfig cfg2 = harness_config(20, 1);
+  cfg2.tracer = &deep;
+  (void)run_point(app, cfg2, SimTime::from_ms(120), 0.0);
+  bool saw_scheme = false;
+  for (const TraceEvent& ev : deep.events())
+    saw_scheme = saw_scheme || std::string(ev.name) == "GSS";
+  EXPECT_TRUE(saw_scheme);
+}
+
+TEST(ObsMetrics, PoolBalanceJsonParses) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = harness_config(16, 2);
+  const std::string doc =
+      measure_pool_balance_json(app, cfg, {0.5, 1.0});
+  const JsonValue v = json_parse(doc);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("threads").number, 2.0);
+  ASSERT_TRUE(v.at("chunks_per_slot").is_array());
+  double total = 0.0;
+  for (const JsonValue& c : v.at("chunks_per_slot").array) total += c.number;
+  EXPECT_DOUBLE_EQ(total, v.at("chunk_seconds").at("count").number);
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace paserta

@@ -408,12 +408,22 @@ TEST(Throughput, MeasuresAndEmitsJson) {
 
 TEST(Throughput, HistoryEntrySplicesProvenance) {
   const std::string entry = throughput_history_entry(
-      "abc1234", "2026-08-06", "{\n\"point\": {\"x\": 1}\n}\n");
+      "abc1234", /*dirty=*/false, "2026-08-06", "{\n\"point\": {\"x\": 1}\n}\n");
   EXPECT_NE(entry.find("\"git_rev\": \"abc1234\""), std::string::npos);
+  EXPECT_NE(entry.find("\"dirty\": false"), std::string::npos);
   EXPECT_NE(entry.find("\"date\": \"2026-08-06\""), std::string::npos);
   EXPECT_NE(entry.find("\"point\": {\"x\": 1}"), std::string::npos);
   EXPECT_EQ(std::count(entry.begin(), entry.end(), '{'),
             std::count(entry.begin(), entry.end(), '}'));
+}
+
+TEST(Throughput, HistoryEntryRecordsDirtyTree) {
+  const std::string entry = throughput_history_entry(
+      "abc1234", /*dirty=*/true, "2026-08-06", "{\"point\": {}}");
+  EXPECT_NE(entry.find("\"dirty\": true"), std::string::npos);
+  // The provenance order pins dirty between git_rev and date.
+  EXPECT_LT(entry.find("\"git_rev\""), entry.find("\"dirty\""));
+  EXPECT_LT(entry.find("\"dirty\""), entry.find("\"date\""));
 }
 
 TEST(Throughput, HistoryAppendStartsNewArray) {

@@ -26,10 +26,19 @@
 //   --runs N           Monte-Carlo runs per point (default 200)
 //   --from F --to T --step S   sweep range (defaults 0.1..1.0 step 0.1)
 //   --json             emit JSON instead of CSV
+//   --threads N        worker threads for the Monte-Carlo loop (default 1;
+//                      results are bit-identical for any value)
+//   --trace-out FILE   write a Chrome/Perfetto trace of the sweep (open in
+//                      ui.perfetto.dev or chrome://tracing)
+//   --metrics-out FILE write engine + pool metrics as JSON
+//   --progress         live progress line on stderr
+//
+// Flags accept both "--flag value" and "--flag=value".
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -44,6 +53,10 @@
 #include "harness/experiment.h"
 #include "harness/json.h"
 #include "harness/report.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/gantt.h"
 #include "sim/power_trace.h"
 #include "sim/svg.h"
@@ -69,13 +82,50 @@ struct Options {
   int runs = 200;
   double from = 0.1, to = 1.0, step = 0.1;
   bool json = false;
+  int threads = 1;
+  std::string trace_out;
+  std::string metrics_out;
+  bool progress = false;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n";
   std::cerr <<
-      "usage: paserta_cli <analyze|simulate|sweep|dot|tables> [workload] "
-      "[options]\n  see the header of tools/paserta_cli.cpp for options\n";
+      "usage: paserta_cli <command> [workload] [options]\n"
+      "\n"
+      "commands:\n"
+      "  analyze  <workload>   offline analysis report\n"
+      "  simulate <workload>   one run + gantt + stats\n"
+      "  sweep    <workload>   load/alpha sweep (CSV/JSON)\n"
+      "  metrics  <workload>   structural graph metrics\n"
+      "  dot      <workload>   Graphviz dump\n"
+      "  tables                DVS level tables\n"
+      "\n"
+      "<workload> is a text file (docs/WORKLOAD_FORMAT.md) or a built-in:\n"
+      "@atr, @synthetic, @mpeg.\n"
+      "\n"
+      "common options (--flag value or --flag=value):\n"
+      "  --cpus N            processors (default 2)\n"
+      "  --table NAME        transmeta | xscale (default transmeta)\n"
+      "  --load L            deadline = W / L (default 0.5)\n"
+      "  --deadline-ms D     absolute deadline (overrides --load)\n"
+      "  --heuristic H       ltf | stf | fifo (default ltf)\n"
+      "  --seed N            RNG seed (default 1)\n"
+      "simulate:\n"
+      "  --scheme S          npm | spm | gss | ss1 | ss2 | as (default gss)\n"
+      "  --power-csv         dump the power-vs-time curve as CSV\n"
+      "  --svg FILE          write an SVG gantt + power chart to FILE\n"
+      "sweep:\n"
+      "  --x load|alpha      swept parameter (default load)\n"
+      "  --runs N            Monte-Carlo runs per point (default 200)\n"
+      "  --from F --to T --step S   sweep range (default 0.1..1.0 step 0.1)\n"
+      "  --json              emit JSON instead of CSV\n"
+      "  --threads N         worker threads (default 1; output identical\n"
+      "                      for any value)\n"
+      "  --trace-out FILE    Chrome/Perfetto trace of the sweep (open in\n"
+      "                      ui.perfetto.dev)\n"
+      "  --metrics-out FILE  engine + pool metrics as JSON\n"
+      "  --progress          live progress line on stderr\n";
   std::exit(2);
 }
 
@@ -88,12 +138,25 @@ Options parse_args(int argc, char** argv) {
     if (i >= argc || argv[i][0] == '-') usage("missing workload file");
     o.workload = argv[i++];
   }
+  // Inline "--flag=value" payload of the current flag, when present.
+  std::optional<std::string> inline_value;
   auto need_value = [&](const char* flag) -> std::string {
+    if (inline_value) {
+      std::string v = std::move(*inline_value);
+      inline_value.reset();
+      return v;
+    }
     if (i >= argc) usage((std::string(flag) + " needs a value").c_str());
     return argv[i++];
   };
   for (; i < argc;) {
-    const std::string flag = argv[i++];
+    std::string flag = argv[i++];
+    inline_value.reset();
+    if (const std::size_t eq = flag.find('=');
+        flag.rfind("--", 0) == 0 && eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.erase(eq);
+    }
     if (flag == "--cpus") o.cpus = std::stoi(need_value("--cpus"));
     else if (flag == "--table") o.table = need_value("--table");
     else if (flag == "--load") o.load = std::stod(need_value("--load"));
@@ -111,7 +174,14 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--to") o.to = std::stod(need_value("--to"));
     else if (flag == "--step") o.step = std::stod(need_value("--step"));
     else if (flag == "--json") o.json = true;
+    else if (flag == "--threads")
+      o.threads = std::stoi(need_value("--threads"));
+    else if (flag == "--trace-out") o.trace_out = need_value("--trace-out");
+    else if (flag == "--metrics-out")
+      o.metrics_out = need_value("--metrics-out");
+    else if (flag == "--progress") o.progress = true;
     else usage(("unknown flag " + flag).c_str());
+    if (inline_value) usage(("flag " + flag + " takes no value").c_str());
   }
   return o;
 }
@@ -263,7 +333,27 @@ int cmd_sweep(const Options& o) {
   cfg.table = table_of(o);
   cfg.runs = o.runs;
   cfg.seed = o.seed;
+  cfg.threads = o.threads;
   cfg.heuristic = heuristic_of(o);
+
+  // Observability sinks (all optional; none of them changes the sweep
+  // output — see the determinism contract in obs/metrics.h).
+  std::unique_ptr<Tracer> tracer;
+  if (!o.trace_out.empty()) {
+    tracer = std::make_unique<Tracer>(Tracer::Detail::kRuns);
+    cfg.tracer = tracer.get();
+  }
+  MetricsRegistry registry;  // scoped: one sweep's metrics, nothing else
+  if (!o.metrics_out.empty()) {
+    cfg.collect_metrics = true;
+    cfg.registry = &registry;
+  }
+  std::unique_ptr<ProgressReporter> progress;
+  if (o.progress) {
+    progress = std::make_unique<ProgressReporter>(
+        stderr_progress_renderer("sweep"));
+    cfg.progress = progress.get();
+  }
 
   std::vector<SweepPoint> points;
   if (o.x == "load") {
@@ -272,6 +362,27 @@ int cmd_sweep(const Options& o) {
     points = sweep_alpha(app, cfg, o.load, sweep_range(o.from, o.to, o.step));
   } else {
     usage("--x must be load or alpha");
+  }
+  if (progress) progress->finish();
+
+  if (!o.trace_out.empty()) {
+    std::ofstream trace_file(o.trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot write '" << o.trace_out << "'\n";
+      return 1;
+    }
+    write_chrome_trace(trace_file, *tracer);
+    std::cerr << "wrote " << o.trace_out << " (" << tracer->event_count()
+              << " events; open in ui.perfetto.dev)\n";
+  }
+  if (!o.metrics_out.empty()) {
+    std::ofstream metrics_file(o.metrics_out);
+    if (!metrics_file) {
+      std::cerr << "cannot write '" << o.metrics_out << "'\n";
+      return 1;
+    }
+    metrics_file << metrics_to_json(registry.snapshot());
+    std::cerr << "wrote " << o.metrics_out << "\n";
   }
 
   if (o.json) {
