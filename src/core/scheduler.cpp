@@ -16,7 +16,8 @@ PowerAwareScheduler::PowerAwareScheduler(Application app, const Config& cfg)
       policy_(make_policy(cfg.scheme)),
       track_npm_(cfg.track_npm_baseline),
       record_trace_(cfg.record_trace),
-      collect_metrics_(cfg.collect_metrics) {
+      collect_metrics_(cfg.collect_metrics),
+      audit_(cfg.audit) {
   PASERTA_REQUIRE(cfg.deadline.has_value() != cfg.load.has_value(),
                   "set exactly one of Config::deadline and Config::load");
 
@@ -49,6 +50,7 @@ SimResult PowerAwareScheduler::run_frame(Rng& rng) {
 SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {
   SimOptions sim_opt;
   sim_opt.record_trace = record_trace_;
+  sim_opt.audit = audit_;
   if (collect_metrics_) sim_opt.counters = &summary_.counters;
   policy_->reset(off_, pm_);
   SimResult r = simulate(app_, off_, pm_, ovh_, *policy_, scenario, ws_,
@@ -65,6 +67,7 @@ SimResult PowerAwareScheduler::run_frame(const RunScenario& scenario) {
     npm_->reset(off_, pm_);
     SimOptions base_opt;
     base_opt.record_trace = false;
+    base_opt.audit = audit_;
     if (collect_metrics_) base_opt.counters = &summary_.npm_counters;
     const SimResult base =
         simulate(app_, off_, pm_, ovh_, *npm_, scenario, ws_, base_opt);

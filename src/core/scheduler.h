@@ -37,10 +37,16 @@ class PowerAwareScheduler {
     /// then reuse the internal workspace with zero per-frame allocation.
     bool record_trace = true;
     /// Accumulate engine telemetry (SimCounters: dispatch volume, DVS
-    /// activity, reclaimed slack) across frames into Summary::counters
-    /// (and Summary::npm_counters for the baseline runs). Observational
-    /// only — never changes a frame result.
+    /// activity, reclaimed slack, the energy-attribution ledger) across
+    /// frames into Summary::counters (and Summary::npm_counters for the
+    /// baseline runs). Observational only — never changes a frame result.
     bool collect_metrics = false;
+    /// Self-audit every frame: the engine asserts the attribution ledger's
+    /// integer time-conservation invariant (SimOptions::audit), and with
+    /// collect_metrics the accumulated Summary counters stay foldable to
+    /// the summed frame energies via attribution_energy(). Observational
+    /// only — never changes a frame result.
+    bool audit = false;
   };
 
   struct Summary {
@@ -92,6 +98,7 @@ class PowerAwareScheduler {
   bool track_npm_ = false;
   bool record_trace_ = true;
   bool collect_metrics_ = false;
+  bool audit_ = false;
   SimWorkspace ws_;  // reused by every frame (and the NPM baseline)
   Summary summary_;
 };

@@ -13,6 +13,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
+#include "sim/power_trace.h"
 #include "sim/sampler.h"
 #include "sim/scenario.h"
 #include "sim/verify.h"
@@ -71,6 +72,36 @@ struct RunObs {
   SimCounters* cells = nullptr;
 };
 
+/// Audit cross-check of one finished run (ExperimentConfig::audit): the
+/// exported attribution ledger must fold back to the engine's energy split
+/// exactly (same fold over the same integers — see attribution_energy),
+/// and the power-trace reconstruction must integrate to the same total
+/// within 1e-9 relative. `c` must hold this run's counters alone and `r`
+/// must carry its trace.
+void audit_run(const Application& app, const OfflineResult& off,
+               const PowerModel& pm, const Overheads& ovh,
+               const SimCounters& c, const SimResult& r, Scheme scheme) {
+  const EnergySplit split = attribution_energy(c, pm, ovh);
+  PASERTA_REQUIRE(split.busy == r.busy_energy &&
+                      split.overhead == r.overhead_energy &&
+                      split.idle == r.idle_energy,
+                  "audit(" << to_string(scheme)
+                           << "): attribution counters rebuild ("
+                           << split.busy << ", " << split.overhead << ", "
+                           << split.idle << ") J but the engine reported ("
+                           << r.busy_energy << ", " << r.overhead_energy
+                           << ", " << r.idle_energy << ") J");
+  const PowerTrace trace = build_power_trace(app, off, pm, ovh, r);
+  const Energy integral = trace.total_energy();
+  const Energy total = r.total_energy();
+  const double tol = 1e-9 * std::max(1.0, std::abs(total));
+  PASERTA_REQUIRE(std::abs(integral - total) <= tol,
+                  "audit(" << to_string(scheme)
+                           << "): power-trace integral " << integral
+                           << " J deviates from engine total " << total
+                           << " J");
+}
+
 /// Evaluates one run on its own seed-derived stream into its slots of
 /// `store`. Thread-safe: all shared inputs are const, distinct runs write
 /// distinct slots; policies, the workspace and the scenario buffer are
@@ -95,19 +126,32 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
 
   // Traces are only materialized when something consumes them; the
   // verifying (test) configuration also keeps the engine's debug
-  // completeness traversal on.
+  // completeness traversal on, and audit needs per-run traces for the
+  // power-curve integral check.
   SimOptions sim_opt;
-  sim_opt.record_trace = cfg.verify_traces;
+  sim_opt.record_trace = cfg.verify_traces || cfg.audit;
   sim_opt.check_completeness = cfg.verify_traces;
+  sim_opt.audit = cfg.audit;
+
+  // Audit runs export into a run-local cell first, so attribution_energy
+  // sees exactly one run's ledger; the local is then merged into the
+  // slot-owned cell (integer adds — the merged totals are identical to
+  // direct accumulation).
+  SimCounters audit_cell;
+  SimCounters* const slot_npm =
+      obs.cells != nullptr ? obs.cells + cfg.schemes.size() : nullptr;
 
   npm.reset(off, pm);
-  sim_opt.counters =
-      obs.cells != nullptr ? obs.cells + cfg.schemes.size() : nullptr;
-  const double npm_energy = [&] {
+  sim_opt.counters = cfg.audit ? &audit_cell : slot_npm;
+  const SimResult npm_r = [&] {
     TraceSpan span(obs.run_tracer, obs.slot, "NPM", obs.point, run);
-    return simulate(app, off, pm, cfg.overheads, npm, sc, ws, sim_opt)
-        .total_energy();
+    return simulate(app, off, pm, cfg.overheads, npm, sc, ws, sim_opt);
   }();
+  if (cfg.audit) {
+    audit_run(app, off, pm, cfg.overheads, audit_cell, npm_r, Scheme::NPM);
+    if (slot_npm != nullptr) slot_npm->add(audit_cell);
+  }
+  const double npm_energy = npm_r.total_energy();
   // A degenerate workload (no computation and zero idle power) yields a
   // zero NPM baseline; dividing by it would poison RunningStat with
   // NaN/Inf, so such runs are flagged and excluded from norm_energy.
@@ -120,12 +164,19 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
   for (std::size_t s = 0; s < cfg.schemes.size(); ++s) {
     SpeedPolicy& policy = *policies[s];
     policy.reset(off, pm);
-    sim_opt.counters = obs.cells != nullptr ? obs.cells + s : nullptr;
+    SimCounters* const slot_cell =
+        obs.cells != nullptr ? obs.cells + s : nullptr;
+    if (cfg.audit) audit_cell = SimCounters{};
+    sim_opt.counters = cfg.audit ? &audit_cell : slot_cell;
     const SimResult r = [&] {
       TraceSpan span(obs.run_tracer, obs.slot, to_string(cfg.schemes[s]),
                      obs.point, run);
       return simulate(app, off, pm, cfg.overheads, policy, sc, ws, sim_opt);
     }();
+    if (cfg.audit) {
+      audit_run(app, off, pm, cfg.overheads, audit_cell, r, cfg.schemes[s]);
+      if (slot_cell != nullptr) slot_cell->add(audit_cell);
+    }
     SchemeOutcome& so = row[s];
     if (!degenerate) {
       so.norm_energy = r.total_energy() / npm_energy;
@@ -202,6 +253,26 @@ void flush_sim_counters(MetricsRegistry& reg, const std::string& prefix,
   reg.counter(prefix + ".spec_picks").add(0, c.spec_picks);
   reg.counter(prefix + ".greedy_picks").add(0, c.greedy_picks);
   reg.counter(prefix + ".reclaimed_slack_ps").add(0, c.reclaimed_slack_ps);
+  // Energy-attribution ledger: per-level time counters, transition counts
+  // per (from, to) level pair (only the pairs that fired — an L x L matrix
+  // of mostly-zero names would drown the export), and total idle time.
+  // With the power table and overheads these rebuild the paper's busy /
+  // overhead / idle energy split (attribution_energy).
+  for (std::uint32_t l = 0; l < c.levels; ++l) {
+    const std::string suffix = ".L" + std::to_string(l);
+    reg.counter(prefix + ".busy_ps" + suffix).add(0, c.busy_ps[l]);
+    if (c.compute_ps[l] != 0)
+      reg.counter(prefix + ".compute_ps" + suffix).add(0, c.compute_ps[l]);
+  }
+  for (std::uint32_t from = 0; from < c.levels; ++from)
+    for (std::uint32_t to = 0; to < c.levels; ++to) {
+      const std::uint64_t n = c.transitions[from * c.levels + to];
+      if (n != 0)
+        reg.counter(prefix + ".transitions.L" + std::to_string(from) + "_L" +
+                    std::to_string(to))
+            .add(0, n);
+    }
+  reg.counter(prefix + ".idle_ps").add(0, c.idle_ps);
 }
 
 SweepPoint finalize_point(const ExperimentConfig& cfg, const PointSpec& spec,

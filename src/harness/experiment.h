@@ -85,6 +85,19 @@ struct ExperimentConfig {
   /// Live progress: registered with the total chunk count up front, ticked
   /// once per completed chunk. Null = silent.
   ProgressReporter* progress = nullptr;
+  /// Self-auditing observability: every run is re-accounted three ways and
+  /// the books must agree — (1) the engine asserts the attribution
+  /// ledger's integer time-conservation invariant (SimOptions::audit);
+  /// (2) the run's exported SimCounters are folded back to joules via
+  /// attribution_energy() and must equal the engine's busy/overhead/idle
+  /// energies *exactly* (bitwise — both sides are the same fold over the
+  /// same integers); (3) the power-trace reconstruction's integral must
+  /// match total_energy() to 1e-9 relative. Audit forces per-run traces
+  /// internally (for check 3) but stays write-only for the simulation:
+  /// sweep results are bit-identical with audit on or off. Slower
+  /// (~trace + curve build per run); meant for validation runs and CI, not
+  /// benches.
+  bool audit = false;
 };
 
 struct SchemeStats {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
@@ -215,14 +216,25 @@ std::string measure_pool_balance_json(const Application& app,
   shard_list(os, "pool.idle_ns");
   std::uint64_t count = 0;
   double sum = 0.0;
+  double p50 = std::numeric_limits<double>::quiet_NaN();
+  double p95 = p50;
   for (const auto& h : snap.histograms) {
     if (h.name == "pool.chunk_seconds") {
       count = h.count;
       sum = h.sum;
+      // Latency percentiles: re-resolve the live histogram under the
+      // snapshot's own (registered) bounds — registration is idempotent
+      // for identical bounds — and interpolate within the matched bucket.
+      // Estimates at bucket resolution, good enough to spot a
+      // straggler-dominated chunk distribution in the history.
+      const Histogram& lat = reg.histogram(h.name, h.bounds);
+      p50 = lat.percentile(0.5);
+      p95 = lat.percentile(0.95);
     }
   }
   os << ",\n    \"chunk_seconds\": {\"count\": " << count
-     << ", \"sum\": " << num(sum) << "}\n  }";
+     << ", \"sum\": " << num(sum) << ", \"p50\": " << num(p50)
+     << ", \"p95\": " << num(p95) << "}\n  }";
   return os.str();
 }
 

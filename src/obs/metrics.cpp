@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
@@ -58,11 +59,66 @@ double Histogram::sum() const {
   return total;
 }
 
+double Histogram::percentile(double q) const {
+  PASERTA_REQUIRE(q >= 0.0 && q <= 1.0,
+                  "percentile quantile must be in [0, 1], got " << q);
+  const std::uint64_t total = count();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  // No finite bounds: everything lives in the overflow bucket and there is
+  // no finite edge to clamp to.
+  if (bounds_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < bounds_.size(); ++b) {
+    const std::uint64_t in_bucket = bucket_value(b);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) >= rank) {
+      const double upper = bounds_[b];
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      if (in_bucket == 0) return upper;
+      const std::uint64_t below = cumulative - in_bucket;
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * frac;
+    }
+  }
+  // Rank lands in the overflow bucket: clamp to the last finite bound.
+  return bounds_.back();
+}
+
 void Histogram::reset() {
   for (Shard& s : shards_) {
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
     s.sum.store(0.0, std::memory_order_relaxed);
   }
+}
+
+void SimCounters::add(const SimCounters& o) {
+  dispatches += o.dispatches;
+  tasks += o.tasks;
+  or_fires += o.or_fires;
+  speed_changes += o.speed_changes;
+  spec_picks += o.spec_picks;
+  greedy_picks += o.greedy_picks;
+  reclaimed_slack_ps += o.reclaimed_slack_ps;
+  idle_ps += o.idle_ps;
+  if (o.levels == 0) return;  // other side carries no ledger
+  if (levels == 0) {
+    // Adopt the other ledger's shape wholesale.
+    levels = o.levels;
+    busy_ps = o.busy_ps;
+    compute_ps = o.compute_ps;
+    transitions = o.transitions;
+    return;
+  }
+  PASERTA_REQUIRE(levels == o.levels,
+                  "SimCounters ledgers recorded against different power "
+                  "tables (" << levels << " vs " << o.levels << " levels)");
+  for (std::size_t i = 0; i < busy_ps.size(); ++i) busy_ps[i] += o.busy_ps[i];
+  for (std::size_t i = 0; i < compute_ps.size(); ++i)
+    compute_ps[i] += o.compute_ps[i];
+  for (std::size_t i = 0; i < transitions.size(); ++i)
+    transitions[i] += o.transitions[i];
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -167,6 +223,52 @@ std::string metrics_to_json(const MetricsSnapshot& snap) {
     os << "]}" << (i + 1 < snap.histograms.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// hierarchy (engine.GSS.dispatches) maps onto underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_name(c.name);
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << json_num(g.value) << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      const bool overflow = b >= h.bounds.size();
+      os << name << "_bucket{le=\""
+         << (overflow ? std::string("+Inf") : json_num(h.bounds[b])) << "\"} "
+         << cumulative << "\n";
+    }
+    os << name << "_sum " << json_num(h.sum) << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
   return os.str();
 }
 

@@ -133,6 +133,13 @@ class Histogram {
   std::uint64_t bucket_value(std::size_t b) const;
   std::uint64_t count() const;  // total samples
   double sum() const;           // sum of recorded values
+  /// Quantile estimate from the bucket counts, Prometheus
+  /// histogram_quantile-style: the rank q * count() is located in the
+  /// cumulative bucket counts and interpolated linearly inside the matched
+  /// bucket (the first bucket interpolates from 0). Ranks landing in the
+  /// overflow bucket clamp to the last finite bound; an empty histogram
+  /// returns NaN. `q` must be in [0, 1].
+  double percentile(double q) const;
   void reset();
 
  private:
@@ -145,10 +152,17 @@ class Histogram {
 };
 
 /// Additive engine telemetry for one simulated run (sim/engine.cpp fills
-/// it when SimOptions::counters is set): dispatch volume, DVS activity and
-/// the slack-reclamation behaviour the paper only reports as final energy.
-/// Plain integers so per-(point, slot, scheme) cells can be summed in any
-/// order without changing the result.
+/// it when SimOptions::counters is set): dispatch volume, DVS activity,
+/// the slack-reclamation behaviour the paper only reports as final energy,
+/// and the integer energy-attribution ledger (where every picosecond of
+/// the run went, per voltage level). Plain integers so per-(point, slot,
+/// scheme) cells can be summed in any order without changing the result.
+///
+/// The attribution ledger is the engine's own energy accounting: the
+/// engine derives busy/overhead/idle joules from exactly these integers
+/// (sim/engine.h attribution_energy), so folding an exported ledger back
+/// through the power table reproduces the engine's energies bit-for-bit —
+/// the invariant audit mode enforces per run.
 struct SimCounters {
   std::uint64_t dispatches = 0;     // nodes dequeued (incl. dummy AND/OR)
   std::uint64_t tasks = 0;          // computation nodes executed
@@ -164,15 +178,27 @@ struct SimCounters {
   /// is the reclaimed slack actually spent, in picoseconds.
   std::uint64_t reclaimed_slack_ps = 0;
 
-  void add(const SimCounters& o) {
-    dispatches += o.dispatches;
-    tasks += o.tasks;
-    or_fires += o.or_fires;
-    speed_changes += o.speed_changes;
-    spec_picks += o.spec_picks;
-    greedy_picks += o.greedy_picks;
-    reclaimed_slack_ps += o.reclaimed_slack_ps;
-  }
+  // --- Energy-attribution ledger (empty until the first audited/counted
+  // run; sized by the run's voltage-level table, recorded in `levels`).
+  /// Voltage levels of the power table the ledger was recorded against
+  /// (the stride of `transitions`); 0 = no ledger recorded yet.
+  std::uint32_t levels = 0;
+  /// Task execution time per level, picoseconds.
+  std::vector<std::uint64_t> busy_ps;
+  /// Speed-computation overhead time per level (the level the processor
+  /// ran the computation at), picoseconds.
+  std::vector<std::uint64_t> compute_ps;
+  /// Voltage-transition counts per ordered level pair, row-major
+  /// [from * levels + to]. Each transition costs the run's fixed
+  /// speed-change time at the higher-power level of the pair.
+  std::vector<std::uint64_t> transitions;
+  /// Idle/sleep time summed over processors up to the deadline,
+  /// picoseconds (clamped at 0 per processor when a run overruns).
+  std::uint64_t idle_ps = 0;
+
+  /// Elementwise sum; ledgers must come from the same power table (equal
+  /// `levels`, enforced), or one side may be ledger-free.
+  void add(const SimCounters& o);
 };
 
 class ProgressReporter;  // obs/progress.h
@@ -246,5 +272,13 @@ class MetricsRegistry {
 /// Renders a snapshot as a pretty-printed JSON object (counters / gauges /
 /// histograms arrays), newline-terminated; parseable by harness/json.
 std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot in the Prometheus text exposition format (0.0.4):
+/// `# TYPE` lines, counters/gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series ending in `le="+Inf"` plus `_sum`
+/// and `_count`. Metric names are sanitized to [a-zA-Z0-9_:] and numeric
+/// values use the same 12-significant-digit formatting as metrics_to_json,
+/// so the two exports round-trip against each other (pinned by test_obs).
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot);
 
 }  // namespace paserta

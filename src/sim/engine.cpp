@@ -9,6 +9,43 @@
 namespace paserta {
 namespace {
 
+/// The canonical ledger-to-joules fold: per-level busy and compute times,
+/// then transition pairs row-major, then idle — always in ascending level
+/// order. Both the engine's end-of-run energy computation and the public
+/// attribution_energy() go through this one function, so an exported
+/// ledger folds back to the engine's energies bit-for-bit by construction.
+EnergySplit fold_ledger(std::span<const std::uint64_t> busy_ps,
+                        std::span<const std::uint64_t> compute_ps,
+                        std::span<const std::uint64_t> transitions,
+                        std::uint64_t idle_ps, const PowerModel& pm,
+                        const Overheads& ovh) {
+  const std::span<const Energy> power = pm.level_powers();
+  const std::size_t n = power.size();
+  const double switch_sec = ovh.speed_change_time.sec();
+  EnergySplit split;
+  for (std::size_t l = 0; l < n; ++l) {
+    if (busy_ps[l] != 0)
+      split.busy +=
+          power[l] * SimTime{static_cast<std::int64_t>(busy_ps[l])}.sec();
+  }
+  for (std::size_t l = 0; l < n; ++l) {
+    if (compute_ps[l] != 0)
+      split.overhead +=
+          power[l] * SimTime{static_cast<std::int64_t>(compute_ps[l])}.sec();
+  }
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      const std::uint64_t count = transitions[from * n + to];
+      if (count != 0)
+        split.overhead += static_cast<double>(count) *
+                          std::max(power[from], power[to]) * switch_sec;
+    }
+  }
+  if (idle_ps != 0)
+    split.idle = pm.idle_energy(SimTime{static_cast<std::int64_t>(idle_ps)});
+  return split;
+}
+
 /// Number of nodes on the taken path, computed with workspace scratch so
 /// the debug completeness check allocates nothing in steady state. Same
 /// closure as executed_set(), counting instead of materializing; the NUP
@@ -256,7 +293,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       // Speed-computation overhead runs at the current frequency.
       const SimTime dt_compute =
           cycles_to_time(ovh_.speed_compute_cycles, levels_[lvl].freq);
-      result_.overhead_energy += power_[lvl] * dt_compute.sec();
+      ws_.compute_ps[lvl] += static_cast<std::uint64_t>(dt_compute.ps);
       cpu.busy += dt_compute;
       start += dt_compute;
 
@@ -277,9 +314,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       }
 
       if (new_lvl != lvl) {
-        result_.overhead_energy +=
-            std::max(power_[lvl], power_[new_lvl]) *
-            ovh_.speed_change_time.sec();
+        ws_.transitions[lvl * power_.size() + new_lvl] += 1;
         cpu.busy += ovh_.speed_change_time;
         start += ovh_.speed_change_time;
         ++result_.speed_changes;
@@ -301,7 +336,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     const SimTime duration =
         freq == f_max_ ? actual : scale_time(actual, f_max_, freq);
     const SimTime finish = start + duration;
-    result_.busy_energy += power_[lvl] * duration.sec();
+    ws_.busy_ps[lvl] += static_cast<std::uint64_t>(duration.ps);
     cpu.busy += duration;
     if (ctr_) {
       ++ctr_->tasks;
@@ -349,6 +384,12 @@ SimResult Engine::run() {
   ws_.ready.clear();
   ws_.events.clear();
   ws_.trace.clear();
+  // Attribution ledger reset: assign() reuses capacity, so after the first
+  // run these are memsets, not allocations.
+  const std::size_t nlevels = power_.size();
+  ws_.busy_ps.assign(nlevels, 0);
+  ws_.compute_ps.assign(nlevels, 0);
+  ws_.transitions.assign(nlevels * nlevels, 0);
   for (std::uint32_t v : off_.source_table()) enqueue_ready(NodeId{v});
 
   const std::size_t initial_level =
@@ -400,11 +441,66 @@ SimResult Engine::run() {
   result_.finish_time = last_activity_;
   result_.deadline_met = result_.finish_time <= off_.deadline();
 
-  // Idle/sleep energy over [0, deadline].
+  // Idle/sleep time over [0, deadline], clamped at 0 per processor when a
+  // run overruns; joins the ledger so idle energy flows through the same
+  // fold as busy and overhead energy.
+  std::uint64_t idle_ps = 0;
   for (const Cpu& c : ws_.cpus) {
     const SimTime idle = off_.deadline() - c.busy;
-    if (idle > SimTime::zero()) result_.idle_energy += pm_.idle_energy(idle);
+    if (idle > SimTime::zero()) idle_ps += static_cast<std::uint64_t>(idle.ps);
   }
+
+  // One canonical ledger fold computes the run's energies; the identical
+  // fold is reachable through attribution_energy() on exported counters,
+  // which is what makes audit mode's "counters rebuild the engine's
+  // energies exactly" an equality, not a tolerance.
+  const EnergySplit split = fold_ledger(ws_.busy_ps, ws_.compute_ps,
+                                        ws_.transitions, idle_ps, pm_, ovh_);
+  result_.busy_energy = split.busy;
+  result_.overhead_energy = split.overhead;
+  result_.idle_energy = split.idle;
+
+  if (opt_.audit) {
+    // Integer time conservation: every energy-bearing picosecond the
+    // ledger attributes must come from a processor's busy time — exactly.
+    std::uint64_t ledger_ps = 0;
+    for (const std::uint64_t t : ws_.busy_ps) ledger_ps += t;
+    for (const std::uint64_t t : ws_.compute_ps) ledger_ps += t;
+    std::uint64_t switches = 0;
+    for (const std::uint64_t n : ws_.transitions) switches += n;
+    ledger_ps +=
+        switches * static_cast<std::uint64_t>(ovh_.speed_change_time.ps);
+    std::uint64_t cpu_busy_ps = 0;
+    for (const Cpu& c : ws_.cpus)
+      cpu_busy_ps += static_cast<std::uint64_t>(c.busy.ps);
+    PASERTA_ASSERT(ledger_ps == cpu_busy_ps,
+                   "attribution ledger accounts for "
+                       << ledger_ps << " ps of busy time but processors "
+                       << "recorded " << cpu_busy_ps << " ps");
+  }
+
+  if (ctr_) {
+    // Export the ledger. Cells are zero-initialized per sweep, so the
+    // first run adopts the shape and later runs of the same cell add
+    // elementwise (SimCounters::add asserts the level count matches).
+    if (ctr_->levels == 0) {
+      ctr_->levels = static_cast<std::uint32_t>(power_.size());
+      ctr_->busy_ps = ws_.busy_ps;
+      ctr_->compute_ps = ws_.compute_ps;
+      ctr_->transitions = ws_.transitions;
+    } else {
+      PASERTA_ASSERT(ctr_->levels == power_.size(),
+                     "SimCounters cell reused across power tables");
+      for (std::size_t i = 0; i < ws_.busy_ps.size(); ++i)
+        ctr_->busy_ps[i] += ws_.busy_ps[i];
+      for (std::size_t i = 0; i < ws_.compute_ps.size(); ++i)
+        ctr_->compute_ps[i] += ws_.compute_ps[i];
+      for (std::size_t i = 0; i < ws_.transitions.size(); ++i)
+        ctr_->transitions[i] += ws_.transitions[i];
+    }
+    ctr_->idle_ps += idle_ps;
+  }
+
   if (opt_.record_trace) {
     result_.trace = std::move(ws_.trace);
     ws_.trace.clear();  // leave the moved-from buffer in a defined state
@@ -413,6 +509,19 @@ SimResult Engine::run() {
 }
 
 }  // namespace
+
+EnergySplit attribution_energy(const SimCounters& c, const PowerModel& pm,
+                               const Overheads& ovh) {
+  const std::size_t n = pm.table().size();
+  PASERTA_REQUIRE(c.levels == n,
+                  "attribution ledger recorded against "
+                      << c.levels << " levels, power model has " << n);
+  PASERTA_REQUIRE(c.busy_ps.size() == n && c.compute_ps.size() == n &&
+                      c.transitions.size() == n * n,
+                  "attribution ledger shape does not match its level count");
+  return fold_ledger(c.busy_ps, c.compute_ps, c.transitions, c.idle_ps, pm,
+                     ovh);
+}
 
 std::vector<bool> executed_set(const AndOrGraph& g, const RunScenario& sc) {
   std::vector<std::uint32_t> nup(g.size());

@@ -71,10 +71,20 @@ struct SimOptions {
   /// it off.
   bool check_completeness = false;
   /// Optional telemetry sink: when set, the engine adds dispatch counts,
-  /// DVS activity and reclaimed-slack time for this run into the struct
-  /// (plain accumulation, no synchronization — the cell must be owned by
-  /// the calling thread). Null keeps the hot path increment-free.
+  /// DVS activity, reclaimed-slack time and the energy-attribution ledger
+  /// (per-level busy/compute picoseconds, per-pair transition counts, idle
+  /// picoseconds) for this run into the struct (plain accumulation, no
+  /// synchronization — the cell must be owned by the calling thread). Null
+  /// keeps the hot path increment-free.
   SimCounters* counters = nullptr;
+  /// Self-audit: after the run, assert the integer time-conservation
+  /// invariant of the attribution ledger — the per-level busy and
+  /// speed-computation picoseconds plus (transition count x switch time)
+  /// must equal the summed per-CPU busy time exactly. Cheap (O(levels^2)
+  /// integer adds) but pure defense-in-depth, so off by default; the
+  /// harness audit path (ExperimentConfig::audit) additionally rebuilds
+  /// the energies from exported counters via attribution_energy().
+  bool audit = false;
 };
 
 /// Reusable scratch space of the simulation engine: the NUP counters,
@@ -115,6 +125,16 @@ struct SimWorkspace {
   std::vector<Completion> events;
   std::vector<Cpu> cpus;
   std::vector<TaskRecord> trace;
+  // Energy-attribution ledger of the current run: task time and
+  // speed-computation time per voltage level (picoseconds), transition
+  // counts per ordered level pair (row-major [from * levels + to]). The
+  // engine accumulates energy-bearing time here as integers and converts
+  // to joules once at end of run — one canonical fold shared with
+  // attribution_energy(), so exported SimCounters reproduce SimResult's
+  // energies bit-for-bit.
+  std::vector<std::uint64_t> busy_ps;
+  std::vector<std::uint64_t> compute_ps;
+  std::vector<std::uint64_t> transitions;
   // Scratch of the taken-path closure (SimOptions::check_completeness).
   std::vector<std::uint32_t> reach_nup;
   std::vector<std::uint32_t> reach_stack;
@@ -163,5 +183,24 @@ SimResult simulate(const Application& app, const OfflineResult& off,
 /// The set of nodes that execute under the given fork choices (taken-path
 /// closure from the sources). Exposed for the verifier and tests.
 std::vector<bool> executed_set(const AndOrGraph& g, const RunScenario& sc);
+
+/// Energy split rebuilt from an attribution ledger (see SimCounters).
+struct EnergySplit {
+  Energy busy = 0.0;
+  Energy overhead = 0.0;
+  Energy idle = 0.0;
+  Energy total() const { return busy + overhead + idle; }
+};
+
+/// Folds an exported attribution ledger back into joules through the power
+/// table. This is the engine's own end-of-run energy computation (the same
+/// fold, on the same integers, in the same order), so for a single run's
+/// counters the result equals SimResult::busy_energy / overhead_energy /
+/// idle_energy bit-for-bit — the invariant audit mode checks. `c.levels`
+/// must match `pm`'s level table and `ovh` must be the Overheads the run
+/// used. Counters summed over many runs of one (power model, overheads)
+/// configuration fold to the same-order energy totals.
+EnergySplit attribution_energy(const SimCounters& c, const PowerModel& pm,
+                               const Overheads& ovh);
 
 }  // namespace paserta

@@ -1,0 +1,243 @@
+// bench_compare — throughput regression gate over BENCH_throughput.json.
+//
+//   bench_compare [HISTORY] [--check] [--threshold PCT]
+//
+// Reads the append-only measurement history (default:
+// BENCH_throughput.json next to the working directory), picks the newest
+// two *clean* entries — an entry is clean when it carries a git_rev and its
+// "dirty" provenance flag is absent or false — and compares every
+// throughput series between them, matched by thread count:
+//
+//   point.samples[].runs_per_sec          (Monte-Carlo hot loop)
+//   sweep.samples[].pooled_points_per_sec (whole-sweep pooled path)
+//
+// A drop larger than the threshold (default 5 %) in any matched series is a
+// regression. Dirty entries are skipped with a warning (a number measured
+// on uncommitted changes cannot be attributed to its revision); legacy
+// entries without a git_rev are skipped the same way.
+//
+// Exit status: without --check always 0 (report mode, for humans). With
+// --check: 1 on a regression, 0 otherwise — including when fewer than two
+// clean entries exist, which prints a note and passes so CI can adopt the
+// gate before the history has a comparable pair.
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "harness/json.h"
+
+using namespace paserta;
+
+namespace {
+
+struct Args {
+  std::string history = "BENCH_throughput.json";
+  bool check = false;
+  double threshold_pct = 5.0;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n";
+  std::cerr << "usage: bench_compare [HISTORY] [--check] [--threshold PCT]\n"
+               "\n"
+               "  HISTORY          throughput history file (default\n"
+               "                   BENCH_throughput.json)\n"
+               "  --check          exit 1 when a throughput series regressed\n"
+               "                   by more than the threshold between the\n"
+               "                   newest two clean entries\n"
+               "  --threshold PCT  regression threshold in percent\n"
+               "                   (default 5)\n";
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  bool have_history = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = flag.find('=');
+        flag.rfind("--", 0) == 0 && eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      has_inline = true;
+      flag.erase(eq);
+    }
+    const auto value = [&](const char* name) -> std::string {
+      if (has_inline) return inline_value;
+      if (++i >= argc) usage((std::string(name) + " needs a value").c_str());
+      return argv[i];
+    };
+    if (flag == "--check") {
+      a.check = true;
+    } else if (flag == "--threshold") {
+      char* end = nullptr;
+      const std::string v = value("--threshold");
+      a.threshold_pct = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || !(a.threshold_pct >= 0.0))
+        usage("--threshold needs a non-negative number");
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+    } else if (flag.rfind("--", 0) == 0) {
+      usage(("unknown flag " + flag).c_str());
+    } else if (!have_history) {
+      a.history = flag;
+      have_history = true;
+    } else {
+      usage("more than one history file given");
+    }
+  }
+  return a;
+}
+
+std::string entry_label(const JsonValue& e, std::size_t index) {
+  const JsonValue* rev = e.find("git_rev");
+  std::ostringstream os;
+  os << "entry #" << index;
+  if (rev != nullptr && rev->type == JsonValue::Type::String)
+    os << " (" << rev->str << ")";
+  return os.str();
+}
+
+/// Clean = attributable to a revision: git_rev present, dirty flag absent
+/// (pre-flag history) or false.
+bool is_clean(const JsonValue& e, std::size_t index) {
+  const JsonValue* rev = e.find("git_rev");
+  if (rev == nullptr || rev->type != JsonValue::Type::String) {
+    std::cerr << "warning: skipping " << entry_label(e, index)
+              << " — no git_rev (legacy entry)\n";
+    return false;
+  }
+  const JsonValue* dirty = e.find("dirty");
+  if (dirty != nullptr && dirty->type == JsonValue::Type::Bool &&
+      dirty->boolean) {
+    std::cerr << "warning: skipping " << entry_label(e, index)
+              << " — measured on a dirty tree\n";
+    return false;
+  }
+  return true;
+}
+
+struct Series {
+  std::string name;  // e.g. "point.runs_per_sec@threads=4"
+  double value = 0.0;
+};
+
+/// Flattens one entry's throughput series: every sample of `section` keyed
+/// by thread count, reading `field`.
+void collect(const JsonValue& entry, const char* section, const char* field,
+             std::vector<Series>& out) {
+  const JsonValue* sec = entry.find(section);
+  if (sec == nullptr || !sec->is_object()) return;
+  const JsonValue* samples = sec->find("samples");
+  if (samples == nullptr || !samples->is_array()) return;
+  for (const JsonValue& s : samples->array) {
+    const JsonValue* threads = s.find("threads");
+    const JsonValue* v = s.find(field);
+    if (threads == nullptr || v == nullptr ||
+        v->type != JsonValue::Type::Number)
+      continue;
+    std::ostringstream name;
+    name << section << "." << field << "@threads="
+         << static_cast<long long>(threads->number);
+    out.push_back({name.str(), v->number});
+  }
+}
+
+std::vector<Series> collect_entry(const JsonValue& entry) {
+  std::vector<Series> out;
+  collect(entry, "point", "runs_per_sec", out);
+  collect(entry, "sweep", "pooled_points_per_sec", out);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::ifstream in(args.history);
+  if (!in) {
+    std::cerr << "error: cannot open history '" << args.history << "'\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  JsonValue history;
+  try {
+    history = json_parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: malformed history: " << e.what() << "\n";
+    return 2;
+  }
+  if (!history.is_array()) {
+    std::cerr << "error: history is not a JSON array of entries\n";
+    return 2;
+  }
+
+  // Newest two clean entries, scanning from the end of the append-only
+  // history (candidate first, then its baseline).
+  const JsonValue* candidate = nullptr;
+  const JsonValue* baseline = nullptr;
+  std::size_t candidate_idx = 0, baseline_idx = 0;
+  for (std::size_t i = history.array.size(); i-- > 0;) {
+    if (!is_clean(history.array[i], i)) continue;
+    if (candidate == nullptr) {
+      candidate = &history.array[i];
+      candidate_idx = i;
+    } else {
+      baseline = &history.array[i];
+      baseline_idx = i;
+      break;
+    }
+  }
+  if (candidate == nullptr || baseline == nullptr) {
+    std::cout << "note: fewer than two clean entries in '" << args.history
+              << "' — nothing to compare yet\n";
+    return 0;
+  }
+
+  std::cout << "comparing " << entry_label(*baseline, baseline_idx)
+            << " -> " << entry_label(*candidate, candidate_idx)
+            << " (threshold " << args.threshold_pct << "%)\n";
+
+  const std::vector<Series> base = collect_entry(*baseline);
+  const std::vector<Series> cand = collect_entry(*candidate);
+  int compared = 0;
+  int regressions = 0;
+  for (const Series& b : base) {
+    const Series* c = nullptr;
+    for (const Series& s : cand)
+      if (s.name == b.name) {
+        c = &s;
+        break;
+      }
+    if (c == nullptr || !(b.value > 0.0)) continue;
+    ++compared;
+    const double delta_pct = (c->value - b.value) / b.value * 100.0;
+    const bool regressed = delta_pct < -args.threshold_pct;
+    if (regressed) ++regressions;
+    std::cout << "  " << (regressed ? "REGRESSION" : "ok") << "  " << b.name
+              << ": " << b.value << " -> " << c->value << " ("
+              << (delta_pct >= 0 ? "+" : "") << delta_pct << "%)\n";
+  }
+  if (compared == 0) {
+    std::cout << "note: no matching throughput series between the two "
+                 "entries\n";
+    return 0;
+  }
+  if (regressions > 0) {
+    std::cout << regressions << " of " << compared
+              << " series regressed by more than " << args.threshold_pct
+              << "%\n";
+    return args.check ? 1 : 0;
+  }
+  std::cout << "all " << compared << " series within threshold\n";
+  return 0;
+}

@@ -30,7 +30,11 @@
 //                      results are bit-identical for any value)
 //   --trace-out FILE   write a Chrome/Perfetto trace of the sweep (open in
 //                      ui.perfetto.dev or chrome://tracing)
-//   --metrics-out FILE write engine + pool metrics as JSON
+//   --metrics-out DEST write engine + pool metrics to DEST ("-" = stdout)
+//   --metrics-format F json | prometheus (default json)
+//   --audit            self-audit every run: attribution counters must
+//                      rebuild the engine's energies exactly, and the
+//                      power-trace integral must match
 //   --progress         live progress line on stderr
 //
 // Flags accept both "--flag value" and "--flag=value".
@@ -85,6 +89,8 @@ struct Options {
   int threads = 1;
   std::string trace_out;
   std::string metrics_out;
+  std::string metrics_format = "json";
+  bool audit = false;
   bool progress = false;
 };
 
@@ -124,7 +130,13 @@ struct Options {
       "                      for any value)\n"
       "  --trace-out FILE    Chrome/Perfetto trace of the sweep (open in\n"
       "                      ui.perfetto.dev)\n"
-      "  --metrics-out FILE  engine + pool metrics as JSON\n"
+      "  --metrics-out DEST  engine + pool metrics; DEST is a file path or\n"
+      "                      \"-\" for stdout\n"
+      "  --metrics-format F  json | prometheus (default json)\n"
+      "  --audit             self-audit every run: attribution counters\n"
+      "                      must rebuild the engine's energies exactly and\n"
+      "                      the power-trace integral must match (slower;\n"
+      "                      output identical to a non-audited sweep)\n"
       "  --progress          live progress line on stderr\n";
   std::exit(2);
 }
@@ -179,6 +191,13 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--trace-out") o.trace_out = need_value("--trace-out");
     else if (flag == "--metrics-out")
       o.metrics_out = need_value("--metrics-out");
+    else if (flag == "--metrics-format") {
+      o.metrics_format = need_value("--metrics-format");
+      if (o.metrics_format != "json" && o.metrics_format != "prometheus")
+        usage(("--metrics-format must be json or prometheus, got \"" +
+               o.metrics_format + "\"").c_str());
+    }
+    else if (flag == "--audit") o.audit = true;
     else if (flag == "--progress") o.progress = true;
     else usage(("unknown flag " + flag).c_str());
     if (inline_value) usage(("flag " + flag + " takes no value").c_str());
@@ -335,6 +354,7 @@ int cmd_sweep(const Options& o) {
   cfg.seed = o.seed;
   cfg.threads = o.threads;
   cfg.heuristic = heuristic_of(o);
+  cfg.audit = o.audit;
 
   // Observability sinks (all optional; none of them changes the sweep
   // output — see the determinism contract in obs/metrics.h).
@@ -376,13 +396,21 @@ int cmd_sweep(const Options& o) {
               << " events; open in ui.perfetto.dev)\n";
   }
   if (!o.metrics_out.empty()) {
-    std::ofstream metrics_file(o.metrics_out);
-    if (!metrics_file) {
-      std::cerr << "cannot write '" << o.metrics_out << "'\n";
-      return 1;
+    const MetricsSnapshot snap = registry.snapshot();
+    const std::string rendered = o.metrics_format == "prometheus"
+                                     ? metrics_to_prometheus(snap)
+                                     : metrics_to_json(snap);
+    if (o.metrics_out == "-") {
+      std::cout << rendered;
+    } else {
+      std::ofstream metrics_file(o.metrics_out);
+      if (!metrics_file) {
+        std::cerr << "cannot write '" << o.metrics_out << "'\n";
+        return 1;
+      }
+      metrics_file << rendered;
+      std::cerr << "wrote " << o.metrics_out << "\n";
     }
-    metrics_file << metrics_to_json(registry.snapshot());
-    std::cerr << "wrote " << o.metrics_out << "\n";
   }
 
   if (o.json) {
