@@ -9,37 +9,47 @@
 namespace paserta {
 namespace {
 
-/// The canonical ledger-to-joules fold: per-level busy and compute times,
-/// then transition pairs row-major, then idle — always in ascending level
-/// order. Both the engine's end-of-run energy computation and the public
-/// attribution_energy() go through this one function, so an exported
-/// ledger folds back to the engine's energies bit-for-bit by construction.
+/// The canonical ledger-to-joules fold is: per-level busy times ascending,
+/// per-level compute times ascending, then non-zero transition pairs in
+/// ascending flat index (== row-major) order, then idle. Both the engine's
+/// end-of-run energy computation and the public attribution_energy() build
+/// their sums from these pieces in that order, so an exported ledger folds
+/// back to the engine's energies bit-for-bit by construction. The engine
+/// walks its sorted touched-entry list instead of scanning the L x L
+/// matrix — the visit sequence (the non-zero entries, ascending) and hence
+/// the FP sum are identical.
+double fold_levels(std::span<const std::uint64_t> ps,
+                   std::span<const Energy> power) {
+  double joules = 0.0;
+  for (std::size_t l = 0; l < power.size(); ++l) {
+    if (ps[l] != 0)
+      joules += power[l] * SimTime{static_cast<std::int64_t>(ps[l])}.sec();
+  }
+  return joules;
+}
+
+double transition_energy(std::size_t idx, std::uint64_t count,
+                         std::span<const Energy> power, double switch_sec) {
+  const std::size_t from = idx / power.size();
+  const std::size_t to = idx % power.size();
+  return static_cast<double>(count) * std::max(power[from], power[to]) *
+         switch_sec;
+}
+
 EnergySplit fold_ledger(std::span<const std::uint64_t> busy_ps,
                         std::span<const std::uint64_t> compute_ps,
                         std::span<const std::uint64_t> transitions,
                         std::uint64_t idle_ps, const PowerModel& pm,
                         const Overheads& ovh) {
   const std::span<const Energy> power = pm.level_powers();
-  const std::size_t n = power.size();
   const double switch_sec = ovh.speed_change_time.sec();
   EnergySplit split;
-  for (std::size_t l = 0; l < n; ++l) {
-    if (busy_ps[l] != 0)
-      split.busy +=
-          power[l] * SimTime{static_cast<std::int64_t>(busy_ps[l])}.sec();
-  }
-  for (std::size_t l = 0; l < n; ++l) {
-    if (compute_ps[l] != 0)
+  split.busy = fold_levels(busy_ps, power);
+  split.overhead = fold_levels(compute_ps, power);
+  for (std::size_t idx = 0; idx < transitions.size(); ++idx) {
+    if (transitions[idx] != 0)
       split.overhead +=
-          power[l] * SimTime{static_cast<std::int64_t>(compute_ps[l])}.sec();
-  }
-  for (std::size_t from = 0; from < n; ++from) {
-    for (std::size_t to = 0; to < n; ++to) {
-      const std::uint64_t count = transitions[from * n + to];
-      if (count != 0)
-        split.overhead += static_cast<double>(count) *
-                          std::max(power[from], power[to]) * switch_sec;
-    }
+          transition_energy(idx, transitions[idx], power, switch_sec);
   }
   if (idle_ps != 0)
     split.idle = pm.idle_energy(SimTime{static_cast<std::int64_t>(idle_ps)});
@@ -118,6 +128,15 @@ class Engine {
 
   void dispatch(int cpu, SimTime t);
   void on_completion(int cpu, NodeId node, SimTime t);
+  // First write to a level's ledger entry this run records it in the
+  // touched list, so the per-run reset and the fold walk a handful of
+  // levels instead of the whole table.
+  void touch_level(std::size_t l) {
+    if (!ws_.level_touched[l]) {
+      ws_.level_touched[l] = 1;
+      ws_.touched_levels.push_back(static_cast<std::uint32_t>(l));
+    }
+  }
   void enqueue_ready(NodeId id);
   std::pair<std::uint32_t, std::uint32_t> pop_ready();
   void release_successors(NodeId id);
@@ -293,6 +312,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       // Speed-computation overhead runs at the current frequency.
       const SimTime dt_compute =
           cycles_to_time(ovh_.speed_compute_cycles, levels_[lvl].freq);
+      touch_level(lvl);
       ws_.compute_ps[lvl] += static_cast<std::uint64_t>(dt_compute.ps);
       cpu.busy += dt_compute;
       start += dt_compute;
@@ -314,7 +334,9 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       }
 
       if (new_lvl != lvl) {
-        ws_.transitions[lvl * power_.size() + new_lvl] += 1;
+        const std::size_t idx = lvl * power_.size() + new_lvl;
+        if (ws_.transitions[idx]++ == 0)
+          ws_.touched_transitions.push_back(static_cast<std::uint32_t>(idx));
         cpu.busy += ovh_.speed_change_time;
         start += ovh_.speed_change_time;
         ++result_.speed_changes;
@@ -336,6 +358,7 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     const SimTime duration =
         freq == f_max_ ? actual : scale_time(actual, f_max_, freq);
     const SimTime finish = start + duration;
+    touch_level(lvl);
     ws_.busy_ps[lvl] += static_cast<std::uint64_t>(duration.ps);
     cpu.busy += duration;
     if (ctr_) {
@@ -384,12 +407,32 @@ SimResult Engine::run() {
   ws_.ready.clear();
   ws_.events.clear();
   ws_.trace.clear();
-  // Attribution ledger reset: assign() reuses capacity, so after the first
-  // run these are memsets, not allocations.
+  // Attribution ledger reset. A run touches only a few levels and a few
+  // transition pairs, so clearing the full tables (an O(L^2) memset for
+  // the transition matrix) would dominate short runs; instead the previous
+  // run's touched entries are zeroed individually — runs abandoned
+  // mid-flight by an exception are cleaned up here too. The full assigns
+  // run only when the workspace first meets this power table.
   const std::size_t nlevels = power_.size();
-  ws_.busy_ps.assign(nlevels, 0);
-  ws_.compute_ps.assign(nlevels, 0);
-  ws_.transitions.assign(nlevels * nlevels, 0);
+  if (ws_.busy_ps.size() != nlevels) {
+    ws_.busy_ps.assign(nlevels, 0);
+    ws_.compute_ps.assign(nlevels, 0);
+    ws_.level_touched.assign(nlevels, 0);
+  } else {
+    for (const std::uint32_t l : ws_.touched_levels) {
+      ws_.busy_ps[l] = 0;
+      ws_.compute_ps[l] = 0;
+      ws_.level_touched[l] = 0;
+    }
+  }
+  ws_.touched_levels.clear();
+  if (ws_.transitions.size() != nlevels * nlevels) {
+    ws_.transitions.assign(nlevels * nlevels, 0);
+  } else {
+    for (const std::uint32_t idx : ws_.touched_transitions)
+      ws_.transitions[idx] = 0;
+  }
+  ws_.touched_transitions.clear();
   for (std::uint32_t v : off_.source_table()) enqueue_ready(NodeId{v});
 
   const std::size_t initial_level =
@@ -450,15 +493,44 @@ SimResult Engine::run() {
     if (idle > SimTime::zero()) idle_ps += static_cast<std::uint64_t>(idle.ps);
   }
 
-  // One canonical ledger fold computes the run's energies; the identical
-  // fold is reachable through attribution_energy() on exported counters,
-  // which is what makes audit mode's "counters rebuild the engine's
-  // energies exactly" an equality, not a tolerance.
-  const EnergySplit split = fold_ledger(ws_.busy_ps, ws_.compute_ps,
-                                        ws_.transitions, idle_ps, pm_, ovh_);
-  result_.busy_energy = split.busy;
-  result_.overhead_energy = split.overhead;
-  result_.idle_energy = split.idle;
+  // The canonical ledger fold computes the run's energies. Level and
+  // transition entries are visited through their sorted touched lists —
+  // the same non-zero entries in the same ascending order as
+  // attribution_energy()'s full-table scans over exported counters
+  // (untouched entries are zero and both scans skip zeros), which is what
+  // makes audit mode's "counters rebuild the engine's energies exactly"
+  // an equality, not a tolerance.
+  if (ws_.touched_levels.size() > 1)
+    std::sort(ws_.touched_levels.begin(), ws_.touched_levels.end());
+  if (ws_.touched_transitions.size() > 1)
+    std::sort(ws_.touched_transitions.begin(), ws_.touched_transitions.end());
+  {
+    const std::span<const Energy> power = pm_.level_powers();
+    const double switch_sec = ovh_.speed_change_time.sec();
+    // One pass over the touched levels with two accumulators: each
+    // accumulator still receives its terms in ascending level order, so
+    // the sums are bitwise those of fold_ledger's separate busy and
+    // compute loops.
+    double busy = 0.0;
+    double overhead = 0.0;
+    for (const std::uint32_t l : ws_.touched_levels) {
+      if (ws_.busy_ps[l] != 0)
+        busy += power[l] *
+                SimTime{static_cast<std::int64_t>(ws_.busy_ps[l])}.sec();
+      if (ws_.compute_ps[l] != 0)
+        overhead += power[l] *
+                    SimTime{static_cast<std::int64_t>(ws_.compute_ps[l])}.sec();
+    }
+    for (const std::uint32_t idx : ws_.touched_transitions)
+      overhead +=
+          transition_energy(idx, ws_.transitions[idx], power, switch_sec);
+    result_.busy_energy = busy;
+    result_.overhead_energy = overhead;
+    result_.idle_energy =
+        idle_ps != 0
+            ? pm_.idle_energy(SimTime{static_cast<std::int64_t>(idle_ps)})
+            : 0.0;
+  }
 
   if (opt_.audit) {
     // Integer time conservation: every energy-bearing picosecond the
@@ -491,12 +563,13 @@ SimResult Engine::run() {
     } else {
       PASERTA_ASSERT(ctr_->levels == power_.size(),
                      "SimCounters cell reused across power tables");
-      for (std::size_t i = 0; i < ws_.busy_ps.size(); ++i)
-        ctr_->busy_ps[i] += ws_.busy_ps[i];
-      for (std::size_t i = 0; i < ws_.compute_ps.size(); ++i)
-        ctr_->compute_ps[i] += ws_.compute_ps[i];
-      for (std::size_t i = 0; i < ws_.transitions.size(); ++i)
-        ctr_->transitions[i] += ws_.transitions[i];
+      // Only this run's touched entries can be non-zero.
+      for (const std::uint32_t l : ws_.touched_levels) {
+        ctr_->busy_ps[l] += ws_.busy_ps[l];
+        ctr_->compute_ps[l] += ws_.compute_ps[l];
+      }
+      for (const std::uint32_t idx : ws_.touched_transitions)
+        ctr_->transitions[idx] += ws_.transitions[idx];
     }
     ctr_->idle_ps += idle_ps;
   }

@@ -135,6 +135,14 @@ struct SimWorkspace {
   std::vector<std::uint64_t> busy_ps;
   std::vector<std::uint64_t> compute_ps;
   std::vector<std::uint64_t> transitions;
+  // Touched-entry lists: a run writes only a few levels and transition
+  // pairs, so the fold and the per-run reset walk these lists instead of
+  // the level table / L x L matrix; both are sorted before folding to
+  // keep the canonical ascending-index order. level_touched is the
+  // per-level dedup flag behind touched_levels.
+  std::vector<std::uint32_t> touched_levels;
+  std::vector<char> level_touched;
+  std::vector<std::uint32_t> touched_transitions;
   // Scratch of the taken-path closure (SimOptions::check_completeness).
   std::vector<std::uint32_t> reach_nup;
   std::vector<std::uint32_t> reach_stack;
