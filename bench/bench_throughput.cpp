@@ -14,7 +14,7 @@
 // the sweep mode exists to measure orchestration overhead, which the
 // paper's sweep shape exposes when points are short.
 //
-// Usage: bench_throughput [runs] [threads] [--out=FILE]
+// Usage: bench_throughput [runs] [threads] [--out=FILE] [--reps=N]
 //   runs     Monte-Carlo runs per point-mode measurement (default 2000)
 //   threads  max worker count sampled (default: hardware threads, min 4)
 //   --out    append the measurement to the history array in FILE (the repo
@@ -22,6 +22,10 @@
 //            entry carries {git_rev, dirty, date} provenance (dirty = the
 //            working tree had uncommitted changes); a legacy single-object
 //            file is preserved as the first entry.
+//   --reps   repetitions per timed section, best kept (default 3):
+//            contention noise is one-sided, so the fastest repetition is
+//            the cleanest estimate and keeps history entries comparable
+//            when the host is busy.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -41,7 +45,7 @@
 namespace {
 
 constexpr const char* kUsage =
-    "bench_throughput [runs] [threads] [--out=FILE]";
+    "bench_throughput [runs] [threads] [--out=FILE] [--reps=N]";
 
 /// Short git revision of the working tree, "unknown" when git (or the
 /// repository) is unavailable — the bench must work from a tarball too.
@@ -100,9 +104,10 @@ int main(int argc, char** argv) {
   using namespace paserta;
 
   std::string out_path;
+  int reps = 3;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
       if (out_path.empty()) {
@@ -110,6 +115,9 @@ int main(int argc, char** argv) {
                   << "\n";
         return 2;
       }
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      arg = arg.substr(7);
+      reps = benchutil::positive_int_arg(arg.c_str(), "reps", kUsage);
     } else {
       positional.push_back(argv[i]);
     }
@@ -138,7 +146,7 @@ int main(int argc, char** argv) {
       static_cast<std::int64_t>(std::ceil(static_cast<double>(w.ps) / load))};
 
   const ThroughputReport point_report = measure_throughput(
-      app, cfg, deadline, {1, threads}, fig.id + "@load=0.5");
+      app, cfg, deadline, {1, threads}, fig.id + "@load=0.5", reps);
 
   // Sweep mode: the paper's 10-point §5.1 load grid with short points, so
   // orchestration (thread churn, repeated offline analyses, point
@@ -148,7 +156,7 @@ int main(int argc, char** argv) {
   const std::vector<double> loads = sweep_range(0.1, 1.0, 0.1);
   const SweepThroughputReport sweep_report =
       measure_sweep_throughput(app, sweep_cfg, loads, thread_ladder(threads),
-                               fig.id + "@loads=0.1..1.0");
+                               fig.id + "@loads=0.1..1.0", reps);
 
   // Pool balance of one instrumented sweep at the max thread count: how
   // evenly the chunks (and the time inside them) spread over the slots.

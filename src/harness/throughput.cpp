@@ -1,5 +1,6 @@
 #include "harness/throughput.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <iomanip>
@@ -56,8 +57,9 @@ void legacy_sweep_load(const Application& app, const ExperimentConfig& cfg,
 ThroughputReport measure_throughput(const Application& app,
                                     ExperimentConfig cfg, SimTime deadline,
                                     const std::vector<int>& thread_counts,
-                                    const std::string& label) {
+                                    const std::string& label, int reps) {
   PASERTA_REQUIRE(!thread_counts.empty(), "need at least one thread count");
+  PASERTA_REQUIRE(reps >= 1, "need at least one repetition");
   ThroughputReport report;
   report.label = label;
   report.runs = cfg.runs;
@@ -70,11 +72,17 @@ ThroughputReport measure_throughput(const Application& app,
 
   for (int threads : thread_counts) {
     cfg.threads = threads;
-    const auto t0 = clock_type::now();
-    (void)run_point(app, cfg, deadline, 0.0);
+    // Best of `reps`: contention noise only ever adds time, so the
+    // fastest repetition is the cleanest measurement.
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = clock_type::now();
+      (void)run_point(app, cfg, deadline, 0.0);
+      best = std::min(best, seconds_since(t0));
+    }
     ThroughputSample s;
     s.threads = threads;
-    s.seconds = seconds_since(t0);
+    s.seconds = best;
     s.runs_per_sec =
         s.seconds > 0.0 ? static_cast<double>(cfg.runs) / s.seconds : 0.0;
     report.samples.push_back(s);
@@ -105,9 +113,10 @@ std::string throughput_to_json(const ThroughputReport& report) {
 SweepThroughputReport measure_sweep_throughput(
     const Application& app, ExperimentConfig cfg,
     const std::vector<double>& loads, const std::vector<int>& thread_counts,
-    const std::string& label) {
+    const std::string& label, int reps) {
   PASERTA_REQUIRE(!thread_counts.empty(), "need at least one thread count");
   PASERTA_REQUIRE(!loads.empty(), "need at least one sweep point");
+  PASERTA_REQUIRE(reps >= 1, "need at least one repetition");
   SweepThroughputReport report;
   report.label = label;
   report.points = static_cast<int>(loads.size());
@@ -124,13 +133,18 @@ SweepThroughputReport measure_sweep_throughput(
     SweepThroughputSample s;
     s.threads = threads;
 
-    auto t0 = clock_type::now();
-    (void)sweep_load(app, cfg, loads);
-    s.pooled_seconds = seconds_since(t0);
+    // Best of `reps` per path, as in measure_throughput.
+    s.pooled_seconds = std::numeric_limits<double>::infinity();
+    s.legacy_seconds = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      auto t0 = clock_type::now();
+      (void)sweep_load(app, cfg, loads);
+      s.pooled_seconds = std::min(s.pooled_seconds, seconds_since(t0));
 
-    t0 = clock_type::now();
-    legacy_sweep_load(app, cfg, loads);
-    s.legacy_seconds = seconds_since(t0);
+      t0 = clock_type::now();
+      legacy_sweep_load(app, cfg, loads);
+      s.legacy_seconds = std::min(s.legacy_seconds, seconds_since(t0));
+    }
 
     const auto pts = static_cast<double>(loads.size());
     s.pooled_points_per_sec =

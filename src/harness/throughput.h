@@ -35,11 +35,16 @@ struct ThroughputReport {
 
 /// Times run_point(app, cfg, deadline, ...) once per entry of
 /// `thread_counts` (cfg.threads is overridden), after one untimed warm-up
-/// at the first thread count to fault in code and allocator state.
+/// at the first thread count to fault in code and allocator state. With
+/// `reps` > 1 each thread count is timed that many times and the fastest
+/// repetition is reported: scheduler noise on a shared host is one-sided
+/// (contention only ever slows a run down), so the minimum is the least
+/// contaminated estimate of the code's actual throughput and keeps
+/// recorded history entries comparable across machine epochs.
 ThroughputReport measure_throughput(const Application& app,
                                     ExperimentConfig cfg, SimTime deadline,
                                     const std::vector<int>& thread_counts,
-                                    const std::string& label);
+                                    const std::string& label, int reps = 1);
 
 /// Renders the report as a JSON object (pretty-printed, newline-terminated).
 std::string throughput_to_json(const ThroughputReport& report);
@@ -73,10 +78,12 @@ struct SweepThroughputReport {
 /// Times sweep_load(app, cfg, loads) — pooled and legacy — once per entry
 /// of `thread_counts`, after one untimed pooled warm-up at the first
 /// thread count. cfg.parallel_points is forced on for the pooled path.
+/// `reps` > 1 keeps the fastest of that many repetitions per path and
+/// thread count (see measure_throughput for the rationale).
 SweepThroughputReport measure_sweep_throughput(
     const Application& app, ExperimentConfig cfg,
     const std::vector<double>& loads, const std::vector<int>& thread_counts,
-    const std::string& label);
+    const std::string& label, int reps = 1);
 
 /// Renders the report as a JSON object (pretty-printed, newline-terminated).
 std::string sweep_throughput_to_json(const SweepThroughputReport& report);

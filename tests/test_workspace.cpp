@@ -404,6 +404,28 @@ TEST(Throughput, MeasuresAndEmitsJson) {
   EXPECT_EQ(json.back(), '\n');
 }
 
+TEST(Throughput, BestOfRepsKeepsOneSamplePerThreadCount) {
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg;
+  cfg.cpus = 2;
+  cfg.table = LevelTable::intel_xscale();
+  cfg.schemes = {Scheme::GSS};
+  cfg.runs = 10;
+  cfg.seed = 1;
+  // Repetitions collapse to the fastest timing — still exactly one sample
+  // per thread count, and a finite positive one.
+  const ThroughputReport rep =
+      measure_throughput(app, cfg, ms(120), {1, 2}, "reps", /*reps=*/3);
+  ASSERT_EQ(rep.samples.size(), 2u);
+  for (const ThroughputSample& s : rep.samples) {
+    EXPECT_GT(s.seconds, 0.0);
+    EXPECT_GT(s.runs_per_sec, 0.0);
+  }
+  EXPECT_THROW(measure_throughput(app, cfg, ms(120), {1}, "bad", 0), Error);
+  EXPECT_THROW(
+      measure_sweep_throughput(app, cfg, {0.5}, {1}, "bad", 0), Error);
+}
+
 // ------------------------------------------------ measurement history
 
 TEST(Throughput, HistoryEntrySplicesProvenance) {
