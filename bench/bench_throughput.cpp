@@ -145,8 +145,11 @@ int main(int argc, char** argv) {
   const SimTime deadline{
       static_cast<std::int64_t>(std::ceil(static_cast<double>(w.ps) / load))};
 
+  // Same thread ladder as the sweep section ({1, 2, 4, 8, max} filtered to
+  // the sampled maximum): scaling regressions at intermediate counts must
+  // be visible in the history, not just the 1-vs-max endpoints.
   const ThroughputReport point_report = measure_throughput(
-      app, cfg, deadline, {1, threads}, fig.id + "@load=0.5", reps);
+      app, cfg, deadline, thread_ladder(threads), fig.id + "@load=0.5", reps);
 
   // Sweep mode: the paper's 10-point §5.1 load grid with short points, so
   // orchestration (thread churn, repeated offline analyses, point

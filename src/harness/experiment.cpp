@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <memory>
+#include <new>
 #include <span>
 #include <thread>
+#include <type_traits>
 
 #include "common/error.h"
 #include "core/offline.h"
@@ -59,6 +63,69 @@ struct PointOutcomes {
         schemes(static_cast<std::size_t>(runs) * nschemes) {}
 };
 
+/// Minimal cache-line-aligning allocator for the per-slot staging buffers:
+/// two slots' staging arrays must never share a cache line, or the workers
+/// would false-share on every per-run store.
+template <typename T>
+struct CacheAlignedAlloc {
+  using value_type = T;
+  static constexpr std::size_t kAlign = 64;
+  CacheAlignedAlloc() = default;
+  template <typename U>
+  CacheAlignedAlloc(const CacheAlignedAlloc<U>&) {}  // NOLINT
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlign});
+  }
+  template <typename U>
+  bool operator==(const CacheAlignedAlloc<U>&) const {
+    return true;
+  }
+};
+
+/// Slot-private staging for one chunk's outcomes. Workers evaluate every
+/// run of a claimed chunk into this scratch — cache-line-aligned arrays no
+/// other thread ever touches — and then flush the whole chunk into the
+/// shared run-major PointOutcomes with one bulk copy per array. The shared
+/// store is therefore written at chunk granularity instead of per run
+/// field-by-field, so the only lines two workers can ever contend on are
+/// the single boundary lines between adjacent chunks, touched once each.
+/// The staged values are copied verbatim to the same run-indexed positions
+/// the direct path writes, so the merge is unobservable in the output.
+struct ChunkStage {
+  std::vector<double, CacheAlignedAlloc<double>> npm_energy;
+  std::vector<std::uint8_t, CacheAlignedAlloc<std::uint8_t>> degenerate;
+  std::vector<SchemeOutcome, CacheAlignedAlloc<SchemeOutcome>> schemes;
+
+  /// Grows the scratch to `chunk_runs` entries (never shrinks, so the
+  /// final short chunk of a point reuses the full-size buffers). Entries
+  /// are *not* cleared between chunks: evaluate_run assigns every field.
+  void ensure(int chunk_runs, std::size_t nschemes) {
+    const auto n = static_cast<std::size_t>(chunk_runs);
+    if (npm_energy.size() >= n) return;
+    npm_energy.resize(n);
+    degenerate.resize(n);
+    schemes.resize(n * nschemes);
+  }
+
+  /// Bulk-copies the first `n` staged runs into `store` at [first, first+n).
+  void flush(PointOutcomes& store, int first, int n,
+             std::size_t nschemes) const {
+    const auto offset = static_cast<std::size_t>(first);
+    const auto count = static_cast<std::size_t>(n);
+    std::memcpy(store.npm_energy.data() + offset, npm_energy.data(),
+                count * sizeof(double));
+    std::memcpy(store.degenerate.data() + offset, degenerate.data(), count);
+    std::memcpy(store.schemes.data() + offset * nschemes, schemes.data(),
+                count * nschemes * sizeof(SchemeOutcome));
+  }
+};
+static_assert(std::is_trivially_copyable_v<SchemeOutcome>,
+              "ChunkStage::flush memcpys SchemeOutcome rows");
+
 /// Observability context of one run, threaded through evaluate_run by the
 /// worker that owns the slot. Everything may be null/defaulted: a
 /// zero-initialized RunObs makes evaluate_run observation-free.
@@ -102,20 +169,26 @@ void audit_run(const Application& app, const OfflineResult& off,
                            << " J");
 }
 
-/// Evaluates one run on its own seed-derived stream into its slots of
-/// `store`. Thread-safe: all shared inputs are const, distinct runs write
-/// distinct slots; policies, the workspace and the scenario buffer are
-/// caller-provided (one set per worker slot), so the loop over runs
-/// performs no heap allocation in steady state. Scenario generation goes
-/// through the precompiled `sampler` when one is given; a null sampler
-/// falls back to the legacy per-run draw_scenario walk (bit-identical by
-/// contract — run_point_unpooled stays on it as the in-tree reference).
+/// Evaluates one run on its own seed-derived stream into the caller's
+/// output cells: `npm_energy_out`, `degenerate_out` and the `row` of
+/// cfg.schemes.size() SchemeOutcomes. Every field of every cell is
+/// assigned unconditionally, so callers may hand in reused (stale)
+/// buffers — the pooled path stages chunks through per-slot scratch that
+/// is never cleared. Thread-safe: all shared inputs are const, distinct
+/// runs write distinct cells; policies, the workspace and the scenario
+/// buffer are caller-provided (one set per worker slot), so the loop over
+/// runs performs no heap allocation in steady state. Scenario generation
+/// goes through the precompiled `sampler` when one is given; a null
+/// sampler falls back to the legacy per-run draw_scenario walk
+/// (bit-identical by contract — run_point_unpooled stays on it as the
+/// in-tree reference).
 void evaluate_run(const Application& app, const ExperimentConfig& cfg,
                   const OfflineResult& off, const PowerModel& pm,
                   SimTime deadline, const ScenarioSampler* sampler,
                   std::vector<std::unique_ptr<SpeedPolicy>>& policies,
                   SpeedPolicy& npm, int run, SimWorkspace& ws,
-                  RunScenario& sc, PointOutcomes& store,
+                  RunScenario& sc, double& npm_energy_out,
+                  std::uint8_t& degenerate_out, SchemeOutcome* row,
                   const RunObs& obs = {}) {
   Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
   if (sampler != nullptr) {
@@ -156,10 +229,8 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
   // zero NPM baseline; dividing by it would poison RunningStat with
   // NaN/Inf, so such runs are flagged and excluded from norm_energy.
   const bool degenerate = !(npm_energy > 0.0);
-  store.npm_energy[static_cast<std::size_t>(run)] = npm_energy;
-  store.degenerate[static_cast<std::size_t>(run)] = degenerate ? 1 : 0;
-  SchemeOutcome* row = store.schemes.data() +
-                       static_cast<std::size_t>(run) * cfg.schemes.size();
+  npm_energy_out = npm_energy;
+  degenerate_out = degenerate ? 1 : 0;
 
   for (std::size_t s = 0; s < cfg.schemes.size(); ++s) {
     SpeedPolicy& policy = *policies[s];
@@ -177,7 +248,9 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
       audit_run(app, off, pm, cfg.overheads, audit_cell, r, cfg.schemes[s]);
       if (slot_cell != nullptr) slot_cell->add(audit_cell);
     }
-    SchemeOutcome& so = row[s];
+    // Built from scratch and stored once: the output cell may be a reused
+    // staging entry, so no field may survive from a previous run.
+    SchemeOutcome so;
     if (!degenerate) {
       so.norm_energy = r.total_energy() / npm_energy;
       so.has_norm = true;
@@ -197,19 +270,30 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
       const VerifyReport rep = verify_trace(app, off, sc, r);
       so.verify_failed = !rep.ok;
     }
+    row[s] = so;
   }
 }
 
 /// Worker-local state, one set per pool slot, reused across every chunk
 /// (and every point) that slot processes. Lazily constructed by the slot's
-/// own thread on its first chunk.
+/// own thread on its first chunk, so every buffer a worker touches per run
+/// is allocated by (and stays local to) that worker. `samplers` holds the
+/// slot's private copies of the shared compiled ScenarioSamplers, cloned
+/// on first use per distinct application: scenario drawing then reads no
+/// memory another thread is also streaming through, which keeps the per-
+/// run path free of any cross-thread cache traffic (the shared masters
+/// are read-only, but private copies also dodge capacity fights on a
+/// busy socket and make the no-shared-state property mechanical).
 struct WorkerCtx {
   std::vector<std::unique_ptr<SpeedPolicy>> policies;
   std::unique_ptr<SpeedPolicy> npm;
   SimWorkspace ws;
   RunScenario sc;
+  ChunkStage stage;
+  std::vector<std::unique_ptr<ScenarioSampler>> samplers;
 
-  explicit WorkerCtx(const ExperimentConfig& cfg) {
+  WorkerCtx(const ExperimentConfig& cfg, std::size_t sampler_count)
+      : samplers(sampler_count) {
     for (Scheme s : cfg.schemes)
       policies.push_back(make_policy(s, cfg.policy_options));
     npm = make_policy(Scheme::NPM);
@@ -227,7 +311,27 @@ struct PointSpec {
 
 int chunk_size_for(const ExperimentConfig& cfg) {
   if (cfg.chunk_runs > 0) return cfg.chunk_runs;
-  return 16;  // fine enough to balance, coarse enough to amortize claims
+  // Auto: batch enough runs per claim that the shared counter (and the
+  // chunk-boundary cache lines of the shared outcome store) are touched
+  // O(threads) times per point, not O(runs) — about 8 chunks per worker
+  // per point. Floored at 16 so short points still balance, capped so
+  // progress ticks and tail imbalance stay bounded. Any value is
+  // output-identical; this is purely a scheduling knob.
+  const std::int64_t target =
+      static_cast<std::int64_t>(cfg.runs) /
+      (static_cast<std::int64_t>(std::max(1, cfg.threads)) * 8);
+  return static_cast<int>(std::clamp<std::int64_t>(target, 16, 2048));
+}
+
+/// Consecutive chunks per atomic claim (WorkerPool claim_batch): when a
+/// caller forces very fine chunks (chunk_runs=1 makes one chunk per run),
+/// claiming them one by one would put the shared counter back on the
+/// per-run path; batching restores O(threads) claims without changing
+/// chunk semantics. With auto-sized chunks this stays 1.
+int claim_batch_for(std::int64_t total_chunks, int max_workers) {
+  const std::int64_t target =
+      total_chunks / (static_cast<std::int64_t>(std::max(1, max_workers)) * 32);
+  return static_cast<int>(std::clamp<std::int64_t>(target, 1, 64));
 }
 
 void validate_config(const ExperimentConfig& cfg) {
@@ -325,10 +429,27 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
   const PowerModel pm(cfg.table, cfg.c_ef, cfg.idle_fraction);
   const int runs = cfg.runs;
   const int chunk = chunk_size_for(cfg);
-  const int chunks_per_point = (runs + chunk - 1) / chunk;
-  const int npoints = static_cast<int>(specs.size());
-  const int total_chunks = npoints * chunks_per_point;
+  // The flat chunk space spans all points, so its size is the *product*
+  // of two int-ranged quantities: do the arithmetic in 64 bits and reject
+  // configurations whose chunk space does not fit the pool's int chunk
+  // indices — before any per-run storage is allocated. (runs + chunk - 1
+  // alone can overflow int for runs near INT_MAX.)
+  const std::int64_t chunks_per_point64 =
+      (static_cast<std::int64_t>(runs) + chunk - 1) / chunk;
+  const std::int64_t total_chunks64 =
+      chunks_per_point64 * static_cast<std::int64_t>(specs.size());
+  PASERTA_REQUIRE(
+      total_chunks64 <= std::numeric_limits<int>::max(),
+      "chunk space overflows int: " << specs.size() << " points x "
+                                    << chunks_per_point64
+                                    << " chunks/point (runs=" << runs
+                                    << ", chunk=" << chunk
+                                    << ") — raise chunk_runs or split the "
+                                       "sweep");
+  const int chunks_per_point = static_cast<int>(chunks_per_point64);
+  const int total_chunks = static_cast<int>(total_chunks64);
   const int max_workers = std::min(cfg.threads, total_chunks);
+  const int claim_batch = claim_batch_for(total_chunks64, max_workers);
 
   // --- Observability. Everything in this block is write-only for the
   // simulation (see the determinism contract in obs/metrics.h): the
@@ -378,10 +499,11 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
 
   // One compiled sampler per distinct application: load-sweep points share
   // one graph, so a 10-point sweep compiles exactly one. Compiled up front
-  // on the driving thread; workers only read it.
+  // on the driving thread; workers clone their own private copies from
+  // these masters (WorkerCtx::samplers) instead of reading them shared.
   std::vector<std::unique_ptr<ScenarioSampler>> samplers;
   std::vector<const Application*> sampler_apps;
-  std::vector<const ScenarioSampler*> spec_samplers(specs.size());
+  std::vector<std::size_t> spec_sampler_idx(specs.size());
   {
     TraceSpan span(tracer, 0, "compile_samplers");
     for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -392,7 +514,7 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
         samplers.push_back(
             std::make_unique<ScenarioSampler>(specs[i].app->graph));
       }
-      spec_samplers[i] = samplers[j].get();
+      spec_sampler_idx[i] = j;
     }
   }
 
@@ -400,12 +522,12 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
 
   const auto body = [&](int c, int slot) {
     auto& ctx = ctxs[static_cast<std::size_t>(slot)];
-    if (!ctx) ctx = std::make_unique<WorkerCtx>(cfg);
+    if (!ctx) ctx = std::make_unique<WorkerCtx>(cfg, samplers.size());
     const int p = c / chunks_per_point;
     const int first = (c % chunks_per_point) * chunk;
     const int last = std::min(runs, first + chunk);
+    const int count = last - first;
     const PointSpec& spec = specs[static_cast<std::size_t>(p)];
-    PointOutcomes& per_point = outcomes[static_cast<std::size_t>(p)];
     TraceSpan chunk_span(tracer, slot, "chunk", p, first);
     RunObs obs;
     obs.run_tracer = run_tracer;
@@ -416,10 +538,25 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
                   (static_cast<std::size_t>(p) * nslots +
                    static_cast<std::size_t>(slot)) *
                       ncells;
-    for (int run = first; run < last; ++run)
+    // The slot's private sampler copy for this point's application,
+    // cloned from the shared master on first use.
+    const std::size_t sidx = spec_sampler_idx[static_cast<std::size_t>(p)];
+    if (!ctx->samplers[sidx])
+      ctx->samplers[sidx] = std::make_unique<ScenarioSampler>(*samplers[sidx]);
+    // Evaluate the whole chunk into slot-private staging, then flush it
+    // into the shared run-major store with one bulk copy per array: the
+    // per-run loop touches no shared mutable memory at all.
+    ctx->stage.ensure(chunk, nschemes);
+    for (int run = first; run < last; ++run) {
+      const auto i = static_cast<std::size_t>(run - first);
       evaluate_run(*spec.app, cfg, *spec.off, pm, spec.deadline,
-                   spec_samplers[static_cast<std::size_t>(p)], ctx->policies,
-                   *ctx->npm, run, ctx->ws, ctx->sc, per_point, obs);
+                   ctx->samplers[sidx].get(), ctx->policies, *ctx->npm, run,
+                   ctx->ws, ctx->sc, ctx->stage.npm_energy[i],
+                   ctx->stage.degenerate[i],
+                   ctx->stage.schemes.data() + i * nschemes, obs);
+    }
+    ctx->stage.flush(outcomes[static_cast<std::size_t>(p)], first, count,
+                     nschemes);
   };
 
   {
@@ -430,7 +567,8 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     } else {
       WorkerPool& pool = WorkerPool::process_pool();
       pool.ensure_threads(max_workers - 1);
-      pool.parallel_chunks(total_chunks, max_workers, body, telp);
+      pool.parallel_chunks(total_chunks, max_workers, body, telp,
+                           claim_batch);
     }
   }
 
@@ -527,14 +665,22 @@ SweepPoint run_point_unpooled(const Application& app,
 
   PointOutcomes outcomes(cfg.runs, cfg.schemes.size());
 
+  const std::size_t nschemes = cfg.schemes.size();
   auto worker = [&](int first, int step) {
-    WorkerCtx ctx(cfg);
+    WorkerCtx ctx(cfg, /*sampler_count=*/0);
     // nullptr sampler: the baseline keeps the legacy per-run
     // draw_scenario walk, so it doubles as the sampler's bit-identity
-    // reference (tests compare it against the pooled path).
-    for (int run = first; run < cfg.runs; run += step)
+    // reference (tests compare it against the pooled path). Outcomes are
+    // written straight into the shared run-major store — the strided,
+    // false-sharing-prone layout is part of the pre-pool behaviour this
+    // baseline preserves.
+    for (int run = first; run < cfg.runs; run += step) {
+      const auto r = static_cast<std::size_t>(run);
       evaluate_run(app, cfg, off, pm, deadline, /*sampler=*/nullptr,
-                   ctx.policies, *ctx.npm, run, ctx.ws, ctx.sc, outcomes);
+                   ctx.policies, *ctx.npm, run, ctx.ws, ctx.sc,
+                   outcomes.npm_energy[r], outcomes.degenerate[r],
+                   outcomes.schemes.data() + r * nschemes);
+    }
   };
 
   const int threads = std::min(cfg.threads, cfg.runs);

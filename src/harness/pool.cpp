@@ -53,7 +53,11 @@ struct WorkerPool::Impl {
     const PoolTelemetry* telemetry = nullptr;
     int chunks = 0;
     int max_workers = 1;
-    std::atomic<int> next_chunk{0};
+    int claim_batch = 1;
+    // 64-bit: each participant's final failed claim overshoots by up to
+    // claim_batch, so an int counter could wrap past INT_MAX on chunk
+    // spaces near the int limit.
+    std::atomic<std::int64_t> next_chunk{0};
     std::atomic<bool> abort{false};
     int next_slot = 1;  // guarded by m (slot 0 is the caller)
     int active = 0;     // participants currently between claim and exit
@@ -77,19 +81,24 @@ struct WorkerPool::Impl {
       return;
     }
     for (;;) {
-      if (job_ref.abort.load(std::memory_order_relaxed)) return;
-      const int c = job_ref.next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= job_ref.chunks) return;
-      t_inside_body = true;
-      try {
-        (*job_ref.body)(c, slot);
-        t_inside_body = false;
-      } catch (...) {
-        t_inside_body = false;
-        std::lock_guard<std::mutex> lock(m);
-        if (!job_ref.error) job_ref.error = std::current_exception();
-        job_ref.abort.store(true, std::memory_order_relaxed);
-        return;
+      const std::int64_t c0 = job_ref.next_chunk.fetch_add(
+          job_ref.claim_batch, std::memory_order_relaxed);
+      if (c0 >= job_ref.chunks) return;
+      const std::int64_t c1 =
+          std::min<std::int64_t>(job_ref.chunks, c0 + job_ref.claim_batch);
+      for (std::int64_t c = c0; c < c1; ++c) {
+        if (job_ref.abort.load(std::memory_order_relaxed)) return;
+        t_inside_body = true;
+        try {
+          (*job_ref.body)(static_cast<int>(c), slot);
+          t_inside_body = false;
+        } catch (...) {
+          t_inside_body = false;
+          std::lock_guard<std::mutex> lock(m);
+          if (!job_ref.error) job_ref.error = std::current_exception();
+          job_ref.abort.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     }
   }
@@ -105,25 +114,33 @@ struct WorkerPool::Impl {
         tel.idle_ns->add(slot, static_cast<std::uint64_t>(until - mark));
     };
     for (;;) {
-      if (job_ref.abort.load(std::memory_order_relaxed)) break;
-      const int c = job_ref.next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= job_ref.chunks) break;
-      const std::int64_t t0 = now_ns();
-      account_idle(t0);
-      t_inside_body = true;
-      try {
-        (*job_ref.body)(c, slot);
-        t_inside_body = false;
-      } catch (...) {
-        t_inside_body = false;
-        record_chunk(tel, slot, now_ns() - t0);
-        std::lock_guard<std::mutex> lock(m);
-        if (!job_ref.error) job_ref.error = std::current_exception();
-        job_ref.abort.store(true, std::memory_order_relaxed);
-        return;
+      const std::int64_t c0 = job_ref.next_chunk.fetch_add(
+          job_ref.claim_batch, std::memory_order_relaxed);
+      if (c0 >= job_ref.chunks) break;
+      const std::int64_t c1 =
+          std::min<std::int64_t>(job_ref.chunks, c0 + job_ref.claim_batch);
+      for (std::int64_t c = c0; c < c1; ++c) {
+        if (job_ref.abort.load(std::memory_order_relaxed)) {
+          account_idle(now_ns());
+          return;
+        }
+        const std::int64_t t0 = now_ns();
+        account_idle(t0);
+        t_inside_body = true;
+        try {
+          (*job_ref.body)(static_cast<int>(c), slot);
+          t_inside_body = false;
+        } catch (...) {
+          t_inside_body = false;
+          record_chunk(tel, slot, now_ns() - t0);
+          std::lock_guard<std::mutex> lock(m);
+          if (!job_ref.error) job_ref.error = std::current_exception();
+          job_ref.abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        mark = now_ns();
+        record_chunk(tel, slot, mark - t0);
       }
-      mark = now_ns();
-      record_chunk(tel, slot, mark - t0);
     }
     account_idle(now_ns());
   }
@@ -185,8 +202,9 @@ void WorkerPool::ensure_threads(int threads) { impl_->spawn(threads); }
 void WorkerPool::parallel_chunks(
     int chunk_count, int max_workers,
     const std::function<void(int chunk, int slot)>& body,
-    const PoolTelemetry* telemetry) {
+    const PoolTelemetry* telemetry, int claim_batch) {
   PASERTA_REQUIRE(chunk_count >= 0, "chunk count must be non-negative");
+  PASERTA_REQUIRE(claim_batch >= 1, "claim batch must be positive");
   if (chunk_count == 0) return;
   max_workers = std::clamp(max_workers, 1, chunk_count);
 
@@ -204,6 +222,7 @@ void WorkerPool::parallel_chunks(
   job.telemetry = telemetry;
   job.chunks = chunk_count;
   job.max_workers = max_workers;
+  job.claim_batch = claim_batch;
   {
     std::lock_guard<std::mutex> lock(impl_->m);
     impl_->job = &job;
@@ -240,11 +259,25 @@ void WorkerPool::serial_chunks(
     if (telemetry == nullptr) {
       for (int c = 0; c < chunk_count; ++c) body(c, 0);
     } else {
+      // Mirror run_chunks_instrumented's accounting exactly: time inside
+      // bodies is busy, everything else in the loop (the serial stand-in
+      // for claims, including the trailing exit) is idle, so per-slot
+      // busy/idle fractions compare 1:1 between the serial and pooled
+      // modes.
+      const PoolTelemetry& tel = *telemetry;
+      std::int64_t mark = now_ns();
+      const auto account_idle = [&](std::int64_t until) {
+        if (tel.idle_ns && until > mark)
+          tel.idle_ns->add(0, static_cast<std::uint64_t>(until - mark));
+      };
       for (int c = 0; c < chunk_count; ++c) {
         const std::int64_t t0 = now_ns();
+        account_idle(t0);
         body(c, 0);
-        record_chunk(*telemetry, 0, now_ns() - t0);
+        mark = now_ns();
+        record_chunk(tel, 0, mark - t0);
       }
+      account_idle(now_ns());
     }
   } catch (...) {
     t_inside_body = was_inside;

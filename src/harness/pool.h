@@ -50,10 +50,16 @@ class WorkerPool {
   /// the calling thread is always slot 0, background workers claim slots
   /// 1..max_workers-1. A slot is owned by one thread for the whole call,
   /// so callers can keep per-slot scratch state (workspaces, policies)
-  /// without locks. Chunks are claimed from one atomic counter. The first
-  /// exception thrown by a body aborts remaining chunks and is rethrown
-  /// here. With max_workers <= 1 (or no background threads) the loop runs
-  /// inline, in increasing chunk order, touching no synchronization.
+  /// without locks. Chunks are claimed from one atomic counter, in batches
+  /// of `claim_batch` (>= 1) consecutive chunks per claim: a participant
+  /// that claims [c, c + claim_batch) runs those chunks back to back, so
+  /// callers with very fine chunks can amortize the shared counter without
+  /// changing chunk semantics (coverage, slot ownership and determinism
+  /// are unaffected; only claim frequency and tail balance change). The
+  /// first exception thrown by a body aborts remaining chunks and is
+  /// rethrown here. With max_workers <= 1 (or no background threads) the
+  /// loop runs inline, in increasing chunk order, touching no
+  /// synchronization.
   ///
   /// When `telemetry` is non-null the pool records, per participant slot:
   /// completed chunks, per-chunk wall latency, time inside bodies (busy)
@@ -63,14 +69,18 @@ class WorkerPool {
   /// clock read.
   void parallel_chunks(int chunk_count, int max_workers,
                        const std::function<void(int chunk, int slot)>& body,
-                       const PoolTelemetry* telemetry = nullptr);
+                       const PoolTelemetry* telemetry = nullptr,
+                       int claim_batch = 1);
 
   /// Runs the same loop inline on the calling thread (slot 0), with the
-  /// same telemetry accounting as parallel_chunks. This is the shared
-  /// serial path: parallel_chunks degrades to it, and callers that decide
-  /// serial-vs-pooled themselves (the experiment harness's single-threaded
-  /// bypass) use it directly so serial runs report the same metrics
-  /// without instantiating the process pool.
+  /// same telemetry accounting as parallel_chunks — including idle time
+  /// for the claim loop itself (the stretches between bodies), so per-slot
+  /// busy/idle fractions are directly comparable between the serial and
+  /// pooled modes. This is the shared serial path: parallel_chunks
+  /// degrades to it, and callers that decide serial-vs-pooled themselves
+  /// (the experiment harness's single-threaded bypass) use it directly so
+  /// serial runs report the same metrics without instantiating the
+  /// process pool.
   static void serial_chunks(int chunk_count,
                             const std::function<void(int chunk, int slot)>& body,
                             const PoolTelemetry* telemetry = nullptr);

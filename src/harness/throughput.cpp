@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "common/error.h"
 #include "core/offline.h"
@@ -122,6 +123,8 @@ SweepThroughputReport measure_sweep_throughput(
   report.points = static_cast<int>(loads.size());
   report.runs = cfg.runs;
   report.schemes = static_cast<int>(cfg.schemes.size());
+  report.host_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
   cfg.parallel_points = true;
 
   // Untimed warm-up of the pooled path (faults in the pool's threads too).
@@ -176,6 +179,7 @@ std::string sweep_throughput_to_json(const SweepThroughputReport& report) {
      << "  \"points\": " << report.points << ",\n"
      << "  \"runs\": " << report.runs << ",\n"
      << "  \"schemes\": " << report.schemes << ",\n"
+     << "  \"host_threads\": " << report.host_threads << ",\n"
      << "  \"samples\": [\n";
   for (std::size_t i = 0; i < report.samples.size(); ++i) {
     const SweepThroughputSample& s = report.samples[i];

@@ -72,6 +72,12 @@ struct SweepThroughputReport {
   int points = 0;   // sweep points per measurement
   int runs = 0;     // Monte-Carlo runs per point
   int schemes = 0;  // schemes per run (the NPM baseline is extra)
+  /// Hardware threads of the measuring host (hardware_concurrency at
+  /// measurement time, 0 = unknown). Recorded as provenance: thread
+  /// scaling above this count is physically impossible, so consumers
+  /// (tools/bench_compare's efficiency gate) normalize the recorded
+  /// efficiency by min(threads, host_threads) before judging it.
+  int host_threads = 0;
   std::vector<SweepThroughputSample> samples;
 };
 

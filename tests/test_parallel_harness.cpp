@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "apps/synthetic.h"
@@ -58,6 +59,23 @@ TEST(ParallelHarness, MoreThreadsThanRuns) {
   const SweepPoint serial = run_point(app, config(3, 1), d, 0.0);
   const SweepPoint parallel = run_point(app, config(3, 16), d, 0.0);
   expect_identical(serial, parallel);
+}
+
+TEST(ParallelHarness, OverflowingChunkSpaceRejected) {
+  // The flat chunk space is npoints * chunks_per_point; at chunk_runs=1
+  // and runs=INT_MAX a two-point sweep overflows int. The harness must do
+  // this arithmetic in 64 bits and reject the configuration up front —
+  // before any per-run storage is allocated (the run-major outcome arrays
+  // for INT_MAX runs would be hundreds of gigabytes).
+  const Application app = apps::build_synthetic();
+  ExperimentConfig cfg = config(std::numeric_limits<int>::max(), 2);
+  cfg.chunk_runs = 1;
+  EXPECT_THROW(sweep_load(app, cfg, {0.5, 1.0}), Error);
+  // One point at the same runs/chunk still fits (chunks_per_point ==
+  // INT_MAX exactly), so the rejection above is the product overflowing,
+  // not a blanket cap on large run counts. Not executed here: actually
+  // allocating INT_MAX runs of outcome storage is its own (intended)
+  // failure mode, and the chunk-space validation fires before it.
 }
 
 TEST(ParallelHarness, ZeroThreadsRejected) {

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "apps/synthetic.h"
@@ -15,6 +17,7 @@
 #include "core/offline.h"
 #include "harness/experiment.h"
 #include "harness/pool.h"
+#include "obs/metrics.h"
 
 namespace paserta {
 namespace {
@@ -40,6 +43,35 @@ TEST(WorkerPool, ReusableAcrossCallsAndWorkerCounts) {
     pool.parallel_chunks(40, max_workers,
                          [&](int chunk, int) { sum += chunk; });
     EXPECT_EQ(sum.load(), 40 * 39 / 2);
+  }
+}
+
+TEST(WorkerPool, BatchedClaimsCoverEveryChunkOnce) {
+  WorkerPool pool(3);
+  // Coverage must be exact for any claim batch, including batches larger
+  // than the chunk space and batches that do not divide it.
+  for (int batch : {1, 2, 5, 64, 1000}) {
+    SCOPED_TRACE(testing::Message() << "claim_batch=" << batch);
+    std::vector<std::atomic<int>> counts(257);
+    pool.parallel_chunks(
+        257, 4,
+        [&](int chunk, int slot) {
+          ASSERT_GE(chunk, 0);
+          ASSERT_LT(chunk, 257);
+          ASSERT_GE(slot, 0);
+          ASSERT_LT(slot, 4);
+          counts[static_cast<std::size_t>(chunk)]++;
+        },
+        /*telemetry=*/nullptr, batch);
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(WorkerPool, NonPositiveClaimBatchRejected) {
+  WorkerPool pool(1);
+  for (int batch : {0, -3}) {
+    EXPECT_THROW(
+        pool.parallel_chunks(4, 2, [](int, int) {}, nullptr, batch), Error);
   }
 }
 
@@ -86,6 +118,58 @@ TEST(WorkerPool, NestedCallDegradesToInline) {
     pool.parallel_chunks(3, 2, [&](int, int) { ++inner_total; });
   });
   EXPECT_EQ(inner_total.load(), 12);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry invariants: the serial and pooled paths must attribute time the
+// same way — chunks counted per completed body, busy = time inside bodies,
+// idle = everything else in the claim loop (including the serial stand-in
+// for claims) — so per-slot busy/idle fractions are comparable between
+// modes.
+
+struct TelemetryFixture {
+  MetricsRegistry reg;
+  PoolTelemetry tel;
+  TelemetryFixture() {
+    tel.chunks = &reg.counter("t.chunks");
+    tel.busy_ns = &reg.counter("t.busy_ns");
+    tel.idle_ns = &reg.counter("t.idle_ns");
+  }
+  std::uint64_t total(const std::string& name) {
+    for (const auto& row : reg.snapshot().counters)
+      if (row.name == name) return row.value;
+    return 0;
+  }
+};
+
+TEST(PoolTelemetryInvariants, SerialAndPooledAccountAlike) {
+  constexpr int kChunks = 96;
+  const auto body = [](int, int) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  };
+
+  TelemetryFixture serial;
+  WorkerPool::serial_chunks(kChunks, body, &serial.tel);
+
+  TelemetryFixture pooled;
+  WorkerPool pool(3);
+  pool.parallel_chunks(kChunks, 4, body, &pooled.tel);
+
+  for (TelemetryFixture* f : {&serial, &pooled}) {
+    // Every chunk counted exactly once, and the sleeps dominate busy time.
+    EXPECT_EQ(f->total("t.chunks"), static_cast<std::uint64_t>(kChunks));
+    EXPECT_GE(f->total("t.busy_ns"), kChunks * 150000ull);
+    // The claim loop is timed on BOTH paths: even the serial loop's
+    // inter-body stretches must land in idle, not vanish (the historical
+    // untimed-claim shortcut made serial busy fractions incomparable).
+    EXPECT_GT(f->total("t.idle_ns"), 0ull);
+  }
+
+  // Busy/idle split the loop's wall time exactly; neither can exceed the
+  // sum of all participants' loop residency. Serial has one participant.
+  const std::uint64_t serial_total =
+      serial.total("t.busy_ns") + serial.total("t.idle_ns");
+  EXPECT_GE(serial_total, kChunks * 150000ull);
 }
 
 TEST(WorkerPool, EnsureThreadsGrows) {

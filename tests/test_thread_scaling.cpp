@@ -1,0 +1,86 @@
+// Thread-scaling bit-identity suite: the contract the parallel-path
+// restructure (per-slot staging buffers, per-slot sampler clones, batched
+// chunk claiming — DESIGN.md §13) must preserve is that the rendered
+// figure output is *byte-identical* to the unpooled single-thread
+// reference at every thread count and chunk size, with audit and
+// observability enabled. The full fig4a load sweep is rendered to CSV per
+// configuration and compared as strings, so any reordering, dropped run,
+// staging-merge mistake or float-accumulation change fails loudly. The
+// suite carries the pool_smoke ctest label, so the pooled portion also
+// runs under ThreadSanitizer in CI (cmake -DPASERTA_SANITIZE=thread;
+// ctest -L pool_smoke).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/offline.h"
+#include "harness/experiment.h"
+#include "harness/figures.h"
+#include "harness/report.h"
+#include "obs/metrics.h"
+
+namespace paserta {
+namespace {
+
+// Small enough to keep the 9-configuration sweep (and its TSan run) fast,
+// large enough that every chunk-size regime below is distinct: chunk=1
+// makes one chunk per run, chunk=kRuns one chunk per point, and the
+// default auto size lands in between.
+constexpr int kRuns = 40;
+
+std::string render_csv(const FigureDef& fig,
+                       const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  print_figure(os, fig.id, fig.caption, points, fig.x_name);
+  return os.str();
+}
+
+TEST(ThreadScalingBitIdentity, Fig4aSweepMatchesUnpooledReference) {
+  const FigureDef fig = paper_figure("fig4a", kRuns);
+  const Application app = figure_workload(fig);
+
+  // Unpooled reference: the pre-pool execution model (fresh strided
+  // std::thread set, fresh offline analysis, legacy per-run draw_scenario
+  // walk), serial, with observability and audit off. Everything the
+  // pooled path layers on top — persistent pool, chunk claiming, staging
+  // merge, offline cache, compiled samplers, audit, metrics — must be
+  // unobservable against this.
+  ExperimentConfig ref_cfg = fig.config;
+  ref_cfg.threads = 1;
+  const SimTime w = canonical_worst_makespan(
+      app, ref_cfg.cpus, ref_cfg.overheads.worst_case_budget(ref_cfg.table),
+      ref_cfg.heuristic);
+  std::vector<SweepPoint> ref_points;
+  for (double load : fig.xs) {
+    const SimTime deadline{static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(w.ps) / load))};
+    ref_points.push_back(run_point_unpooled(app, ref_cfg, deadline, load));
+  }
+  const std::string ref_csv = render_csv(fig, ref_points);
+  ASSERT_FALSE(ref_csv.empty());
+
+  for (int threads : {1, 2, 4}) {
+    for (int chunk : {0, 1, kRuns}) {
+      ExperimentConfig cfg = fig.config;
+      cfg.threads = threads;
+      cfg.chunk_runs = chunk;
+      // Audit re-accounts every run three ways and metrics route through
+      // the per-(point, slot, scheme) cells; both must stay write-only
+      // for the simulation at every thread count.
+      cfg.audit = true;
+      cfg.collect_metrics = true;
+      MetricsRegistry reg;  // scoped: keep the global registry clean
+      cfg.registry = &reg;
+      const std::string csv = render_csv(fig, sweep_load(app, cfg, fig.xs));
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " chunk_runs=" << chunk);
+      EXPECT_EQ(csv, ref_csv);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paserta

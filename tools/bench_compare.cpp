@@ -16,10 +16,20 @@
 // on uncommitted changes cannot be attributed to its revision); legacy
 // entries without a git_rev are skipped the same way.
 //
+// The newest clean entry is additionally held to a sweep-efficiency floor
+// (--efficiency-floor, default 0.5): at the entry's maximum recorded
+// thread count, pooled scaling efficiency — normalized by what the
+// recording host could physically deliver, min(threads, host_threads) —
+// must not fall below the floor, so thread scaling can never silently
+// regress back to ~1x while absolute throughput stays flat. Entries
+// without host_threads provenance (recorded before it existed) skip the
+// gate with a note.
+//
 // Exit status: without --check always 0 (report mode, for humans). With
 // --check: 1 on a regression, 0 otherwise — including when fewer than two
 // clean entries exist, which prints a note and passes so CI can adopt the
 // gate before the history has a comparable pair.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -39,19 +49,28 @@ struct Args {
   std::string history = "BENCH_throughput.json";
   bool check = false;
   double threshold_pct = 5.0;
+  double efficiency_floor = 0.5;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: bench_compare [HISTORY] [--check] [--threshold PCT]\n"
+               "                     [--efficiency-floor F]\n"
                "\n"
                "  HISTORY          throughput history file (default\n"
                "                   BENCH_throughput.json)\n"
                "  --check          exit 1 when a throughput series regressed\n"
                "                   by more than the threshold between the\n"
-               "                   newest two clean entries\n"
+               "                   newest two clean entries, or the newest\n"
+               "                   entry fails the efficiency floor\n"
                "  --threshold PCT  regression threshold in percent\n"
-               "                   (default 5)\n";
+               "                   (default 5)\n"
+               "  --efficiency-floor F\n"
+               "                   minimum pooled sweep efficiency at the\n"
+               "                   newest entry's max thread count, after\n"
+               "                   normalizing by the recording host's\n"
+               "                   min(threads, host_threads) (default 0.5;\n"
+               "                   0 disables the gate)\n";
   std::exit(2);
 }
 
@@ -81,6 +100,12 @@ Args parse_args(int argc, char** argv) {
       a.threshold_pct = std::strtod(v.c_str(), &end);
       if (end == v.c_str() || *end != '\0' || !(a.threshold_pct >= 0.0))
         usage("--threshold needs a non-negative number");
+    } else if (flag == "--efficiency-floor") {
+      char* end = nullptr;
+      const std::string v = value("--efficiency-floor");
+      a.efficiency_floor = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || !(a.efficiency_floor >= 0.0))
+        usage("--efficiency-floor needs a non-negative number");
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else if (flag.rfind("--", 0) == 0) {
@@ -156,6 +181,64 @@ std::vector<Series> collect_entry(const JsonValue& entry) {
   return out;
 }
 
+/// Sweep-efficiency gate on one entry: at the maximum recorded thread
+/// count, pooled efficiency must clear `floor` after normalizing by the
+/// parallelism the recording host could actually deliver. The recorded
+/// efficiency divides the speedup-over-1-thread by the *requested* thread
+/// count, so a 1-core host pins it to ~1/threads no matter how well the
+/// code scales; multiplying back by threads / min(threads, host_threads)
+/// judges the code, not the machine. Returns false on a violation.
+bool efficiency_gate_ok(const JsonValue& entry, std::size_t index,
+                        double floor) {
+  if (!(floor > 0.0)) return true;  // disabled
+  const JsonValue* sweep = entry.find("sweep");
+  const JsonValue* samples =
+      sweep != nullptr && sweep->is_object() ? sweep->find("samples") : nullptr;
+  if (samples == nullptr || !samples->is_array()) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " has no sweep samples — efficiency gate skipped\n";
+    return true;
+  }
+  const JsonValue* host = sweep->find("host_threads");
+  if (host == nullptr || host->type != JsonValue::Type::Number ||
+      !(host->number >= 1.0)) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " predates host_threads provenance — efficiency gate "
+                 "skipped\n";
+    return true;
+  }
+  const JsonValue* best = nullptr;
+  double best_threads = 0.0;
+  for (const JsonValue& s : samples->array) {
+    const JsonValue* threads = s.find("threads");
+    const JsonValue* eff = s.find("efficiency");
+    if (threads == nullptr || threads->type != JsonValue::Type::Number ||
+        eff == nullptr || eff->type != JsonValue::Type::Number)
+      continue;
+    if (best == nullptr || threads->number > best_threads) {
+      best = &s;
+      best_threads = threads->number;
+    }
+  }
+  if (best == nullptr || !(best_threads > 1.0)) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " has no multi-thread sweep sample — efficiency gate "
+                 "skipped\n";
+    return true;
+  }
+  const double raw = best->find("efficiency")->number;
+  const double achievable = std::min(best_threads, host->number);
+  const double normalized = raw * best_threads / achievable;
+  const bool ok = normalized >= floor;
+  std::cout << "  " << (ok ? "ok" : "REGRESSION")
+            << "  sweep.efficiency@threads="
+            << static_cast<long long>(best_threads) << ": raw " << raw
+            << ", host_threads " << static_cast<long long>(host->number)
+            << " -> normalized " << normalized << " (floor " << floor
+            << ")\n";
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,17 +310,26 @@ int main(int argc, char** argv) {
               << ": " << b.value << " -> " << c->value << " ("
               << (delta_pct >= 0 ? "+" : "") << delta_pct << "%)\n";
   }
-  if (compared == 0) {
+  // Scaling gate on the newest entry alone: absolute throughput can sit
+  // comfortably inside the threshold while thread scaling quietly decays
+  // to ~1x, so efficiency is judged against an absolute floor, not a
+  // delta.
+  const bool efficiency_ok =
+      efficiency_gate_ok(*candidate, candidate_idx, args.efficiency_floor);
+  if (!efficiency_ok) ++regressions;
+
+  if (compared == 0 && efficiency_ok) {
     std::cout << "note: no matching throughput series between the two "
                  "entries\n";
     return 0;
   }
   if (regressions > 0) {
-    std::cout << regressions << " of " << compared
-              << " series regressed by more than " << args.threshold_pct
-              << "%\n";
+    std::cout << regressions << " series regressed (threshold "
+              << args.threshold_pct << "%, efficiency floor "
+              << args.efficiency_floor << ")\n";
     return args.check ? 1 : 0;
   }
-  std::cout << "all " << compared << " series within threshold\n";
+  std::cout << "all " << compared
+            << " series within threshold; efficiency floor met\n";
   return 0;
 }
