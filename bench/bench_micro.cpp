@@ -8,6 +8,7 @@
 #include "apps/synthetic.h"
 #include "core/list_sched.h"
 #include "core/offline.h"
+#include "sim/batch_engine.h"
 #include "sim/engine.h"
 #include "sim/sampler.h"
 
@@ -126,6 +127,41 @@ void BM_SamplerDraw(benchmark::State& state) {
                           static_cast<std::int64_t>(app.graph.size()));
 }
 BENCHMARK(BM_SamplerDraw);
+
+// The batched engine's dispatch loop (sim/batch_engine.h) on a wide random
+// graph: one simulate_batch call of `lanes` pre-drawn scenarios per
+// iteration, items = simulated runs. Lanes = 1 prices the batched loop's
+// fixed overhead against BM_SimulateWorkspace; larger lane counts show how
+// much of the per-run fixed cost (policy reset, validation, table
+// derivation) the batch amortizes away.
+void BM_BatchDispatch(benchmark::State& state) {
+  const Application app = big_random_app(3);
+  const PowerModel pm(LevelTable::transmeta_tm5400());
+  Overheads ovh;
+  OfflineOptions o;
+  o.cpus = 2;
+  o.overhead_budget = ovh.worst_case_budget(pm.table());
+  o.deadline = SimTime{2 * canonical_worst_makespan(app, o.cpus,
+                                                    o.overhead_budget,
+                                                    o.heuristic).ps};
+  const OfflineResult off = analyze_offline(app, o);
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const ScenarioSampler sampler(app.graph);
+  ScenarioBatch batch;
+  batch.ensure(lanes, app.graph.size());
+  Rng rng(9);
+  for (std::size_t l = 0; l < lanes; ++l) sampler.draw_into(rng, batch, l);
+  BatchWorkspace ws;
+  std::vector<SimResult> results(lanes);
+  for (auto _ : state) {
+    simulate_batch(app, off, pm, ovh, Scheme::GSS, PolicyOptions{}, batch,
+                   lanes, ws, results.data());
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_BatchDispatch)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_GraphValidate(benchmark::State& state) {
   const Application app = big_random_app(4);

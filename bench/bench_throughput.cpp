@@ -3,6 +3,9 @@
 //
 //   point  runs/sec of one run_point call (load 0.5) per thread count —
 //          the PR-1 hot-loop metric, unchanged;
+//   batch  runs/sec of the same point, single-threaded, across a batch-size
+//          ladder (1 = scalar engine forced, 0 = auto) — the batched
+//          engine's speedup over its scalar oracle, gated by bench_compare;
 //   sweep  points/sec of a whole 10-point load sweep per thread count,
 //          pooled (persistent pool, chunked claiming, point overlap, one
 //          canonical offline analysis) vs the pre-pool baseline (fresh
@@ -151,6 +154,13 @@ int main(int argc, char** argv) {
   const ThroughputReport point_report = measure_throughput(
       app, cfg, deadline, thread_ladder(threads), fig.id + "@load=0.5", reps);
 
+  // Batched-vs-scalar engine section: the same point, single-threaded, at a
+  // batch-size ladder (1 = scalar engine forced, 0 = auto). Outputs are
+  // bit-identical across the ladder, so the ratio is pure engine overhead;
+  // bench_compare gates the auto-vs-scalar speedup against a floor.
+  const BatchThroughputReport batch_report = measure_batch_throughput(
+      app, cfg, deadline, {1, 8, 32, 0}, fig.id + "@load=0.5", reps);
+
   // Sweep mode: the paper's 10-point §5.1 load grid with short points, so
   // orchestration (thread churn, repeated offline analyses, point
   // serialization) dominates and the executor's win is visible.
@@ -171,6 +181,8 @@ int main(int argc, char** argv) {
       measure_pool_balance_json(app, balance_cfg, loads);
 
   const std::string doc = "{\n\"point\": " + throughput_to_json(point_report) +
+                          ",\n\"batch\": " +
+                          batch_throughput_to_json(batch_report) +
                           ",\n\"sweep\": " +
                           sweep_throughput_to_json(sweep_report) +
                           ",\n\"pool\": " + pool_doc + "\n}\n";

@@ -5,17 +5,18 @@
 #include <cstring>
 #include <limits>
 #include <memory>
-#include <new>
 #include <span>
 #include <thread>
 #include <type_traits>
 
+#include "common/aligned.h"
 #include "common/error.h"
 #include "core/offline.h"
 #include "harness/pool.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "sim/batch_engine.h"
 #include "sim/engine.h"
 #include "sim/power_trace.h"
 #include "sim/sampler.h"
@@ -63,28 +64,9 @@ struct PointOutcomes {
         schemes(static_cast<std::size_t>(runs) * nschemes) {}
 };
 
-/// Minimal cache-line-aligning allocator for the per-slot staging buffers:
-/// two slots' staging arrays must never share a cache line, or the workers
-/// would false-share on every per-run store.
-template <typename T>
-struct CacheAlignedAlloc {
-  using value_type = T;
-  static constexpr std::size_t kAlign = 64;
-  CacheAlignedAlloc() = default;
-  template <typename U>
-  CacheAlignedAlloc(const CacheAlignedAlloc<U>&) {}  // NOLINT
-  T* allocate(std::size_t n) {
-    return static_cast<T*>(
-        ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
-  }
-  void deallocate(T* p, std::size_t) noexcept {
-    ::operator delete(p, std::align_val_t{kAlign});
-  }
-  template <typename U>
-  bool operator==(const CacheAlignedAlloc<U>&) const {
-    return true;
-  }
-};
+// (The staging buffers use CacheAlignedAlloc from common/aligned.h — the
+// same allocator the batched engine's SoA slabs are built on — so two
+// slots' staging arrays never share a cache line.)
 
 /// Slot-private staging for one chunk's outcomes. Workers evaluate every
 /// run of a claimed chunk into this scratch — cache-line-aligned arrays no
@@ -291,6 +273,11 @@ struct WorkerCtx {
   RunScenario sc;
   ChunkStage stage;
   std::vector<std::unique_ptr<ScenarioSampler>> samplers;
+  // Batched-path state (sim/batch_engine.h), sized lazily on first use.
+  BatchWorkspace batch_ws;
+  ScenarioBatch batch_sc;
+  std::vector<SimResult> batch_results;
+  std::vector<SimCounters> batch_cells;  // audit: one cell per lane
 
   WorkerCtx(const ExperimentConfig& cfg, std::size_t sampler_count)
       : samplers(sampler_count) {
@@ -299,6 +286,112 @@ struct WorkerCtx {
     npm = make_policy(Scheme::NPM);
   }
 };
+
+/// Lanes per batched engine call, or 0 for the scalar per-run path.
+/// The value is output-invisible (the batched engine is bit-identical to
+/// the scalar one), so auto just picks the measured sweet spot: large
+/// enough to amortize the per-batch setup (derived tables, devirtualized
+/// policy reset) over many runs, small enough that the batch's lane state
+/// stays cache-resident on one core.
+int batch_lanes_for(const ExperimentConfig& cfg) {
+  if (cfg.batch == 1) return 0;
+  // verify_traces needs the scalar engine's completeness traversal.
+  if (cfg.verify_traces) return 0;
+  if (cfg.batch > 1) return cfg.batch;
+  return 32;
+}
+
+/// Batched analogue of the per-run evaluate_run loop over one chunk:
+/// draws the chunk's scenarios into a lane-major slab (each lane from its
+/// own run's seed-derived stream) and simulates the NPM baseline plus
+/// every scheme through simulate_batch, `lanes_max` runs per engine call.
+/// Every staged value is computed by the same floating-point expression on
+/// bit-identical engine outputs as evaluate_run's, and counter export
+/// reduces to the same integer sums, so the scalar and batched chunk paths
+/// are interchangeable run for run.
+void evaluate_chunk_batched(const Application& app,
+                            const ExperimentConfig& cfg,
+                            const OfflineResult& off, const PowerModel& pm,
+                            SimTime deadline, const ScenarioSampler& sampler,
+                            int first, int count, int lanes_max,
+                            WorkerCtx& ctx, const RunObs& obs) {
+  const std::size_t nschemes = cfg.schemes.size();
+  SimCounters* const slot_npm =
+      obs.cells != nullptr ? obs.cells + nschemes : nullptr;
+  ctx.batch_results.resize(static_cast<std::size_t>(lanes_max));
+  for (int base = 0; base < count; base += lanes_max) {
+    const int lanes = std::min(lanes_max, count - base);
+    const auto nlanes = static_cast<std::size_t>(lanes);
+    ctx.batch_sc.ensure(nlanes, app.graph.size());
+    for (int l = 0; l < lanes; ++l) {
+      Rng run_rng(Rng::stream_seed(
+          cfg.seed, static_cast<std::uint64_t>(first + base + l)));
+      sampler.draw_into(run_rng, ctx.batch_sc,
+                        static_cast<std::size_t>(l));
+    }
+
+    // One scheme after another over the same scenario slab, the NPM
+    // baseline first (its energies normalize the others). Audit mode
+    // exports each lane into its own cell so attribution_energy sees one
+    // run's ledger, exactly like the scalar path's run-local cell.
+    const auto run_scheme = [&](Scheme scheme, SimCounters* slot_cell) {
+      BatchSimOptions bo;
+      bo.record_trace = cfg.audit;
+      bo.audit = cfg.audit;
+      if (cfg.audit) {
+        ctx.batch_cells.assign(nlanes, SimCounters{});
+        bo.lane_cells = ctx.batch_cells.data();
+      } else {
+        bo.shared_cell = slot_cell;
+      }
+      simulate_batch(app, off, pm, cfg.overheads, scheme,
+                     cfg.policy_options, ctx.batch_sc, nlanes, ctx.batch_ws,
+                     ctx.batch_results.data(), bo);
+      if (cfg.audit) {
+        for (std::size_t l = 0; l < nlanes; ++l) {
+          audit_run(app, off, pm, cfg.overheads, ctx.batch_cells[l],
+                    ctx.batch_results[l], scheme);
+          if (slot_cell != nullptr) slot_cell->add(ctx.batch_cells[l]);
+        }
+      }
+    };
+
+    run_scheme(Scheme::NPM, slot_npm);
+    for (int l = 0; l < lanes; ++l) {
+      const auto i = static_cast<std::size_t>(base + l);
+      const double npm_energy =
+          ctx.batch_results[static_cast<std::size_t>(l)].total_energy();
+      ctx.stage.npm_energy[i] = npm_energy;
+      ctx.stage.degenerate[i] = !(npm_energy > 0.0) ? 1 : 0;
+    }
+
+    for (std::size_t s = 0; s < nschemes; ++s) {
+      run_scheme(cfg.schemes[s],
+                 obs.cells != nullptr ? obs.cells + s : nullptr);
+      for (int l = 0; l < lanes; ++l) {
+        const auto i = static_cast<std::size_t>(base + l);
+        const SimResult& r = ctx.batch_results[static_cast<std::size_t>(l)];
+        SchemeOutcome so;
+        if (!ctx.stage.degenerate[i]) {
+          so.norm_energy = r.total_energy() / ctx.stage.npm_energy[i];
+          so.has_norm = true;
+        }
+        so.speed_changes = static_cast<double>(r.speed_changes);
+        so.finish_frac = static_cast<double>(r.finish_time.ps) /
+                         static_cast<double>(deadline.ps);
+        const Energy total = r.total_energy();
+        if (total > 0.0) {
+          so.busy_frac = r.busy_energy / total;
+          so.overhead_frac = r.overhead_energy / total;
+          so.idle_frac = r.idle_energy / total;
+          so.has_fracs = true;
+        }
+        so.missed = !r.deadline_met;
+        ctx.stage.schemes[i * nschemes + s] = so;
+      }
+    }
+  }
+}
 
 /// One prepared sweep point: the (application, offline result, deadline)
 /// triple the Monte-Carlo loop needs. Pointees must outlive the call.
@@ -450,6 +543,7 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
   const int total_chunks = static_cast<int>(total_chunks64);
   const int max_workers = std::min(cfg.threads, total_chunks);
   const int claim_batch = claim_batch_for(total_chunks64, max_workers);
+  const int batch_lanes = batch_lanes_for(cfg);
 
   // --- Observability. Everything in this block is write-only for the
   // simulation (see the determinism contract in obs/metrics.h): the
@@ -545,15 +639,24 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
       ctx->samplers[sidx] = std::make_unique<ScenarioSampler>(*samplers[sidx]);
     // Evaluate the whole chunk into slot-private staging, then flush it
     // into the shared run-major store with one bulk copy per array: the
-    // per-run loop touches no shared mutable memory at all.
+    // per-run loop touches no shared mutable memory at all. The batched
+    // and scalar chunk paths stage bit-identical values (the engines are
+    // interchangeable run for run); per-run tracer spans exist only on
+    // the scalar path, so kRuns detail keeps it.
     ctx->stage.ensure(chunk, nschemes);
-    for (int run = first; run < last; ++run) {
-      const auto i = static_cast<std::size_t>(run - first);
-      evaluate_run(*spec.app, cfg, *spec.off, pm, spec.deadline,
-                   ctx->samplers[sidx].get(), ctx->policies, *ctx->npm, run,
-                   ctx->ws, ctx->sc, ctx->stage.npm_energy[i],
-                   ctx->stage.degenerate[i],
-                   ctx->stage.schemes.data() + i * nschemes, obs);
+    if (batch_lanes > 0 && run_tracer == nullptr) {
+      evaluate_chunk_batched(*spec.app, cfg, *spec.off, pm, spec.deadline,
+                             *ctx->samplers[sidx], first, count, batch_lanes,
+                             *ctx, obs);
+    } else {
+      for (int run = first; run < last; ++run) {
+        const auto i = static_cast<std::size_t>(run - first);
+        evaluate_run(*spec.app, cfg, *spec.off, pm, spec.deadline,
+                     ctx->samplers[sidx].get(), ctx->policies, *ctx->npm,
+                     run, ctx->ws, ctx->sc, ctx->stage.npm_energy[i],
+                     ctx->stage.degenerate[i],
+                     ctx->stage.schemes.data() + i * nschemes, obs);
+      }
     }
     ctx->stage.flush(outcomes[static_cast<std::size_t>(p)], first, count,
                      nschemes);
@@ -620,6 +723,10 @@ SimTime deadline_for(SimTime worst_makespan, double load) {
 }
 
 }  // namespace
+
+int resolved_batch_lanes(const ExperimentConfig& config) {
+  return batch_lanes_for(config);
+}
 
 SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
                      SimTime deadline, double x_value, OfflineCache* cache) {

@@ -59,6 +59,14 @@ struct ExperimentConfig {
   /// Off = points evaluated one after another (each still run-parallel).
   /// Either way the output is identical; this is purely a scheduling knob.
   bool parallel_points = true;
+  /// Scenarios simulated in lockstep per engine call (sim/batch_engine.h):
+  /// 0 = auto, 1 = force the scalar per-run engine, N >= 2 = N lanes.
+  /// Purely a scheduling knob: the batched engine is bit-identical to the
+  /// scalar one run-for-run, so every output (energies, counters, CSV) is
+  /// the same for every value. Configurations that need engine facilities
+  /// only the scalar path has (verify_traces' completeness traversal,
+  /// per-run tracer spans) fall back to scalar regardless.
+  int batch = 0;
   /// Canonical-schedule priority rule (paper evaluates LTF).
   ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
   /// Speculative-floor rounding mode (see PolicyOptions).
@@ -139,6 +147,12 @@ struct SweepPoint {
 
   const SchemeStats& of(Scheme s) const;
 };
+
+/// Lanes per batched engine call that `config` resolves to, 0 = the scalar
+/// per-run path (config.batch == 1, or a configuration that needs scalar-
+/// only engine facilities). run_point's workers use exactly this rule;
+/// exposed so benches and tests can label measurements with it.
+int resolved_batch_lanes(const ExperimentConfig& config);
 
 /// Evaluates one point. `deadline` must be >= the canonical worst-case
 /// makespan for the guarantee to hold (the harness does not enforce it, so

@@ -111,6 +111,64 @@ std::string throughput_to_json(const ThroughputReport& report) {
   return os.str();
 }
 
+BatchThroughputReport measure_batch_throughput(const Application& app,
+                                               ExperimentConfig cfg,
+                                               SimTime deadline,
+                                               const std::vector<int>& batches,
+                                               const std::string& label,
+                                               int reps) {
+  PASERTA_REQUIRE(!batches.empty(), "need at least one batch size");
+  PASERTA_REQUIRE(reps >= 1, "need at least one repetition");
+  BatchThroughputReport report;
+  report.label = label;
+  report.runs = cfg.runs;
+  report.schemes = static_cast<int>(cfg.schemes.size());
+  cfg.threads = 1;
+  report.threads = cfg.threads;
+
+  cfg.batch = batches.front();
+  (void)run_point(app, cfg, deadline, 0.0);  // untimed warm-up
+
+  for (int batch : batches) {
+    cfg.batch = batch;
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = clock_type::now();
+      (void)run_point(app, cfg, deadline, 0.0);
+      best = std::min(best, seconds_since(t0));
+    }
+    BatchThroughputSample s;
+    s.batch = batch;
+    s.lanes = resolved_batch_lanes(cfg);
+    s.seconds = best;
+    s.runs_per_sec =
+        s.seconds > 0.0 ? static_cast<double>(cfg.runs) / s.seconds : 0.0;
+    report.samples.push_back(s);
+  }
+  return report;
+}
+
+std::string batch_throughput_to_json(const BatchThroughputReport& report) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"benchmark\": \"batch_throughput\",\n"
+     << "  \"label\": \"" << escape(report.label) << "\",\n"
+     << "  \"runs\": " << report.runs << ",\n"
+     << "  \"schemes\": " << report.schemes << ",\n"
+     << "  \"threads\": " << report.threads << ",\n"
+     << "  \"samples\": [\n";
+  for (std::size_t i = 0; i < report.samples.size(); ++i) {
+    const BatchThroughputSample& s = report.samples[i];
+    os << "    {\"batch\": " << s.batch << ", \"lanes\": " << s.lanes
+       << ", \"seconds\": " << num(s.seconds)
+       << ", \"runs_per_sec\": " << num(s.runs_per_sec) << "}"
+       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
 SweepThroughputReport measure_sweep_throughput(
     const Application& app, ExperimentConfig cfg,
     const std::vector<double>& loads, const std::vector<int>& thread_counts,

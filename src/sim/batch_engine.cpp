@@ -1,0 +1,959 @@
+// Batched SoA engine (see batch_engine.h and DESIGN.md §14).
+//
+// Correctness contract: every per-lane step below is the scalar engine's
+// step (sim/engine.cpp) operating on lane-major slab rows instead of
+// SimWorkspace vectors. Integer arithmetic may be hoisted, amortized and
+// restructured freely as long as every produced value is identical:
+//
+//  * the per-level compute-overhead table, the shared initial ready set
+//    and the once-per-batch policy reset are pure functions of
+//    batch-constant inputs;
+//  * the sorted-key ready queue is a bitmap over execution order: EO
+//    values are unique on any single run path (EO ranges only overlap
+//    across mutually exclusive OR alternatives), so lowest-set-bit pop is
+//    the identical order with O(1) insert instead of a sorted shift;
+//  * the speed choice required_freq -> max(floor) -> quantize_up is
+//    replaced by a multiply-compare walk up the level table from the
+//    floor's level (freq * avail >= f_max * wcet <=> freq >= ceil), which
+//    selects the identical level without a division;
+//  * duration scaling ceil(actual * f_max / freq) uses a per-level 2^64
+//    reciprocal with a final exact fixup, yielding the identical quotient
+//    of scale_time for every input (overflow-guarded: out-of-range inputs
+//    take the original scale_time path);
+//  * the per-dispatch finish-clock update is dropped: dispatch only ever
+//    runs at instants already folded into last_activity (t = 0 initially,
+//    or a completion time maxed in by on_completion before dispatch runs),
+//    so the final value is unchanged.
+//
+// The end-of-run floating-point fold is kept operation-for-operation
+// identical. Any divergence is a bug that the cross-validation suite
+// (tests/test_batch_engine.cpp) and the fig4a identity matrix
+// (tests/test_thread_scaling.cpp) must catch.
+#include "sim/batch_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/engine_core.h"
+
+namespace paserta {
+
+void BatchWorkspace::ensure(std::size_t lanes_in, std::size_t nodes_in,
+                            std::size_t cpus_in, std::size_t levels_in,
+                            bool trace) {
+  const std::size_t new_sn = aligned_stride<std::uint64_t>(nodes_in);
+  const std::size_t new_sc = aligned_stride<std::uint64_t>(cpus_in);
+  const std::size_t new_sl = aligned_stride<std::uint64_t>(levels_in);
+  const std::size_t new_sll =
+      aligned_stride<std::uint64_t>(levels_in * levels_in);
+  const std::size_t new_sw =
+      aligned_stride<std::uint64_t>((nodes_in + 63) / 64);
+  const bool regeometry = new_sn != sn || new_sc != sc || new_sl != sl ||
+                          new_sll != sll || new_sw != sw || lanes_in > lanes;
+  if (!regeometry) {
+    nodes = nodes_in;
+    cpus = cpus_in;
+    levels = levels_in;
+    if (trace && traces.size() < lanes) traces.resize(lanes);
+    return;
+  }
+  lanes = std::max(lanes, lanes_in);
+  nodes = nodes_in;
+  cpus = cpus_in;
+  levels = levels_in;
+  sn = new_sn;
+  sc = new_sc;
+  sl = new_sl;
+  sll = new_sll;
+  sw = new_sw;
+  nup.resize(lanes * sn);
+  ready_words.resize(lanes * sw);
+  ready_node.resize(lanes * sn);
+  ev_finish.resize(lanes * sc);
+  ev_seq.resize(lanes * sc);
+  ev_meta.resize(lanes * sc);
+  cpu_level.resize(lanes * sc);
+  cpu_sleep.resize(lanes * sc);
+  cpu_busy.resize(lanes * sc);
+  busy_ps.resize(lanes * sl);
+  compute_ps.resize(lanes * sl);
+  transitions.resize(lanes * sll);
+  touched_levels.resize(lanes * sl);
+  level_touched.resize(lanes * sl);
+  touched_transitions.resize(lanes * sll);
+  active.resize(lanes);
+  if (trace) traces.resize(lanes);
+  // Rows remapped under the new strides: stale ledger values from a
+  // previous geometry must not leak through the touched-entry reset
+  // discipline, which only clears what the previous batch in this
+  // geometry touched. Resetting the lane scalars zeroes the touched
+  // counts to match.
+  lane.assign(lanes, LaneScalars{});
+  std::fill(busy_ps.begin(), busy_ps.end(), 0);
+  std::fill(compute_ps.begin(), compute_ps.end(), 0);
+  std::fill(transitions.begin(), transitions.end(), 0);
+  std::fill(level_touched.begin(), level_touched.end(), 0);
+}
+
+namespace {
+
+enum class PolicyClass { Static, Gss, StaticSpec, Adaptive };
+
+inline std::uint64_t mulhi64(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
+/// Batch-constant inputs of one simulate_batch call: shared read-only
+/// tables plus the devirtualized policy parameters.
+struct BatchCtx {
+  std::span<const Node> nodes;
+  std::span<const std::uint32_t> eo;
+  std::span<const SimTime> eet;
+  std::span<const std::uint32_t> nup_init;
+  std::span<const std::uint8_t> flags;
+  std::span<const SimTime> wcet;
+  std::span<const std::uint32_t> succ_off;
+  std::span<const std::uint32_t> succ_flat;
+  std::span<const Level> levels;
+  std::span<const Energy> power;
+  Freq f_max = 0;
+  const LevelTable* table = nullptr;
+  SimTime deadline{};
+  SimTime switch_time{};
+  std::uint32_t ncpus = 0;
+  std::uint32_t top_lvl = 0;   // levels.size() - 1
+  std::uint32_t nwords = 0;    // ready-bitmap words in use
+  // Devirtualized policy parameters (valid per PolicyClass).
+  std::size_t initial_level = 0;
+  std::uint32_t spec_low_lvl = 0;
+  std::uint32_t spec_high_lvl = 0;
+  std::int64_t spec_theta_ps = 0;
+  std::uint32_t as_floor0_lvl = 0;
+  PolicyOptions::SpecRounding rounding = PolicyOptions::SpecRounding::Up;
+  const ScenarioBatch* scen = nullptr;
+  const PowerModel* pm = nullptr;
+  const BatchSimOptions* opt = nullptr;
+  SimResult* results = nullptr;
+};
+
+template <PolicyClass PC, bool kCounters, bool kTrace>
+class Kernel {
+ public:
+  static constexpr bool kDynamic = PC != PolicyClass::Static;
+
+  Kernel(const BatchCtx& ctx, BatchWorkspace& ws) : c_(ctx), ws_(ws) {}
+
+  void run(std::size_t nlanes);
+
+ private:
+  using LaneScalars = BatchWorkspace::LaneScalars;
+
+  const BatchCtx& c_;
+  BatchWorkspace& ws_;
+
+  /// All hot pointers of one lane — slab rows, the lane's scenario rows
+  /// and the shared derived tables — materialized once per lane turn so
+  /// the event loop runs on register-held pointers instead of re-deriving
+  /// base + lane * stride on every access.
+  struct LaneView {
+    std::uint32_t* nup;
+    std::uint64_t* ready_words;
+    std::uint32_t* ready_node;
+    std::int64_t* ev_finish;
+    std::uint64_t* ev_seq;
+    std::uint64_t* ev_meta;
+    std::uint32_t* cpu_level;
+    std::uint8_t* cpu_sleep;
+    std::int64_t* cpu_busy;
+    std::uint64_t* busy_ps;
+    std::uint64_t* compute_ps;
+    std::uint64_t* transitions;
+    std::uint32_t* touched_levels;
+    std::uint8_t* level_touched;
+    std::uint32_t* touched_transitions;
+    const SimTime* actual;  // this lane's scenario rows
+    const int* choice;
+    const SimTime* dt_compute;
+    const BatchWorkspace::LevelDiv* level_div;
+    const std::uint64_t* fwork;
+    std::vector<TaskRecord>* trace;
+    SimCounters* cnt;
+  };
+
+  LaneView view(std::size_t l) {
+    LaneView v;
+    v.nup = ws_.nup.data() + l * ws_.sn;
+    v.ready_words = ws_.ready_words.data() + l * ws_.sw;
+    v.ready_node = ws_.ready_node.data() + l * ws_.sn;
+    v.ev_finish = ws_.ev_finish.data() + l * ws_.sc;
+    v.ev_seq = ws_.ev_seq.data() + l * ws_.sc;
+    v.ev_meta = ws_.ev_meta.data() + l * ws_.sc;
+    v.cpu_level = ws_.cpu_level.data() + l * ws_.sc;
+    v.cpu_sleep = ws_.cpu_sleep.data() + l * ws_.sc;
+    v.cpu_busy = ws_.cpu_busy.data() + l * ws_.sc;
+    v.busy_ps = ws_.busy_ps.data() + l * ws_.sl;
+    v.compute_ps = ws_.compute_ps.data() + l * ws_.sl;
+    v.transitions = ws_.transitions.data() + l * ws_.sll;
+    v.touched_levels = ws_.touched_levels.data() + l * ws_.sl;
+    v.level_touched = ws_.level_touched.data() + l * ws_.sl;
+    v.touched_transitions = ws_.touched_transitions.data() + l * ws_.sll;
+    v.actual = c_.scen->lane_actual(l);
+    v.choice = c_.scen->lane_choice(l);
+    v.dt_compute = ws_.dt_compute.data();
+    v.level_div = ws_.level_div.data();
+    v.fwork = ws_.fwork.data();
+    v.trace = kTrace ? &ws_.traces[l] : nullptr;
+    v.cnt = kCounters ? (c_.opt->lane_cells != nullptr
+                             ? c_.opt->lane_cells + l
+                             : c_.opt->shared_cell)
+                      : nullptr;
+    return v;
+  }
+
+  /// The policy's floor, as a level index (every floor frequency is a
+  /// table frequency, so the index carries the same information).
+  std::uint32_t floor_lvl(const LaneScalars& s, SimTime now) const {
+    if constexpr (PC == PolicyClass::StaticSpec) {
+      (void)s;
+      return now.ps < c_.spec_theta_ps ? c_.spec_low_lvl : c_.spec_high_lvl;
+    } else if constexpr (PC == PolicyClass::Adaptive) {
+      (void)now;
+      return s.as_floor_lvl;
+    } else {
+      (void)s;
+      (void)now;
+      return 0;
+    }
+  }
+
+  /// AdaptiveSpecPolicy::on_or_fired, inlined over the per-batch
+  /// remaining-work tables: the identical required_freq + quantize
+  /// arithmetic, storing the level index instead of its frequency.
+  void on_or_fired(LaneScalars& s, std::uint32_t node, int chosen_alt,
+                   SimTime now) {
+    if constexpr (PC == PolicyClass::Adaptive) {
+      const SimTime horizon = c_.deadline - now;
+      const SimTime* alt = ws_.as_alt[node];
+      const SimTime rem = (chosen_alt >= 0 && alt != nullptr)
+                              ? alt[static_cast<std::size_t>(chosen_alt)]
+                              : ws_.as_rem_after[node];
+      const Freq desired = required_freq(c_.f_max, rem, horizon);
+      const std::size_t idx =
+          c_.rounding == PolicyOptions::SpecRounding::Up
+              ? c_.table->quantize_up(desired)
+              : c_.table->quantize_down(desired);
+      // Normalize to the first level of this frequency — the index
+      // quantize_up(max(gss, floor)) would land on (identity unless the
+      // table carries duplicate frequencies).
+      s.as_floor_lvl = static_cast<std::uint32_t>(
+          c_.table->quantize_up(c_.levels[idx].freq));
+    } else {
+      (void)s;
+      (void)node;
+      (void)chosen_alt;
+      (void)now;
+    }
+  }
+
+  void touch_level(LaneView& v, LaneScalars& s, std::size_t lvl) {
+    if (!v.level_touched[lvl]) {
+      v.level_touched[lvl] = 1;
+      v.touched_levels[s.touched_levels_n++] =
+          static_cast<std::uint32_t>(lvl);
+    }
+  }
+
+  static void ready_set(LaneView& v, LaneScalars& s, std::uint32_t eo,
+                        std::uint32_t idv) {
+    v.ready_words[eo >> 6] |= std::uint64_t{1} << (eo & 63);
+    v.ready_node[eo] = idv;
+    ++s.ready_n;
+  }
+
+  /// Lowest ready EO; requires ready_n > 0.
+  std::uint32_t ready_head(const LaneView& v) const {
+    for (std::uint32_t w = 0;; ++w) {
+      PASERTA_ASSERT(w < c_.nwords, "ready count out of sync with bitmap");
+      const std::uint64_t bits = v.ready_words[w];
+      if (bits != 0)
+        return (w << 6) +
+               static_cast<std::uint32_t>(__builtin_ctzll(bits));
+    }
+  }
+
+  bool head_dispatchable(const LaneView& v, const LaneScalars& s) const {
+    if (s.ready_n == 0) return false;
+    const std::uint32_t eo = ready_head(v);
+    if (eo == s.neo) return true;
+    return eo > s.neo &&
+           (c_.flags[v.ready_node[eo]] & kNodeFlagOrNode) != 0;
+  }
+
+  void release_successors(LaneView& v, LaneScalars& s, std::uint32_t idv) {
+    const std::uint32_t begin = c_.succ_off[idv];
+    const std::uint32_t end = c_.succ_off[idv + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const std::uint32_t sv = c_.succ_flat[k];
+      PASERTA_ASSERT(v.nup[sv] > 0,
+                     "NUP underflow at node '" << c_.nodes[sv].name << "'");
+      if (v.nup[sv] == c_.nup_init[sv]) ++s.activated;
+      if (--v.nup[sv] == 0) {
+        ++s.completed;
+        ready_set(v, s, c_.eo[sv], sv);
+      }
+    }
+  }
+
+  void wake_one(LaneView& v, LaneScalars& s, SimTime t) {
+    if (!head_dispatchable(v, s)) return;
+    for (std::uint32_t cpu = 0; cpu < c_.ncpus; ++cpu) {
+      if (v.cpu_sleep[cpu]) {
+        v.cpu_sleep[cpu] = 0;
+        dispatch(v, s, cpu, t);
+        return;
+      }
+    }
+  }
+
+  void dispatch(LaneView& v, LaneScalars& s, std::uint32_t cpu_id,
+                SimTime t);
+  void on_completion(LaneView& v, LaneScalars& s, std::uint32_t cpu_id,
+                     std::uint32_t node, SimTime t) {
+    s.last_activity = std::max(s.last_activity, t.ps);
+    release_successors(v, s, node);
+    dispatch(v, s, cpu_id, t);
+  }
+
+  /// Extracts and processes the lane's next completion. Returns false when
+  /// the lane has no outstanding completions left afterwards.
+  bool step(LaneView& v, LaneScalars& s) {
+    const std::uint32_t n = s.ev_n;
+    const std::uint32_t mi = engine_core::completion_min(v.ev_finish,
+                                                         v.ev_seq, n);
+    const SimTime finish{v.ev_finish[mi]};
+    const std::uint64_t m = v.ev_meta[mi];
+    v.ev_finish[mi] = v.ev_finish[n - 1];
+    v.ev_seq[mi] = v.ev_seq[n - 1];
+    v.ev_meta[mi] = v.ev_meta[n - 1];
+    s.ev_n = n - 1;
+    on_completion(v, s, engine_core::completion_cpu(m),
+                  engine_core::completion_node(m), finish);
+    return s.ev_n != 0;
+  }
+
+  void finalize(LaneView& v, std::size_t l);
+};
+
+template <PolicyClass PC, bool kCounters, bool kTrace>
+void Kernel<PC, kCounters, kTrace>::dispatch(LaneView& v, LaneScalars& s,
+                                             std::uint32_t cpu_id,
+                                             SimTime t) {
+  for (;;) {
+    if (s.ready_n == 0) {
+      v.cpu_sleep[cpu_id] = 1;  // Figure 2 step 3: wait()
+      return;
+    }
+    const std::uint32_t eo = ready_head(v);
+    const std::uint32_t idv = v.ready_node[eo];
+    const std::uint8_t flags = c_.flags[idv];
+    if (eo != s.neo &&
+        !(eo > s.neo && (flags & kNodeFlagOrNode) != 0)) {
+      v.cpu_sleep[cpu_id] = 1;  // head not dispatchable yet: wait()
+      return;
+    }
+    v.ready_words[eo >> 6] &= ~(std::uint64_t{1} << (eo & 63));
+    --s.ready_n;
+    PASERTA_ASSERT(eo >= s.neo, "execution order went backwards");
+    s.neo = eo + 1;  // Figure 2 steps 4 & 7
+    ++s.dispatched;
+    if constexpr (kCounters) ++v.cnt->dispatches;
+    // (No finish-clock update here: t is already folded into
+    // last_activity — see the header comment.)
+
+    if (flags & kNodeFlagDummy) {
+      int chosen_alt = -1;
+      if (flags & kNodeFlagOrFork) {
+        const int chosen = v.choice[idv];
+        PASERTA_ASSERT(
+            chosen >= 0 && c_.succ_off[idv] + static_cast<std::uint32_t>(
+                               chosen) < c_.succ_off[idv + 1],
+            "scenario lacks a choice for fork '" << c_.nodes[idv].name
+                                                 << "'");
+        chosen_alt = chosen;
+        if constexpr (kCounters) ++v.cnt->or_fires;
+        const std::uint32_t child =
+            c_.succ_flat[c_.succ_off[idv] +
+                         static_cast<std::uint32_t>(chosen)];
+        PASERTA_ASSERT(v.nup[child] > 0,
+                       "OR fork '" << c_.nodes[idv].name
+                                   << "' re-readied its alternative");
+        if (v.nup[child] == c_.nup_init[child]) ++s.activated;
+        ++s.completed;
+        v.nup[child] = 0;
+        ready_set(v, s, c_.eo[child], child);
+        if constexpr (kDynamic) on_or_fired(s, idv, chosen, t);
+      } else {
+        release_successors(v, s, idv);
+        if constexpr (kDynamic) {
+          if (flags & kNodeFlagOrNode) on_or_fired(s, idv, -1, t);
+        }
+      }
+      if constexpr (kTrace) {
+        TaskRecord rec;
+        rec.node = NodeId{idv};
+        rec.cpu = static_cast<int>(cpu_id);
+        rec.eo = eo;
+        rec.dispatch_time = rec.exec_start = rec.finish = t;
+        rec.level = rec.level_before = v.cpu_level[cpu_id];
+        rec.chosen_alt = chosen_alt;
+        v.trace->push_back(rec);
+      }
+      continue;  // same processor keeps dispatching at the same instant
+    }
+
+    // ---- Computation node: pick a speed and execute (Figure 2 step 5). --
+    SimTime start = t;
+    const std::size_t lvl_before = v.cpu_level[cpu_id];
+    std::size_t lvl = lvl_before;
+    bool switched = false;
+
+    if constexpr (kDynamic) {
+      const SimTime dt_compute = v.dt_compute[lvl];
+      touch_level(v, s, lvl);
+      v.compute_ps[lvl] += static_cast<std::uint64_t>(dt_compute.ps);
+      v.cpu_busy[cpu_id] += dt_compute.ps;
+      start += dt_compute;
+
+      const SimTime avail = c_.eet[idv] - start - c_.switch_time;
+      const std::uint32_t flvl = floor_lvl(s, start);
+      std::size_t new_lvl;
+      bool spec = false;
+      if (avail <= SimTime::zero()) {
+        // No slack: required_freq is f_max, and no floor exceeds f_max, so
+        // quantize_up(max(f_max, floor)) is the top level, a greedy pick.
+        new_lvl = c_.top_lvl;
+      } else if (static_cast<std::uint64_t>(avail.ps) <= ws_.avail_limit &&
+                 ws_.fwork_fits) {
+        // Division-free speed choice. With a = avail, x = f_max * wcet:
+        //   freq >= ceil(x / a)  <=>  freq * a >= x,
+        // so walking up from the floor's level to the first level whose
+        // freq * a >= x lands exactly on quantize_up(max(gss, floor)) —
+        // the walk never stops below the floor, stops at the first level
+        // at least as fast as the greedy requirement, and tops out when
+        // even f_max is too slow (required_freq's clamp).
+        const std::uint64_t a = static_cast<std::uint64_t>(avail.ps);
+        const std::uint64_t x = v.fwork[idv];
+        std::uint32_t walk = flvl;
+        while (walk < c_.top_lvl && c_.levels[walk].freq * a < x) ++walk;
+        new_lvl = walk;
+        if constexpr (kCounters && PC != PolicyClass::Gss) {
+          // floor > gss  <=>  ceil(x / a) < floor_freq  <=>
+          // x <= a * (floor_freq - 1); the f_max clamp needs no special
+          // case since floor_freq - 1 <= f_max - 1.
+          spec = x <= a * (c_.levels[flvl].freq - 1);
+        }
+      } else {
+        // Out-of-range inputs: the original arithmetic, bit-identical.
+        const Freq gss = required_freq(c_.f_max, c_.wcet[idv], avail);
+        const Freq floor = c_.levels[flvl].freq;
+        const Freq target = std::max(gss, floor);
+        new_lvl = c_.table->quantize_up(target);
+        spec = floor > gss;
+      }
+      if constexpr (kCounters) {
+        if (PC != PolicyClass::Gss && spec) ++v.cnt->spec_picks;
+        else ++v.cnt->greedy_picks;
+      }
+
+      if (new_lvl != lvl) {
+        const std::size_t idx = lvl * c_.power.size() + new_lvl;
+        if (v.transitions[idx]++ == 0)
+          v.touched_transitions[s.touched_trans_n++] =
+              static_cast<std::uint32_t>(idx);
+        v.cpu_busy[cpu_id] += c_.switch_time.ps;
+        start += c_.switch_time;
+        ++s.speed_changes;
+        if constexpr (kCounters) ++v.cnt->speed_changes;
+        switched = true;
+        lvl = new_lvl;
+        v.cpu_level[cpu_id] = static_cast<std::uint32_t>(lvl);
+      }
+    }
+
+    const SimTime actual = v.actual[idv];
+    PASERTA_ASSERT(actual > SimTime::zero() && actual <= c_.wcet[idv],
+                   "scenario actual time out of (0, WCET] for '"
+                       << c_.nodes[idv].name << "'");
+    const Freq freq = c_.levels[lvl].freq;
+    SimTime duration;
+    if (freq == c_.f_max) {
+      duration = actual;
+    } else if (static_cast<std::uint64_t>(actual.ps) <= ws_.actual_limit) {
+      // ceil(actual * f_max / freq) by reciprocal: q0 = floor(n * m / 2^64)
+      // with m = floor(2^64 / freq) undershoots floor(n / freq) by at most
+      // 2, and the remainder loop lands on the exact quotient — the same
+      // value scale_time's division produces, for every in-range input.
+      const BatchWorkspace::LevelDiv& d = v.level_div[lvl];
+      const std::uint64_t num =
+          static_cast<std::uint64_t>(actual.ps) * c_.f_max + d.den1;
+      std::uint64_t q = mulhi64(num, d.magic);
+      std::uint64_t r = num - q * d.freq;
+      while (r >= d.freq) {
+        r -= d.freq;
+        ++q;
+      }
+      duration = SimTime{static_cast<std::int64_t>(q)};
+    } else {
+      duration = scale_time(actual, c_.f_max, freq);
+    }
+    const SimTime finish = start + duration;
+    touch_level(v, s, lvl);
+    v.busy_ps[lvl] += static_cast<std::uint64_t>(duration.ps);
+    v.cpu_busy[cpu_id] += duration.ps;
+    if constexpr (kCounters) {
+      ++v.cnt->tasks;
+      v.cnt->reclaimed_slack_ps +=
+          static_cast<std::uint64_t>((duration - actual).ps);
+    }
+
+    if constexpr (kTrace) {
+      TaskRecord rec;
+      rec.node = NodeId{idv};
+      rec.cpu = static_cast<int>(cpu_id);
+      rec.eo = eo;
+      rec.dispatch_time = t;
+      rec.exec_start = start;
+      rec.finish = finish;
+      rec.level = lvl;
+      rec.level_before = lvl_before;
+      rec.switched = switched;
+      v.trace->push_back(rec);
+    }
+    {
+      const std::uint32_t k = s.ev_n++;
+      v.ev_finish[k] = finish.ps;
+      v.ev_seq[k] = s.seq++;
+      v.ev_meta[k] = engine_core::completion_meta(cpu_id, idv);
+    }
+
+    // Figure 2 step 5: if another processor sleeps and the (new) head is
+    // dispatchable, signal it before executing.
+    wake_one(v, s, t);
+    return;
+  }
+}
+
+template <PolicyClass PC, bool kCounters, bool kTrace>
+void Kernel<PC, kCounters, kTrace>::finalize(LaneView& v, std::size_t l) {
+  LaneScalars& s = ws_.lane[l];
+  PASERTA_ASSERT(s.ready_n == 0, "simulation ended with ready work");
+  PASERTA_ASSERT(s.activated == s.completed,
+                 "simulation ended with "
+                     << s.activated - s.completed
+                     << " partially released nodes (deadlock?)");
+
+  SimResult r;
+  r.finish_time = SimTime{s.last_activity};
+  r.deadline_met = r.finish_time <= c_.deadline;
+  r.speed_changes = s.speed_changes;
+  r.dispatched = s.dispatched;
+
+  std::uint64_t idle_ps = 0;
+  for (std::uint32_t cpu = 0; cpu < c_.ncpus; ++cpu) {
+    const std::int64_t idle = c_.deadline.ps - v.cpu_busy[cpu];
+    if (idle > 0) idle_ps += static_cast<std::uint64_t>(idle);
+  }
+
+  std::uint32_t* tl = v.touched_levels;
+  std::uint32_t* tt = v.touched_transitions;
+  const std::uint32_t ntl = s.touched_levels_n;
+  const std::uint32_t ntt = s.touched_trans_n;
+  if (ntl > 1) std::sort(tl, tl + ntl);
+  if (ntt > 1) std::sort(tt, tt + ntt);
+  {
+    // The canonical ledger fold (see sim/engine.cpp): busy and compute
+    // terms per touched level ascending into two accumulators, non-zero
+    // transition pairs ascending, then idle — bitwise the scalar engine's
+    // end-of-run energies.
+    const std::span<const Energy> power = c_.power;
+    const double switch_sec = c_.switch_time.sec();
+    double busy = 0.0;
+    double overhead = 0.0;
+    for (std::uint32_t i = 0; i < ntl; ++i) {
+      const std::uint32_t lv = tl[i];
+      if (v.busy_ps[lv] != 0)
+        busy += power[lv] *
+                SimTime{static_cast<std::int64_t>(v.busy_ps[lv])}.sec();
+      if (v.compute_ps[lv] != 0)
+        overhead +=
+            power[lv] *
+            SimTime{static_cast<std::int64_t>(v.compute_ps[lv])}.sec();
+    }
+    for (std::uint32_t i = 0; i < ntt; ++i) {
+      const std::uint32_t idx = tt[i];
+      const std::size_t from = idx / power.size();
+      const std::size_t to = idx % power.size();
+      overhead += static_cast<double>(v.transitions[idx]) *
+                  std::max(power[from], power[to]) * switch_sec;
+    }
+    r.busy_energy = busy;
+    r.overhead_energy = overhead;
+    r.idle_energy =
+        idle_ps != 0
+            ? c_.pm->idle_energy(SimTime{static_cast<std::int64_t>(idle_ps)})
+            : 0.0;
+  }
+
+  if (c_.opt->audit) {
+    // Integer time conservation, exactly as the scalar engine checks it.
+    std::uint64_t ledger_ps = 0;
+    for (std::size_t lv = 0; lv < c_.power.size(); ++lv)
+      ledger_ps += v.busy_ps[lv] + v.compute_ps[lv];
+    std::uint64_t switches = 0;
+    const std::size_t nsq = c_.power.size() * c_.power.size();
+    for (std::size_t idx = 0; idx < nsq; ++idx)
+      switches += v.transitions[idx];
+    ledger_ps +=
+        switches * static_cast<std::uint64_t>(c_.switch_time.ps);
+    std::uint64_t cpu_busy_ps = 0;
+    for (std::uint32_t cpu = 0; cpu < c_.ncpus; ++cpu)
+      cpu_busy_ps += static_cast<std::uint64_t>(v.cpu_busy[cpu]);
+    PASERTA_ASSERT(ledger_ps == cpu_busy_ps,
+                   "attribution ledger accounts for "
+                       << ledger_ps << " ps of busy time but processors "
+                       << "recorded " << cpu_busy_ps << " ps");
+  }
+
+  if constexpr (kCounters) {
+    SimCounters* const cnt = v.cnt;
+    const std::size_t nlv = c_.power.size();
+    if (cnt->levels == 0) {
+      cnt->levels = static_cast<std::uint32_t>(nlv);
+      cnt->busy_ps.assign(v.busy_ps, v.busy_ps + nlv);
+      cnt->compute_ps.assign(v.compute_ps, v.compute_ps + nlv);
+      cnt->transitions.assign(v.transitions, v.transitions + nlv * nlv);
+    } else {
+      PASERTA_ASSERT(cnt->levels == nlv,
+                     "SimCounters cell reused across power tables");
+      for (std::uint32_t i = 0; i < ntl; ++i) {
+        const std::uint32_t lv = tl[i];
+        cnt->busy_ps[lv] += v.busy_ps[lv];
+        cnt->compute_ps[lv] += v.compute_ps[lv];
+      }
+      for (std::uint32_t i = 0; i < ntt; ++i)
+        cnt->transitions[tt[i]] += v.transitions[tt[i]];
+    }
+    cnt->idle_ps += idle_ps;
+  }
+
+  if constexpr (kTrace) {
+    r.trace = std::move(*v.trace);
+    v.trace->clear();
+  }
+  c_.results[l] = std::move(r);
+}
+
+template <PolicyClass PC, bool kCounters, bool kTrace>
+void Kernel<PC, kCounters, kTrace>::run(std::size_t nlanes) {
+  // Event loop over the compacted active-lane list. Each lane turn drains
+  // up to kTurnBudget completion events with the lane's row pointers held
+  // in registers; lanes whose event queue empties (divergence: fewer
+  // computation nodes on the taken path, earlier finish) are finalized and
+  // swap-removed. Lanes are mutually independent, so neither the budget
+  // nor the compaction order can affect any result. A budget of 1 is the
+  // classic event-granular lockstep — measured 25-40% slower here because
+  // every turn reloads the lane's working set (nup/ready/ledger rows) from
+  // L2 after its neighbours evicted it; a budget past the largest per-run
+  // event count makes turns lane-major, which keeps each lane's rows
+  // L1-hot from first dispatch to finalize while the shared tables stay
+  // hot across lanes. (The other extreme — stepping two independent lanes
+  // alternately to overlap their serial completion->dispatch dependency
+  // chains — also measured 10-30% slower: the doubled live state spills
+  // and defeats step() inlining.)
+  constexpr std::uint32_t kTurnBudget = 4096;
+  std::uint32_t nactive = 0;
+  for (std::size_t l = 0; l < nlanes; ++l) {
+    LaneView v = view(l);
+    LaneScalars& s = ws_.lane[l];
+    // Initial dispatch round: every processor starts at t = 0. dispatch()
+    // may have woken a CPU transitively already; the flag check keeps each
+    // CPU's first dispatch single.
+    for (std::uint32_t cpu = 0; cpu < c_.ncpus; ++cpu) {
+      if (!v.cpu_sleep[cpu]) dispatch(v, s, cpu, SimTime::zero());
+    }
+    if (s.ev_n != 0)
+      ws_.active[nactive++] = static_cast<std::uint32_t>(l);
+    else
+      finalize(v, l);
+  }
+  while (nactive != 0) {
+    for (std::uint32_t i = 0; i < nactive;) {
+      const std::uint32_t l = ws_.active[i];
+      LaneView v = view(l);
+      LaneScalars& s = ws_.lane[l];
+      bool alive = true;
+      for (std::uint32_t b = 0; alive && b < kTurnBudget; ++b)
+        alive = step(v, s);
+      if (alive) {
+        ++i;
+      } else {
+        finalize(v, l);
+        ws_.active[i] = ws_.active[--nactive];
+      }
+    }
+  }
+}
+
+template <PolicyClass PC, bool kC, bool kT>
+void run_kernel(const BatchCtx& ctx, BatchWorkspace& ws, std::size_t lanes) {
+  Kernel<PC, kC, kT>(ctx, ws).run(lanes);
+}
+
+template <PolicyClass PC>
+void run_class(const BatchCtx& ctx, BatchWorkspace& ws, std::size_t lanes,
+               bool counters, bool trace) {
+  if (counters) {
+    if (trace) run_kernel<PC, true, true>(ctx, ws, lanes);
+    else run_kernel<PC, true, false>(ctx, ws, lanes);
+  } else {
+    if (trace) run_kernel<PC, false, true>(ctx, ws, lanes);
+    else run_kernel<PC, false, false>(ctx, ws, lanes);
+  }
+}
+
+/// The level index whose frequency AdaptiveSpecPolicy::reset /
+/// speculate_level_freq picks (the policy stores the frequency; the kernel
+/// keeps the index, normalized to the first level of that frequency).
+std::uint32_t speculate_level_idx(const PowerModel& pm, SimTime work,
+                                  SimTime horizon,
+                                  PolicyOptions::SpecRounding rounding) {
+  const LevelTable& t = pm.table();
+  const Freq desired = required_freq(t.f_max(), work, horizon);
+  const std::size_t idx = rounding == PolicyOptions::SpecRounding::Up
+                              ? t.quantize_up(desired)
+                              : t.quantize_down(desired);
+  return static_cast<std::uint32_t>(t.quantize_up(t.level(idx).freq));
+}
+
+}  // namespace
+
+void simulate_batch(const Application& app, const OfflineResult& off,
+                    const PowerModel& pm, const Overheads& overheads,
+                    Scheme scheme, const PolicyOptions& popt,
+                    const ScenarioBatch& batch, std::size_t lanes,
+                    BatchWorkspace& ws, SimResult* results,
+                    const BatchSimOptions& options) {
+  const std::size_t n = app.graph.size();
+  PASERTA_REQUIRE(lanes >= 1, "need at least one lane");
+  PASERTA_REQUIRE(results != nullptr, "need a per-lane result array");
+  PASERTA_REQUIRE(batch.nodes() == n,
+                  "scenario batch does not match the application graph");
+  PASERTA_REQUIRE(off.eo_table().size() == n && off.eet_table().size() == n &&
+                      off.nup_init_table().size() == n &&
+                      off.node_flag_table().size() == n &&
+                      off.wcet_table().size() == n &&
+                      off.succ_offset_table().size() == n + 1,
+                  "offline result does not match the application graph");
+  PASERTA_REQUIRE(options.lane_cells == nullptr ||
+                      options.shared_cell == nullptr,
+                  "pass per-lane cells or a shared cell, not both");
+
+  BatchCtx ctx;
+  ctx.nodes = app.graph.nodes();
+  ctx.eo = off.eo_table();
+  ctx.eet = off.eet_table();
+  ctx.nup_init = off.nup_init_table();
+  ctx.flags = off.node_flag_table();
+  ctx.wcet = off.wcet_table();
+  ctx.succ_off = off.succ_offset_table();
+  ctx.succ_flat = off.succ_list_table();
+  ctx.levels = pm.table().levels();
+  ctx.power = pm.level_powers();
+  ctx.f_max = pm.table().f_max();
+  ctx.table = &pm.table();
+  ctx.deadline = off.deadline();
+  ctx.switch_time = overheads.speed_change_time;
+  ctx.ncpus = static_cast<std::uint32_t>(off.cpus());
+  ctx.top_lvl = static_cast<std::uint32_t>(pm.table().size() - 1);
+  ctx.nwords = static_cast<std::uint32_t>((n + 63) / 64);
+  ctx.rounding = popt.spec_rounding;
+  ctx.scen = &batch;
+  ctx.pm = &pm;
+  ctx.opt = &options;
+  ctx.results = results;
+
+  // The ready bitmap indexes by execution order, so every EO must fall in
+  // [0, n). The offline pass assigns EO as a schedule position (OR
+  // alternatives share a range), so this holds for every valid result.
+  for (std::uint32_t v = 0; v < n; ++v)
+    PASERTA_REQUIRE(ctx.eo[v] < n, "execution order out of range for '"
+                                       << ctx.nodes[v].name << "'");
+
+  // Devirtualize the policy: build and reset the real object once per
+  // batch (legal because every non-adaptive policy's post-reset state is a
+  // pure function of (off, pm) — identical for every run — and the
+  // adaptive floor is re-derived per lane below).
+  const auto policy = make_policy(scheme, popt);
+  policy->reset(off, pm);
+  PolicyClass pc = PolicyClass::Static;
+  const bool dynamic = policy->kind() == SpeedPolicy::Kind::Dynamic;
+  ctx.initial_level =
+      dynamic ? pm.table().size() - 1 : policy->static_level();
+  switch (scheme) {
+    case Scheme::NPM:
+    case Scheme::SPM:
+      pc = PolicyClass::Static;
+      break;
+    case Scheme::GSS:
+      pc = PolicyClass::Gss;
+      break;
+    case Scheme::SS1:
+    case Scheme::SS2: {
+      pc = PolicyClass::StaticSpec;
+      const auto& sp = static_cast<const StaticSpecPolicy&>(*policy);
+      ctx.spec_low_lvl =
+          static_cast<std::uint32_t>(pm.table().quantize_up(sp.f_low()));
+      ctx.spec_high_lvl =
+          static_cast<std::uint32_t>(pm.table().quantize_up(sp.f_high()));
+      ctx.spec_theta_ps = sp.theta().ps;
+      break;
+    }
+    case Scheme::AS:
+      pc = PolicyClass::Adaptive;
+      ctx.as_floor0_lvl = speculate_level_idx(pm, off.average_makespan(),
+                                              off.deadline(), popt.spec_rounding);
+      break;
+  }
+
+  const std::size_t nlevels = pm.table().size();
+  const bool trace = options.record_trace;
+  ws.ensure(lanes, n, static_cast<std::size_t>(off.cpus()), nlevels, trace);
+
+  // Batch-shared derived tables. The compute-overhead and reciprocal
+  // tables are pure functions of the level table (and cycle count), cached
+  // on its identity; the per-node and per-source tables depend on the
+  // OfflineResult and are rebuilt every call (cheap, and the offline
+  // result's address may be reused across sweep points).
+  if (ws.dt_key != ctx.levels.data() ||
+      ws.dt_cycles != overheads.speed_compute_cycles) {
+    ws.dt_compute.resize(nlevels);
+    engine_core::build_compute_table(overheads.speed_compute_cycles,
+                                     ctx.levels.data(), nlevels,
+                                     ws.dt_compute.data());
+    ws.level_div.resize(nlevels);
+    for (std::size_t lv = 0; lv < nlevels; ++lv) {
+      const Freq f = ctx.levels[lv].freq;
+      ws.level_div[lv].freq = f;
+      ws.level_div[lv].den1 = f - 1;
+      ws.level_div[lv].magic = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(1) << 64) / f);
+    }
+    ws.avail_limit = ~std::uint64_t{0} / ctx.f_max;
+    ws.actual_limit =
+        (~std::uint64_t{0} - (ctx.f_max - 1)) / ctx.f_max;
+    ws.dt_key = ctx.levels.data();
+    ws.dt_cycles = overheads.speed_compute_cycles;
+  }
+  ws.fwork.resize(n);
+  ws.fwork_fits = true;
+  const std::uint64_t wcet_limit = ~std::uint64_t{0} / ctx.f_max;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint64_t w = static_cast<std::uint64_t>(ctx.wcet[v].ps);
+    if (w > wcet_limit) {
+      ws.fwork_fits = false;
+      ws.fwork[v] = 0;
+    } else {
+      ws.fwork[v] = w * ctx.f_max;
+    }
+  }
+  // Initial ready-set templates: source bits and their EO -> node entries,
+  // copied verbatim into each lane below.
+  ws.ready_init_words.assign(ctx.nwords, 0);
+  ws.ready_init_nodes.assign(n, 0);
+  const std::uint32_t init_ready_n =
+      static_cast<std::uint32_t>(off.source_table().size());
+  for (const std::uint32_t v : off.source_table()) {
+    const std::uint32_t eo = ctx.eo[v];
+    ws.ready_init_words[eo >> 6] |= std::uint64_t{1} << (eo & 63);
+    ws.ready_init_nodes[eo] = v;
+  }
+  if (pc == PolicyClass::Adaptive) {
+    // Per-node expected-remaining-work tables: hoists rem_a_after()'s and
+    // the fork-profile hash lookups out of the event path.
+    ws.as_rem_after.assign(n, SimTime::zero());
+    ws.as_alt.assign(n, nullptr);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if ((ctx.flags[v] & (kNodeFlagOrNode | kNodeFlagOrFork)) == 0) continue;
+      const NodeId id{v};
+      ws.as_rem_after[v] = off.rem_a_after(id);
+      if (off.has_fork_profile(id))
+        ws.as_alt[v] = off.fork_profile(id).rem_a_alt.data();
+    }
+  }
+
+  // Per-lane reset (the scalar engine's per-run reset, amortized: the
+  // ready set's initial content and the initial level are batch
+  // constants, computed once and copied per lane).
+  for (std::size_t l = 0; l < lanes; ++l) {
+    BatchWorkspace::LaneScalars& s = ws.lane[l];
+    // Ledger reset through the previous batch's touched lists (full zero
+    // happened in ensure() when the geometry was first set up).
+    {
+      std::uint64_t* busy_row = ws.busy_ps.data() + l * ws.sl;
+      std::uint64_t* compute_row = ws.compute_ps.data() + l * ws.sl;
+      std::uint8_t* flag_row = ws.level_touched.data() + l * ws.sl;
+      const std::uint32_t* tl = ws.touched_levels.data() + l * ws.sl;
+      for (std::uint32_t i = 0; i < s.touched_levels_n; ++i) {
+        busy_row[tl[i]] = 0;
+        compute_row[tl[i]] = 0;
+        flag_row[tl[i]] = 0;
+      }
+      std::uint64_t* trans_row = ws.transitions.data() + l * ws.sll;
+      const std::uint32_t* tt = ws.touched_transitions.data() + l * ws.sll;
+      for (std::uint32_t i = 0; i < s.touched_trans_n; ++i)
+        trans_row[tt[i]] = 0;
+    }
+    s = BatchWorkspace::LaneScalars{};
+    s.ready_n = init_ready_n;
+    if (pc == PolicyClass::Adaptive) s.as_floor_lvl = ctx.as_floor0_lvl;
+    std::memcpy(ws.nup.data() + l * ws.sn, ctx.nup_init.data(),
+                n * sizeof(std::uint32_t));
+    std::memcpy(ws.ready_words.data() + l * ws.sw,
+                ws.ready_init_words.data(),
+                ctx.nwords * sizeof(std::uint64_t));
+    std::memcpy(ws.ready_node.data() + l * ws.sn,
+                ws.ready_init_nodes.data(), n * sizeof(std::uint32_t));
+    std::uint32_t* lvlrow = ws.cpu_level.data() + l * ws.sc;
+    std::uint8_t* sleeprow = ws.cpu_sleep.data() + l * ws.sc;
+    std::int64_t* busyrow = ws.cpu_busy.data() + l * ws.sc;
+    for (std::uint32_t cpu = 0; cpu < ctx.ncpus; ++cpu) {
+      lvlrow[cpu] = static_cast<std::uint32_t>(ctx.initial_level);
+      sleeprow[cpu] = 0;
+      busyrow[cpu] = 0;
+    }
+    if (trace) ws.traces[l].clear();
+  }
+
+  const bool counters =
+      options.lane_cells != nullptr || options.shared_cell != nullptr;
+  switch (pc) {
+    case PolicyClass::Static:
+      run_class<PolicyClass::Static>(ctx, ws, lanes, counters, trace);
+      break;
+    case PolicyClass::Gss:
+      run_class<PolicyClass::Gss>(ctx, ws, lanes, counters, trace);
+      break;
+    case PolicyClass::StaticSpec:
+      run_class<PolicyClass::StaticSpec>(ctx, ws, lanes, counters, trace);
+      break;
+    case PolicyClass::Adaptive:
+      run_class<PolicyClass::Adaptive>(ctx, ws, lanes, counters, trace);
+      break;
+  }
+}
+
+}  // namespace paserta

@@ -1,0 +1,186 @@
+// Batched SoA simulation engine: B scenarios of one compiled graph in
+// lockstep (DESIGN.md §14).
+//
+// The Monte-Carlo harness evaluates thousands of independent runs of the
+// *same* (application, offline result, power model, scheme) tuple; the
+// scalar engine pays the whole per-run fixed cost — policy construction
+// and reset, input validation, virtual policy dispatch, per-level
+// overhead-table derivation — once per simulation. simulate_batch pays it
+// once per *batch* and keeps all per-run mutable state in lane-major
+// structure-of-arrays slabs (64-byte aligned, one contiguous row per
+// lane): NUP counters, ready-queue keys, outstanding-completion keys,
+// per-CPU levels and busy clocks, and the energy-attribution ledger. The
+// dispatch loop walks the lanes in lockstep — one completion event per
+// active lane per round — with a compacted active-lane list, so divergent
+// lanes (different OR outcomes, staggered completions) simply retire from
+// the list early; shared read-only tables (EO/EET/WCET/CSR successors,
+// level powers, the precomputed per-level compute-overhead table) stay hot
+// across every lane.
+//
+// The scalar engine remains the oracle: simulate_batch reproduces
+// SimResult energies, degenerate flags, counters and the attribution
+// ledger run-for-run, bit-identical. Per-lane work is the identical
+// integer arithmetic in the identical order; the only floating-point —
+// the end-of-run ledger fold — is the same canonical fold over the same
+// sorted touched-entry lists. Scenarios arrive through a ScenarioBatch
+// slab filled lane-by-lane from each run's own Rng stream, so the RNG
+// contract is untouched. Policies are devirtualized per scheme class
+// (static / GSS / static-speculation / adaptive); their parameters are
+// extracted from a freshly reset real policy object, and the adaptive
+// floor is per-lane state updated by the same OR-fire rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "core/offline.h"
+#include "core/policy.h"
+#include "graph/program.h"
+#include "obs/metrics.h"
+#include "power/power_model.h"
+#include "sim/engine.h"
+#include "sim/sampler.h"
+
+namespace paserta {
+
+/// Batch-wide simulation knobs (the batched analogue of SimOptions).
+struct BatchSimOptions {
+  /// Record one TaskRecord per dispatched node into each lane's
+  /// SimResult::trace (audit mode needs per-run traces).
+  bool record_trace = false;
+  /// Per-lane self-audit: assert the attribution ledger's integer
+  /// time-conservation invariant at every lane's end of run.
+  bool audit = false;
+  /// Per-lane telemetry cells, an array of at least `lanes` entries: lane
+  /// l's counters and ledger are exported into lane_cells[l] exactly as
+  /// the scalar engine exports into SimOptions::counters. Null = see
+  /// shared_cell.
+  SimCounters* lane_cells = nullptr;
+  /// Shared telemetry cell used when lane_cells is null: all lanes export
+  /// into it in lane order (integer adds — totals match per-run export).
+  /// Null = counting off.
+  SimCounters* shared_cell = nullptr;
+};
+
+/// Reusable lane-major SoA state of simulate_batch. All mutable per-lane
+/// arrays live here as contiguous slabs with cache-line-aligned rows;
+/// buffers grow to the high-water mark and are reused. Treat the members
+/// as engine-internal: construct once per worker and pass to
+/// simulate_batch.
+class BatchWorkspace {
+ public:
+  BatchWorkspace() = default;
+
+  // --- Everything below is internal to sim/batch_engine.cpp. ---
+
+  /// Grows the slabs for `lanes` lanes of an `nodes`-node graph on `cpus`
+  /// processors and `levels` voltage levels. Zeroes the ledger slabs when
+  /// the geometry changes (rows remap under new strides, so stale values
+  /// from a previous geometry must not survive).
+  void ensure(std::size_t lanes, std::size_t nodes, std::size_t cpus,
+              std::size_t levels, bool trace);
+
+  template <typename T>
+  using Slab = std::vector<T, CacheAlignedAlloc<T>>;
+
+  // Geometry of the current slabs.
+  std::size_t lanes = 0, nodes = 0, cpus = 0, levels = 0;
+  std::size_t sn = 0;   // per-lane stride of node-indexed u32/u64 rows
+  std::size_t sc = 0;   // per-lane stride of cpu-indexed rows
+  std::size_t sl = 0;   // per-lane stride of level-indexed rows
+  std::size_t sll = 0;  // per-lane stride of (level x level) rows
+  std::size_t sw = 0;   // per-lane stride of ready-bitmap words
+
+  // Per-lane node state. The ready set is a bitmap over execution order:
+  // on any single run path EO values are unique (EO ranges only overlap
+  // across mutually exclusive OR alternatives), so "lowest set bit" is
+  // exactly the scalar engine's sorted-key pop order, with O(1) insert.
+  // ready_node maps a set bit's EO back to its node id; entries are
+  // written at insert time, so a stale value is never read.
+  Slab<std::uint32_t> nup;          // [lanes][sn]
+  Slab<std::uint64_t> ready_words;  // [lanes][sw] EO-indexed bitmap
+  Slab<std::uint32_t> ready_node;   // [lanes][sn] EO -> node id
+  // Outstanding completions (at most one per CPU), parallel key/payload.
+  Slab<std::int64_t> ev_finish;  // [lanes][sc]
+  Slab<std::uint64_t> ev_seq;    // [lanes][sc]
+  Slab<std::uint64_t> ev_meta;   // [lanes][sc]
+  // Per-CPU state.
+  Slab<std::uint32_t> cpu_level;   // [lanes][sc]
+  Slab<std::uint8_t> cpu_sleep;    // [lanes][sc]
+  Slab<std::int64_t> cpu_busy;     // [lanes][sc]
+  // Attribution ledger.
+  Slab<std::uint64_t> busy_ps;     // [lanes][sl]
+  Slab<std::uint64_t> compute_ps;  // [lanes][sl]
+  Slab<std::uint64_t> transitions; // [lanes][sll]
+  Slab<std::uint32_t> touched_levels;       // [lanes][sl]
+  Slab<std::uint8_t> level_touched;         // [lanes][sl]
+  Slab<std::uint32_t> touched_transitions;  // [lanes][sll]
+  // Per-lane scalar state, packed so one event turn touches one cache
+  // line instead of a dozen slabs.
+  struct alignas(64) LaneScalars {
+    std::uint32_t ready_n = 0;
+    std::uint32_t ev_n = 0;
+    std::uint32_t neo = 0;
+    std::uint32_t activated = 0;
+    std::uint32_t completed = 0;
+    std::uint32_t dispatched = 0;
+    std::uint32_t speed_changes = 0;
+    std::uint32_t touched_levels_n = 0;
+    std::uint32_t touched_trans_n = 0;
+    std::uint32_t as_floor_lvl = 0;  // adaptive floor as a level index
+    std::uint64_t seq = 0;
+    std::int64_t last_activity = 0;
+  };
+  Slab<LaneScalars> lane;      // [lanes]
+  Slab<std::uint32_t> active;  // compacted active-lane list
+  // Per-lane traces (only sized when tracing).
+  std::vector<std::vector<TaskRecord>> traces;
+
+  // --- Batch-shared derived tables, cached across simulate_batch calls
+  // on the identity of their inputs (same discipline as SimWorkspace's
+  // dt_compute cache). ---
+
+  // Per-level speed-computation overhead (engine_core::build_compute_table).
+  std::vector<SimTime> dt_compute;
+  const void* dt_key = nullptr;
+  std::uint32_t dt_cycles = 0;
+  // Exact division-free duration scaling: for each level,
+  // ceil(actual * f_max / freq) via a 2^64 reciprocal plus a <=2-step
+  // fixup — the identical quotient of scale_time's u64 fast path.
+  struct LevelDiv {
+    std::uint64_t magic = 0;  // floor(2^64 / freq)
+    std::uint64_t den1 = 0;   // freq - 1 (ceil rounding addend)
+    Freq freq = 0;
+  };
+  std::vector<LevelDiv> level_div;
+  // Per-node f_max * WCET products for the multiply-compare level walk
+  // (u64; fwork_fits false falls every dispatch back to required_freq).
+  // Rebuilt per simulate_batch call (cheap, and they depend on the
+  // OfflineResult, whose address may be reused across points).
+  std::vector<std::uint64_t> fwork;
+  bool fwork_fits = true;
+  std::uint64_t avail_limit = 0;  // max avail with freq * avail in u64
+  std::uint64_t actual_limit = 0; // max actual with actual*f_max+den-1 in u64
+  // Initial ready-set templates (source nodes, copied per lane) and the
+  // AS remaining-work tables.
+  std::vector<std::uint64_t> ready_init_words;
+  std::vector<std::uint32_t> ready_init_nodes;
+  std::vector<SimTime> as_rem_after;   // per-node E[remaining] (AS)
+  std::vector<const SimTime*> as_alt;  // per-node fork alt table (AS)
+};
+
+/// Simulates `lanes` scenarios of one scheme in lockstep, writing one
+/// SimResult per lane into `results` (an array of at least `lanes`
+/// entries). Lane l consumes row l of `batch`; outputs are bit-identical
+/// to scalar simulate() on the same scenario with a policy built by
+/// make_policy(scheme, popt) and reset once. `off` must match `app` as
+/// for simulate().
+void simulate_batch(const Application& app, const OfflineResult& off,
+                    const PowerModel& pm, const Overheads& overheads,
+                    Scheme scheme, const PolicyOptions& popt,
+                    const ScenarioBatch& batch, std::size_t lanes,
+                    BatchWorkspace& ws, SimResult* results,
+                    const BatchSimOptions& options = {});
+
+}  // namespace paserta

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "common/error.h"
+#include "sim/engine_core.h"
 
 namespace paserta {
 namespace {
@@ -124,7 +125,6 @@ class Engine {
 
  private:
   using Cpu = SimWorkspace::Cpu;
-  using Completion = SimWorkspace::Completion;
 
   void dispatch(int cpu, SimTime t);
   void on_completion(int cpu, NodeId node, SimTime t);
@@ -189,25 +189,19 @@ class Engine {
 };
 
 void Engine::enqueue_ready(NodeId id) {
-  // Keep the queue sorted descending (minimum at the back). New work
-  // usually has the largest EO seen so far, so the scan from the back
-  // typically shifts the whole (tiny) queue or nothing.
-  const std::pair<std::uint32_t, std::uint32_t> entry{eo_[id.value],
-                                                      id.value};
+  // Shared flat-key insert (engine_core): one u64 compare reproduces the
+  // (eo, id) lexicographic order of the pair vector this replaces.
   auto& q = ws_.ready;
-  std::size_t i = q.size();
-  q.emplace_back(entry);
-  while (i > 0 && q[i - 1] < entry) {
-    q[i] = q[i - 1];
-    --i;
-  }
-  q[i] = entry;
+  q.push_back(0);  // grow; ready_insert writes every moved slot
+  std::uint32_t n = static_cast<std::uint32_t>(q.size()) - 1;
+  engine_core::ready_insert(q.data(), n,
+                            engine_core::ready_key(eo_[id.value], id.value));
 }
 
 std::pair<std::uint32_t, std::uint32_t> Engine::pop_ready() {
-  const auto head = ws_.ready.back();
+  const std::uint64_t head = ws_.ready.back();
   ws_.ready.pop_back();
-  return head;
+  return {engine_core::ready_key_eo(head), engine_core::ready_key_id(head)};
 }
 
 void Engine::release_successors(NodeId id) {
@@ -228,10 +222,12 @@ void Engine::release_successors(NodeId id) {
 
 bool Engine::head_dispatchable() const {
   if (ws_.ready.empty()) return false;
-  const auto [eo, idv] = ws_.ready.back();  // minimum of the sorted queue
+  const std::uint64_t head = ws_.ready.back();  // minimum of the sorted queue
+  const std::uint32_t eo = engine_core::ready_key_eo(head);
   if (eo == neo_) return true;
   // OR nodes may jump NEO forward past the EOs of untaken alternatives.
-  return (flags_[idv] & kNodeFlagOrNode) != 0 && eo > neo_;
+  return (flags_[engine_core::ready_key_id(head)] & kNodeFlagOrNode) != 0 &&
+         eo > neo_;
 }
 
 void Engine::wake_one(SimTime t) {
@@ -309,9 +305,10 @@ void Engine::dispatch(int cpu_id, SimTime t) {
     bool switched = false;
 
     if (dynamic_) {
-      // Speed-computation overhead runs at the current frequency.
-      const SimTime dt_compute =
-          cycles_to_time(ovh_.speed_compute_cycles, levels_[lvl].freq);
+      // Speed-computation overhead runs at the current frequency — charged
+      // from the workspace's precomputed per-level table (engine_core),
+      // value-identical to the per-dispatch division it replaces.
+      const SimTime dt_compute = ws_.dt_compute[lvl];
       touch_level(lvl);
       ws_.compute_ps[lvl] += static_cast<std::uint64_t>(dt_compute.ps);
       cpu.busy += dt_compute;
@@ -382,7 +379,10 @@ void Engine::dispatch(int cpu_id, SimTime t) {
       rec.switched = switched;
       ws_.trace.push_back(rec);
     }
-    ws_.events.push_back(Completion{finish, seq_++, cpu_id, id});
+    ws_.ev_finish.push_back(finish.ps);
+    ws_.ev_seq.push_back(seq_++);
+    ws_.ev_meta.push_back(engine_core::completion_meta(
+        static_cast<std::uint32_t>(cpu_id), idv));
 
     // Figure 2 step 5: if another processor sleeps and the (new) head is
     // dispatchable, signal it before executing.
@@ -405,8 +405,21 @@ SimResult Engine::run() {
   // ascending id order, matching the index loop this replaces.
   ws_.nup = off_.nup_init_table();
   ws_.ready.clear();
-  ws_.events.clear();
+  ws_.ev_finish.clear();
+  ws_.ev_seq.clear();
+  ws_.ev_meta.clear();
   ws_.trace.clear();
+  // Per-level compute-overhead table: a pure function of (overheads,
+  // table), rebuilt only when the workspace meets a different pair.
+  if (ws_.dt_key != levels_.data() ||
+      ws_.dt_cycles != ovh_.speed_compute_cycles) {
+    ws_.dt_compute.resize(levels_.size());
+    engine_core::build_compute_table(ovh_.speed_compute_cycles,
+                                     levels_.data(), levels_.size(),
+                                     ws_.dt_compute.data());
+    ws_.dt_key = levels_.data();
+    ws_.dt_cycles = ovh_.speed_compute_cycles;
+  }
   // Attribution ledger reset. A run touches only a few levels and a few
   // transition pairs, so clearing the full tables (an O(L^2) memset for
   // the transition matrix) would dominate short runs; instead the previous
@@ -449,17 +462,24 @@ SimResult Engine::run() {
     }
   }
 
-  while (!ws_.events.empty()) {
+  while (!ws_.ev_finish.empty()) {
     // At most one outstanding completion per CPU, so a linear min-scan
     // beats heap maintenance; (finish, seq) is unique, so the extraction
-    // order matches the heap this replaces.
-    std::size_t min_i = 0;
-    for (std::size_t i = 1; i < ws_.events.size(); ++i)
-      if (ws_.events[min_i] > ws_.events[i]) min_i = i;
-    const Completion e = ws_.events[min_i];
-    ws_.events[min_i] = ws_.events.back();
-    ws_.events.pop_back();
-    on_completion(e.cpu, e.node, e.finish);
+    // order matches the heap this replaces. The scan runs over the shared
+    // flat key arrays (engine_core::completion_min) with swap-removal.
+    const std::uint32_t n = static_cast<std::uint32_t>(ws_.ev_finish.size());
+    const std::uint32_t min_i =
+        engine_core::completion_min(ws_.ev_finish.data(), ws_.ev_seq.data(), n);
+    const SimTime finish{ws_.ev_finish[min_i]};
+    const std::uint64_t meta = ws_.ev_meta[min_i];
+    ws_.ev_finish[min_i] = ws_.ev_finish.back();
+    ws_.ev_seq[min_i] = ws_.ev_seq.back();
+    ws_.ev_meta[min_i] = ws_.ev_meta.back();
+    ws_.ev_finish.pop_back();
+    ws_.ev_seq.pop_back();
+    ws_.ev_meta.pop_back();
+    on_completion(static_cast<int>(engine_core::completion_cpu(meta)),
+                  NodeId{engine_core::completion_node(meta)}, finish);
   }
 
   // Completeness: every node on the taken path must have been dispatched.

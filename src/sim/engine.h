@@ -101,29 +101,30 @@ struct SimWorkspace {
     SimTime busy{};  // total non-idle time (exec + overheads)
   };
 
-  struct Completion {
-    SimTime finish{};
-    std::uint64_t seq = 0;
-    int cpu = -1;
-    NodeId node{};
-    bool operator>(const Completion& o) const {
-      if (finish != o.finish) return finish > o.finish;
-      return seq > o.seq;
-    }
-  };
-
   std::vector<std::uint32_t> nup;
-  // Ready queue keyed on (EO, node id), kept sorted descending so the
-  // minimum sits at the back: pop is O(1), insert shifts the (tiny) tail.
-  // EOs of coexisting ready nodes are unique by construction, the id is a
+  // Ready queue keyed on (EO, node id) packed into one u64
+  // (engine_core::ready_key), kept sorted descending so the minimum sits
+  // at the back: pop is O(1), insert shifts the (tiny) tail. EOs of
+  // coexisting ready nodes are unique by construction, the id is a
   // deterministic safety net; the unique total order makes the pop
-  // sequence identical to the binary heap this replaces.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> ready;
-  // Outstanding completions, at most one per CPU: extracted by linear
-  // min-scan on (finish, seq), which is unique, so extraction order is
-  // deterministic regardless of layout.
-  std::vector<Completion> events;
+  // sequence identical to the binary heap this replaces. The same flat
+  // layout and helpers back the batched engine's per-lane queues.
+  std::vector<std::uint64_t> ready;
+  // Outstanding completions, at most one per CPU, as parallel flat arrays:
+  // the comparator keys (finish, seq — unique) are scanned by
+  // engine_core::completion_min and the payload (cpu, node) rides in
+  // ev_meta. Extraction order is deterministic regardless of layout.
+  std::vector<std::int64_t> ev_finish;
+  std::vector<std::uint64_t> ev_seq;
+  std::vector<std::uint64_t> ev_meta;
   std::vector<Cpu> cpus;
+  // Per-level speed-computation overhead cache
+  // (cycles_to_time(speed_compute_cycles, level freq) — a pure function of
+  // the table), rebuilt only when the workspace meets a different power
+  // table or overhead config.
+  std::vector<SimTime> dt_compute;
+  const void* dt_key = nullptr;      // identity of the cached level table
+  std::uint32_t dt_cycles = 0;       // cached speed_compute_cycles
   std::vector<TaskRecord> trace;
   // Energy-attribution ledger of the current run: task time and
   // speed-computation time per voltage level (picoseconds), transition

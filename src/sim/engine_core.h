@@ -1,0 +1,92 @@
+// Flat-array primitives shared by the scalar engine (sim/engine.cpp) and
+// the batched engine (sim/batch_engine.cpp). Both engines must extract
+// work in the identical total order, so the comparator keys live in plain
+// arrays both layouts can host:
+//
+//  * Ready queue — keyed on (EO, node id), two u32s packed into one u64 so
+//    a single integer compare reproduces the lexicographic pair order. The
+//    queue is kept sorted descending (minimum at the back): pop is O(1)
+//    and the insert shifts only the (tiny) tail, exactly the discipline
+//    the scalar engine's pair<eo,id> vector used — the pop sequence is
+//    unchanged.
+//  * Completion queue — parallel arrays keyed on (finish, seq), which is
+//    unique (seq increments per dispatch), extracted by linear min-scan
+//    with swap-remove. At most one outstanding completion per CPU, so the
+//    scan beats heap maintenance at any realistic CPU count, and the
+//    payload (cpu, node — two u32s in one u64) stays out of the scanned
+//    key arrays.
+//  * Speed-computation overhead table — cycles_to_time(cycles, f) is a
+//    pure function of the level table, so both engines charge dynamic
+//    dispatches from one precomputed per-level array instead of dividing
+//    per dispatch (identical values by construction).
+//
+// Callers guarantee capacity: ready holds at most one entry per node,
+// completions at most one per CPU.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "power/level_table.h"
+
+namespace paserta {
+namespace engine_core {
+
+inline std::uint64_t ready_key(std::uint32_t eo, std::uint32_t id) {
+  return (static_cast<std::uint64_t>(eo) << 32) | id;
+}
+inline std::uint32_t ready_key_eo(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+inline std::uint32_t ready_key_id(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key);
+}
+
+/// Inserts into a descending-sorted key array of size `n` (capacity must
+/// allow n+1). New work usually carries the largest EO seen so far, so the
+/// backward shift typically moves the whole (tiny) tail or nothing.
+inline void ready_insert(std::uint64_t* q, std::uint32_t& n,
+                         std::uint64_t key) {
+  std::uint32_t i = n++;
+  while (i > 0 && q[i - 1] < key) {
+    q[i] = q[i - 1];
+    --i;
+  }
+  q[i] = key;
+}
+
+/// Index of the minimum (finish, seq) among `n` completions. (finish, seq)
+/// is unique, so the extraction order is deterministic regardless of how
+/// swap-removal has permuted the arrays.
+inline std::uint32_t completion_min(const std::int64_t* finish,
+                                    const std::uint64_t* seq,
+                                    std::uint32_t n) {
+  std::uint32_t min_i = 0;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (finish[i] < finish[min_i] ||
+        (finish[i] == finish[min_i] && seq[i] < seq[min_i]))
+      min_i = i;
+  }
+  return min_i;
+}
+
+inline std::uint64_t completion_meta(std::uint32_t cpu, std::uint32_t node) {
+  return (static_cast<std::uint64_t>(cpu) << 32) | node;
+}
+inline std::uint32_t completion_cpu(std::uint64_t meta) {
+  return static_cast<std::uint32_t>(meta >> 32);
+}
+inline std::uint32_t completion_node(std::uint64_t meta) {
+  return static_cast<std::uint32_t>(meta);
+}
+
+/// Fills `out[l] = cycles_to_time(cycles, levels[l].freq)` for every level.
+/// `out` must hold `nlevels` entries.
+inline void build_compute_table(std::uint32_t cycles, const Level* levels,
+                                std::size_t nlevels, SimTime* out) {
+  for (std::size_t l = 0; l < nlevels; ++l)
+    out[l] = cycles_to_time(cycles, levels[l].freq);
+}
+
+}  // namespace engine_core
+}  // namespace paserta

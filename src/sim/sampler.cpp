@@ -84,6 +84,31 @@ void ScenarioSampler::draw_into(Rng& rng, RunScenario& out) const {
   }
 }
 
+void ScenarioSampler::draw_into(Rng& rng, ScenarioBatch& out,
+                                std::size_t lane) const {
+  const std::size_t n = template_actual_.size();
+  PASERTA_ASSERT(out.nodes() == n,
+                 "scenario batch sized for " << out.nodes()
+                                             << " nodes, sampler compiled for "
+                                             << n);
+  SimTime* actual = out.lane_actual(lane);
+  int* choice = out.lane_choice(lane);
+  std::copy(template_actual_.begin(), template_actual_.end(), actual);
+  std::copy(template_choice_.begin(), template_choice_.end(), choice);
+  const double* weights = weights_.data();
+  for (const Op& op : ops_) {
+    if (op.fork < 0) {
+      double x = rng.next_normal(op.mean, op.sigma);
+      x = std::clamp(x, op.lo, op.hi);
+      actual[op.node] = SimTime{static_cast<std::int64_t>(x + 0.5)};
+    } else {
+      const Fork& f = forks_[static_cast<std::size_t>(op.fork)];
+      choice[op.node] = static_cast<int>(rng.next_discrete_prenorm(
+          std::span<const double>{weights + f.first, f.count}, f.total));
+    }
+  }
+}
+
 RunScenario ScenarioSampler::draw(Rng& rng) const {
   RunScenario sc;
   draw_into(rng, sc);

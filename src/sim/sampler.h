@@ -25,11 +25,54 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "sim/scenario.h"
 
 namespace paserta {
+
+/// Lane-major scenario slab for the batched engine (sim/batch_engine.h):
+/// B runs' actual times and OR choices in contiguous 64-byte-aligned
+/// arrays, one row per lane, row stride padded to a cache line so every
+/// lane row starts aligned. Filled lane by lane through
+/// ScenarioSampler::draw_into(rng, batch, lane) — each lane consumes its
+/// own per-run Rng exactly as the RunScenario path does, so lane rows are
+/// bit-identical to the scalar draws they replace.
+struct ScenarioBatch {
+  std::vector<SimTime, CacheAlignedAlloc<SimTime>> actual;
+  std::vector<int, CacheAlignedAlloc<int>> or_choice;
+
+  /// Grows the slab to `lanes` rows of `nodes` entries (never shrinks).
+  void ensure(std::size_t lanes, std::size_t nodes) {
+    nodes_ = nodes;
+    actual_stride_ = aligned_stride<SimTime>(nodes);
+    choice_stride_ = aligned_stride<int>(nodes);
+    if (actual.size() < lanes * actual_stride_)
+      actual.resize(lanes * actual_stride_);
+    if (or_choice.size() < lanes * choice_stride_)
+      or_choice.resize(lanes * choice_stride_);
+  }
+
+  std::size_t nodes() const { return nodes_; }
+  SimTime* lane_actual(std::size_t lane) {
+    return actual.data() + lane * actual_stride_;
+  }
+  const SimTime* lane_actual(std::size_t lane) const {
+    return actual.data() + lane * actual_stride_;
+  }
+  int* lane_choice(std::size_t lane) {
+    return or_choice.data() + lane * choice_stride_;
+  }
+  const int* lane_choice(std::size_t lane) const {
+    return or_choice.data() + lane * choice_stride_;
+  }
+
+ private:
+  std::size_t nodes_ = 0;
+  std::size_t actual_stride_ = 0;
+  std::size_t choice_stride_ = 0;
+};
 
 class ScenarioSampler {
  public:
@@ -44,6 +87,12 @@ class ScenarioSampler {
   /// the first call). Bit-identical results and RNG stream to
   /// draw_scenario(g, rng, out) for the same RNG state.
   void draw_into(Rng& rng, RunScenario& out) const;
+
+  /// Draws a scenario into row `lane` of a batch slab: the identical
+  /// template copy + stochastic-op walk as the RunScenario overload, on
+  /// the identical RNG stream, writing through the slab's lane pointers.
+  /// The slab must have been ensure()d for this sampler's node count.
+  void draw_into(Rng& rng, ScenarioBatch& out, std::size_t lane) const;
 
   /// Convenience allocating overload, mirroring draw_scenario's.
   RunScenario draw(Rng& rng) const;

@@ -38,16 +38,14 @@ std::string render_csv(const FigureDef& fig,
   return os.str();
 }
 
-TEST(ThreadScalingBitIdentity, Fig4aSweepMatchesUnpooledReference) {
-  const FigureDef fig = paper_figure("fig4a", kRuns);
-  const Application app = figure_workload(fig);
-
-  // Unpooled reference: the pre-pool execution model (fresh strided
-  // std::thread set, fresh offline analysis, legacy per-run draw_scenario
-  // walk), serial, with observability and audit off. Everything the
-  // pooled path layers on top — persistent pool, chunk claiming, staging
-  // merge, offline cache, compiled samplers, audit, metrics — must be
-  // unobservable against this.
+// Unpooled reference: the pre-pool execution model (fresh strided
+// std::thread set, fresh offline analysis, legacy per-run draw_scenario
+// walk), serial, with observability and audit off. Everything the pooled
+// path layers on top — persistent pool, chunk claiming, staging merge,
+// offline cache, compiled samplers, the batched engine, audit, metrics —
+// must be unobservable against this.
+std::string unpooled_reference_csv(const FigureDef& fig,
+                                   const Application& app) {
   ExperimentConfig ref_cfg = fig.config;
   ref_cfg.threads = 1;
   const SimTime w = canonical_worst_makespan(
@@ -59,7 +57,13 @@ TEST(ThreadScalingBitIdentity, Fig4aSweepMatchesUnpooledReference) {
         std::ceil(static_cast<double>(w.ps) / load))};
     ref_points.push_back(run_point_unpooled(app, ref_cfg, deadline, load));
   }
-  const std::string ref_csv = render_csv(fig, ref_points);
+  return render_csv(fig, ref_points);
+}
+
+TEST(ThreadScalingBitIdentity, Fig4aSweepMatchesUnpooledReference) {
+  const FigureDef fig = paper_figure("fig4a", kRuns);
+  const Application app = figure_workload(fig);
+  const std::string ref_csv = unpooled_reference_csv(fig, app);
   ASSERT_FALSE(ref_csv.empty());
 
   for (int threads : {1, 2, 4}) {
@@ -77,6 +81,35 @@ TEST(ThreadScalingBitIdentity, Fig4aSweepMatchesUnpooledReference) {
       const std::string csv = render_csv(fig, sweep_load(app, cfg, fig.xs));
       SCOPED_TRACE(testing::Message()
                    << "threads=" << threads << " chunk_runs=" << chunk);
+      EXPECT_EQ(csv, ref_csv);
+    }
+  }
+}
+
+// The batched engine (sim/batch_engine.h) under the same contract: the
+// rendered fig4a sweep must stay byte-identical to the unpooled reference
+// at every (thread count x batch size), with audit and metrics on. Batch
+// sizes cover forced scalar (1), a small size that leaves sub-batch
+// remainders wherever a claimed chunk's run count is not a multiple of 8,
+// auto (0), and lanes = the whole point.
+TEST(ThreadScalingBitIdentity, Fig4aSweepIdenticalAcrossBatchSizes) {
+  const FigureDef fig = paper_figure("fig4a", kRuns);
+  const Application app = figure_workload(fig);
+  const std::string ref_csv = unpooled_reference_csv(fig, app);
+  ASSERT_FALSE(ref_csv.empty());
+
+  for (int threads : {1, 2, 4}) {
+    for (int batch : {1, 8, 0, kRuns}) {
+      ExperimentConfig cfg = fig.config;
+      cfg.threads = threads;
+      cfg.batch = batch;
+      cfg.audit = true;
+      cfg.collect_metrics = true;
+      MetricsRegistry reg;
+      cfg.registry = &reg;
+      const std::string csv = render_csv(fig, sweep_load(app, cfg, fig.xs));
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
       EXPECT_EQ(csv, ref_csv);
     }
   }

@@ -8,7 +8,8 @@
 // "dirty" provenance flag is absent or false — and compares every
 // throughput series between them, matched by thread count:
 //
-//   point.samples[].runs_per_sec          (Monte-Carlo hot loop)
+//   point.samples[].runs_per_sec          (Monte-Carlo hot loop, by threads)
+//   batch.samples[].runs_per_sec          (batched engine, by batch size)
 //   sweep.samples[].pooled_points_per_sec (whole-sweep pooled path)
 //
 // A drop larger than the threshold (default 5 %) in any matched series is a
@@ -23,7 +24,11 @@
 // must not fall below the floor, so thread scaling can never silently
 // regress back to ~1x while absolute throughput stays flat. Entries
 // without host_threads provenance (recorded before it existed) skip the
-// gate with a note.
+// gate with a note. It is also held to a batched-engine floor
+// (--batch-floor, default 1.0): in the batch section, the auto batch size
+// (batch=0) must run at least that multiple of the forced-scalar (batch=1)
+// runs/sec — the two share one invocation, so the ratio is host-speed
+// independent. Entries without a batch section skip this gate with a note.
 //
 // Exit status: without --check always 0 (report mode, for humans). With
 // --check: 1 on a regression, 0 otherwise — including when fewer than two
@@ -50,12 +55,13 @@ struct Args {
   bool check = false;
   double threshold_pct = 5.0;
   double efficiency_floor = 0.5;
+  double batch_floor = 1.0;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: bench_compare [HISTORY] [--check] [--threshold PCT]\n"
-               "                     [--efficiency-floor F]\n"
+               "                     [--efficiency-floor F] [--batch-floor F]\n"
                "\n"
                "  HISTORY          throughput history file (default\n"
                "                   BENCH_throughput.json)\n"
@@ -70,7 +76,13 @@ struct Args {
                "                   newest entry's max thread count, after\n"
                "                   normalizing by the recording host's\n"
                "                   min(threads, host_threads) (default 0.5;\n"
-               "                   0 disables the gate)\n";
+               "                   0 disables the gate)\n"
+               "  --batch-floor F  minimum batched-over-scalar speedup in\n"
+               "                   the newest entry's batch section (auto\n"
+               "                   batch runs/sec over batch=1 runs/sec;\n"
+               "                   default 1.0; 0 disables the gate;\n"
+               "                   entries without a batch section skip it\n"
+               "                   with a note)\n";
   std::exit(2);
 }
 
@@ -106,6 +118,12 @@ Args parse_args(int argc, char** argv) {
       a.efficiency_floor = std::strtod(v.c_str(), &end);
       if (end == v.c_str() || *end != '\0' || !(a.efficiency_floor >= 0.0))
         usage("--efficiency-floor needs a non-negative number");
+    } else if (flag == "--batch-floor") {
+      char* end = nullptr;
+      const std::string v = value("--batch-floor");
+      a.batch_floor = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || !(a.batch_floor >= 0.0))
+        usage("--batch-floor needs a non-negative number");
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else if (flag.rfind("--", 0) == 0) {
@@ -154,30 +172,33 @@ struct Series {
 };
 
 /// Flattens one entry's throughput series: every sample of `section` keyed
-/// by thread count, reading `field`.
-void collect(const JsonValue& entry, const char* section, const char* field,
-             std::vector<Series>& out) {
+/// by `key` (the per-sample discriminator — thread count for the point and
+/// sweep sections, requested batch size for the batch section), reading
+/// `field`.
+void collect(const JsonValue& entry, const char* section, const char* key,
+             const char* field, std::vector<Series>& out) {
   const JsonValue* sec = entry.find(section);
   if (sec == nullptr || !sec->is_object()) return;
   const JsonValue* samples = sec->find("samples");
   if (samples == nullptr || !samples->is_array()) return;
   for (const JsonValue& s : samples->array) {
-    const JsonValue* threads = s.find("threads");
+    const JsonValue* k = s.find(key);
     const JsonValue* v = s.find(field);
-    if (threads == nullptr || v == nullptr ||
+    if (k == nullptr || k->type != JsonValue::Type::Number || v == nullptr ||
         v->type != JsonValue::Type::Number)
       continue;
     std::ostringstream name;
-    name << section << "." << field << "@threads="
-         << static_cast<long long>(threads->number);
+    name << section << "." << field << "@" << key << "="
+         << static_cast<long long>(k->number);
     out.push_back({name.str(), v->number});
   }
 }
 
 std::vector<Series> collect_entry(const JsonValue& entry) {
   std::vector<Series> out;
-  collect(entry, "point", "runs_per_sec", out);
-  collect(entry, "sweep", "pooled_points_per_sec", out);
+  collect(entry, "point", "threads", "runs_per_sec", out);
+  collect(entry, "batch", "batch", "runs_per_sec", out);
+  collect(entry, "sweep", "threads", "pooled_points_per_sec", out);
   return out;
 }
 
@@ -235,6 +256,47 @@ bool efficiency_gate_ok(const JsonValue& entry, std::size_t index,
             << static_cast<long long>(best_threads) << ": raw " << raw
             << ", host_threads " << static_cast<long long>(host->number)
             << " -> normalized " << normalized << " (floor " << floor
+            << ")\n";
+  return ok;
+}
+
+/// Batched-engine gate on one entry: the auto batch size (batch == 0) must
+/// deliver at least `floor` times the forced-scalar (batch == 1) runs/sec
+/// in the entry's batch section. Both measurements come from the same
+/// bench invocation, so the ratio cancels host speed and isolates engine
+/// overhead — the batched path is bit-identical to the scalar oracle, so
+/// anything below 1.0 is pure loss. Returns false on a violation.
+bool batch_gate_ok(const JsonValue& entry, std::size_t index, double floor) {
+  if (!(floor > 0.0)) return true;  // disabled
+  const JsonValue* batch = entry.find("batch");
+  const JsonValue* samples =
+      batch != nullptr && batch->is_object() ? batch->find("samples") : nullptr;
+  if (samples == nullptr || !samples->is_array()) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " has no batch section — batch gate skipped\n";
+    return true;
+  }
+  const double* scalar = nullptr;
+  const double* batched = nullptr;
+  for (const JsonValue& s : samples->array) {
+    const JsonValue* b = s.find("batch");
+    const JsonValue* v = s.find("runs_per_sec");
+    if (b == nullptr || b->type != JsonValue::Type::Number || v == nullptr ||
+        v->type != JsonValue::Type::Number)
+      continue;
+    if (b->number == 1.0) scalar = &v->number;
+    if (b->number == 0.0) batched = &v->number;
+  }
+  if (scalar == nullptr || batched == nullptr || !(*scalar > 0.0)) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " lacks batch=1 / batch=0 samples — batch gate skipped\n";
+    return true;
+  }
+  const double speedup = *batched / *scalar;
+  const bool ok = speedup >= floor;
+  std::cout << "  " << (ok ? "ok" : "REGRESSION")
+            << "  batch.runs_per_sec@batch=0 over @batch=1: " << *batched
+            << " / " << *scalar << " -> " << speedup << "x (floor " << floor
             << ")\n";
   return ok;
 }
@@ -317,8 +379,14 @@ int main(int argc, char** argv) {
   const bool efficiency_ok =
       efficiency_gate_ok(*candidate, candidate_idx, args.efficiency_floor);
   if (!efficiency_ok) ++regressions;
+  // Batched-engine gate, also newest-entry-only: the batched and scalar
+  // numbers share one bench invocation, so a floor on their ratio is
+  // host-independent in a way a cross-entry delta is not.
+  const bool batch_ok =
+      batch_gate_ok(*candidate, candidate_idx, args.batch_floor);
+  if (!batch_ok) ++regressions;
 
-  if (compared == 0 && efficiency_ok) {
+  if (compared == 0 && efficiency_ok && batch_ok) {
     std::cout << "note: no matching throughput series between the two "
                  "entries\n";
     return 0;
@@ -326,10 +394,11 @@ int main(int argc, char** argv) {
   if (regressions > 0) {
     std::cout << regressions << " series regressed (threshold "
               << args.threshold_pct << "%, efficiency floor "
-              << args.efficiency_floor << ")\n";
+              << args.efficiency_floor << ", batch floor " << args.batch_floor
+              << ")\n";
     return args.check ? 1 : 0;
   }
   std::cout << "all " << compared
-            << " series within threshold; efficiency floor met\n";
+            << " series within threshold; efficiency and batch floors met\n";
   return 0;
 }

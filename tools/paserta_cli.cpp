@@ -28,6 +28,8 @@
 //   --json             emit JSON instead of CSV
 //   --threads N        worker threads for the Monte-Carlo loop (default 1;
 //                      results are bit-identical for any value)
+//   --batch B          scenarios per batched engine call (0 = auto, 1 =
+//                      force the scalar engine; output identical either way)
 //   --trace-out FILE   write a Chrome/Perfetto trace of the sweep (open in
 //                      ui.perfetto.dev or chrome://tracing)
 //   --metrics-out DEST write engine + pool metrics to DEST ("-" = stdout)
@@ -87,6 +89,7 @@ struct Options {
   double from = 0.1, to = 1.0, step = 0.1;
   bool json = false;
   int threads = 1;
+  int batch = 0;
   std::string trace_out;
   std::string metrics_out;
   std::string metrics_format = "json";
@@ -127,6 +130,10 @@ struct Options {
       "  --from F --to T --step S   sweep range (default 0.1..1.0 step 0.1)\n"
       "  --json              emit JSON instead of CSV\n"
       "  --threads N         worker threads (default 1; output identical\n"
+      "                      for any value)\n"
+      "  --batch B           scenarios per batched engine call (default 0 =\n"
+      "                      auto; 1 forces the scalar engine; the batched\n"
+      "                      engine is bit-identical, so output is the same\n"
       "                      for any value)\n"
       "  --trace-out FILE    Chrome/Perfetto trace of the sweep (open in\n"
       "                      ui.perfetto.dev)\n"
@@ -188,6 +195,10 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--json") o.json = true;
     else if (flag == "--threads")
       o.threads = std::stoi(need_value("--threads"));
+    else if (flag == "--batch") {
+      o.batch = std::stoi(need_value("--batch"));
+      if (o.batch < 0) usage("--batch must be >= 0");
+    }
     else if (flag == "--trace-out") o.trace_out = need_value("--trace-out");
     else if (flag == "--metrics-out")
       o.metrics_out = need_value("--metrics-out");
@@ -353,6 +364,7 @@ int cmd_sweep(const Options& o) {
   cfg.runs = o.runs;
   cfg.seed = o.seed;
   cfg.threads = o.threads;
+  cfg.batch = o.batch;
   cfg.heuristic = heuristic_of(o);
   cfg.audit = o.audit;
 
