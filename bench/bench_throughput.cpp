@@ -6,6 +6,10 @@
 //   batch  runs/sec of the same point, single-threaded, across a batch-size
 //          ladder (1 = scalar engine forced, 0 = auto) — the batched
 //          engine's speedup over its scalar oracle, gated by bench_compare;
+//   dedup  runs/sec of the ATR point at alpha = 1 (discrete scenario
+//          space), single-threaded, dedup off vs on across a run-count
+//          ladder — the scenario-dedup cache's speedup and hit rate, gated
+//          by bench_compare --dedup-floor;
 //   sweep  points/sec of a whole 10-point load sweep per thread count,
 //          pooled (persistent pool, chunked claiming, point overlap, one
 //          canonical offline analysis) vs the pre-pool baseline (fresh
@@ -44,6 +48,7 @@
 #include "core/offline.h"
 #include "harness/figures.h"
 #include "harness/throughput.h"
+#include "sim/scenario.h"
 
 namespace {
 
@@ -161,6 +166,20 @@ int main(int argc, char** argv) {
   const BatchThroughputReport batch_report = measure_batch_throughput(
       app, cfg, deadline, {1, 8, 32, 0}, fig.id + "@load=0.5", reps);
 
+  // Scenario-dedup section: the same ATR graph at alpha = 1 (ACET = WCET,
+  // so OR forks are the only randomness and the scenario space collapses
+  // to a handful of fork outcomes), single-threaded, dedup off vs. on
+  // across a run-count ladder. WCETs are untouched, so the deadline is the
+  // same; replay is bit-identical, so the ratio is pure scheduling win.
+  // Dedup pays nothing on the gaussian fig4a workload above (virtually
+  // every scenario is distinct there) — this section measures the regime
+  // the cache exists for, and bench_compare gates its largest-runs speedup.
+  Application dedup_app = app;
+  assign_alpha(dedup_app.graph, 1.0);
+  const DedupThroughputReport dedup_report =
+      measure_dedup_throughput(dedup_app, cfg, deadline, {1000, 10000, 100000},
+                               fig.id + "-alpha1.0@load=0.5", reps);
+
   // Sweep mode: the paper's 10-point §5.1 load grid with short points, so
   // orchestration (thread churn, repeated offline analyses, point
   // serialization) dominates and the executor's win is visible.
@@ -183,6 +202,8 @@ int main(int argc, char** argv) {
   const std::string doc = "{\n\"point\": " + throughput_to_json(point_report) +
                           ",\n\"batch\": " +
                           batch_throughput_to_json(batch_report) +
+                          ",\n\"dedup\": " +
+                          dedup_throughput_to_json(dedup_report) +
                           ",\n\"sweep\": " +
                           sweep_throughput_to_json(sweep_report) +
                           ",\n\"pool\": " + pool_doc + "\n}\n";

@@ -368,7 +368,11 @@ const CanonicalAnalysis& OfflineCache::get(const Application& app,
   key.overhead_budget_ps = options.overhead_budget.ps;
   key.heuristic = options.heuristic;
   const auto it = entries_.find(key);
-  if (it != entries_.end()) return it->second;
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
   return entries_.emplace(key, analyze_canonical(app, options)).first->second;
 }
 

@@ -240,6 +240,14 @@ class OfflineCache {
                                const CanonicalOptions& options);
   std::size_t size() const { return entries_.size(); }
 
+  /// Lifetime get() statistics: lookups served from the cache vs. lookups
+  /// that ran a fresh canonical analysis. Exposed so harness callers can
+  /// export them as offline.cache.{hits,misses} registry counters
+  /// (ExperimentConfig::collect_metrics) instead of relying on the
+  /// canonical_analysis_count() test hook.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
  private:
   struct Key {
     const void* graph = nullptr;
@@ -252,6 +260,8 @@ class OfflineCache {
     std::size_t operator()(const Key& k) const;
   };
   std::unordered_map<Key, CanonicalAnalysis, KeyHash> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace paserta

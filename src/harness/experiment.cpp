@@ -5,9 +5,11 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <type_traits>
+#include <utility>
 
 #include "common/aligned.h"
 #include "common/error.h"
@@ -18,6 +20,7 @@
 #include "obs/trace.h"
 #include "sim/batch_engine.h"
 #include "sim/engine.h"
+#include "sim/fingerprint.h"
 #include "sim/power_trace.h"
 #include "sim/sampler.h"
 #include "sim/scenario.h"
@@ -108,6 +111,200 @@ struct ChunkStage {
 static_assert(std::is_trivially_copyable_v<SchemeOutcome>,
               "ChunkStage::flush memcpys SchemeOutcome rows");
 
+// ---- Scenario-dedup outcome memoization (DESIGN.md §15) -----------------
+//
+// The simulation consumes no randomness: a drawn scenario fully determines
+// every output bit of every scheme. So when two runs draw bit-identical
+// scenarios (equal fingerprints — see ScenarioSampler's key-emitting
+// draw_into), the second run's complete record — NPM energy, degenerate
+// flag, every SchemeOutcome row, every SimCounters cell including the
+// integer attribution ledger — is *copied* from the first instead of
+// re-simulated. The copy lands in the same run-major stage slot and the
+// counters integer-add into the same slot cells, so sums, CSVs, metrics
+// and ledgers stay bit-identical at every thread count and batch size.
+//
+// Sharding mirrors the staging design of §13: each (point, slot) owns a
+// single-threaded OutcomeShard (fingerprint table + id-major record
+// arenas) that its worker consults lock-free on the per-run path; a
+// mutex-protected SharedOutcomes store per point lets slots adopt each
+// other's records — consulted only on a shard-local first encounter, and
+// appended to only in a post-chunk publish, so the lock is off the per-run
+// path entirely.
+
+/// Whether `cfg` resolves to dedup for a point whose compiled sampler
+/// reports `space` distinct scenarios (0 = unbounded).
+bool dedup_for(const ExperimentConfig& cfg, std::uint64_t space) {
+  // Replayed runs perform no engine work, so configurations whose purpose
+  // is per-run engine work keep the uncached path: verify_traces walks
+  // every run's trace, audit re-accounts every run three ways, and a
+  // per-run tracer spans every simulation.
+  if (cfg.verify_traces || cfg.audit) return false;
+  if (cfg.tracer != nullptr && cfg.tracer->detail() == Tracer::Detail::kRuns)
+    return false;
+  switch (cfg.dedup) {
+    case DedupMode::kOff:
+      return false;
+    case DedupMode::kOn:
+      return true;
+    case DedupMode::kAuto:
+      break;
+  }
+  // Auto: only when the scenario space is provably finite and no larger
+  // than the run count, so replay is guaranteed to pay and the cache is
+  // bounded by the space, not the draw count.
+  return space != 0 && space <= static_cast<std::uint64_t>(cfg.runs);
+}
+
+/// Cached outcome records of one (point, slot). Strictly single-threaded:
+/// only the owning slot's worker ever touches it (the cross-thread record
+/// flow goes through SharedOutcomes). Records are stored id-major in flat
+/// arenas parallel to the fingerprint table's dense ids.
+struct OutcomeShard {
+  FingerprintTable table;
+  std::vector<double> npm_energy;        // one per record
+  std::vector<std::uint8_t> degenerate;  // one per record
+  std::vector<SchemeOutcome> rows;       // id-major x nschemes
+  std::vector<SimCounters> cells;        // id-major x (nschemes+1); metrics
+  std::vector<std::uint32_t> pending;    // record ids not yet published
+  std::uint64_t hits = 0;    // runs replayed from a cached record
+  std::uint64_t misses = 0;  // scenarios this shard actually simulated
+
+  explicit OutcomeShard(std::size_t key_words) : table(key_words) {}
+
+  std::uint32_t record_count() const {
+    return static_cast<std::uint32_t>(npm_energy.size());
+  }
+
+  /// Approximate heap footprint (flat arenas + table; the ledger vectors
+  /// inside cached SimCounters are counted at header size only).
+  std::uint64_t bytes() const {
+    return table.bytes() + npm_energy.capacity() * sizeof(double) +
+           degenerate.capacity() +
+           rows.capacity() * sizeof(SchemeOutcome) +
+           cells.capacity() * sizeof(SimCounters) +
+           pending.capacity() * sizeof(std::uint32_t);
+  }
+};
+
+/// One complete record in transit between stores: shared-store reads copy
+/// into this (slot-owned) buffer under the lock, so no simulation or
+/// shard mutation ever happens while the shared mutex is held.
+struct RecordTmp {
+  double npm_energy = 0.0;
+  std::uint8_t degenerate = 0;
+  std::vector<SchemeOutcome> rows;
+  std::vector<SimCounters> cells;  // empty when metrics are off
+};
+
+/// Appends `tmp` as the shard's next record (dense id order: the caller
+/// interned the key and got exactly record_count() as its id).
+void append_record(OutcomeShard& sh, const RecordTmp& tmp, bool metrics) {
+  sh.npm_energy.push_back(tmp.npm_energy);
+  sh.degenerate.push_back(tmp.degenerate);
+  sh.rows.insert(sh.rows.end(), tmp.rows.begin(), tmp.rows.end());
+  if (metrics)
+    sh.cells.insert(sh.cells.end(), tmp.cells.begin(), tmp.cells.end());
+}
+
+/// Appends a new record copied from stage position `i` (the run that was
+/// just simulated there) plus its run-local counter cells.
+void append_record_from_stage(OutcomeShard& sh, const ChunkStage& stage,
+                              std::size_t i, std::size_t nschemes,
+                              const SimCounters* run_cells,
+                              std::size_t ncells) {
+  sh.npm_energy.push_back(stage.npm_energy[i]);
+  sh.degenerate.push_back(stage.degenerate[i]);
+  const SchemeOutcome* row = stage.schemes.data() + i * nschemes;
+  sh.rows.insert(sh.rows.end(), row, row + nschemes);
+  if (run_cells != nullptr)
+    sh.cells.insert(sh.cells.end(), run_cells, run_cells + ncells);
+}
+
+/// Replays cached record `id` into stage position `i`: copies the staged
+/// values and integer-adds the cached counter cells into the slot cells —
+/// exactly the writes re-simulating the scenario would have produced
+/// (copies are bitwise, counter adds are integer and order-independent).
+void replay_record(const OutcomeShard& sh, std::uint32_t id,
+                   ChunkStage& stage, std::size_t i, std::size_t nschemes,
+                   SimCounters* slot_cells, std::size_t ncells) {
+  stage.npm_energy[i] = sh.npm_energy[id];
+  stage.degenerate[i] = sh.degenerate[id];
+  std::copy_n(sh.rows.data() + static_cast<std::size_t>(id) * nschemes,
+              nschemes, stage.schemes.data() + i * nschemes);
+  if (slot_cells != nullptr) {
+    const SimCounters* cell =
+        sh.cells.data() + static_cast<std::size_t>(id) * ncells;
+    for (std::size_t c = 0; c < ncells; ++c) slot_cells[c].add(cell[c]);
+  }
+}
+
+/// Shared per-point publish store: lets one slot adopt a record another
+/// slot already simulated. All access is under `mu`; consulted only on a
+/// shard-local first encounter and appended to per chunk, so contention is
+/// O(distinct scenarios + chunks), never O(runs). Which slot wins a
+/// publish race is output-invisible: both computed bit-identical records.
+struct SharedOutcomes {
+  std::mutex mu;
+  FingerprintTable table;
+  std::vector<double> npm_energy;
+  std::vector<std::uint8_t> degenerate;
+  std::vector<SchemeOutcome> rows;
+  std::vector<SimCounters> cells;
+
+  explicit SharedOutcomes(std::size_t key_words) : table(key_words) {}
+
+  /// Copies the record of `key` into `tmp` when present.
+  bool find_copy(const std::uint64_t* key, std::size_t nschemes,
+                 std::size_t ncells, bool metrics, RecordTmp& tmp) {
+    std::lock_guard<std::mutex> lock(mu);
+    const std::uint32_t id = table.find(key);
+    if (id == FingerprintTable::kNotFound) return false;
+    tmp.npm_energy = npm_energy[id];
+    tmp.degenerate = degenerate[id];
+    const auto r = rows.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(id) * nschemes);
+    tmp.rows.assign(r, r + static_cast<std::ptrdiff_t>(nschemes));
+    if (metrics) {
+      const auto c = cells.begin() + static_cast<std::ptrdiff_t>(
+                                         static_cast<std::size_t>(id) * ncells);
+      tmp.cells.assign(c, c + static_cast<std::ptrdiff_t>(ncells));
+    }
+    return true;
+  }
+
+  /// Publishes the shard's pending records (first writer per key wins).
+  void publish(OutcomeShard& shard, std::size_t nschemes, std::size_t ncells,
+               bool metrics) {
+    if (shard.pending.empty()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::uint32_t id : shard.pending) {
+      bool inserted = false;
+      (void)table.intern(shard.table.key(id), inserted);
+      if (!inserted) continue;  // another slot published this key first
+      // The new dense id equals the arena size: append keeps alignment.
+      npm_energy.push_back(shard.npm_energy[id]);
+      degenerate.push_back(shard.degenerate[id]);
+      const SchemeOutcome* row =
+          shard.rows.data() + static_cast<std::size_t>(id) * nschemes;
+      rows.insert(rows.end(), row, row + nschemes);
+      if (metrics) {
+        const SimCounters* cell =
+            shard.cells.data() + static_cast<std::size_t>(id) * ncells;
+        cells.insert(cells.end(), cell, cell + ncells);
+      }
+    }
+    shard.pending.clear();
+  }
+
+  std::uint64_t bytes() {
+    std::lock_guard<std::mutex> lock(mu);
+    return table.bytes() + npm_energy.capacity() * sizeof(double) +
+           degenerate.capacity() +
+           rows.capacity() * sizeof(SchemeOutcome) +
+           cells.capacity() * sizeof(SimCounters);
+  }
+};
+
 /// Observability context of one run, threaded through evaluate_run by the
 /// worker that owns the slot. Everything may be null/defaulted: a
 /// zero-initialized RunObs makes evaluate_run observation-free.
@@ -151,34 +348,26 @@ void audit_run(const Application& app, const OfflineResult& off,
                            << " J");
 }
 
-/// Evaluates one run on its own seed-derived stream into the caller's
-/// output cells: `npm_energy_out`, `degenerate_out` and the `row` of
-/// cfg.schemes.size() SchemeOutcomes. Every field of every cell is
-/// assigned unconditionally, so callers may hand in reused (stale)
-/// buffers — the pooled path stages chunks through per-slot scratch that
-/// is never cleared. Thread-safe: all shared inputs are const, distinct
-/// runs write distinct cells; policies, the workspace and the scenario
-/// buffer are caller-provided (one set per worker slot), so the loop over
-/// runs performs no heap allocation in steady state. Scenario generation
-/// goes through the precompiled `sampler` when one is given; a null
-/// sampler falls back to the legacy per-run draw_scenario walk
-/// (bit-identical by contract — run_point_unpooled stays on it as the
-/// in-tree reference).
-void evaluate_run(const Application& app, const ExperimentConfig& cfg,
-                  const OfflineResult& off, const PowerModel& pm,
-                  SimTime deadline, const ScenarioSampler* sampler,
-                  std::vector<std::unique_ptr<SpeedPolicy>>& policies,
-                  SpeedPolicy& npm, int run, SimWorkspace& ws,
-                  RunScenario& sc, double& npm_energy_out,
-                  std::uint8_t& degenerate_out, SchemeOutcome* row,
-                  const RunObs& obs = {}) {
-  Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
-  if (sampler != nullptr) {
-    sampler->draw_into(run_rng, sc);
-  } else {
-    draw_scenario(app.graph, run_rng, sc);
-  }
-
+/// Evaluates one already-drawn scenario into the caller's output cells:
+/// `npm_energy_out`, `degenerate_out` and the `row` of cfg.schemes.size()
+/// SchemeOutcomes. Every field of every cell is assigned unconditionally,
+/// so callers may hand in reused (stale) buffers — the pooled path stages
+/// chunks through per-slot scratch that is never cleared. Thread-safe: all
+/// shared inputs are const, distinct runs write distinct cells; policies
+/// and the workspace are caller-provided (one set per worker slot), so the
+/// loop over runs performs no heap allocation in steady state. The
+/// simulation consumes no randomness — a scenario fully determines every
+/// output bit — which is what lets the dedup layer hoist the draw out and
+/// replay cached records for repeated scenarios (DESIGN.md §15). `run` is
+/// only used to label trace spans.
+void evaluate_scenario(const Application& app, const ExperimentConfig& cfg,
+                       const OfflineResult& off, const PowerModel& pm,
+                       SimTime deadline,
+                       std::vector<std::unique_ptr<SpeedPolicy>>& policies,
+                       SpeedPolicy& npm, int run, SimWorkspace& ws,
+                       const RunScenario& sc, double& npm_energy_out,
+                       std::uint8_t& degenerate_out, SchemeOutcome* row,
+                       const RunObs& obs = {}) {
   // Traces are only materialized when something consumes them; the
   // verifying (test) configuration also keeps the engine's debug
   // completeness traversal on, and audit needs per-run traces for the
@@ -256,6 +445,29 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
   }
 }
 
+/// Draw + evaluate of one run on its own seed-derived stream. Scenario
+/// generation goes through the precompiled `sampler` when one is given; a
+/// null sampler falls back to the legacy per-run draw_scenario walk
+/// (bit-identical by contract — run_point_unpooled stays on it as the
+/// in-tree reference).
+void evaluate_run(const Application& app, const ExperimentConfig& cfg,
+                  const OfflineResult& off, const PowerModel& pm,
+                  SimTime deadline, const ScenarioSampler* sampler,
+                  std::vector<std::unique_ptr<SpeedPolicy>>& policies,
+                  SpeedPolicy& npm, int run, SimWorkspace& ws,
+                  RunScenario& sc, double& npm_energy_out,
+                  std::uint8_t& degenerate_out, SchemeOutcome* row,
+                  const RunObs& obs = {}) {
+  Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
+  if (sampler != nullptr) {
+    sampler->draw_into(run_rng, sc);
+  } else {
+    draw_scenario(app.graph, run_rng, sc);
+  }
+  evaluate_scenario(app, cfg, off, pm, deadline, policies, npm, run, ws, sc,
+                    npm_energy_out, degenerate_out, row, obs);
+}
+
 /// Worker-local state, one set per pool slot, reused across every chunk
 /// (and every point) that slot processes. Lazily constructed by the slot's
 /// own thread on its first chunk, so every buffer a worker touches per run
@@ -277,7 +489,12 @@ struct WorkerCtx {
   BatchWorkspace batch_ws;
   ScenarioBatch batch_sc;
   std::vector<SimResult> batch_results;
-  std::vector<SimCounters> batch_cells;  // audit: one cell per lane
+  std::vector<SimCounters> batch_cells;  // audit/dedup: one cell per lane
+  // Dedup-path scratch (DESIGN.md §15), sized lazily on first use.
+  std::vector<std::uint64_t> key;          // one fingerprint (op_count words)
+  std::vector<SimCounters> dedup_cells;    // miss: run-local counter cells
+  std::vector<std::pair<int, std::uint32_t>> fill;  // (stage idx, record id)
+  RecordTmp rec_tmp;  // shared-store reads copy here under the lock
 
   WorkerCtx(const ExperimentConfig& cfg, std::size_t sampler_count)
       : samplers(sampler_count) {
@@ -391,6 +608,187 @@ void evaluate_chunk_batched(const Application& app,
       }
     }
   }
+}
+
+/// Scalar dedup chunk path: draws each run's scenario together with its
+/// fingerprint, simulates only first encounters and replays the cached
+/// record for every duplicate. Stage rows and slot cells end up with
+/// exactly the values the plain scalar loop writes (DESIGN.md §15).
+void evaluate_chunk_dedup_scalar(
+    const Application& app, const ExperimentConfig& cfg,
+    const OfflineResult& off, const PowerModel& pm, SimTime deadline,
+    const ScenarioSampler& sampler, int first, int count, WorkerCtx& ctx,
+    const RunObs& obs, OutcomeShard& shard, SharedOutcomes* shared) {
+  const std::size_t nschemes = cfg.schemes.size();
+  const std::size_t ncells = nschemes + 1;
+  const bool metrics = obs.cells != nullptr;
+  ctx.key.resize(sampler.op_count());
+  if (metrics) ctx.dedup_cells.resize(ncells);
+  for (int k = 0; k < count; ++k) {
+    const int run = first + k;
+    const auto i = static_cast<std::size_t>(k);
+    Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
+    sampler.draw_into(run_rng, ctx.sc, ctx.key.data());
+    bool inserted = false;
+    const std::uint32_t id = shard.table.intern(ctx.key.data(), inserted);
+    if (inserted) {
+      if (shared != nullptr &&
+          shared->find_copy(ctx.key.data(), nschemes, ncells, metrics,
+                            ctx.rec_tmp)) {
+        // Another slot already simulated this scenario: adopt its record
+        // (id == record_count(), so the append keeps id-major alignment).
+        append_record(shard, ctx.rec_tmp, metrics);
+      } else {
+        // First encounter anywhere: simulate straight into the stage row,
+        // capturing the run's counters in run-local cells so the record
+        // caches exactly one run's worth.
+        ++shard.misses;
+        RunObs miss_obs = obs;
+        if (metrics) {
+          std::fill(ctx.dedup_cells.begin(), ctx.dedup_cells.end(),
+                    SimCounters{});
+          miss_obs.cells = ctx.dedup_cells.data();
+        }
+        evaluate_scenario(app, cfg, off, pm, deadline, ctx.policies,
+                          *ctx.npm, run, ctx.ws, ctx.sc,
+                          ctx.stage.npm_energy[i], ctx.stage.degenerate[i],
+                          ctx.stage.schemes.data() + i * nschemes, miss_obs);
+        if (metrics)
+          for (std::size_t c = 0; c < ncells; ++c)
+            obs.cells[c].add(ctx.dedup_cells[c]);
+        append_record_from_stage(shard, ctx.stage, i, nschemes,
+                                 metrics ? ctx.dedup_cells.data() : nullptr,
+                                 ncells);
+        if (shared != nullptr) shard.pending.push_back(id);
+        continue;  // this run's stage row and cells are already written
+      }
+    }
+    ++shard.hits;
+    replay_record(shard, id, ctx.stage, i, nschemes, obs.cells, ncells);
+  }
+  if (shared != nullptr) shared->publish(shard, nschemes, ncells, metrics);
+}
+
+/// Batched dedup chunk path: dedup happens *before* lane packing, so only
+/// first-encounter scenarios occupy engine lanes — duplicates never reach
+/// the batched engine at all. Runs are recorded as (stage index, record id)
+/// pairs and replayed when their flush group materializes, which keeps the
+/// stage bit-identical to the non-dedup batched path (same engine, same
+/// floating-point expressions, same integer counter sums).
+void evaluate_chunk_dedup_batched(
+    const Application& app, const ExperimentConfig& cfg,
+    const OfflineResult& off, const PowerModel& pm, SimTime deadline,
+    const ScenarioSampler& sampler, int first, int count, int lanes_max,
+    WorkerCtx& ctx, const RunObs& obs, OutcomeShard& shard,
+    SharedOutcomes* shared) {
+  const std::size_t nschemes = cfg.schemes.size();
+  const std::size_t ncells = nschemes + 1;
+  const bool metrics = obs.cells != nullptr;
+  const std::uint64_t miss0 = shard.misses;
+  ctx.key.resize(sampler.op_count());
+  ctx.batch_results.resize(static_cast<std::size_t>(lanes_max));
+  ctx.batch_sc.ensure(static_cast<std::size_t>(lanes_max), app.graph.size());
+  ctx.fill.clear();
+  int cur = 0;  // pending lanes in the current flush group
+
+  // Simulates the group's `cur` pending lanes (NPM baseline first, then
+  // every scheme), appends their records in lane order — lane l's record
+  // id is record_count() + l, because intern assigned the group's ids
+  // densely in lane order — then replays every (run, id) pair staged so
+  // far. The record rows are built by the same floating-point expressions
+  // as evaluate_chunk_batched's, on bit-identical engine outputs.
+  const auto flush_group = [&] {
+    if (cur > 0) {
+      const auto nlanes = static_cast<std::size_t>(cur);
+      const std::size_t base = shard.npm_energy.size();
+      shard.npm_energy.resize(base + nlanes);
+      shard.degenerate.resize(base + nlanes);
+      shard.rows.resize((base + nlanes) * nschemes);
+      if (metrics) shard.cells.resize((base + nlanes) * ncells);
+
+      const auto run_scheme = [&](Scheme scheme) {
+        BatchSimOptions bo;
+        if (metrics) {
+          // Per-lane cells: each record must cache exactly one run's
+          // counters (and ledger), so replay adds per-run quantities.
+          ctx.batch_cells.assign(nlanes, SimCounters{});
+          bo.lane_cells = ctx.batch_cells.data();
+        }
+        simulate_batch(app, off, pm, cfg.overheads, scheme,
+                       cfg.policy_options, ctx.batch_sc, nlanes,
+                       ctx.batch_ws, ctx.batch_results.data(), bo);
+      };
+
+      run_scheme(Scheme::NPM);
+      for (std::size_t l = 0; l < nlanes; ++l) {
+        const double npm_energy = ctx.batch_results[l].total_energy();
+        shard.npm_energy[base + l] = npm_energy;
+        shard.degenerate[base + l] = !(npm_energy > 0.0) ? 1 : 0;
+        if (metrics)
+          shard.cells[(base + l) * ncells + nschemes] = ctx.batch_cells[l];
+      }
+      for (std::size_t s = 0; s < nschemes; ++s) {
+        run_scheme(cfg.schemes[s]);
+        for (std::size_t l = 0; l < nlanes; ++l) {
+          const SimResult& r = ctx.batch_results[l];
+          SchemeOutcome so;
+          if (!shard.degenerate[base + l]) {
+            so.norm_energy = r.total_energy() / shard.npm_energy[base + l];
+            so.has_norm = true;
+          }
+          so.speed_changes = static_cast<double>(r.speed_changes);
+          so.finish_frac = static_cast<double>(r.finish_time.ps) /
+                           static_cast<double>(deadline.ps);
+          const Energy total = r.total_energy();
+          if (total > 0.0) {
+            so.busy_frac = r.busy_energy / total;
+            so.overhead_frac = r.overhead_energy / total;
+            so.idle_frac = r.idle_energy / total;
+            so.has_fracs = true;
+          }
+          so.missed = !r.deadline_met;
+          shard.rows[(base + l) * nschemes + s] = so;
+          if (metrics) shard.cells[(base + l) * ncells + s] = ctx.batch_cells[l];
+        }
+      }
+      if (shared != nullptr)
+        for (std::size_t l = 0; l < nlanes; ++l)
+          shard.pending.push_back(static_cast<std::uint32_t>(base + l));
+      shard.misses += nlanes;
+      cur = 0;
+    }
+    for (const auto& [idx, id] : ctx.fill)
+      replay_record(shard, id, ctx.stage, static_cast<std::size_t>(idx),
+                    nschemes, obs.cells, ncells);
+    ctx.fill.clear();
+  };
+
+  for (int k = 0; k < count; ++k) {
+    if (cur == lanes_max) flush_group();
+    const int run = first + k;
+    Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
+    sampler.draw_into(run_rng, ctx.batch_sc, static_cast<std::size_t>(cur),
+                      ctx.key.data());
+    bool inserted = false;
+    const std::uint32_t id = shard.table.intern(ctx.key.data(), inserted);
+    if (inserted) {
+      if (shared != nullptr &&
+          shared->find_copy(ctx.key.data(), nschemes, ncells, metrics,
+                            ctx.rec_tmp)) {
+        // Adopting a shared record mid-group would slot its id between
+        // the group's pending lane ids; materialize the group first so
+        // the append lands exactly at id (dense order restored).
+        flush_group();
+        append_record(shard, ctx.rec_tmp, metrics);
+      } else {
+        ++cur;  // lane `cur` holds this scenario until the group flushes
+      }
+    }
+    ctx.fill.emplace_back(k, id);
+  }
+  flush_group();
+  shard.hits += static_cast<std::uint64_t>(count) - (shard.misses - miss0);
+  if (shared != nullptr) shared->publish(shard, nschemes, ncells, metrics);
 }
 
 /// One prepared sweep point: the (application, offline result, deadline)
@@ -612,6 +1010,32 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     }
   }
 
+  // Dedup resolution (DESIGN.md §15): the scenario space is a sampler
+  // property, so resolve once per distinct application and fan out per
+  // spec. When any point dedups, each (point, slot) pair gets a lazily
+  // created single-threaded OutcomeShard; with more than one worker, each
+  // dedup point additionally gets a shared publish store so slots can
+  // adopt each other's simulated records instead of re-simulating.
+  std::vector<std::uint8_t> spec_dedup(specs.size(), 0);
+  bool any_dedup = false;
+  {
+    std::vector<std::uint8_t> sampler_dedup(samplers.size(), 0);
+    for (std::size_t j = 0; j < samplers.size(); ++j)
+      sampler_dedup[j] = dedup_for(cfg, samplers[j]->scenario_space()) ? 1 : 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      spec_dedup[i] = sampler_dedup[spec_sampler_idx[i]];
+      any_dedup = any_dedup || spec_dedup[i] != 0;
+    }
+  }
+  std::vector<std::unique_ptr<OutcomeShard>> shards(
+      any_dedup ? specs.size() * nslots : 0);
+  std::vector<std::unique_ptr<SharedOutcomes>> shared_stores(
+      any_dedup && max_workers > 1 ? specs.size() : 0);
+  for (std::size_t i = 0; i < shared_stores.size(); ++i)
+    if (spec_dedup[i])
+      shared_stores[i] = std::make_unique<SharedOutcomes>(
+          samplers[spec_sampler_idx[i]]->op_count());
+
   std::vector<std::unique_ptr<WorkerCtx>> ctxs(nslots);
 
   const auto body = [&](int c, int slot) {
@@ -644,7 +1068,30 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     // interchangeable run for run); per-run tracer spans exist only on
     // the scalar path, so kRuns detail keeps it.
     ctx->stage.ensure(chunk, nschemes);
-    if (batch_lanes > 0 && run_tracer == nullptr) {
+    if (spec_dedup[static_cast<std::size_t>(p)] != 0) {
+      // Dedup path (dedup_for already excludes every configuration that
+      // needs per-run engine work, including a kRuns tracer). The shard is
+      // created by the owning slot's own thread, like the rest of its
+      // worker-local state.
+      auto& shard = shards[static_cast<std::size_t>(p) * nslots +
+                           static_cast<std::size_t>(slot)];
+      if (!shard)
+        shard = std::make_unique<OutcomeShard>(ctx->samplers[sidx]->op_count());
+      SharedOutcomes* const shared =
+          shared_stores.empty()
+              ? nullptr
+              : shared_stores[static_cast<std::size_t>(p)].get();
+      if (batch_lanes > 0) {
+        evaluate_chunk_dedup_batched(*spec.app, cfg, *spec.off, pm,
+                                     spec.deadline, *ctx->samplers[sidx],
+                                     first, count, batch_lanes, *ctx, obs,
+                                     *shard, shared);
+      } else {
+        evaluate_chunk_dedup_scalar(*spec.app, cfg, *spec.off, pm,
+                                    spec.deadline, *ctx->samplers[sidx],
+                                    first, count, *ctx, obs, *shard, shared);
+      }
+    } else if (batch_lanes > 0 && run_tracer == nullptr) {
       evaluate_chunk_batched(*spec.app, cfg, *spec.off, pm, spec.deadline,
                              *ctx->samplers[sidx], first, count, batch_lanes,
                              *ctx, obs);
@@ -694,6 +1141,19 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
           m.npm.add(cell[nschemes]);
         }
       }
+      if (spec_dedup[p] != 0) {
+        DedupStats& d = points.back().dedup;
+        d.enabled = true;
+        for (std::size_t slot = 0; slot < nslots; ++slot) {
+          const auto& shard = shards[p * nslots + slot];
+          if (!shard) continue;
+          d.hits += shard->hits;
+          d.misses += shard->misses;
+          d.bytes += shard->bytes();
+        }
+        if (!shared_stores.empty() && shared_stores[p])
+          d.bytes += shared_stores[p]->bytes();
+      }
     }
   }
   if (reg != nullptr) {
@@ -703,6 +1163,17 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
             *reg, std::string("engine.") + to_string(cfg.schemes[s]),
             pt.metrics.schemes[s]);
       flush_sim_counters(*reg, "engine.NPM", pt.metrics.npm);
+    }
+    if (any_dedup) {
+      std::uint64_t hits = 0, misses = 0, bytes = 0;
+      for (const SweepPoint& pt : points) {
+        hits += pt.dedup.hits;
+        misses += pt.dedup.misses;
+        bytes += pt.dedup.bytes;
+      }
+      reg->counter("engine.dedup.hits").add(0, hits);
+      reg->counter("engine.dedup.misses").add(0, misses);
+      reg->counter("engine.dedup.bytes").add(0, bytes);
     }
   }
   return points;
@@ -722,10 +1193,29 @@ SimTime deadline_for(SimTime worst_makespan, double load) {
       std::ceil(static_cast<double>(worst_makespan.ps) / load))};
 }
 
+/// Exports an OfflineCache::get delta as offline.cache.{hits,misses}
+/// registry counters (collect_metrics only). Callers snapshot the cache's
+/// lifetime counters before their get() calls and pass the snapshot here,
+/// so shared caches export each harness call's own lookups, not history.
+void export_offline_cache_delta(const ExperimentConfig& cfg,
+                                const OfflineCache& cache,
+                                std::uint64_t hits0, std::uint64_t misses0) {
+  if (!cfg.collect_metrics) return;
+  MetricsRegistry& reg =
+      cfg.registry != nullptr ? *cfg.registry : MetricsRegistry::global();
+  reg.counter("offline.cache.hits").add(0, cache.hits() - hits0);
+  reg.counter("offline.cache.misses").add(0, cache.misses() - misses0);
+}
+
 }  // namespace
 
 int resolved_batch_lanes(const ExperimentConfig& config) {
   return batch_lanes_for(config);
+}
+
+bool resolved_dedup(const ExperimentConfig& config,
+                    std::uint64_t scenario_space) {
+  return dedup_for(config, scenario_space);
 }
 
 SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
@@ -737,7 +1227,10 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
   {
     TraceSpan span(cfg.tracer, 0, "offline_analysis");
     if (cache != nullptr) {
+      const std::uint64_t h0 = cache->hits();
+      const std::uint64_t m0 = cache->misses();
       off = apply_deadline(cache->get(app, canonical_options(cfg)), deadline);
+      export_offline_cache_delta(cfg, *cache, h0, m0);
     } else {
       OfflineOptions opt;
       opt.cpus = cfg.cpus;
@@ -820,7 +1313,10 @@ std::vector<SweepPoint> sweep_load(const Application& app,
   const CanonicalAnalysis* canon_ptr = nullptr;
   {
     TraceSpan span(cfg.tracer, 0, "offline_analysis");
+    const std::uint64_t h0 = cache.hits();
+    const std::uint64_t m0 = cache.misses();
     canon_ptr = &cache.get(app, canonical_options(cfg));
+    export_offline_cache_delta(cfg, cache, h0, m0);
   }
   const CanonicalAnalysis& canon = *canon_ptr;
 

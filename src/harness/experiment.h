@@ -20,6 +20,7 @@
 // bit-identical for every thread count, chunk size and point interleaving.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -35,6 +36,27 @@ namespace paserta {
 
 class Tracer;            // obs/trace.h
 class ProgressReporter;  // obs/progress.h
+
+/// Scenario-dedup memoization (DESIGN.md §15): simulate each distinct
+/// scenario of a point once, replay the cached per-run record for every
+/// duplicate draw. Replay is bit-identical — a duplicate run's values, its
+/// counters and its position in the run-ordered accumulation are exactly
+/// what re-simulating would produce — so the knob is output-invisible.
+enum class DedupMode {
+  /// On when the compiled sampler proves the point's scenario space is
+  /// finite (OR choices only, no gaussian draws) and no larger than the
+  /// run count, so replay is guaranteed to pay; off otherwise. (The
+  /// paper's fig4 apps at alpha < 1 draw gaussian execution times, which
+  /// makes virtually every scenario distinct — memoizing them would only
+  /// burn memory.)
+  kAuto,
+  /// Always memoize — including unbounded scenario spaces, where the
+  /// cache grows with the distinct-draw count (tests use this to pin the
+  /// all-miss path; it is never faster there).
+  kOn,
+  /// Never memoize.
+  kOff,
+};
 
 struct ExperimentConfig {
   int cpus = 2;
@@ -67,6 +89,12 @@ struct ExperimentConfig {
   /// only the scalar path has (verify_traces' completeness traversal,
   /// per-run tracer spans) fall back to scalar regardless.
   int batch = 0;
+  /// Scenario-dedup outcome memoization (see DedupMode). Configurations
+  /// that need genuinely per-run engine work — verify_traces, audit's
+  /// three-way re-accounting, a per-run tracer — force the uncached path
+  /// regardless, because a replayed run performs no engine work to verify,
+  /// re-account or span. Output is bit-identical for every mode.
+  DedupMode dedup = DedupMode::kAuto;
   /// Canonical-schedule priority rule (paper evaluates LTF).
   ListHeuristic heuristic = ListHeuristic::LongestTaskFirst;
   /// Speculative-floor rounding mode (see PolicyOptions).
@@ -132,6 +160,18 @@ struct PointMetrics {
   bool enabled() const { return !schemes.empty(); }
 };
 
+/// Dedup-layer telemetry of one point (zero unless the point's
+/// configuration resolved to dedup). hits + misses always equals the run
+/// count; misses is the number of distinct scenarios actually simulated.
+struct DedupStats {
+  bool enabled = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Heap footprint of the fingerprint tables and cached records (all
+  /// per-slot shards plus the shared publish store).
+  std::uint64_t bytes = 0;
+};
+
 struct SweepPoint {
   double x = 0.0;  // the swept parameter (load or alpha)
   SimTime deadline{};
@@ -144,6 +184,8 @@ struct SweepPoint {
   std::vector<SchemeStats> stats;
   /// Empty unless ExperimentConfig::collect_metrics was on.
   PointMetrics metrics;
+  /// Dedup-layer telemetry (ExperimentConfig::dedup).
+  DedupStats dedup;
 
   const SchemeStats& of(Scheme s) const;
 };
@@ -153,6 +195,14 @@ struct SweepPoint {
 /// only engine facilities). run_point's workers use exactly this rule;
 /// exposed so benches and tests can label measurements with it.
 int resolved_batch_lanes(const ExperimentConfig& config);
+
+/// Whether `config` resolves to scenario-dedup memoization for a workload
+/// whose compiled sampler reports `scenario_space` distinct scenarios
+/// (ScenarioSampler::scenario_space(); 0 = unbounded). run_point's workers
+/// use exactly this rule; exposed so benches and tests can label
+/// measurements with it.
+bool resolved_dedup(const ExperimentConfig& config,
+                    std::uint64_t scenario_space);
 
 /// Evaluates one point. `deadline` must be >= the canonical worst-case
 /// makespan for the guarantee to hold (the harness does not enforce it, so

@@ -169,6 +169,88 @@ std::string batch_throughput_to_json(const BatchThroughputReport& report) {
   return os.str();
 }
 
+DedupThroughputReport measure_dedup_throughput(
+    const Application& app, ExperimentConfig cfg, SimTime deadline,
+    const std::vector<int>& run_counts, const std::string& label, int reps) {
+  PASERTA_REQUIRE(!run_counts.empty(), "need at least one run count");
+  PASERTA_REQUIRE(reps >= 1, "need at least one repetition");
+  DedupThroughputReport report;
+  report.label = label;
+  report.schemes = static_cast<int>(cfg.schemes.size());
+  cfg.threads = 1;
+  report.threads = cfg.threads;
+
+  // Untimed warm-up on both paths at the smallest run count.
+  cfg.runs = run_counts.front();
+  cfg.dedup = DedupMode::kOff;
+  (void)run_point(app, cfg, deadline, 0.0);
+  cfg.dedup = DedupMode::kOn;
+  (void)run_point(app, cfg, deadline, 0.0);
+
+  for (int runs : run_counts) {
+    cfg.runs = runs;
+    DedupThroughputSample s;
+    s.runs = runs;
+
+    cfg.dedup = DedupMode::kOff;
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = clock_type::now();
+      (void)run_point(app, cfg, deadline, 0.0);
+      best = std::min(best, seconds_since(t0));
+    }
+    s.off_seconds = best;
+    s.off_runs_per_sec =
+        best > 0.0 ? static_cast<double>(runs) / best : 0.0;
+
+    cfg.dedup = DedupMode::kOn;
+    best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = clock_type::now();
+      const SweepPoint pt = run_point(app, cfg, deadline, 0.0);
+      const double secs = seconds_since(t0);
+      if (secs < best) {
+        best = secs;
+        s.distinct = pt.dedup.misses;
+        const std::uint64_t total = pt.dedup.hits + pt.dedup.misses;
+        s.hit_rate = total > 0 ? static_cast<double>(pt.dedup.hits) /
+                                     static_cast<double>(total)
+                               : 0.0;
+      }
+    }
+    s.on_seconds = best;
+    s.on_runs_per_sec = best > 0.0 ? static_cast<double>(runs) / best : 0.0;
+    s.speedup = best > 0.0 ? s.off_seconds / best : 0.0;
+    report.samples.push_back(s);
+  }
+  return report;
+}
+
+std::string dedup_throughput_to_json(const DedupThroughputReport& report) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"benchmark\": \"dedup_throughput\",\n"
+     << "  \"label\": \"" << escape(report.label) << "\",\n"
+     << "  \"schemes\": " << report.schemes << ",\n"
+     << "  \"threads\": " << report.threads << ",\n"
+     << "  \"samples\": [\n";
+  for (std::size_t i = 0; i < report.samples.size(); ++i) {
+    const DedupThroughputSample& s = report.samples[i];
+    os << "    {\"runs\": " << s.runs
+       << ", \"off_seconds\": " << num(s.off_seconds)
+       << ", \"off_runs_per_sec\": " << num(s.off_runs_per_sec)
+       << ", \"on_seconds\": " << num(s.on_seconds)
+       << ", \"on_runs_per_sec\": " << num(s.on_runs_per_sec)
+       << ", \"speedup\": " << num(s.speedup)
+       << ", \"hit_rate\": " << num(s.hit_rate)
+       << ", \"distinct\": " << s.distinct << "}"
+       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
 SweepThroughputReport measure_sweep_throughput(
     const Application& app, ExperimentConfig cfg,
     const std::vector<double>& loads, const std::vector<int>& thread_counts,

@@ -81,6 +81,47 @@ BatchThroughputReport measure_batch_throughput(const Application& app,
 /// Renders the report as a JSON object (pretty-printed, newline-terminated).
 std::string batch_throughput_to_json(const BatchThroughputReport& report);
 
+struct DedupThroughputSample {
+  int runs = 0;  // Monte-Carlo runs of this rung of the ladder
+  // Dedup forced off: every run simulated.
+  double off_seconds = 0.0;
+  double off_runs_per_sec = 0.0;
+  // Dedup forced on: distinct scenarios simulated once, replayed after.
+  double on_seconds = 0.0;
+  double on_runs_per_sec = 0.0;
+  /// off_seconds / on_seconds at this run count — what tools/bench_compare
+  /// --dedup-floor gates.
+  double speedup = 0.0;
+  /// Cache hit rate of the dedup-on measurement: hits / (hits + misses).
+  double hit_rate = 0.0;
+  /// Distinct scenarios simulated (= dedup misses) at this run count.
+  std::uint64_t distinct = 0;
+};
+
+struct DedupThroughputReport {
+  std::string label;  // e.g. "fig4a-alpha1.0@load=0.5"
+  int schemes = 0;
+  int threads = 1;  // worker count the section was measured at
+  std::vector<DedupThroughputSample> samples;
+};
+
+/// Times run_point with dedup forced off vs. forced on, once per entry of
+/// `run_counts` (cfg.runs is overridden; cfg.threads is forced to 1 so the
+/// section isolates replay from thread scaling), after one untimed warm-up
+/// per path. Dedup replay is bit-identical, so the section measures pure
+/// scheduling wins: the speedup grows with the duplicate fraction, which
+/// is why the bench feeds it a discrete workload (alpha = 1: OR forks are
+/// the only randomness, so the scenario space is tiny and the hit rate
+/// approaches 1). `reps` keeps the fastest repetition per path (see
+/// measure_throughput).
+DedupThroughputReport measure_dedup_throughput(
+    const Application& app, ExperimentConfig cfg, SimTime deadline,
+    const std::vector<int>& run_counts, const std::string& label,
+    int reps = 1);
+
+/// Renders the report as a JSON object (pretty-printed, newline-terminated).
+std::string dedup_throughput_to_json(const DedupThroughputReport& report);
+
 struct SweepThroughputSample {
   int threads = 1;
   // Pooled path: sweep_load (persistent pool, chunked claiming, point

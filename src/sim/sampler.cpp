@@ -1,6 +1,7 @@
 #include "sim/sampler.h"
 
 #include <algorithm>
+#include <limits>
 #include <span>
 
 #include "common/error.h"
@@ -67,21 +68,41 @@ ScenarioSampler::ScenarioSampler(const AndOrGraph& g) {
   }
 }
 
-void ScenarioSampler::draw_into(Rng& rng, RunScenario& out) const {
-  out.actual = template_actual_;
-  out.or_choice = template_choice_;
+template <bool kWithKey>
+void ScenarioSampler::draw_ops(Rng& rng, SimTime* actual, int* choice,
+                               std::uint64_t* key_out) const {
   const double* weights = weights_.data();
   for (const Op& op : ops_) {
     if (op.fork < 0) {
       double x = rng.next_normal(op.mean, op.sigma);
       x = std::clamp(x, op.lo, op.hi);
-      out.actual[op.node] = SimTime{static_cast<std::int64_t>(x + 0.5)};
+      const auto ps = static_cast<std::int64_t>(x + 0.5);
+      actual[op.node] = SimTime{ps};
+      // Fingerprint word = the *rounded* integer time: the scenario only
+      // ever sees the rounded value, so keying on it (not the raw double)
+      // makes equal keys mean bit-identical scenarios and nothing finer.
+      if constexpr (kWithKey) *key_out++ = static_cast<std::uint64_t>(ps);
     } else {
       const Fork& f = forks_[static_cast<std::size_t>(op.fork)];
-      out.or_choice[op.node] = static_cast<int>(rng.next_discrete_prenorm(
-          std::span<const double>{weights + f.first, f.count}, f.total));
+      const std::size_t pick = rng.next_discrete_prenorm(
+          std::span<const double>{weights + f.first, f.count}, f.total);
+      choice[op.node] = static_cast<int>(pick);
+      if constexpr (kWithKey) *key_out++ = static_cast<std::uint64_t>(pick);
     }
   }
+}
+
+void ScenarioSampler::draw_into(Rng& rng, RunScenario& out) const {
+  out.actual = template_actual_;
+  out.or_choice = template_choice_;
+  draw_ops<false>(rng, out.actual.data(), out.or_choice.data(), nullptr);
+}
+
+void ScenarioSampler::draw_into(Rng& rng, RunScenario& out,
+                                std::uint64_t* key_out) const {
+  out.actual = template_actual_;
+  out.or_choice = template_choice_;
+  draw_ops<true>(rng, out.actual.data(), out.or_choice.data(), key_out);
 }
 
 void ScenarioSampler::draw_into(Rng& rng, ScenarioBatch& out,
@@ -95,24 +116,39 @@ void ScenarioSampler::draw_into(Rng& rng, ScenarioBatch& out,
   int* choice = out.lane_choice(lane);
   std::copy(template_actual_.begin(), template_actual_.end(), actual);
   std::copy(template_choice_.begin(), template_choice_.end(), choice);
-  const double* weights = weights_.data();
-  for (const Op& op : ops_) {
-    if (op.fork < 0) {
-      double x = rng.next_normal(op.mean, op.sigma);
-      x = std::clamp(x, op.lo, op.hi);
-      actual[op.node] = SimTime{static_cast<std::int64_t>(x + 0.5)};
-    } else {
-      const Fork& f = forks_[static_cast<std::size_t>(op.fork)];
-      choice[op.node] = static_cast<int>(rng.next_discrete_prenorm(
-          std::span<const double>{weights + f.first, f.count}, f.total));
-    }
-  }
+  draw_ops<false>(rng, actual, choice, nullptr);
+}
+
+void ScenarioSampler::draw_into(Rng& rng, ScenarioBatch& out, std::size_t lane,
+                                std::uint64_t* key_out) const {
+  const std::size_t n = template_actual_.size();
+  PASERTA_ASSERT(out.nodes() == n,
+                 "scenario batch sized for " << out.nodes()
+                                             << " nodes, sampler compiled for "
+                                             << n);
+  SimTime* actual = out.lane_actual(lane);
+  int* choice = out.lane_choice(lane);
+  std::copy(template_actual_.begin(), template_actual_.end(), actual);
+  std::copy(template_choice_.begin(), template_choice_.end(), choice);
+  draw_ops<true>(rng, actual, choice, key_out);
 }
 
 RunScenario ScenarioSampler::draw(Rng& rng) const {
   RunScenario sc;
   draw_into(rng, sc);
   return sc;
+}
+
+std::uint64_t ScenarioSampler::scenario_space() const {
+  if (gaussian_count() > 0) return 0;  // continuous: unbounded
+  std::uint64_t space = 1;
+  for (const Fork& f : forks_) {
+    const auto alts = static_cast<std::uint64_t>(f.count);
+    if (alts != 0 && space > std::numeric_limits<std::uint64_t>::max() / alts)
+      return std::numeric_limits<std::uint64_t>::max();  // saturate
+    space *= alts;
+  }
+  return space;
 }
 
 }  // namespace paserta

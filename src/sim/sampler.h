@@ -94,6 +94,20 @@ class ScenarioSampler {
   /// The slab must have been ensure()d for this sampler's node count.
   void draw_into(Rng& rng, ScenarioBatch& out, std::size_t lane) const;
 
+  // Key-emitting variants for the dedup memoization layer (DESIGN.md §15):
+  // identical draws (same RNG stream, same scenario bits) that additionally
+  // write the scenario's canonical fingerprint into `key_out`, one 64-bit
+  // word per stochastic op in op order — the rounded actual time's bit
+  // pattern for a gaussian op, the chosen alternative index for an OR
+  // fork. Two draws produce equal keys iff they produce bit-identical
+  // scenarios: everything else in a scenario comes from the shared
+  // template, and the key captures each stochastic value *after* the only
+  // lossy step (the round to integer picoseconds). `key_out` must hold
+  // op_count() words.
+  void draw_into(Rng& rng, RunScenario& out, std::uint64_t* key_out) const;
+  void draw_into(Rng& rng, ScenarioBatch& out, std::size_t lane,
+                 std::uint64_t* key_out) const;
+
   /// Convenience allocating overload, mirroring draw_scenario's.
   RunScenario draw(Rng& rng) const;
 
@@ -103,6 +117,13 @@ class ScenarioSampler {
   std::size_t op_count() const { return ops_.size(); }
   std::size_t fork_count() const { return forks_.size(); }
   std::size_t gaussian_count() const { return ops_.size() - forks_.size(); }
+
+  /// Size of the scenario space this sampler draws from: the product of
+  /// every OR fork's alternative count when all stochastic ops are forks
+  /// (saturated at UINT64_MAX), or 0 — unbounded — when any gaussian op
+  /// exists. 1 means the workload is fully deterministic. The dedup layer
+  /// uses this to decide whether memoization is guaranteed to pay.
+  std::uint64_t scenario_space() const;
 
  private:
   /// One stochastic draw. Ops are stored in ascending node order — the
@@ -123,6 +144,12 @@ class ScenarioSampler {
     std::uint32_t count = 0;
     double total = 0.0;
   };
+
+  /// Shared body of all draw_into overloads. kWithKey is a compile-time
+  /// split so the keyless hot path carries no per-op branch.
+  template <bool kWithKey>
+  void draw_ops(Rng& rng, SimTime* actual, int* choice,
+                std::uint64_t* key_out) const;
 
   std::vector<Op> ops_;
   std::vector<Fork> forks_;

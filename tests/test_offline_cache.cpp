@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "core/offline.h"
+#include "harness/experiment.h"
+#include "obs/metrics.h"
 
 namespace paserta {
 namespace {
@@ -109,12 +111,16 @@ TEST(OfflineCache, HitsAndMissesFollowTheKey) {
   (void)cache.get(app, copts(2));
   EXPECT_EQ(canonical_analysis_count() - before, 1u);
   EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
 
   // Same key: a hit, no new round-1 work.
   before = canonical_analysis_count();
   (void)cache.get(app, copts(2));
   EXPECT_EQ(canonical_analysis_count() - before, 0u);
   EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
 
   // Different cpus / budget / heuristic: three distinct entries.
   (void)cache.get(app, copts(3));
@@ -123,6 +129,44 @@ TEST(OfflineCache, HitsAndMissesFollowTheKey) {
   stf.heuristic = ListHeuristic::ShortestTaskFirst;
   (void)cache.get(app, stf);
   EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+// run_point with a shared cache exports its get() deltas as
+// offline.cache.{hits,misses} registry counters (collect_metrics only):
+// the first call misses (fresh round-1 analysis), the second hits.
+TEST(OfflineCache, RunPointExportsCacheCounters) {
+  const Application app = nested_fork_app();
+  OfflineCache cache;
+  ExperimentConfig cfg;
+  cfg.runs = 4;
+  cfg.collect_metrics = true;
+  MetricsRegistry reg;
+  cfg.registry = &reg;
+
+  const SimTime w = canonical_worst_makespan(
+      app, cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+      cfg.heuristic);
+  const SimTime deadline{w.ps * 2};
+  (void)run_point(app, cfg, deadline, 0.5, &cache);
+  EXPECT_EQ(reg.counter("offline.cache.hits").value(), 0u);
+  EXPECT_EQ(reg.counter("offline.cache.misses").value(), 1u);
+
+  (void)run_point(app, cfg, deadline, 0.5, &cache);
+  EXPECT_EQ(reg.counter("offline.cache.hits").value(), 1u);
+  EXPECT_EQ(reg.counter("offline.cache.misses").value(), 1u);
+
+  // Without a registry (collect_metrics off) the export is a no-op — the
+  // global registry must stay untouched.
+  const std::uint64_t g_hits =
+      MetricsRegistry::global().counter("offline.cache.hits").value();
+  ExperimentConfig plain = cfg;
+  plain.collect_metrics = false;
+  plain.registry = nullptr;
+  (void)run_point(app, plain, deadline, 0.5, &cache);
+  EXPECT_EQ(MetricsRegistry::global().counter("offline.cache.hits").value(),
+            g_hits);
 }
 
 TEST(OfflineCache, CanonicalAccessorsMatchOfflineResult) {

@@ -21,6 +21,7 @@
 #include "harness/figures.h"
 #include "harness/report.h"
 #include "obs/metrics.h"
+#include "sim/scenario.h"
 
 namespace paserta {
 namespace {
@@ -113,6 +114,118 @@ TEST(ThreadScalingBitIdentity, Fig4aSweepIdenticalAcrossBatchSizes) {
       EXPECT_EQ(csv, ref_csv);
     }
   }
+}
+
+void expect_counters_eq(const SimCounters& a, const SimCounters& b) {
+  EXPECT_EQ(a.dispatches, b.dispatches);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.or_fires, b.or_fires);
+  EXPECT_EQ(a.speed_changes, b.speed_changes);
+  EXPECT_EQ(a.spec_picks, b.spec_picks);
+  EXPECT_EQ(a.greedy_picks, b.greedy_picks);
+  EXPECT_EQ(a.reclaimed_slack_ps, b.reclaimed_slack_ps);
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.busy_ps, b.busy_ps);
+  EXPECT_EQ(a.compute_ps, b.compute_ps);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.idle_ps, b.idle_ps);
+}
+
+// Scenario-dedup memoization (DESIGN.md §15) under the same contract, in
+// the regime the cache exists for: the fig4a ATR graph at alpha = 1, where
+// ACET = WCET leaves the OR forks as the only randomness and the scenario
+// space collapses to a handful of outcomes (most runs replay a cached
+// record). The rendered sweep CSV and the per-point engine-counter totals
+// (including the integer attribution ledger) must be byte-identical with
+// dedup forced on vs. forced off, at every (thread count x batch size).
+TEST(ThreadScalingBitIdentity, DedupOnMatchesOffOnDiscreteWorkload) {
+  const FigureDef fig = paper_figure("fig4a", kRuns);
+  Application app = figure_workload(fig);
+  assign_alpha(app.graph, 1.0);  // ACET = WCET: discrete scenario space
+
+  // Reference: dedup forced off, serial, scalar engine, metrics on.
+  ExperimentConfig ref_cfg = fig.config;
+  ref_cfg.threads = 1;
+  ref_cfg.batch = 1;
+  ref_cfg.dedup = DedupMode::kOff;
+  ref_cfg.collect_metrics = true;
+  MetricsRegistry ref_reg;
+  ref_cfg.registry = &ref_reg;
+  const std::vector<SweepPoint> ref_points =
+      sweep_load(app, ref_cfg, fig.xs);
+  const std::string ref_csv = render_csv(fig, ref_points);
+  ASSERT_FALSE(ref_csv.empty());
+  for (const SweepPoint& pt : ref_points) EXPECT_FALSE(pt.dedup.enabled);
+
+  for (int threads : {1, 2, 4}) {
+    for (int batch : {1, 0}) {
+      ExperimentConfig cfg = fig.config;
+      cfg.threads = threads;
+      cfg.batch = batch;
+      cfg.dedup = DedupMode::kOn;
+      cfg.collect_metrics = true;
+      MetricsRegistry reg;
+      cfg.registry = &reg;
+      const std::vector<SweepPoint> points = sweep_load(app, cfg, fig.xs);
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
+      EXPECT_EQ(render_csv(fig, points), ref_csv);
+      ASSERT_EQ(points.size(), ref_points.size());
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        SCOPED_TRACE(testing::Message() << "point=" << p);
+        // The dedup layer actually engaged and accounted for every run.
+        EXPECT_TRUE(points[p].dedup.enabled);
+        EXPECT_EQ(points[p].dedup.hits + points[p].dedup.misses,
+                  static_cast<std::uint64_t>(kRuns));
+        EXPECT_GT(points[p].dedup.hits, 0u);
+        // Engine-counter totals (with attribution ledgers) are bitwise
+        // equal to the uncached reference.
+        const PointMetrics& m = points[p].metrics;
+        const PointMetrics& rm = ref_points[p].metrics;
+        ASSERT_EQ(m.schemes.size(), rm.schemes.size());
+        for (std::size_t s = 0; s < m.schemes.size(); ++s)
+          expect_counters_eq(m.schemes[s], rm.schemes[s]);
+        expect_counters_eq(m.npm, rm.npm);
+      }
+    }
+  }
+}
+
+// Configurations whose purpose is per-run engine work (audit's three-way
+// re-accounting, verify_traces) must force the uncached path even when
+// dedup is requested — a replayed run performs no engine work to audit.
+TEST(ThreadScalingBitIdentity, AuditAndVerifyForceDedupOff) {
+  ExperimentConfig cfg;
+  cfg.runs = 100;
+  cfg.dedup = DedupMode::kOn;
+  EXPECT_TRUE(resolved_dedup(cfg, 4));
+  cfg.audit = true;
+  EXPECT_FALSE(resolved_dedup(cfg, 4));
+  cfg.audit = false;
+  cfg.verify_traces = true;
+  EXPECT_FALSE(resolved_dedup(cfg, 4));
+  cfg.verify_traces = false;
+
+  // And end-to-end: an audited sweep with dedup requested reports the
+  // layer as disabled while the output stays identical to the reference.
+  const FigureDef fig = paper_figure("fig4a", kRuns);
+  Application app = figure_workload(fig);
+  assign_alpha(app.graph, 1.0);
+  ExperimentConfig ref_cfg = fig.config;
+  ref_cfg.threads = 1;
+  ref_cfg.dedup = DedupMode::kOff;
+  const std::string ref_csv =
+      render_csv(fig, sweep_load(app, ref_cfg, fig.xs));
+  ExperimentConfig audit_cfg = fig.config;
+  audit_cfg.threads = 2;
+  audit_cfg.dedup = DedupMode::kOn;
+  audit_cfg.audit = true;
+  const std::vector<SweepPoint> points = sweep_load(app, audit_cfg, fig.xs);
+  for (const SweepPoint& pt : points) {
+    EXPECT_FALSE(pt.dedup.enabled);
+    EXPECT_EQ(pt.dedup.hits, 0u);
+  }
+  EXPECT_EQ(render_csv(fig, points), ref_csv);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 //
 //   point.samples[].runs_per_sec          (Monte-Carlo hot loop, by threads)
 //   batch.samples[].runs_per_sec          (batched engine, by batch size)
+//   dedup.samples[].on_runs_per_sec       (scenario-dedup path, by run count)
 //   sweep.samples[].pooled_points_per_sec (whole-sweep pooled path)
 //
 // A drop larger than the threshold (default 5 %) in any matched series is a
@@ -29,6 +30,10 @@
 // (batch=0) must run at least that multiple of the forced-scalar (batch=1)
 // runs/sec — the two share one invocation, so the ratio is host-speed
 // independent. Entries without a batch section skip this gate with a note.
+// A third floor (--dedup-floor, default 3.0) holds the dedup section's
+// recorded on-over-off speedup at its largest run count; entries without a
+// dedup section skip it with a note. Failure summaries name every series
+// and gate that tripped.
 //
 // Exit status: without --check always 0 (report mode, for humans). With
 // --check: 1 on a regression, 0 otherwise — including when fewer than two
@@ -56,6 +61,7 @@ struct Args {
   double threshold_pct = 5.0;
   double efficiency_floor = 0.5;
   double batch_floor = 1.0;
+  double dedup_floor = 3.0;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -82,7 +88,12 @@ struct Args {
                "                   batch runs/sec over batch=1 runs/sec;\n"
                "                   default 1.0; 0 disables the gate;\n"
                "                   entries without a batch section skip it\n"
-               "                   with a note)\n";
+               "                   with a note)\n"
+               "  --dedup-floor F  minimum dedup-on over dedup-off speedup\n"
+               "                   at the largest run count of the newest\n"
+               "                   entry's dedup section (default 3.0; 0\n"
+               "                   disables the gate; entries without a\n"
+               "                   dedup section skip it with a note)\n";
   std::exit(2);
 }
 
@@ -124,6 +135,12 @@ Args parse_args(int argc, char** argv) {
       a.batch_floor = std::strtod(v.c_str(), &end);
       if (end == v.c_str() || *end != '\0' || !(a.batch_floor >= 0.0))
         usage("--batch-floor needs a non-negative number");
+    } else if (flag == "--dedup-floor") {
+      char* end = nullptr;
+      const std::string v = value("--dedup-floor");
+      a.dedup_floor = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || !(a.dedup_floor >= 0.0))
+        usage("--dedup-floor needs a non-negative number");
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else if (flag.rfind("--", 0) == 0) {
@@ -198,6 +215,7 @@ std::vector<Series> collect_entry(const JsonValue& entry) {
   std::vector<Series> out;
   collect(entry, "point", "threads", "runs_per_sec", out);
   collect(entry, "batch", "batch", "runs_per_sec", out);
+  collect(entry, "dedup", "runs", "on_runs_per_sec", out);
   collect(entry, "sweep", "threads", "pooled_points_per_sec", out);
   return out;
 }
@@ -301,6 +319,51 @@ bool batch_gate_ok(const JsonValue& entry, std::size_t index, double floor) {
   return ok;
 }
 
+/// Scenario-dedup gate on one entry: at the largest run count of the dedup
+/// section, the recorded dedup-on-over-off speedup must clear `floor`. The
+/// off and on measurements share one bench invocation on a discrete
+/// (high-hit-rate) workload, so the ratio cancels host speed and isolates
+/// the cache's scheduling win. Returns false on a violation.
+bool dedup_gate_ok(const JsonValue& entry, std::size_t index, double floor) {
+  if (!(floor > 0.0)) return true;  // disabled
+  const JsonValue* dedup = entry.find("dedup");
+  const JsonValue* samples =
+      dedup != nullptr && dedup->is_object() ? dedup->find("samples") : nullptr;
+  if (samples == nullptr || !samples->is_array()) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " has no dedup section — dedup gate skipped\n";
+    return true;
+  }
+  const JsonValue* best = nullptr;
+  double best_runs = 0.0;
+  for (const JsonValue& s : samples->array) {
+    const JsonValue* runs = s.find("runs");
+    const JsonValue* speedup = s.find("speedup");
+    if (runs == nullptr || runs->type != JsonValue::Type::Number ||
+        speedup == nullptr || speedup->type != JsonValue::Type::Number)
+      continue;
+    if (best == nullptr || runs->number > best_runs) {
+      best = &s;
+      best_runs = runs->number;
+    }
+  }
+  if (best == nullptr) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " has no usable dedup samples — dedup gate skipped\n";
+    return true;
+  }
+  const double speedup = best->find("speedup")->number;
+  const JsonValue* hit_rate = best->find("hit_rate");
+  const bool ok = speedup >= floor;
+  std::cout << "  " << (ok ? "ok" : "REGRESSION") << "  dedup.speedup@runs="
+            << static_cast<long long>(best_runs) << ": " << speedup
+            << "x (floor " << floor << ")";
+  if (hit_rate != nullptr && hit_rate->type == JsonValue::Type::Number)
+    std::cout << ", hit rate " << hit_rate->number;
+  std::cout << "\n";
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -355,7 +418,9 @@ int main(int argc, char** argv) {
   const std::vector<Series> base = collect_entry(*baseline);
   const std::vector<Series> cand = collect_entry(*candidate);
   int compared = 0;
-  int regressions = 0;
+  // Names of every series/gate that tripped: the failure summary must say
+  // *which* measurement regressed, not just how many.
+  std::vector<std::string> regressed_names;
   for (const Series& b : base) {
     const Series* c = nullptr;
     for (const Series& s : cand)
@@ -367,7 +432,7 @@ int main(int argc, char** argv) {
     ++compared;
     const double delta_pct = (c->value - b.value) / b.value * 100.0;
     const bool regressed = delta_pct < -args.threshold_pct;
-    if (regressed) ++regressions;
+    if (regressed) regressed_names.push_back(b.name);
     std::cout << "  " << (regressed ? "REGRESSION" : "ok") << "  " << b.name
               << ": " << b.value << " -> " << c->value << " ("
               << (delta_pct >= 0 ? "+" : "") << delta_pct << "%)\n";
@@ -378,27 +443,34 @@ int main(int argc, char** argv) {
   // delta.
   const bool efficiency_ok =
       efficiency_gate_ok(*candidate, candidate_idx, args.efficiency_floor);
-  if (!efficiency_ok) ++regressions;
+  if (!efficiency_ok) regressed_names.push_back("sweep.efficiency floor");
   // Batched-engine gate, also newest-entry-only: the batched and scalar
   // numbers share one bench invocation, so a floor on their ratio is
   // host-independent in a way a cross-entry delta is not.
   const bool batch_ok =
       batch_gate_ok(*candidate, candidate_idx, args.batch_floor);
-  if (!batch_ok) ++regressions;
+  if (!batch_ok) regressed_names.push_back("batch.speedup floor");
+  // Scenario-dedup gate, newest-entry-only for the same reason.
+  const bool dedup_ok =
+      dedup_gate_ok(*candidate, candidate_idx, args.dedup_floor);
+  if (!dedup_ok) regressed_names.push_back("dedup.speedup floor");
 
-  if (compared == 0 && efficiency_ok && batch_ok) {
+  if (compared == 0 && efficiency_ok && batch_ok && dedup_ok) {
     std::cout << "note: no matching throughput series between the two "
                  "entries\n";
     return 0;
   }
-  if (regressions > 0) {
-    std::cout << regressions << " series regressed (threshold "
+  if (!regressed_names.empty()) {
+    std::cout << regressed_names.size() << " series regressed (threshold "
               << args.threshold_pct << "%, efficiency floor "
               << args.efficiency_floor << ", batch floor " << args.batch_floor
-              << ")\n";
+              << ", dedup floor " << args.dedup_floor << "):\n";
+    for (const std::string& name : regressed_names)
+      std::cout << "  FAILED  " << name << "\n";
     return args.check ? 1 : 0;
   }
   std::cout << "all " << compared
-            << " series within threshold; efficiency and batch floors met\n";
+            << " series within threshold; efficiency, batch and dedup floors "
+               "met\n";
   return 0;
 }

@@ -30,6 +30,9 @@
 //                      results are bit-identical for any value)
 //   --batch B          scenarios per batched engine call (0 = auto, 1 =
 //                      force the scalar engine; output identical either way)
+//   --dedup MODE       auto | on | off: scenario-dedup memoization —
+//                      simulate each distinct scenario once, replay
+//                      duplicates (bit-identical, so output is the same)
 //   --trace-out FILE   write a Chrome/Perfetto trace of the sweep (open in
 //                      ui.perfetto.dev or chrome://tracing)
 //   --metrics-out DEST write engine + pool metrics to DEST ("-" = stdout)
@@ -90,6 +93,7 @@ struct Options {
   bool json = false;
   int threads = 1;
   int batch = 0;
+  std::string dedup = "auto";
   std::string trace_out;
   std::string metrics_out;
   std::string metrics_format = "json";
@@ -135,6 +139,11 @@ struct Options {
       "                      auto; 1 forces the scalar engine; the batched\n"
       "                      engine is bit-identical, so output is the same\n"
       "                      for any value)\n"
+      "  --dedup MODE        auto | on | off (default auto): simulate each\n"
+      "                      distinct scenario once and replay duplicates;\n"
+      "                      auto enables it when the scenario space is\n"
+      "                      provably finite and <= runs. Replay is\n"
+      "                      bit-identical, so output is the same either way\n"
       "  --trace-out FILE    Chrome/Perfetto trace of the sweep (open in\n"
       "                      ui.perfetto.dev)\n"
       "  --metrics-out DEST  engine + pool metrics; DEST is a file path or\n"
@@ -198,6 +207,12 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--batch") {
       o.batch = std::stoi(need_value("--batch"));
       if (o.batch < 0) usage("--batch must be >= 0");
+    }
+    else if (flag == "--dedup") {
+      o.dedup = need_value("--dedup");
+      if (o.dedup != "auto" && o.dedup != "on" && o.dedup != "off")
+        usage(("--dedup must be auto, on or off, got \"" + o.dedup + "\"")
+                  .c_str());
     }
     else if (flag == "--trace-out") o.trace_out = need_value("--trace-out");
     else if (flag == "--metrics-out")
@@ -365,6 +380,9 @@ int cmd_sweep(const Options& o) {
   cfg.seed = o.seed;
   cfg.threads = o.threads;
   cfg.batch = o.batch;
+  cfg.dedup = o.dedup == "on"    ? DedupMode::kOn
+              : o.dedup == "off" ? DedupMode::kOff
+                                 : DedupMode::kAuto;
   cfg.heuristic = heuristic_of(o);
   cfg.audit = o.audit;
 
