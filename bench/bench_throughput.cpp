@@ -14,7 +14,12 @@
 //          pooled (persistent pool, chunked claiming, point overlap, one
 //          canonical offline analysis) vs the pre-pool baseline (fresh
 //          thread spawn/join and a fresh offline analysis per point), with
-//          speedup and scaling efficiency.
+//          speedup and scaling efficiency;
+//   serve  requests/sec of the resident daemon (src/serve) on loopback,
+//          one ATR request line replayed by a ladder of concurrent NDJSON
+//          clients — measures the full service path (socket, parse,
+//          coalescing, cross-request cache, response render). The recorded
+//          cache hit rate is gated by bench_compare --serve-cache-floor.
 //
 // Traces are off, so the loop runs with zero steady-state allocation (one
 // SimWorkspace per worker slot). Sweep runs-per-point defaults to runs/10:
@@ -48,6 +53,9 @@
 #include "core/offline.h"
 #include "harness/figures.h"
 #include "harness/throughput.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -199,6 +207,25 @@ int main(int argc, char** argv) {
   const std::string pool_doc =
       measure_pool_balance_json(app, balance_cfg, loads);
 
+  // Serve section: a resident daemon in-process on an ephemeral loopback
+  // port, driven with one @atr request line (short runs — the section
+  // measures the service path, not the Monte-Carlo loop) by a ladder of
+  // concurrent clients. After the warm-up every request is a cache hit,
+  // which is exactly what the serve-cache gate pins.
+  const int serve_runs = std::max(20, runs / 100);
+  ServeThroughputReport serve_report;
+  {
+    SimService service{ServeSettings{}};
+    SimServer server(service, ServerSettings{});
+    const std::string request_line =
+        "{\"graph\":\"@atr\",\"runs\":" + std::to_string(serve_runs) +
+        ",\"load\":0.5}";
+    serve_report = measure_serve_throughput(service, server, request_line,
+                                            {1, 2, 4}, /*requests_per_client=*/
+                                            8, "atr@load=0.5", serve_runs);
+    server.stop();
+  }
+
   const std::string doc = "{\n\"point\": " + throughput_to_json(point_report) +
                           ",\n\"batch\": " +
                           batch_throughput_to_json(batch_report) +
@@ -206,6 +233,8 @@ int main(int argc, char** argv) {
                           dedup_throughput_to_json(dedup_report) +
                           ",\n\"sweep\": " +
                           sweep_throughput_to_json(sweep_report) +
+                          ",\n\"serve\": " +
+                          serve_throughput_to_json(serve_report) +
                           ",\n\"pool\": " + pool_doc + "\n}\n";
   std::cout << doc;
   if (!out_path.empty()) {

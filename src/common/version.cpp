@@ -1,0 +1,23 @@
+#include "common/version.h"
+
+// The definitions arrive as per-source compile definitions from
+// src/CMakeLists.txt so only this translation unit rebuilds when the
+// stamp changes.
+#ifndef PASERTA_GIT_REV
+#define PASERTA_GIT_REV "unknown"
+#endif
+#ifndef PASERTA_BUILD_TYPE
+#define PASERTA_BUILD_TYPE "unknown"
+#endif
+
+namespace paserta {
+
+const char* build_git_rev() { return PASERTA_GIT_REV; }
+
+const char* build_type() { return PASERTA_BUILD_TYPE; }
+
+std::string build_version_string() {
+  return std::string("paserta ") + build_git_rev() + " (" + build_type() + ")";
+}
+
+}  // namespace paserta

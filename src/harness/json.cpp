@@ -40,6 +40,129 @@ std::string json_num(double v) {
   return oss.str();
 }
 
+// ---- writer -----------------------------------------------------------
+
+void JsonWriter::newline_indent(std::size_t depth) {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < depth * static_cast<std::size_t>(indent_); ++i)
+    os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    PASERTA_ASSERT(!wrote_top_, "JsonWriter: multiple top-level values");
+    wrote_top_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.kind == '{') {
+    // Values inside objects are introduced by key(); the separator was
+    // already emitted there.
+    PASERTA_ASSERT(top.key_pending, "JsonWriter: value in object needs key()");
+    top.key_pending = false;
+    return;
+  }
+  if (top.has_items) os_ << ',';
+  top.has_items = true;
+  newline_indent(stack_.size());
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  PASERTA_ASSERT(!stack_.empty() && stack_.back().kind == '{',
+                 "JsonWriter: key() outside object");
+  Frame& top = stack_.back();
+  PASERTA_ASSERT(!top.key_pending, "JsonWriter: key() twice without value");
+  if (top.has_items) os_ << ',';
+  top.has_items = true;
+  newline_indent(stack_.size());
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  top.key_pending = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Frame{'{'});
+  os_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PASERTA_ASSERT(!stack_.empty() && stack_.back().kind == '{' &&
+                     !stack_.back().key_pending,
+                 "JsonWriter: unbalanced end_object()");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent(stack_.size());
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Frame{'['});
+  os_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PASERTA_ASSERT(!stack_.empty() && stack_.back().kind == '[',
+                 "JsonWriter: unbalanced end_array()");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent(stack_.size());
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  before_value();
+  os_ << '"' << json_escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << json_num(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  before_value();
+  os_ << json;
+  return *this;
+}
+
+// ---- sweep export -----------------------------------------------------
+
 namespace {
 
 inline std::string escape(const std::string& s) { return json_escape(s); }
@@ -130,6 +253,32 @@ class JsonParser {
     std::abort();  // unreachable
   }
 
+  /// number = [-] int [frac] [exp]; int = "0" / digit1-9 *digit;
+  /// frac = "." 1*digit; exp = ("e"/"E") ["+"/"-"] 1*digit
+  static bool valid_number_token(const std::string& t) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t k) {
+      return k < t.size() && t[k] >= '0' && t[k] <= '9';
+    };
+    if (i < t.size() && t[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (t[i] == '0') ++i;
+    else
+      while (digit(i)) ++i;
+    if (i < t.size() && t[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+      ++i;
+      if (i < t.size() && (t[i] == '+' || t[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == t.size();
+  }
+
   void skip_ws() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
@@ -162,6 +311,12 @@ class JsonParser {
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
+        // RFC 8259: control characters must arrive escaped. Untrusted
+        // input (the serve daemon) leans on this check.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          --pos_;
+          fail("unescaped control character in string");
+        }
         out.push_back(c);
         continue;
       }
@@ -280,10 +435,15 @@ class JsonParser {
               text_[pos_] == '+' || text_[pos_] == '-'))
         ++pos_;
       const std::string tok = text_.substr(start, pos_ - start);
-      char* end = nullptr;
+      // Strict RFC 8259 number grammar before handing the token to
+      // strtod: rejects the lenient shapes strtod would accept ("01",
+      // "1.", "1e", hex), which matters once input is untrusted.
+      if (!valid_number_token(tok)) {
+        pos_ = start;
+        fail("malformed number");
+      }
       v.type = JsonValue::Type::Number;
-      v.number = std::strtod(tok.c_str(), &end);
-      if (end == nullptr || *end != '\0') fail("malformed number");
+      v.number = std::strtod(tok.c_str(), nullptr);
       return v;
     }
     fail("unexpected character");

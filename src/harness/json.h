@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -45,6 +46,72 @@ std::string json_escape(const std::string& s);
 /// Round-trippable JSON number (12 significant digits); non-finite values
 /// become "null" (JSON has no NaN/Inf).
 std::string json_num(double v);
+
+/// Streaming JSON writer shared by every emitter in the tree (sweep
+/// export, metrics snapshots, Chrome traces, serve responses). Handles
+/// comma placement, string escaping (json_escape) and number formatting
+/// (json_num) so callers never hand-roll separators. With indent == 0 the
+/// output is compact (single line); with indent > 0 objects and arrays
+/// are pretty-printed one member per line.
+///
+/// Usage:
+///   JsonWriter w(os);
+///   w.begin_object().key("a").value(1.0).key("b").begin_array()
+///       .value("x").end_array().end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 0)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object member key; the next value/begin_* call is its value.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  // long long is the canonical integer overload (int64_t's underlying
+  // type varies across LP64/LLP64); the narrower types forward.
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices pre-rendered JSON verbatim in value position (e.g. a
+  /// sub-document rendered elsewhere whose bytes must be preserved).
+  JsonWriter& raw(const std::string& json);
+
+  /// True once every begin_* has been matched by its end_* and one
+  /// top-level value was written.
+  bool balanced() const { return stack_.empty() && wrote_top_; }
+
+ private:
+  struct Frame {
+    char kind;         // '{' or '['
+    bool has_items = false;
+    bool key_pending = false;
+  };
+
+  void before_value();  // separator + indentation management
+  void newline_indent(std::size_t depth);
+
+  std::ostream& os_;
+  int indent_;
+  bool wrote_top_ = false;
+  std::vector<Frame> stack_;
+};
 
 /// A parsed JSON document node. Object member order is preserved.
 struct JsonValue {

@@ -10,27 +10,16 @@
 
 #include "common/error.h"
 #include "core/offline.h"
+#include "harness/json.h"
 #include "obs/metrics.h"
 
 namespace paserta {
 namespace {
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-std::string num(double v) {
-  if (!std::isfinite(v)) return "null";
-  std::ostringstream oss;
-  oss << std::setprecision(12) << v;
-  return oss.str();
-}
+// Shared emit helpers from harness/json — one escaping/number policy for
+// every JSON artifact in the tree.
+inline std::string escape(const std::string& s) { return json_escape(s); }
+inline std::string num(double v) { return json_num(v); }
 
 using clock_type = std::chrono::steady_clock;
 
@@ -93,21 +82,25 @@ ThroughputReport measure_throughput(const Application& app,
 
 std::string throughput_to_json(const ThroughputReport& report) {
   std::ostringstream os;
-  os << "{\n"
-     << "  \"benchmark\": \"throughput\",\n"
-     << "  \"label\": \"" << escape(report.label) << "\",\n"
-     << "  \"runs\": " << report.runs << ",\n"
-     << "  \"schemes\": " << report.schemes << ",\n"
-     << "  \"samples\": [\n";
-  for (std::size_t i = 0; i < report.samples.size(); ++i) {
-    const ThroughputSample& s = report.samples[i];
-    os << "    {\"threads\": " << s.threads
-       << ", \"seconds\": " << num(s.seconds)
-       << ", \"runs_per_sec\": " << num(s.runs_per_sec) << "}"
-       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  JsonWriter w(os, 2);
+  w.begin_object()
+      .key("benchmark").value("throughput")
+      .key("label").value(report.label)
+      .key("runs").value(report.runs)
+      .key("schemes").value(report.schemes)
+      .key("samples").begin_array();
+  for (const ThroughputSample& s : report.samples) {
+    std::ostringstream item;
+    JsonWriter iw(item);  // compact: one sample object per line
+    iw.begin_object()
+        .key("threads").value(s.threads)
+        .key("seconds").value(s.seconds)
+        .key("runs_per_sec").value(s.runs_per_sec)
+        .end_object();
+    w.raw(item.str());
   }
-  os << "  ]\n"
-     << "}\n";
+  w.end_array().end_object();
+  os << "\n";
   return os.str();
 }
 
@@ -150,22 +143,27 @@ BatchThroughputReport measure_batch_throughput(const Application& app,
 
 std::string batch_throughput_to_json(const BatchThroughputReport& report) {
   std::ostringstream os;
-  os << "{\n"
-     << "  \"benchmark\": \"batch_throughput\",\n"
-     << "  \"label\": \"" << escape(report.label) << "\",\n"
-     << "  \"runs\": " << report.runs << ",\n"
-     << "  \"schemes\": " << report.schemes << ",\n"
-     << "  \"threads\": " << report.threads << ",\n"
-     << "  \"samples\": [\n";
-  for (std::size_t i = 0; i < report.samples.size(); ++i) {
-    const BatchThroughputSample& s = report.samples[i];
-    os << "    {\"batch\": " << s.batch << ", \"lanes\": " << s.lanes
-       << ", \"seconds\": " << num(s.seconds)
-       << ", \"runs_per_sec\": " << num(s.runs_per_sec) << "}"
-       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  JsonWriter w(os, 2);
+  w.begin_object()
+      .key("benchmark").value("batch_throughput")
+      .key("label").value(report.label)
+      .key("runs").value(report.runs)
+      .key("schemes").value(report.schemes)
+      .key("threads").value(report.threads)
+      .key("samples").begin_array();
+  for (const BatchThroughputSample& s : report.samples) {
+    std::ostringstream item;
+    JsonWriter iw(item);
+    iw.begin_object()
+        .key("batch").value(s.batch)
+        .key("lanes").value(s.lanes)
+        .key("seconds").value(s.seconds)
+        .key("runs_per_sec").value(s.runs_per_sec)
+        .end_object();
+    w.raw(item.str());
   }
-  os << "  ]\n"
-     << "}\n";
+  w.end_array().end_object();
+  os << "\n";
   return os.str();
 }
 
@@ -228,26 +226,30 @@ DedupThroughputReport measure_dedup_throughput(
 
 std::string dedup_throughput_to_json(const DedupThroughputReport& report) {
   std::ostringstream os;
-  os << "{\n"
-     << "  \"benchmark\": \"dedup_throughput\",\n"
-     << "  \"label\": \"" << escape(report.label) << "\",\n"
-     << "  \"schemes\": " << report.schemes << ",\n"
-     << "  \"threads\": " << report.threads << ",\n"
-     << "  \"samples\": [\n";
-  for (std::size_t i = 0; i < report.samples.size(); ++i) {
-    const DedupThroughputSample& s = report.samples[i];
-    os << "    {\"runs\": " << s.runs
-       << ", \"off_seconds\": " << num(s.off_seconds)
-       << ", \"off_runs_per_sec\": " << num(s.off_runs_per_sec)
-       << ", \"on_seconds\": " << num(s.on_seconds)
-       << ", \"on_runs_per_sec\": " << num(s.on_runs_per_sec)
-       << ", \"speedup\": " << num(s.speedup)
-       << ", \"hit_rate\": " << num(s.hit_rate)
-       << ", \"distinct\": " << s.distinct << "}"
-       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  JsonWriter w(os, 2);
+  w.begin_object()
+      .key("benchmark").value("dedup_throughput")
+      .key("label").value(report.label)
+      .key("schemes").value(report.schemes)
+      .key("threads").value(report.threads)
+      .key("samples").begin_array();
+  for (const DedupThroughputSample& s : report.samples) {
+    std::ostringstream item;
+    JsonWriter iw(item);
+    iw.begin_object()
+        .key("runs").value(s.runs)
+        .key("off_seconds").value(s.off_seconds)
+        .key("off_runs_per_sec").value(s.off_runs_per_sec)
+        .key("on_seconds").value(s.on_seconds)
+        .key("on_runs_per_sec").value(s.on_runs_per_sec)
+        .key("speedup").value(s.speedup)
+        .key("hit_rate").value(s.hit_rate)
+        .key("distinct").value(s.distinct)
+        .end_object();
+    w.raw(item.str());
   }
-  os << "  ]\n"
-     << "}\n";
+  w.end_array().end_object();
+  os << "\n";
   return os.str();
 }
 
@@ -313,27 +315,31 @@ SweepThroughputReport measure_sweep_throughput(
 
 std::string sweep_throughput_to_json(const SweepThroughputReport& report) {
   std::ostringstream os;
-  os << "{\n"
-     << "  \"benchmark\": \"sweep_throughput\",\n"
-     << "  \"label\": \"" << escape(report.label) << "\",\n"
-     << "  \"points\": " << report.points << ",\n"
-     << "  \"runs\": " << report.runs << ",\n"
-     << "  \"schemes\": " << report.schemes << ",\n"
-     << "  \"host_threads\": " << report.host_threads << ",\n"
-     << "  \"samples\": [\n";
-  for (std::size_t i = 0; i < report.samples.size(); ++i) {
-    const SweepThroughputSample& s = report.samples[i];
-    os << "    {\"threads\": " << s.threads
-       << ", \"pooled_seconds\": " << num(s.pooled_seconds)
-       << ", \"pooled_points_per_sec\": " << num(s.pooled_points_per_sec)
-       << ", \"legacy_seconds\": " << num(s.legacy_seconds)
-       << ", \"legacy_points_per_sec\": " << num(s.legacy_points_per_sec)
-       << ", \"speedup\": " << num(s.speedup)
-       << ", \"efficiency\": " << num(s.efficiency) << "}"
-       << (i + 1 < report.samples.size() ? "," : "") << "\n";
+  JsonWriter w(os, 2);
+  w.begin_object()
+      .key("benchmark").value("sweep_throughput")
+      .key("label").value(report.label)
+      .key("points").value(report.points)
+      .key("runs").value(report.runs)
+      .key("schemes").value(report.schemes)
+      .key("host_threads").value(report.host_threads)
+      .key("samples").begin_array();
+  for (const SweepThroughputSample& s : report.samples) {
+    std::ostringstream item;
+    JsonWriter iw(item);
+    iw.begin_object()
+        .key("threads").value(s.threads)
+        .key("pooled_seconds").value(s.pooled_seconds)
+        .key("pooled_points_per_sec").value(s.pooled_points_per_sec)
+        .key("legacy_seconds").value(s.legacy_seconds)
+        .key("legacy_points_per_sec").value(s.legacy_points_per_sec)
+        .key("speedup").value(s.speedup)
+        .key("efficiency").value(s.efficiency)
+        .end_object();
+    w.raw(item.str());
   }
-  os << "  ]\n"
-     << "}\n";
+  w.end_array().end_object();
+  os << "\n";
   return os.str();
 }
 

@@ -12,17 +12,19 @@ namespace {
 
 /// Microseconds with nanosecond resolution kept as a decimal fraction —
 /// the trace-event spec's "ts"/"dur" unit.
-void write_us(std::ostream& os, std::int64_t ns) {
+std::string us(std::int64_t ns) {
+  std::ostringstream os;
   os << ns / 1000 << "." << (ns % 1000 < 100 ? "0" : "")
      << (ns % 1000 < 10 ? "0" : "") << ns % 1000;
+  return os.str();
 }
 
-void write_args(std::ostream& os, const TraceEvent& ev) {
+void write_args(JsonWriter& w, const TraceEvent& ev) {
   if (ev.point < 0 && ev.run < 0) return;
-  os << ", \"args\": {";
-  if (ev.point >= 0) os << "\"point\": " << ev.point;
-  if (ev.run >= 0) os << (ev.point >= 0 ? ", " : "") << "\"run\": " << ev.run;
-  os << "}";
+  w.key("args").begin_object();
+  if (ev.point >= 0) w.key("point").value(ev.point);
+  if (ev.run >= 0) w.key("run").value(ev.run);
+  w.end_object();
 }
 
 }  // namespace
@@ -32,34 +34,38 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
   std::set<int> slots;
   for (const TraceEvent& ev : events) slots.insert(ev.slot);
 
-  os << "{\"traceEvents\": [\n";
-  bool first = true;
+  // One event per physical line (compact writer + manual newlines) keeps
+  // big traces diffable and greppable.
+  JsonWriter w(os);
+  w.begin_object().key("traceEvents").begin_array();
   // Thread-name metadata first: Perfetto labels each slot's track.
   for (int slot : slots) {
-    os << (first ? "" : ",\n")
-       << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << slot
-       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
-       << (slot == 0 ? "slot 0 (caller)" : "slot " + std::to_string(slot))
-       << "\"}}";
-    first = false;
+    os << "\n";
+    w.begin_object()
+        .key("ph").value("M").key("pid").value(1).key("tid").value(slot)
+        .key("name").value("thread_name")
+        .key("args").begin_object()
+        .key("name")
+        .value(slot == 0 ? "slot 0 (caller)" : "slot " + std::to_string(slot))
+        .end_object().end_object();
   }
   for (const TraceEvent& ev : events) {
-    os << (first ? "" : ",\n") << "{\"name\": \"" << json_escape(ev.name)
-       << "\", \"cat\": \"paserta\", \"ph\": \""
-       << (ev.dur_ns < 0 ? "i" : "X") << "\", \"pid\": 1, \"tid\": "
-       << ev.slot << ", \"ts\": ";
-    write_us(os, ev.ts_ns);
-    if (ev.dur_ns >= 0) {
-      os << ", \"dur\": ";
-      write_us(os, ev.dur_ns);
-    } else {
-      os << ", \"s\": \"t\"";  // instant scope: thread
-    }
-    write_args(os, ev);
-    os << "}";
-    first = false;
+    os << "\n";
+    w.begin_object()
+        .key("name").value(ev.name).key("cat").value("paserta")
+        .key("ph").value(ev.dur_ns < 0 ? "i" : "X")
+        .key("pid").value(1).key("tid").value(ev.slot)
+        .key("ts").raw(us(ev.ts_ns));
+    if (ev.dur_ns >= 0)
+      w.key("dur").raw(us(ev.dur_ns));
+    else
+      w.key("s").value("t");  // instant scope: thread
+    write_args(w, ev);
+    w.end_object();
   }
-  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  os << "\n";
+  w.end_array().key("displayTimeUnit").value("ms").end_object();
+  os << "\n";
 }
 
 std::string chrome_trace_to_json(const Tracer& tracer) {

@@ -192,37 +192,40 @@ MetricsRegistry& MetricsRegistry::global() {
 
 std::string metrics_to_json(const MetricsSnapshot& snap) {
   std::ostringstream os;
-  os << "{\n  \"counters\": [\n";
-  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
-    const auto& c = snap.counters[i];
-    os << "    {\"name\": \"" << json_escape(c.name)
-       << "\", \"value\": " << c.value << ", \"shards\": [";
-    for (std::size_t s = 0; s < c.shards.size(); ++s)
-      os << (s ? ", " : "") << c.shards[s];
-    os << "]}" << (i + 1 < snap.counters.size() ? "," : "") << "\n";
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.key("counters").begin_array();
+  for (const auto& c : snap.counters) {
+    w.begin_object().key("name").value(c.name).key("value").value(c.value);
+    w.key("shards").begin_array();
+    for (const std::uint64_t s : c.shards) w.value(s);
+    w.end_array().end_object();
   }
-  os << "  ],\n  \"gauges\": [\n";
-  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
-    const auto& g = snap.gauges[i];
-    os << "    {\"name\": \"" << json_escape(g.name)
-       << "\", \"value\": " << json_num(g.value) << "}"
-       << (i + 1 < snap.gauges.size() ? "," : "") << "\n";
-  }
-  os << "  ],\n  \"histograms\": [\n";
-  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
-    const auto& h = snap.histograms[i];
-    os << "    {\"name\": \"" << json_escape(h.name)
-       << "\", \"count\": " << h.count << ", \"sum\": " << json_num(h.sum)
-       << ", \"buckets\": [";
+  w.end_array();
+  w.key("gauges").begin_array();
+  for (const auto& g : snap.gauges)
+    w.begin_object().key("name").value(g.name).key("value").value(g.value)
+        .end_object();
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const auto& h : snap.histograms) {
+    w.begin_object().key("name").value(h.name).key("count").value(h.count)
+        .key("sum").value(h.sum);
+    w.key("buckets").begin_array();
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       const bool overflow = b >= h.bounds.size();
-      os << (b ? ", " : "") << "{\"le\": "
-         << (overflow ? std::string("\"inf\"") : json_num(h.bounds[b]))
-         << ", \"count\": " << h.buckets[b] << "}";
+      w.begin_object().key("le");
+      if (overflow)
+        w.value("inf");
+      else
+        w.value(h.bounds[b]);
+      w.key("count").value(h.buckets[b]).end_object();
     }
-    os << "]}" << (i + 1 < snap.histograms.size() ? "," : "") << "\n";
+    w.end_array().end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  os << "\n";
   return os.str();
 }
 

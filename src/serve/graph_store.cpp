@@ -1,0 +1,27 @@
+#include "serve/graph_store.h"
+
+#include "graph/canonical_hash.h"
+
+namespace paserta {
+
+const GraphStore::Entry& GraphStore::intern(Application&& app) {
+  const std::uint64_t hash = graph_content_hash(app.graph);
+  std::vector<std::uint64_t> ordered = graph_ordered_form(app.graph);
+  auto& bucket = by_hash_[hash];
+  for (const auto& entry : bucket) {
+    if (entry->ordered_form == ordered) {
+      ++hits_;
+      return *entry;
+    }
+  }
+  ++misses_;
+  auto entry = std::make_unique<Entry>();
+  entry->id = static_cast<std::uint32_t>(count_++);
+  entry->content_hash = hash;
+  entry->ordered_form = std::move(ordered);
+  entry->app = std::move(app);
+  bucket.push_back(std::move(entry));
+  return *bucket.back();
+}
+
+}  // namespace paserta

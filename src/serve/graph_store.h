@@ -1,0 +1,57 @@
+// Content-addressed Application interning for the serve daemon
+// (DESIGN.md §16).
+//
+// The OfflineCache keys canonical analyses by graph *address*, so making
+// it cross-request requires that two requests carrying the same workload
+// resolve to the same Application object. The store hashes each incoming
+// graph with the order-insensitive content hash (graph/canonical_hash.h)
+// and — mirroring sim/fingerprint's discipline that equal hashes must
+// never alias distinct keys — resolves hash matches with a full
+// comparison of the *ordered* form: name-free but insertion-order
+// sensitive, because tie-breaks in list scheduling legally depend on
+// construction order and the server promises responses bit-identical to
+// the CLI running the caller's own construction. Reordered isomorphic
+// graphs therefore share a content hash but intern as distinct entries.
+//
+// Single-threaded by design, like OfflineCache: the service confines the
+// store to its dispatcher thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/program.h"
+
+namespace paserta {
+
+class GraphStore {
+ public:
+  struct Entry {
+    std::uint32_t id = 0;            // dense, first-encounter order
+    std::uint64_t content_hash = 0;  // graph_content_hash
+    std::vector<std::uint64_t> ordered_form;
+    Application app;  // address-stable for the store's lifetime
+  };
+
+  /// Interns `app` by content: returns the existing entry when an equal
+  /// graph (ordered form) is already stored, otherwise moves `app` in.
+  /// The returned reference is stable for the store's lifetime.
+  const Entry& intern(Application&& app);
+
+  std::size_t size() const { return count_; }
+  /// Lifetime intern() statistics (hit = an equal graph was resident).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  // Hash buckets hold owning pointers so entries never move on rehash.
+  std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<Entry>>>
+      by_hash_;
+  std::size_t count_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace paserta

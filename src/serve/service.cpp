@@ -1,0 +1,338 @@
+#include "serve/service.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "apps/atr.h"
+#include "apps/mpeg.h"
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "common/version.h"
+#include "graph/text_format.h"
+#include "harness/json.h"
+#include "obs/trace.h"
+
+namespace paserta {
+namespace {
+
+// Queue-latency buckets, seconds. The top finite bound (30 s) comfortably
+// covers the largest request the limits admit on this class of host.
+constexpr double kLatencyBounds[] = {0.0005, 0.001, 0.0025, 0.005, 0.01,
+                                     0.025,  0.05,  0.1,    0.25,  0.5,
+                                     1.0,    2.5,   5.0,    10.0,  30.0};
+
+Application build_app(const SimRequest& req) {
+  if (req.graph_is_text) return load_application_string(req.graph);
+  if (req.graph == "@atr") return apps::build_atr();
+  if (req.graph == "@synthetic") return apps::build_synthetic();
+  if (req.graph == "@mpeg") return apps::build_mpeg();
+  PASERTA_REQUIRE(false, "unknown built-in workload " << req.graph
+                         << " (use @atr, @synthetic or @mpeg)");
+  return {};  // unreachable
+}
+
+LevelTable table_of(const std::string& name) {
+  return name == "xscale" ? LevelTable::intel_xscale()
+                          : LevelTable::transmeta_tm5400();
+}
+
+// sweep_load's per-point deadline rule (experiment.cpp deadline_for):
+// D = ceil(W / load). Must match exactly — the bit-identity contract with
+// `paserta_cli sweep` hangs on it.
+SimTime deadline_from_load(SimTime worst_makespan, double load) {
+  return SimTime{static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(worst_makespan.ps) / load))};
+}
+
+/// The coalescing key: every request input that can influence the
+/// response's "experiment" document. Two jobs with equal keys may share
+/// one simulation; nothing else may.
+std::string group_key(const SimRequest& req, std::uint32_t graph_id,
+                      const std::string& app_name) {
+  std::ostringstream k;
+  // The response embeds experiment_id = app name, so coalescing across
+  // same-structure graphs with different names must keep them apart only
+  // in the rendered id — but the simulation inputs are identical. Still
+  // key on the name: it keeps per-group rendering trivially uniform.
+  k << graph_id << '|' << app_name << '|' << req.table << '|' << req.cpus
+    << '|' << static_cast<int>(req.heuristic) << '|' << req.runs << '|'
+    << req.seed << '|';
+  for (Scheme s : req.schemes) k << static_cast<int>(s) << ',';
+  k << '|';
+  if (req.deadline_ms) {
+    // Bit-pattern, not decimal text: keys must never merge two doubles
+    // that simulate differently.
+    k << 'd' << std::bit_cast<std::uint64_t>(*req.deadline_ms);
+  } else {
+    k << 'l' << std::bit_cast<std::uint64_t>(req.load);
+  }
+  return k.str();
+}
+
+std::shared_future<std::string> ready_future(std::string response) {
+  std::promise<std::string> p;
+  p.set_value(std::move(response));
+  return p.get_future().share();
+}
+
+}  // namespace
+
+SimService::SimService(ServeSettings settings) : settings_(settings) {
+  if (settings_.registry != nullptr) {
+    registry_ = settings_.registry;
+  } else {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  latency_ = &registry_->histogram("serve.request_seconds", kLatencyBounds);
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+SimService::~SimService() { shutdown(); }
+
+MetricsRegistry& SimService::registry() { return *registry_; }
+
+std::string SimService::metrics_text() {
+  return "# " + build_version_string() + "\n" +
+         metrics_to_prometheus(registry_->snapshot());
+}
+
+std::size_t SimService::queue_depth() {
+  std::lock_guard<std::mutex> lk(m_);
+  return queue_.size();
+}
+
+std::shared_future<std::string> SimService::submit(const std::string& line) {
+  SimRequest req;
+  try {
+    req = parse_request(line, settings_.limits);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lk(m_);
+    registry_->counter("serve.bad_requests").add(0, 1);
+    return ready_future(render_error("", "bad_request", e.what()));
+  }
+  if (req.command == "hello") {
+    std::lock_guard<std::mutex> lk(m_);
+    registry_->counter("serve.hellos").add(0, 1);
+    return ready_future(render_hello(req.id_json));
+  }
+
+  auto job = std::make_unique<Job>();
+  job->req = std::move(req);
+  job->t0 = std::chrono::steady_clock::now();
+  if (settings_.tracer != nullptr) job->ts_ns = settings_.tracer->now_ns();
+
+  std::lock_guard<std::mutex> lk(m_);
+  if (stopping_) {
+    registry_->counter("serve.rejected").add(0, 1);
+    return ready_future(render_error(job->req.id_json, "shutting_down",
+                                     "server is shutting down"));
+  }
+  if (queue_.size() >= static_cast<std::size_t>(settings_.queue_limit)) {
+    registry_->counter("serve.rejected").add(0, 1);
+    return ready_future(render_error(
+        job->req.id_json, "overloaded",
+        "queue full (" + std::to_string(queue_.size()) +
+            " pending); retry later"));
+  }
+  job->seq = next_seq_++;
+  registry_->counter("serve.requests").add(0, 1);
+  auto future = job->promise.get_future().share();
+  queue_.push_back(std::move(job));
+  registry_->gauge("serve.queue_depth")
+      .set(0, static_cast<double>(queue_.size()));
+  cv_.notify_all();
+  return future;
+}
+
+void SimService::pause_dispatch() {
+  std::lock_guard<std::mutex> lk(m_);
+  paused_ = true;
+}
+
+void SimService::resume_dispatch() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SimService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+    paused_ = false;  // shutdown drains even a paused queue
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void SimService::dispatcher_main() {
+  std::vector<std::unique_ptr<Job>> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      batch.swap(queue_);
+      registry_->gauge("serve.queue_depth").set(0, 0.0);
+    }
+    process_batch(batch);
+    batch.clear();
+  }
+}
+
+void SimService::finish_job(Job& job, const std::string& response) {
+  // Latency covers submit -> response ready; the histogram is
+  // dispatcher-written only (single writer, shard 0).
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - job.t0)
+          .count();
+  latency_->record(0, seconds);
+  if (settings_.tracer != nullptr) {
+    settings_.tracer->record(0, "serve.request", job.ts_ns,
+                             settings_.tracer->now_ns() - job.ts_ns,
+                             /*point=*/-1,
+                             static_cast<std::int64_t>(job.seq));
+  }
+  job.promise.set_value(response);
+}
+
+void SimService::process_batch(std::vector<std::unique_ptr<Job>>& batch) {
+  TraceSpan batch_span(settings_.tracer, 0, "serve.batch", /*point=*/-1,
+                       static_cast<std::int64_t>(batch.size()));
+  registry_->counter("serve.batches").add(0, 1);
+
+  // Group jobs by semantic key, preserving first-seen order. The
+  // Application of each group's representative is interned so repeated
+  // workloads hit the same object (and with it the OfflineCache).
+  struct Group {
+    const GraphStore::Entry* entry = nullptr;
+    std::string app_name;  // the *request's* name, used for rendering
+    std::vector<Job*> jobs;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string, std::size_t> index;
+  for (auto& job : batch) {
+    Application app;
+    try {
+      app = build_app(job->req);
+    } catch (const std::exception& e) {
+      registry_->counter("serve.bad_requests").add(0, 1);
+      finish_job(*job, render_error(job->req.id_json, "bad_request",
+                                    e.what()));
+      continue;
+    }
+    std::string app_name = app.name;
+    const GraphStore::Entry& entry = store_.intern(std::move(app));
+    const std::string key = group_key(job->req, entry.id, app_name);
+    auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(Group{&entry, std::move(app_name), {}});
+    }
+    groups[it->second].jobs.push_back(job.get());
+  }
+  registry_->counter("serve.graph_interned").add(0, store_.misses() -
+                                                        last_interned_);
+  last_interned_ = store_.misses();
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    Group& g = groups[gi];
+    if (g.jobs.size() > 1) {
+      registry_->counter("serve.coalesced")
+          .add(0, static_cast<std::uint64_t>(g.jobs.size() - 1));
+    }
+    TraceSpan group_span(settings_.tracer, 0, "serve.group",
+                         static_cast<std::int64_t>(gi),
+                         static_cast<std::int64_t>(g.jobs.size()));
+    const SimRequest& req = g.jobs.front()->req;
+    std::string response_error;
+    std::string experiment_json;
+    double elapsed_ms = 0.0;
+    try {
+      const Application& app = g.entry->app;
+      ExperimentConfig cfg;
+      cfg.cpus = req.cpus;
+      cfg.table = table_of(req.table);
+      cfg.runs = req.runs;
+      cfg.seed = req.seed;
+      cfg.threads = settings_.threads;
+      cfg.batch = settings_.batch;
+      cfg.dedup = settings_.dedup;
+      cfg.heuristic = req.heuristic;
+      if (!req.schemes.empty()) cfg.schemes = req.schemes;
+      cfg.collect_metrics = true;
+      cfg.registry = registry_;
+      cfg.tracer = settings_.tracer;
+
+      SimTime deadline{};
+      double x = 0.0;
+      std::string x_name;
+      if (req.deadline_ms) {
+        deadline = SimTime::from_ms(*req.deadline_ms);
+        x = *req.deadline_ms;
+        x_name = "deadline_ms";
+      } else {
+        // Same derivation as sweep_load: one canonical analysis per
+        // (graph, cpus, budget, heuristic), shared across requests via
+        // the long-lived cache. Export the get() delta ourselves — only
+        // run_point's internal gets are exported by the harness.
+        const std::uint64_t h0 = cache_.hits();
+        const std::uint64_t m0 = cache_.misses();
+        const CanonicalAnalysis& canon = cache_.get(
+            app, CanonicalOptions{
+                     cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+                     cfg.heuristic});
+        registry_->counter("offline.cache.hits").add(0, cache_.hits() - h0);
+        registry_->counter("offline.cache.misses")
+            .add(0, cache_.misses() - m0);
+        deadline = deadline_from_load(canon.worst_makespan(), req.load);
+        x = req.load;
+        x_name = "load";
+      }
+
+      const auto sim0 = std::chrono::steady_clock::now();
+      const SweepPoint point = run_point(app, cfg, deadline, x, &cache_);
+      elapsed_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - sim0)
+                       .count();
+
+      // Render the exact document `paserta_cli sweep --json` prints for
+      // this point (minus its trailing newline) — the bit-identity
+      // contract pinned by test_serve.
+      JsonExportOptions jopt;
+      jopt.experiment_id = g.app_name + "-" + x_name;
+      jopt.caption = "paserta_cli sweep";
+      jopt.x_name = x_name;
+      experiment_json = sweep_to_json({point}, jopt);
+    } catch (const std::exception& e) {
+      response_error = e.what();
+    }
+
+    for (Job* job : g.jobs) {
+      if (!response_error.empty()) {
+        registry_->counter("serve.errors").add(0, 1);
+        finish_job(*job, render_error(job->req.id_json, "internal",
+                                      response_error));
+      } else {
+        registry_->counter("serve.responses").add(0, 1);
+        finish_job(*job,
+                   render_result(job->req.id_json, g.entry->content_hash,
+                                 static_cast<std::uint64_t>(g.jobs.size() - 1),
+                                 elapsed_ms, experiment_json));
+      }
+    }
+  }
+}
+
+}  // namespace paserta

@@ -1,0 +1,140 @@
+// The resident simulation service (DESIGN.md §16): protocol-independent
+// core behind the socket server.
+//
+// Connection handlers (or tests, directly) submit() request lines and get
+// a future for the full response line. A single dispatcher thread drains
+// the bounded queue in batches, groups jobs whose semantic key is
+// identical — same interned graph, platform, heuristic, schemes, runs,
+// seed and deadline — runs each distinct group once through the existing
+// harness (run_point on the WorkerPool / batched engine), and fulfills
+// every job of a group from the one shared result. Grouping is pure
+// coalescing: results are bit-identical whether a request ran alone or
+// shared a simulation, because the key pins every output-relevant input.
+//
+// Cross-request caching happens at two levels, both confined to the
+// dispatcher thread (OfflineCache and GraphStore are single-threaded by
+// contract): the GraphStore interns Applications by content so repeated
+// workloads resolve to one object, and the OfflineCache then memoizes
+// the canonical offline analysis across requests keyed by that object's
+// address. serve.* and offline.cache.* registry counters make both
+// observable.
+//
+// Threading / metrics discipline: submit-side counters (serve.requests,
+// serve.rejected, ...) are only written under the queue mutex; dispatch-
+// side counters and the latency histogram are only written by the
+// dispatcher thread. Either way each (metric, shard-0) cell has
+// serialized writers, keeping the registry's single-writer-per-shard
+// contract TSan-clean.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/offline.h"
+#include "harness/experiment.h"
+#include "serve/graph_store.h"
+#include "serve/protocol.h"
+
+namespace paserta {
+
+class Tracer;
+
+struct ServeSettings {
+  /// Worker threads per dispatched simulation (ExperimentConfig::threads).
+  int threads = 1;
+  /// Batched-engine lanes (ExperimentConfig::batch; 0 = auto).
+  int batch = 0;
+  DedupMode dedup = DedupMode::kAuto;
+  /// Pending requests beyond which submit() rejects with "overloaded"
+  /// (the 429-style backpressure bound).
+  int queue_limit = 256;
+  ServeLimits limits;
+  /// Metrics sink; null = a service-owned scoped registry.
+  MetricsRegistry* registry = nullptr;
+  /// Optional span tracer: per-request "serve.request" spans (span id =
+  /// the request sequence number, in the run arg) plus batch/group spans,
+  /// all on slot 0 (the dispatcher's track).
+  Tracer* tracer = nullptr;
+};
+
+class SimService {
+ public:
+  explicit SimService(ServeSettings settings);
+  ~SimService();  // shutdown()
+
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Thread-safe. Parses one request line and returns a future yielding
+  /// the full response line. Parse errors, hello, overload and
+  /// shutting-down responses resolve immediately; simulate requests
+  /// resolve when the dispatcher has run them. Inline graph-text errors
+  /// surface asynchronously (the graph is built on the dispatcher).
+  std::shared_future<std::string> submit(const std::string& line);
+
+  /// Drains every pending request (even while paused), stops the
+  /// dispatcher and rejects later submits with "shutting_down".
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Test hooks: while paused the dispatcher leaves the queue alone, so
+  /// tests can pile up concurrent requests and observe deterministic
+  /// coalescing/backpressure; resume (or shutdown) releases the backlog.
+  void pause_dispatch();
+  void resume_dispatch();
+
+  MetricsRegistry& registry();
+  /// Prometheus exposition of the registry, preceded by a
+  /// "# paserta <rev> (<build>)" provenance comment — the /metrics body.
+  std::string metrics_text();
+
+  /// Pending (not yet dispatched) requests; test/observability hook.
+  std::size_t queue_depth();
+
+  const ServeLimits& limits() const { return settings_.limits; }
+
+  /// Quantile of the cumulative serve.request_seconds histogram (seconds;
+  /// NaN while empty). Read-side; call while the dispatcher is quiet for
+  /// an exact answer.
+  double latency_quantile(double q) const { return latency_->percentile(q); }
+
+ private:
+  struct Job {
+    SimRequest req;
+    std::promise<std::string> promise;
+    std::uint64_t seq = 0;                          // request span id
+    std::chrono::steady_clock::time_point t0{};     // latency epoch
+    std::int64_t ts_ns = 0;                         // tracer epoch
+  };
+
+  void dispatcher_main();
+  void process_batch(std::vector<std::unique_ptr<Job>>& batch);
+  void finish_job(Job& job, const std::string& response);
+
+  ServeSettings settings_;
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_ = nullptr;
+  Histogram* latency_ = nullptr;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Job>> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_seq_ = 0;
+
+  // Dispatcher-confined state (no locking: single thread).
+  GraphStore store_;
+  OfflineCache cache_;
+  std::uint64_t last_interned_ = 0;  // store_.misses() already exported
+
+  std::thread dispatcher_;
+};
+
+}  // namespace paserta

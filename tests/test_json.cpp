@@ -1,6 +1,8 @@
 // Tests for the JSON export of sweep results.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "apps/synthetic.h"
@@ -151,6 +153,154 @@ TEST(JsonParse, RoundTripsSweepExport) {
   ASSERT_EQ(pts.array.size(), 2u);
   EXPECT_DOUBLE_EQ(pts.array[0].at("load").number, 0.5);
   EXPECT_TRUE(pts.array[1].at("schemes").at("GSS").is_object());
+}
+
+// ------------------------------------------------------------- writer
+
+TEST(JsonWriter, CompactObjectBytes) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .key("s").value("a\"b")
+      .key("i").value(-42)
+      .key("u").value(std::uint64_t{18446744073709551615ull})
+      .key("d").value(0.5)
+      .key("t").value(true)
+      .key("n").null()
+      .end_object();
+  EXPECT_TRUE(w.balanced());
+  EXPECT_EQ(os.str(),
+            "{\"s\":\"a\\\"b\",\"i\":-42,\"u\":18446744073709551615,"
+            "\"d\":0.5,\"t\":true,\"n\":null}");
+}
+
+TEST(JsonWriter, IndentedOutputRoundTrips) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object()
+      .key("list").begin_array().value(1).value(2).value(3).end_array()
+      .key("nested").begin_object().key("x").value("y").end_object()
+      .key("empty").begin_array().end_array()
+      .end_object();
+  EXPECT_TRUE(w.balanced());
+  const JsonValue v = json_parse(os.str());
+  ASSERT_EQ(v.at("list").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("list").array[2].number, 3.0);
+  EXPECT_EQ(v.at("nested").at("x").str, "y");
+  EXPECT_TRUE(v.at("empty").array.empty());
+  // Indented form actually indents.
+  EXPECT_NE(os.str().find("\n  \"list\""), std::string::npos);
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().key("doc").raw("{\"kept\":  [1,2]}").end_object();
+  EXPECT_EQ(os.str(), "{\"doc\":{\"kept\":  [1,2]}}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, ControlCharactersRoundTripThroughParser) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  const std::string nasty = "tab\t nl\n quote\" back\\ bell\x07";
+  w.begin_object().key("k").value(nasty).end_object();
+  EXPECT_EQ(json_parse(os.str()).at("k").str, nasty);
+}
+
+// ------------------------------------------- adversarial parser input
+//
+// The serve daemon feeds attacker-controlled bytes into json_parse, so
+// every malformed shape must produce a byte-offset Error — never a crash
+// (the suite also runs under ASan/UBSan in CI).
+
+std::string error_of(const std::string& input) {
+  try {
+    json_parse(input);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(JsonParseAdversarial, TruncatedDocumentsThrowWithOffsets) {
+  for (const char* doc :
+       {"{\"a\":", "[1, 2", "{\"a\": {\"b\": [", "\"abc\\", "tr", "-",
+        "1e", "{\"a\" :", "[{\"x\": 1},"}) {
+    const std::string msg = error_of(doc);
+    EXPECT_FALSE(msg.empty()) << doc;
+    EXPECT_NE(msg.find("at byte"), std::string::npos) << msg;
+  }
+}
+
+TEST(JsonParseAdversarial, HugeAndDegenerateNumbers) {
+  // Overflowing magnitudes parse to +-inf rather than throwing (strtod
+  // semantics) — the point is no UB and no crash.
+  EXPECT_TRUE(std::isinf(json_parse("1e999999").number));
+  EXPECT_TRUE(std::isinf(json_parse("-1e999999").number));
+  EXPECT_DOUBLE_EQ(json_parse("1e-999999").number, 0.0);
+  // A 400-digit integer literal must parse (to +inf) without crashing.
+  EXPECT_TRUE(json_parse("1" + std::string(400, '0')).number > 1e300);
+  // Malformed number shapes still throw.
+  EXPECT_THROW(json_parse("01"), Error);
+  EXPECT_THROW(json_parse("+1"), Error);
+  EXPECT_THROW(json_parse("1."), Error);
+  EXPECT_THROW(json_parse(".5"), Error);
+  EXPECT_THROW(json_parse("0x10"), Error);
+}
+
+TEST(JsonParseAdversarial, DeepNestingStopsAtTheDepthLimit) {
+  // kMaxDepth = 64: 64 nested arrays still parse (the scalar inside sits
+  // exactly at the limit)...
+  std::string ok(64, '[');
+  ok += "1";
+  ok += std::string(64, ']');
+  EXPECT_NO_THROW(json_parse(ok));
+  // ...one more must be rejected by the limit, not by stack exhaustion —
+  // and a pathological 100k-deep input must come back as the same clean
+  // error, no matter how deep.
+  for (std::size_t depth : {std::size_t{65}, std::size_t{100000}}) {
+    std::string too_deep(depth, '[');
+    too_deep += "1";
+    too_deep += std::string(depth, ']');
+    const std::string msg = error_of(too_deep);
+    EXPECT_NE(msg.find("nesting"), std::string::npos) << depth << ": " << msg;
+  }
+  // Same for objects.
+  std::string objs;
+  for (int i = 0; i < 200; ++i) objs += "{\"k\":";
+  objs += "1";
+  objs += std::string(200, '}');
+  EXPECT_THROW(json_parse(objs), Error);
+}
+
+TEST(JsonParseAdversarial, InvalidEscapesAndUnicode) {
+  EXPECT_THROW(json_parse("\"\\x41\""), Error);    // unknown escape
+  EXPECT_THROW(json_parse("\"\\u12\""), Error);    // short \u
+  EXPECT_THROW(json_parse("\"\\u12zq\""), Error);  // non-hex \u
+  EXPECT_THROW(json_parse("\"\\\""), Error);       // escape at EOF
+  // Raw control characters inside strings are invalid JSON.
+  EXPECT_THROW(json_parse(std::string("\"a\nb\"")), Error);
+  EXPECT_THROW(json_parse(std::string("\"a\x01")), Error);
+  // Invalid UTF-8 *bytes* pass through opaquely (the parser is
+  // byte-oriented; no crash, no reinterpretation).
+  const JsonValue v = json_parse("\"\xff\xfe\"");
+  EXPECT_EQ(v.str, "\xff\xfe");
+}
+
+TEST(JsonParseAdversarial, ErrorsCarryByteOffsets) {
+  const std::string msg = error_of("{\"key\": nope}");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("at byte 8"), std::string::npos) << msg;
 }
 
 TEST(Json, BreakdownFractionsPresentAndSane) {

@@ -1,0 +1,425 @@
+// End-to-end tests for the resident simulation service (src/serve):
+// protocol parsing, the service core (coalescing, cross-request caching,
+// backpressure, graceful drain) and the socket front-end (NDJSON + HTTP,
+// concurrent clients, timeouts). The bit-identity case pins the serve
+// contract: a result's "experiment" document is byte-for-byte what
+// `paserta_cli sweep --json` prints for the same point. Labeled
+// serve_smoke; CI runs it in the Release and TSan jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/atr.h"
+#include "common/error.h"
+#include "common/version.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace paserta {
+namespace {
+
+constexpr int kRuns = 20;  // small Monte-Carlo load: these are smoke tests
+
+std::string atr_request(double load = 0.5, int runs = kRuns,
+                        const std::string& extra = "") {
+  return "{\"graph\":\"@atr\",\"runs\":" + std::to_string(runs) +
+         ",\"load\":" + std::to_string(load) + extra + "}";
+}
+
+std::uint64_t counter(SimService& service, const std::string& name) {
+  for (const auto& row : service.registry().snapshot().counters)
+    if (row.name == name) return row.value;
+  return 0;
+}
+
+/// The exact document the offline CLI prints for this point:
+/// `paserta_cli sweep @atr --json --runs R --from L --to L --step 1`
+/// (minus the trailing newline the CLI adds after the document).
+std::string expected_cli_document(double load, int runs) {
+  ExperimentConfig cfg;
+  cfg.cpus = 2;
+  cfg.table = LevelTable::transmeta_tm5400();
+  cfg.runs = runs;
+  cfg.seed = 1;
+  const std::vector<SweepPoint> points =
+      sweep_load(apps::build_atr(), cfg, {load});
+  JsonExportOptions jopt;
+  jopt.experiment_id = "atr-load";
+  jopt.caption = "paserta_cli sweep";
+  jopt.x_name = "load";
+  return sweep_to_json(points, jopt);
+}
+
+// ----------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ParsesMinimalAndFullRequests) {
+  const ServeLimits limits;
+  const SimRequest min = parse_request("{\"graph\":\"@atr\"}", limits);
+  EXPECT_EQ(min.command, "simulate");
+  EXPECT_EQ(min.graph, "@atr");
+  EXPECT_EQ(min.cpus, 2);
+  EXPECT_EQ(min.runs, 200);
+  EXPECT_DOUBLE_EQ(min.load, 0.5);
+  EXPECT_TRUE(min.schemes.empty());  // = the CLI's default five
+
+  const SimRequest full = parse_request(
+      "{\"id\":\"r1\",\"graph\":{\"text\":\"task T 4 2\\n\"},"
+      "\"table\":\"xscale\",\"cpus\":4,\"runs\":7,\"seed\":9,"
+      "\"heuristic\":\"stf\",\"schemes\":[\"gss\",\"as\"],"
+      "\"deadline_ms\":12.5}",
+      limits);
+  EXPECT_EQ(full.id_json, "\"r1\"");
+  EXPECT_TRUE(full.graph_is_text);
+  EXPECT_EQ(full.table, "xscale");
+  EXPECT_EQ(full.cpus, 4);
+  EXPECT_EQ(full.runs, 7);
+  EXPECT_EQ(full.seed, 9u);
+  EXPECT_EQ(full.heuristic, ListHeuristic::ShortestTaskFirst);
+  EXPECT_EQ(full.schemes,
+            (std::vector<Scheme>{Scheme::GSS, Scheme::AS}));
+  ASSERT_TRUE(full.deadline_ms.has_value());
+  EXPECT_DOUBLE_EQ(*full.deadline_ms, 12.5);
+}
+
+TEST(ServeProtocol, RejectsInvalidRequests) {
+  const ServeLimits limits;
+  // Malformed JSON surfaces the parser's byte offset.
+  try {
+    parse_request("{\"graph\": nope}", limits);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+  EXPECT_THROW(parse_request("[1,2]", limits), Error);
+  EXPECT_THROW(parse_request("{\"cmd\":\"drop\"}", limits), Error);
+  EXPECT_THROW(parse_request("{\"graph\":\"no-at-prefix\"}", limits), Error);
+  EXPECT_THROW(parse_request("{\"graph\":\"@nope\",\"cpus\":0}", limits),
+               Error);
+  EXPECT_THROW(parse_request("{\"graph\":\"@atr\",\"runs\":1.5}", limits),
+               Error);
+  EXPECT_THROW(parse_request("{\"graph\":\"@atr\",\"schemes\":[]}", limits),
+               Error);
+  EXPECT_THROW(
+      parse_request("{\"graph\":\"@atr\",\"load\":0.5,\"deadline_ms\":1}",
+                    limits),
+      Error);
+  EXPECT_THROW(parse_request("{\"graph\":\"@atr\",\"load\":1.5}", limits),
+               Error);
+  EXPECT_THROW(parse_request("{\"graph\":\"@atr\",\"id\":[1]}", limits),
+               Error);
+  // Size limits: request line and inline graph text.
+  ServeLimits tiny;
+  tiny.max_request_bytes = 16;
+  EXPECT_THROW(parse_request(atr_request(), tiny), Error);
+  ServeLimits small_graph;
+  small_graph.max_graph_text_bytes = 4;
+  EXPECT_THROW(
+      parse_request("{\"graph\":{\"text\":\"task T 4 2\\n\"}}", small_graph),
+      Error);
+}
+
+TEST(ServeProtocol, RendersSingleLineResponses) {
+  const std::string err = render_error("42", "bad_request", "broken\nthing");
+  EXPECT_EQ(err.find('\n'), std::string::npos);
+  const JsonValue v = json_parse(err);
+  EXPECT_DOUBLE_EQ(v.at("id").number, 42.0);
+  EXPECT_EQ(v.at("type").str, "error");
+  EXPECT_EQ(v.at("code").str, "bad_request");
+  EXPECT_EQ(v.at("message").str, "broken\nthing");
+
+  const JsonValue hello = json_parse(render_hello("\"h\""));
+  EXPECT_EQ(hello.at("type").str, "hello");
+  EXPECT_EQ(hello.at("git_rev").str, build_git_rev());
+  EXPECT_EQ(hello.at("build").str, build_type());
+  EXPECT_DOUBLE_EQ(hello.at("proto").number, 1.0);
+}
+
+TEST(ServeProtocol, HashHexIsFixedWidthLowercase) {
+  EXPECT_EQ(hash_hex(0), "0000000000000000");
+  EXPECT_EQ(hash_hex(0xABCDEF0123456789ull), "abcdef0123456789");
+}
+
+// ------------------------------------------------------------ service
+
+TEST(ServeService, HelloAndParseErrorsResolveImmediately) {
+  SimService service(ServeSettings{});
+  const std::string hello =
+      service.submit("{\"id\":7,\"cmd\":\"hello\"}").get();
+  EXPECT_EQ(json_parse(hello).at("type").str, "hello");
+  EXPECT_DOUBLE_EQ(json_parse(hello).at("id").number, 7.0);
+
+  const std::string err = service.submit("{oops").get();
+  EXPECT_EQ(json_parse(err).at("code").str, "bad_request");
+  EXPECT_EQ(counter(service, "serve.bad_requests"), 1u);
+}
+
+TEST(ServeService, ResultBitIdenticalToOfflineCli) {
+  SimService service(ServeSettings{});
+  const std::string response = service.submit(atr_request()).get();
+  const std::string expected = expected_cli_document(0.5, kRuns);
+  const std::string marker = "\"experiment\":";
+  const std::size_t at = response.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  // The spliced document runs to the response's final '}'.
+  const std::string spliced =
+      response.substr(at + marker.size(),
+                      response.size() - (at + marker.size()) - 1);
+  EXPECT_EQ(spliced, expected);  // byte-for-byte
+  const JsonValue v = json_parse(response);
+  EXPECT_EQ(v.at("type").str, "result");
+  EXPECT_EQ(v.at("graph_hash").str.size(), 16u);
+}
+
+TEST(ServeService, CrossRequestCacheHitsAreObservable) {
+  SimService service(ServeSettings{});
+  service.submit(atr_request()).get();
+  const std::uint64_t misses_after_first =
+      counter(service, "offline.cache.misses");
+  const std::uint64_t hits_after_first = counter(service, "offline.cache.hits");
+  EXPECT_GE(misses_after_first, 1u);
+
+  service.submit(atr_request()).get();
+  // Second identical request: canonical analysis comes from the cache —
+  // hits grow, misses do not.
+  EXPECT_EQ(counter(service, "offline.cache.misses"), misses_after_first);
+  EXPECT_GT(counter(service, "offline.cache.hits"), hits_after_first);
+  // And the graph store interned the second parse onto the first object.
+  EXPECT_EQ(counter(service, "serve.graph_interned"), 1u);
+}
+
+TEST(ServeService, CoalescesIdenticalPendingRequests) {
+  SimService service(ServeSettings{});
+  service.pause_dispatch();
+  auto f1 = service.submit(atr_request());
+  auto f2 = service.submit(atr_request());
+  auto f3 = service.submit(atr_request());
+  auto other = service.submit(atr_request(0.8));
+  EXPECT_EQ(service.queue_depth(), 4u);
+  service.resume_dispatch();
+
+  const std::string r1 = f1.get(), r2 = f2.get(), r3 = f3.get();
+  const std::string r_other = other.get();
+  // The three identical requests shared one simulation...
+  EXPECT_EQ(counter(service, "serve.coalesced"), 2u);
+  EXPECT_DOUBLE_EQ(json_parse(r1).at("coalesced").number, 2.0);
+  // ...and their experiment documents are identical bytes (elapsed_ms
+  // may differ, the simulation result may not).
+  const auto doc = [](const std::string& r) {
+    return r.substr(r.find("\"experiment\":"));
+  };
+  EXPECT_EQ(doc(r1), doc(r2));
+  EXPECT_EQ(doc(r2), doc(r3));
+  EXPECT_NE(doc(r1), doc(r_other));
+  EXPECT_EQ(counter(service, "serve.batches"), 1u);
+}
+
+TEST(ServeService, BackpressureRejectsBeyondQueueLimit) {
+  ServeSettings settings;
+  settings.queue_limit = 2;
+  SimService service(settings);
+  service.pause_dispatch();
+  auto f1 = service.submit(atr_request(0.4));
+  auto f2 = service.submit(atr_request(0.5));
+  auto f3 = service.submit(atr_request(0.6));  // over the limit
+  const JsonValue rejected = json_parse(f3.get());
+  EXPECT_EQ(rejected.at("type").str, "error");
+  EXPECT_EQ(rejected.at("code").str, "overloaded");
+  EXPECT_EQ(counter(service, "serve.rejected"), 1u);
+  service.resume_dispatch();
+  EXPECT_EQ(json_parse(f1.get()).at("type").str, "result");
+  EXPECT_EQ(json_parse(f2.get()).at("type").str, "result");
+}
+
+TEST(ServeService, GracefulShutdownDrainsPendingRequests) {
+  auto service = std::make_unique<SimService>(ServeSettings{});
+  service->pause_dispatch();
+  std::vector<std::shared_future<std::string>> futures;
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(service->submit(atr_request(0.4 + 0.1 * i)));
+  // shutdown() must drain the paused queue before stopping.
+  service->shutdown();
+  for (auto& f : futures)
+    EXPECT_EQ(json_parse(f.get()).at("type").str, "result");
+  // After shutdown, new submissions are turned away in order.
+  const JsonValue late = json_parse(service->submit(atr_request()).get());
+  EXPECT_EQ(late.at("code").str, "shutting_down");
+}
+
+TEST(ServeService, AsyncGraphAndConfigErrorsAreStructured) {
+  SimService service(ServeSettings{});
+  // Graph text parse errors surface from the dispatcher.
+  const JsonValue bad_text = json_parse(
+      service.submit("{\"graph\":{\"text\":\"task broken\"}}").get());
+  EXPECT_EQ(bad_text.at("type").str, "error");
+  EXPECT_EQ(bad_text.at("code").str, "bad_request");
+  // Unknown builtin, same path.
+  const JsonValue bad_builtin =
+      json_parse(service.submit("{\"graph\":\"@nope\"}").get());
+  EXPECT_EQ(bad_builtin.at("code").str, "bad_request");
+  EXPECT_EQ(counter(service, "serve.bad_requests"), 2u);
+}
+
+TEST(ServeService, InlineTextMatchesEquivalentRun) {
+  // An inline graph simulates and renders under its own app name.
+  SimService service(ServeSettings{});
+  const std::string response =
+      service
+          .submit("{\"graph\":{\"text\":\"app tiny\\ntask T 4 2\\n\"},"
+                  "\"runs\":5}")
+          .get();
+  const JsonValue v = json_parse(response);
+  EXPECT_EQ(v.at("type").str, "result");
+  EXPECT_EQ(v.at("experiment").at("experiment").str, "tiny-load");
+}
+
+TEST(ServeService, MetricsTextCarriesProvenanceHeader) {
+  SimService service(ServeSettings{});
+  service.submit(atr_request()).get();
+  const std::string text = service.metrics_text();
+  EXPECT_EQ(text.rfind("# " + build_version_string(), 0), 0u);
+  EXPECT_NE(text.find("serve_requests 1"), std::string::npos);
+}
+
+TEST(ServeService, TracerRecordsRequestSpans) {
+  Tracer tracer;
+  ServeSettings settings;
+  settings.tracer = &tracer;
+  {
+    SimService service(settings);
+    service.submit(atr_request()).get();
+    service.submit(atr_request()).get();
+    service.shutdown();
+  }
+  int request_spans = 0, batch_spans = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    if (std::string(e.name) == "serve.request") ++request_spans;
+    if (std::string(e.name) == "serve.batch") ++batch_spans;
+  }
+  EXPECT_EQ(request_spans, 2);
+  EXPECT_GE(batch_spans, 1);
+}
+
+// ------------------------------------------------------------- server
+
+TEST(ServeServer, EphemeralPortAndHello) {
+  SimService service(ServeSettings{});
+  SimServer server(service, ServerSettings{});
+  EXPECT_NE(server.port(), 0);
+  ServeClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const JsonValue hello =
+      json_parse(client.request("{\"id\":\"x\",\"cmd\":\"hello\"}"));
+  EXPECT_EQ(hello.at("type").str, "hello");
+  EXPECT_EQ(hello.at("git_rev").str, build_git_rev());
+}
+
+TEST(ServeServer, NdjsonResultMatchesCliBytes) {
+  SimService service(ServeSettings{});
+  SimServer server(service, ServerSettings{});
+  ServeClient client(server.port());
+  const std::string response = client.request(atr_request());
+  const std::string expected = expected_cli_document(0.5, kRuns);
+  EXPECT_NE(response.find("\"experiment\":" + expected), std::string::npos);
+}
+
+TEST(ServeServer, HttpMetricsAndSimulate) {
+  SimService service(ServeSettings{});
+  SimServer server(service, ServerSettings{});
+  // Metrics exposition over HTTP, with the provenance header.
+  const std::string metrics = http_request(server.port(), "/metrics");
+  EXPECT_EQ(metrics.rfind("# " + build_version_string(), 0), 0u);
+  // One simulate via POST.
+  const std::string body =
+      http_request(server.port(), "/simulate", atr_request() + "\n");
+  const JsonValue v = json_parse(body);
+  EXPECT_EQ(v.at("type").str, "result");
+  // Unknown path 404s without killing the server: metrics still answer.
+  http_request(server.port(), "/nope");
+  EXPECT_NE(http_request(server.port(), "/metrics").find("serve_requests"),
+            std::string::npos);
+}
+
+TEST(ServeServer, RequestTimeoutProducesStructuredError) {
+  SimService service(ServeSettings{});
+  ServerSettings net;
+  net.request_timeout_ms = 50;
+  SimServer server(service, net);
+  service.pause_dispatch();  // guarantee the wait expires
+  ServeClient client(server.port());
+  const JsonValue v = json_parse(client.request(atr_request()));
+  EXPECT_EQ(v.at("type").str, "error");
+  EXPECT_EQ(v.at("code").str, "timeout");
+  service.resume_dispatch();
+}
+
+TEST(ServeServer, OversizedRequestLineIsRejected) {
+  ServeSettings settings;
+  settings.limits.max_request_bytes = 256;
+  SimService service(settings);
+  SimServer server(service, ServerSettings{});
+  ServeClient client(server.port());
+  const std::string big(1024, 'x');
+  const JsonValue v = json_parse(client.request(big));
+  EXPECT_EQ(v.at("type").str, "error");
+  EXPECT_EQ(v.at("code").str, "bad_request");
+}
+
+TEST(ServeServer, ConcurrentClientsAllComplete) {
+  SimService service(ServeSettings{});
+  SimServer server(service, ServerSettings{});
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client(server.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        // Mix of loads so batches hold both fresh and coalescable work.
+        const std::string response =
+            client.request(atr_request(0.4 + 0.1 * (c % 3), 5));
+        if (json_parse(response).at("type").str == "result") ++ok;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_EQ(counter(service, "serve.requests"),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  server.stop();
+  // stop() drained and is idempotent.
+  server.stop();
+}
+
+TEST(ServeServer, StopDrainsInFlightRequests) {
+  auto service = std::make_unique<SimService>(ServeSettings{});
+  auto server = std::make_unique<SimServer>(*service, ServerSettings{});
+  service->pause_dispatch();
+  ServeClient client(server->port());
+
+  // Fire a request whose response can only arrive once stop() drains the
+  // paused queue — the graceful-shutdown contract.
+  std::promise<std::string> got;
+  std::thread requester([&] { got.set_value(client.request(atr_request())); });
+  // Wait until the request is actually queued before stopping.
+  while (service->queue_depth() == 0)
+    std::this_thread::yield();
+  server->stop();
+  const std::string response = got.get_future().get();
+  requester.join();
+  EXPECT_EQ(json_parse(response).at("type").str, "result");
+}
+
+}  // namespace
+}  // namespace paserta

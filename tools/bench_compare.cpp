@@ -12,6 +12,7 @@
 //   batch.samples[].runs_per_sec          (batched engine, by batch size)
 //   dedup.samples[].on_runs_per_sec       (scenario-dedup path, by run count)
 //   sweep.samples[].pooled_points_per_sec (whole-sweep pooled path)
+//   serve.samples[].requests_per_sec      (resident daemon, by client count)
 //
 // A drop larger than the threshold (default 5 %) in any matched series is a
 // regression. Dirty entries are skipped with a warning (a number measured
@@ -32,8 +33,13 @@
 // independent. Entries without a batch section skip this gate with a note.
 // A third floor (--dedup-floor, default 3.0) holds the dedup section's
 // recorded on-over-off speedup at its largest run count; entries without a
-// dedup section skip it with a note. Failure summaries name every series
-// and gate that tripped.
+// dedup section skip it with a note. A fourth floor (--serve-cache-floor,
+// default 0.9) holds the serve section's offline-cache hit rate at its
+// largest client count: the daemon's whole point is that a resident
+// process re-serves repeated graphs from the cross-request cache, so a hit
+// rate collapse is a regression even if raw requests/sec still looks fine.
+// Entries without a serve section skip it with a note. Failure summaries
+// name every series and gate that tripped.
 //
 // Exit status: without --check always 0 (report mode, for humans). With
 // --check: 1 on a regression, 0 otherwise — including when fewer than two
@@ -62,6 +68,7 @@ struct Args {
   double efficiency_floor = 0.5;
   double batch_floor = 1.0;
   double dedup_floor = 3.0;
+  double serve_cache_floor = 0.9;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -93,7 +100,13 @@ struct Args {
                "                   at the largest run count of the newest\n"
                "                   entry's dedup section (default 3.0; 0\n"
                "                   disables the gate; entries without a\n"
-               "                   dedup section skip it with a note)\n";
+               "                   dedup section skip it with a note)\n"
+               "  --serve-cache-floor F\n"
+               "                   minimum offline-cache hit rate at the\n"
+               "                   largest client count of the newest\n"
+               "                   entry's serve section (default 0.9; 0\n"
+               "                   disables the gate; entries without a\n"
+               "                   serve section skip it with a note)\n";
   std::exit(2);
 }
 
@@ -135,6 +148,12 @@ Args parse_args(int argc, char** argv) {
       a.batch_floor = std::strtod(v.c_str(), &end);
       if (end == v.c_str() || *end != '\0' || !(a.batch_floor >= 0.0))
         usage("--batch-floor needs a non-negative number");
+    } else if (flag == "--serve-cache-floor") {
+      char* end = nullptr;
+      const std::string v = value("--serve-cache-floor");
+      a.serve_cache_floor = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || !(a.serve_cache_floor >= 0.0))
+        usage("--serve-cache-floor needs a non-negative number");
     } else if (flag == "--dedup-floor") {
       char* end = nullptr;
       const std::string v = value("--dedup-floor");
@@ -217,6 +236,7 @@ std::vector<Series> collect_entry(const JsonValue& entry) {
   collect(entry, "batch", "batch", "runs_per_sec", out);
   collect(entry, "dedup", "runs", "on_runs_per_sec", out);
   collect(entry, "sweep", "threads", "pooled_points_per_sec", out);
+  collect(entry, "serve", "clients", "requests_per_sec", out);
   return out;
 }
 
@@ -364,6 +384,53 @@ bool dedup_gate_ok(const JsonValue& entry, std::size_t index, double floor) {
   return ok;
 }
 
+/// Serve-cache gate on one entry: at the largest client count of the serve
+/// section, the recorded offline-cache hit rate must clear `floor`. The
+/// bench replays one request line against a resident daemon, so after the
+/// warm-up every request should be answered from the cross-request cache;
+/// a collapsing hit rate means the daemon silently re-analyzes per request.
+/// Returns false on a violation.
+bool serve_gate_ok(const JsonValue& entry, std::size_t index, double floor) {
+  if (!(floor > 0.0)) return true;  // disabled
+  const JsonValue* serve = entry.find("serve");
+  const JsonValue* samples =
+      serve != nullptr && serve->is_object() ? serve->find("samples") : nullptr;
+  if (samples == nullptr || !samples->is_array()) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " has no serve section — serve-cache gate skipped\n";
+    return true;
+  }
+  const JsonValue* best = nullptr;
+  double best_clients = 0.0;
+  for (const JsonValue& s : samples->array) {
+    const JsonValue* clients = s.find("clients");
+    const JsonValue* rate = s.find("cache_hit_rate");
+    if (clients == nullptr || clients->type != JsonValue::Type::Number ||
+        rate == nullptr || rate->type != JsonValue::Type::Number)
+      continue;
+    if (best == nullptr || clients->number > best_clients) {
+      best = &s;
+      best_clients = clients->number;
+    }
+  }
+  if (best == nullptr) {
+    std::cout << "note: " << entry_label(entry, index)
+              << " has no usable serve samples — serve-cache gate skipped\n";
+    return true;
+  }
+  const double rate = best->find("cache_hit_rate")->number;
+  const bool ok = rate >= floor;
+  std::cout << "  " << (ok ? "ok" : "REGRESSION")
+            << "  serve.cache_hit_rate@clients="
+            << static_cast<long long>(best_clients) << ": " << rate
+            << " (floor " << floor << ")";
+  const JsonValue* rps = best->find("requests_per_sec");
+  if (rps != nullptr && rps->type == JsonValue::Type::Number)
+    std::cout << ", " << rps->number << " requests/sec";
+  std::cout << "\n";
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -454,8 +521,13 @@ int main(int argc, char** argv) {
   const bool dedup_ok =
       dedup_gate_ok(*candidate, candidate_idx, args.dedup_floor);
   if (!dedup_ok) regressed_names.push_back("dedup.speedup floor");
+  // Serve-cache gate, newest-entry-only: the hit rate is a property of the
+  // daemon's caching, not of host speed, so it gets an absolute floor.
+  const bool serve_ok =
+      serve_gate_ok(*candidate, candidate_idx, args.serve_cache_floor);
+  if (!serve_ok) regressed_names.push_back("serve.cache_hit_rate floor");
 
-  if (compared == 0 && efficiency_ok && batch_ok && dedup_ok) {
+  if (compared == 0 && efficiency_ok && batch_ok && dedup_ok && serve_ok) {
     std::cout << "note: no matching throughput series between the two "
                  "entries\n";
     return 0;
@@ -464,13 +536,14 @@ int main(int argc, char** argv) {
     std::cout << regressed_names.size() << " series regressed (threshold "
               << args.threshold_pct << "%, efficiency floor "
               << args.efficiency_floor << ", batch floor " << args.batch_floor
-              << ", dedup floor " << args.dedup_floor << "):\n";
+              << ", dedup floor " << args.dedup_floor << ", serve cache floor "
+              << args.serve_cache_floor << "):\n";
     for (const std::string& name : regressed_names)
       std::cout << "  FAILED  " << name << "\n";
     return args.check ? 1 : 0;
   }
   std::cout << "all " << compared
-            << " series within threshold; efficiency, batch and dedup floors "
-               "met\n";
+            << " series within threshold; efficiency, batch, dedup and serve "
+               "floors met\n";
   return 0;
 }

@@ -6,6 +6,8 @@
 //   paserta_cli metrics  <workload>             structural metrics
 //   paserta_cli dot      <workload>             Graphviz dump
 //   paserta_cli tables                          DVS level tables
+//   paserta_cli serve                           resident simulation daemon
+//   paserta_cli --version                       build provenance stamp
 //
 // <workload> is a text file (docs/WORKLOAD_FORMAT.md) or a built-in:
 // @atr, @synthetic, @mpeg.
@@ -43,7 +45,9 @@
 //   --progress         live progress line on stderr
 //
 // Flags accept both "--flag value" and "--flag=value".
+#include <csignal>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -54,6 +58,7 @@
 #include "apps/atr.h"
 #include "apps/mpeg.h"
 #include "apps/synthetic.h"
+#include "common/version.h"
 #include "core/offline.h"
 #include "core/oracle.h"
 #include "graph/dot.h"
@@ -68,6 +73,8 @@
 #include "obs/trace.h"
 #include "sim/gantt.h"
 #include "sim/power_trace.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "sim/svg.h"
 #include "sim/trace_stats.h"
 
@@ -99,6 +106,11 @@ struct Options {
   std::string metrics_format = "json";
   bool audit = false;
   bool progress = false;
+  // serve
+  int port = 0;
+  int queue_limit = 256;
+  int timeout_ms = 0;
+  int max_conn = 32;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -113,6 +125,10 @@ struct Options {
       "  metrics  <workload>   structural graph metrics\n"
       "  dot      <workload>   Graphviz dump\n"
       "  tables                DVS level tables\n"
+      "  serve                 resident simulation daemon (NDJSON + HTTP\n"
+      "                        /metrics; see docs/DESIGN.md §16)\n"
+      "\n"
+      "  --version             print the build provenance stamp and exit\n"
       "\n"
       "<workload> is a text file (docs/WORKLOAD_FORMAT.md) or a built-in:\n"
       "@atr, @synthetic, @mpeg.\n"
@@ -153,7 +169,18 @@ struct Options {
       "                      must rebuild the engine's energies exactly and\n"
       "                      the power-trace integral must match (slower;\n"
       "                      output identical to a non-audited sweep)\n"
-      "  --progress          live progress line on stderr\n";
+      "  --progress          live progress line on stderr\n"
+      "serve:\n"
+      "  --port N            listen port on 127.0.0.1 (default 0 =\n"
+      "                      ephemeral; the bound port is printed)\n"
+      "  --queue-limit N     pending requests before submissions are\n"
+      "                      rejected as overloaded (default 256)\n"
+      "  --timeout-ms N      per-request response wait bound (default 0 =\n"
+      "                      none)\n"
+      "  --max-conn N        concurrent connections (default 32)\n"
+      "  --threads/--batch/--dedup, --trace-out, --metrics-out and\n"
+      "  --metrics-format apply to the daemon's simulations; SIGINT or\n"
+      "  SIGTERM drains in-flight requests and flushes the sinks\n";
   std::exit(2);
 }
 
@@ -162,7 +189,7 @@ Options parse_args(int argc, char** argv) {
   if (argc < 2) usage();
   o.command = argv[1];
   int i = 2;
-  if (o.command != "tables") {
+  if (o.command != "tables" && o.command != "serve") {
     if (i >= argc || argv[i][0] == '-') usage("missing workload file");
     o.workload = argv[i++];
   }
@@ -225,6 +252,13 @@ Options parse_args(int argc, char** argv) {
     }
     else if (flag == "--audit") o.audit = true;
     else if (flag == "--progress") o.progress = true;
+    else if (flag == "--port") o.port = std::stoi(need_value("--port"));
+    else if (flag == "--queue-limit")
+      o.queue_limit = std::stoi(need_value("--queue-limit"));
+    else if (flag == "--timeout-ms")
+      o.timeout_ms = std::stoi(need_value("--timeout-ms"));
+    else if (flag == "--max-conn")
+      o.max_conn = std::stoi(need_value("--max-conn"));
     else usage(("unknown flag " + flag).c_str());
     if (inline_value) usage(("flag " + flag + " takes no value").c_str());
   }
@@ -493,9 +527,88 @@ int cmd_tables() {
   return 0;
 }
 
+// SIGINT/SIGTERM flag for cmd_serve's wait loop. sig_atomic_t write is
+// all the handler does — the drain happens on the main thread.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(const Options& o) {
+  std::unique_ptr<Tracer> tracer;
+  if (!o.trace_out.empty()) tracer = std::make_unique<Tracer>();
+
+  ServeSettings settings;
+  settings.threads = o.threads;
+  settings.batch = o.batch;
+  settings.dedup = o.dedup == "on"    ? DedupMode::kOn
+                   : o.dedup == "off" ? DedupMode::kOff
+                                      : DedupMode::kAuto;
+  settings.queue_limit = o.queue_limit;
+  settings.tracer = tracer.get();
+  SimService service(settings);
+
+  ServerSettings net;
+  net.port = static_cast<std::uint16_t>(o.port);
+  net.max_connections = o.max_conn;
+  net.request_timeout_ms = o.timeout_ms;
+  SimServer server(service, net);
+
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // The port line is machine-read by the smoke tests; keep it first and
+  // flushed before any request arrives.
+  std::cout << "listening on 127.0.0.1:" << server.port() << "\n"
+            << build_version_string() << "\n" << std::flush;
+
+  while (g_stop_requested == 0) {
+    timespec ts{0, 200 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+  std::cerr << "draining...\n";
+  server.stop();  // drains the service, then joins the connections
+
+  if (!o.trace_out.empty()) {
+    std::ofstream trace_file(o.trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot write '" << o.trace_out << "'\n";
+      return 1;
+    }
+    write_chrome_trace(trace_file, *tracer);
+    std::cerr << "wrote " << o.trace_out << " (" << tracer->event_count()
+              << " events)\n";
+  }
+  if (!o.metrics_out.empty()) {
+    const std::string rendered =
+        o.metrics_format == "prometheus"
+            ? service.metrics_text()
+            : metrics_to_json(service.registry().snapshot());
+    if (o.metrics_out == "-") {
+      std::cout << rendered;
+    } else {
+      std::ofstream metrics_file(o.metrics_out);
+      if (!metrics_file) {
+        std::cerr << "cannot write '" << o.metrics_out << "'\n";
+        return 1;
+      }
+      metrics_file << rendered;
+      std::cerr << "wrote " << o.metrics_out << "\n";
+    }
+  }
+  std::cerr << "bye\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--version") == 0 ||
+                    std::strcmp(argv[1], "-V") == 0)) {
+    std::cout << build_version_string() << "\n";
+    return 0;
+  }
   try {
     const Options o = parse_args(argc, argv);
     if (o.command == "analyze") return cmd_analyze(o);
@@ -504,6 +617,7 @@ int main(int argc, char** argv) {
     if (o.command == "metrics") return cmd_metrics(o);
     if (o.command == "dot") return cmd_dot(o);
     if (o.command == "tables") return cmd_tables();
+    if (o.command == "serve") return cmd_serve(o);
     usage(("unknown command " + o.command).c_str());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
