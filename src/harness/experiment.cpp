@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <type_traits>
@@ -16,6 +17,7 @@
 #include "core/offline.h"
 #include "harness/pool.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/batch_engine.h"
@@ -316,6 +318,14 @@ struct RunObs {
   /// per scheme in config order, then one for the NPM baseline. Null =
   /// counting off.
   SimCounters* cells = nullptr;
+  /// Phase profiler + pre-registered phase ids (run_point_specs resolves
+  /// them once per call). Null prof = every scope is a pointer test.
+  Profiler* prof = nullptr;
+  int ph_sample = -1;    // scenario drawing (nested under pool.busy)
+  int ph_simulate = -1;  // engine simulation (nested under pool.busy)
+  int ph_flush = -1;     // chunk stage flush (nested under pool.busy)
+  int ph_batch_setup = -1;  // batch-engine setup (nested under simulate)
+  int ph_batch_drain = -1;  // batch-engine drain (nested under simulate)
 };
 
 /// Audit cross-check of one finished run (ExperimentConfig::audit): the
@@ -459,11 +469,15 @@ void evaluate_run(const Application& app, const ExperimentConfig& cfg,
                   std::uint8_t& degenerate_out, SchemeOutcome* row,
                   const RunObs& obs = {}) {
   Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
-  if (sampler != nullptr) {
-    sampler->draw_into(run_rng, sc);
-  } else {
-    draw_scenario(app.graph, run_rng, sc);
+  {
+    ProfScope ps(obs.prof, obs.ph_sample, obs.slot);
+    if (sampler != nullptr) {
+      sampler->draw_into(run_rng, sc);
+    } else {
+      draw_scenario(app.graph, run_rng, sc);
+    }
   }
+  ProfScope ps(obs.prof, obs.ph_simulate, obs.slot);
   evaluate_scenario(app, cfg, off, pm, deadline, policies, npm, run, ws, sc,
                     npm_energy_out, degenerate_out, row, obs);
 }
@@ -540,11 +554,14 @@ void evaluate_chunk_batched(const Application& app,
     const int lanes = std::min(lanes_max, count - base);
     const auto nlanes = static_cast<std::size_t>(lanes);
     ctx.batch_sc.ensure(nlanes, app.graph.size());
-    for (int l = 0; l < lanes; ++l) {
-      Rng run_rng(Rng::stream_seed(
-          cfg.seed, static_cast<std::uint64_t>(first + base + l)));
-      sampler.draw_into(run_rng, ctx.batch_sc,
-                        static_cast<std::size_t>(l));
+    {
+      ProfScope ps(obs.prof, obs.ph_sample, obs.slot);
+      for (int l = 0; l < lanes; ++l) {
+        Rng run_rng(Rng::stream_seed(
+            cfg.seed, static_cast<std::uint64_t>(first + base + l)));
+        sampler.draw_into(run_rng, ctx.batch_sc,
+                          static_cast<std::size_t>(l));
+      }
     }
 
     // One scheme after another over the same scenario slab, the NPM
@@ -552,9 +569,14 @@ void evaluate_chunk_batched(const Application& app,
     // exports each lane into its own cell so attribution_energy sees one
     // run's ledger, exactly like the scalar path's run-local cell.
     const auto run_scheme = [&](Scheme scheme, SimCounters* slot_cell) {
+      ProfScope ps(obs.prof, obs.ph_simulate, obs.slot);
       BatchSimOptions bo;
       bo.record_trace = cfg.audit;
       bo.audit = cfg.audit;
+      bo.prof = obs.prof;
+      bo.ph_setup = obs.ph_batch_setup;
+      bo.ph_drain = obs.ph_batch_drain;
+      bo.slot = obs.slot;
       if (cfg.audit) {
         ctx.batch_cells.assign(nlanes, SimCounters{});
         bo.lane_cells = ctx.batch_cells.data();
@@ -628,7 +650,10 @@ void evaluate_chunk_dedup_scalar(
     const int run = first + k;
     const auto i = static_cast<std::size_t>(k);
     Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
-    sampler.draw_into(run_rng, ctx.sc, ctx.key.data());
+    {
+      ProfScope ps(obs.prof, obs.ph_sample, obs.slot);
+      sampler.draw_into(run_rng, ctx.sc, ctx.key.data());
+    }
     bool inserted = false;
     const std::uint32_t id = shard.table.intern(ctx.key.data(), inserted);
     if (inserted) {
@@ -649,10 +674,14 @@ void evaluate_chunk_dedup_scalar(
                     SimCounters{});
           miss_obs.cells = ctx.dedup_cells.data();
         }
-        evaluate_scenario(app, cfg, off, pm, deadline, ctx.policies,
-                          *ctx.npm, run, ctx.ws, ctx.sc,
-                          ctx.stage.npm_energy[i], ctx.stage.degenerate[i],
-                          ctx.stage.schemes.data() + i * nschemes, miss_obs);
+        {
+          ProfScope ps(obs.prof, obs.ph_simulate, obs.slot);
+          evaluate_scenario(app, cfg, off, pm, deadline, ctx.policies,
+                            *ctx.npm, run, ctx.ws, ctx.sc,
+                            ctx.stage.npm_energy[i], ctx.stage.degenerate[i],
+                            ctx.stage.schemes.data() + i * nschemes,
+                            miss_obs);
+        }
         if (metrics)
           for (std::size_t c = 0; c < ncells; ++c)
             obs.cells[c].add(ctx.dedup_cells[c]);
@@ -707,7 +736,12 @@ void evaluate_chunk_dedup_batched(
       if (metrics) shard.cells.resize((base + nlanes) * ncells);
 
       const auto run_scheme = [&](Scheme scheme) {
+        ProfScope ps(obs.prof, obs.ph_simulate, obs.slot);
         BatchSimOptions bo;
+        bo.prof = obs.prof;
+        bo.ph_setup = obs.ph_batch_setup;
+        bo.ph_drain = obs.ph_batch_drain;
+        bo.slot = obs.slot;
         if (metrics) {
           // Per-lane cells: each record must cache exactly one run's
           // counters (and ledger), so replay adds per-run quantities.
@@ -767,8 +801,11 @@ void evaluate_chunk_dedup_batched(
     if (cur == lanes_max) flush_group();
     const int run = first + k;
     Rng run_rng(Rng::stream_seed(cfg.seed, static_cast<std::uint64_t>(run)));
-    sampler.draw_into(run_rng, ctx.batch_sc, static_cast<std::size_t>(cur),
-                      ctx.key.data());
+    {
+      ProfScope ps(obs.prof, obs.ph_sample, obs.slot);
+      sampler.draw_into(run_rng, ctx.batch_sc, static_cast<std::size_t>(cur),
+                        ctx.key.data());
+    }
     bool inserted = false;
     const std::uint32_t id = shard.table.intern(ctx.key.data(), inserted);
     if (inserted) {
@@ -969,7 +1006,35 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     tel.progress = cfg.progress;
     cfg.progress->add_total(total_chunks);
   }
-  if (reg != nullptr || cfg.progress != nullptr) telp = &tel;
+  // Phase profiler: resolve every phase id once, before the workers start
+  // (Profiler::phase takes a mutex; the hot paths then index by id). The
+  // pool.* phases are top-level — together with harness.compile/finalize
+  // they tile this call's wall time; harness.* / batch.* run-phases are
+  // nested inside pool.busy.
+  Profiler* const prof = cfg.prof;
+  RunObs obs_proto;
+  int ph_setup = -1;
+  if (prof != nullptr) {
+    tel.prof = prof;
+    tel.ph_claim = prof->phase("pool.claim", /*top_level=*/true);
+    tel.ph_busy = prof->phase("pool.busy", /*top_level=*/true);
+    tel.ph_idle = prof->phase("pool.idle", /*top_level=*/true);
+    ph_setup = prof->phase("harness.setup", /*top_level=*/true);
+    obs_proto.prof = prof;
+    obs_proto.ph_sample = prof->phase("harness.sample");
+    obs_proto.ph_simulate = prof->phase("harness.simulate");
+    obs_proto.ph_flush = prof->phase("harness.stage_flush");
+    obs_proto.ph_batch_setup = prof->phase("batch.setup");
+    obs_proto.ph_batch_drain = prof->phase("batch.drain");
+  }
+  if (reg != nullptr || cfg.progress != nullptr || prof != nullptr)
+    telp = &tel;
+
+  // Everything between here and the pool run that is not sampler
+  // compilation is per-run storage allocation and dedup plumbing; charge
+  // it as harness.setup (two scope entries, split around the compile) so
+  // the top-level phases keep tiling the call.
+  auto setup_scope = std::make_optional<ProfScope>(prof, ph_setup, 0);
 
   // Engine-counter cells, one SimCounters row (schemes + NPM) per
   // (point, slot): each worker accumulates into its own slot's row without
@@ -998,6 +1063,10 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
   std::vector<std::size_t> spec_sampler_idx(specs.size());
   {
     TraceSpan span(tracer, 0, "compile_samplers");
+    setup_scope.reset();  // close the setup stretch around the compile
+    ProfScope ps(prof, prof != nullptr ? prof->phase("harness.compile", true)
+                                       : -1,
+                 0);
     for (std::size_t i = 0; i < specs.size(); ++i) {
       std::size_t j = 0;
       while (j < sampler_apps.size() && sampler_apps[j] != specs[i].app) ++j;
@@ -1009,6 +1078,7 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
       spec_sampler_idx[i] = j;
     }
   }
+  setup_scope.emplace(prof, ph_setup, 0);  // dedup plumbing + worker slots
 
   // Dedup resolution (DESIGN.md §15): the scenario space is a sampler
   // property, so resolve once per distinct application and fan out per
@@ -1047,7 +1117,7 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     const int count = last - first;
     const PointSpec& spec = specs[static_cast<std::size_t>(p)];
     TraceSpan chunk_span(tracer, slot, "chunk", p, first);
-    RunObs obs;
+    RunObs obs = obs_proto;
     obs.run_tracer = run_tracer;
     obs.slot = slot;
     obs.point = p;
@@ -1105,10 +1175,14 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
                      ctx->stage.schemes.data() + i * nschemes, obs);
       }
     }
-    ctx->stage.flush(outcomes[static_cast<std::size_t>(p)], first, count,
-                     nschemes);
+    {
+      ProfScope ps(obs.prof, obs.ph_flush, slot);
+      ctx->stage.flush(outcomes[static_cast<std::size_t>(p)], first, count,
+                       nschemes);
+    }
   };
 
+  setup_scope.reset();
   {
     TraceSpan span(tracer, 0, "monte_carlo");
     if (max_workers <= 1) {
@@ -1126,6 +1200,9 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
   points.reserve(specs.size());
   {
     TraceSpan span(tracer, 0, "finalize");
+    ProfScope ps(prof, prof != nullptr ? prof->phase("harness.finalize", true)
+                                       : -1,
+                 0);
     for (std::size_t p = 0; p < specs.size(); ++p) {
       points.push_back(finalize_point(cfg, specs[p], outcomes[p]));
       if (cfg.collect_metrics) {
@@ -1157,6 +1234,11 @@ std::vector<SweepPoint> run_point_specs(std::span<const PointSpec> specs,
     }
   }
   if (reg != nullptr) {
+    // Counter flushing is part of wrapping the run up — second entry into
+    // the finalize phase, so profile attribution covers the whole tail.
+    ProfScope ps(prof, prof != nullptr ? prof->phase("harness.finalize", true)
+                                       : -1,
+                 0);
     for (const SweepPoint& pt : points) {
       for (std::size_t s = 0; s < nschemes; ++s)
         flush_sim_counters(
@@ -1223,13 +1305,26 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
   validate_config(cfg);
   PASERTA_REQUIRE(deadline > SimTime::zero(), "deadline must be positive");
 
+  Profiler* const prof = cfg.prof;
+  const int ph_analyze =
+      prof != nullptr ? prof->phase("offline.analyze", true) : -1;
+  const int ph_apply =
+      prof != nullptr ? prof->phase("offline.apply", true) : -1;
   OfflineResult off;
   {
     TraceSpan span(cfg.tracer, 0, "offline_analysis");
     if (cache != nullptr) {
       const std::uint64_t h0 = cache->hits();
       const std::uint64_t m0 = cache->misses();
-      off = apply_deadline(cache->get(app, canonical_options(cfg)), deadline);
+      const CanonicalAnalysis* canon = nullptr;
+      {
+        ProfScope ps(prof, ph_analyze, 0);
+        canon = &cache->get(app, canonical_options(cfg));
+      }
+      {
+        ProfScope ps(prof, ph_apply, 0);
+        off = apply_deadline(*canon, deadline);
+      }
       export_offline_cache_delta(cfg, *cache, h0, m0);
     } else {
       OfflineOptions opt;
@@ -1237,6 +1332,7 @@ SweepPoint run_point(const Application& app, const ExperimentConfig& cfg,
       opt.deadline = deadline;
       opt.overhead_budget = cfg.overheads.worst_case_budget(cfg.table);
       opt.heuristic = cfg.heuristic;
+      ProfScope ps(prof, ph_analyze, 0);
       off = analyze_offline(app, opt);
     }
   }
@@ -1309,10 +1405,14 @@ std::vector<SweepPoint> sweep_load(const Application& app,
   // One canonical (round-1) analysis for the whole sweep: only the
   // deadline varies across points, and the deadline enters the offline
   // data solely through the cheap round-2 shift.
+  Profiler* const prof = cfg.prof;
   OfflineCache cache;
   const CanonicalAnalysis* canon_ptr = nullptr;
   {
     TraceSpan span(cfg.tracer, 0, "offline_analysis");
+    ProfScope ps(prof,
+                 prof != nullptr ? prof->phase("offline.analyze", true) : -1,
+                 0);
     const std::uint64_t h0 = cache.hits();
     const std::uint64_t m0 = cache.misses();
     canon_ptr = &cache.get(app, canonical_options(cfg));
@@ -1320,13 +1420,18 @@ std::vector<SweepPoint> sweep_load(const Application& app,
   }
   const CanonicalAnalysis& canon = *canon_ptr;
 
+  const int ph_apply =
+      prof != nullptr ? prof->phase("offline.apply", true) : -1;
   std::vector<OfflineResult> offs;
   std::vector<PointSpec> specs;
   offs.reserve(loads.size());
   specs.reserve(loads.size());
   for (double load : loads) {
     const SimTime deadline = deadline_for(canon.worst_makespan(), load);
-    offs.push_back(apply_deadline(canon, deadline));
+    {
+      ProfScope ps(prof, ph_apply, 0);
+      offs.push_back(apply_deadline(canon, deadline));
+    }
     PointSpec spec;
     spec.app = &app;
     spec.off = &offs.back();

@@ -36,6 +36,7 @@ namespace paserta {
 
 class Tracer;            // obs/trace.h
 class ProgressReporter;  // obs/progress.h
+class Profiler;          // obs/prof.h
 
 /// Scenario-dedup memoization (DESIGN.md §15): simulate each distinct
 /// scenario of a point once, replay the cached per-run record for every
@@ -121,6 +122,13 @@ struct ExperimentConfig {
   /// Live progress: registered with the total chunk count up front, ticked
   /// once per completed chunk. Null = silent.
   ProgressReporter* progress = nullptr;
+  /// Cycle-level phase profiler (obs/prof.h): the harness charges the
+  /// offline analyze/apply, sampler compile, pool claim/busy/idle, per-run
+  /// sample/simulate, batch setup/drain, stage flush and finalize phases.
+  /// Null = every ProfScope is a single pointer test. Strictly write-only
+  /// like the rest of this block: output is bit-identical with profiling
+  /// on or off (prof_identity suite).
+  Profiler* prof = nullptr;
   /// Self-auditing observability: every run is re-accounted three ways and
   /// the books must agree — (1) the engine asserts the attribution
   /// ledger's integer time-conservation invariant (SimOptions::audit);

@@ -11,6 +11,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/progress.h"
 
 namespace paserta {
@@ -39,6 +40,9 @@ void record_chunk(const PoolTelemetry& tel, int slot, std::int64_t body_ns) {
   if (tel.busy_ns) tel.busy_ns->add(slot, static_cast<std::uint64_t>(body_ns));
   if (tel.chunk_seconds)
     tel.chunk_seconds->record(slot, static_cast<double>(body_ns) * 1e-9);
+  if (tel.prof != nullptr && tel.ph_busy >= 0)
+    tel.prof->add_ns(tel.ph_busy, slot,
+                     static_cast<std::uint64_t>(body_ns));
   if (tel.progress) tel.progress->add_done(1);
 }
 
@@ -105,17 +109,35 @@ struct WorkerPool::Impl {
 
   /// Same claim loop as run_chunks plus per-chunk timing: time inside the
   /// body is busy, everything else between entering and leaving the loop
-  /// (claims, the final failed claim) is idle.
+  /// (claims, the final failed claim) is idle. With a phase profiler in
+  /// the telemetry, the same stretches additionally land in its
+  /// claim/busy/idle phases — the claim split (counter contention vs
+  /// genuine waiting) exists only there, paid for by one extra clock read
+  /// per claim.
   void run_chunks_instrumented(Job& job_ref, int slot) {
     const PoolTelemetry& tel = *job_ref.telemetry;
+    const bool prof = tel.prof != nullptr;
     std::int64_t mark = now_ns();  // start of the current idle stretch
+    std::int64_t prof_mark = mark;  // start of the uncharged profile stretch
     const auto account_idle = [&](std::int64_t until) {
       if (tel.idle_ns && until > mark)
         tel.idle_ns->add(slot, static_cast<std::uint64_t>(until - mark));
+      if (prof && tel.ph_idle >= 0 && until > prof_mark) {
+        tel.prof->add_ns(tel.ph_idle, slot,
+                         static_cast<std::uint64_t>(until - prof_mark));
+        prof_mark = until;
+      }
     };
     for (;;) {
       const std::int64_t c0 = job_ref.next_chunk.fetch_add(
           job_ref.claim_batch, std::memory_order_relaxed);
+      if (prof && tel.ph_claim >= 0) {
+        const std::int64_t t_claim = now_ns();
+        if (t_claim > prof_mark)
+          tel.prof->add_ns(tel.ph_claim, slot,
+                           static_cast<std::uint64_t>(t_claim - prof_mark));
+        prof_mark = t_claim;
+      }
       if (c0 >= job_ref.chunks) break;
       const std::int64_t c1 =
           std::min<std::int64_t>(job_ref.chunks, c0 + job_ref.claim_batch);
@@ -139,6 +161,7 @@ struct WorkerPool::Impl {
           return;
         }
         mark = now_ns();
+        prof_mark = mark;  // body time reaches the profiler via record_chunk
         record_chunk(tel, slot, mark - t0);
       }
     }
@@ -232,8 +255,10 @@ void WorkerPool::parallel_chunks(
 
   impl_->run_chunks(job, 0);  // the caller is participant slot 0
 
-  const std::int64_t wait_start =
-      (telemetry && telemetry->idle_ns) ? now_ns() : 0;
+  const bool time_wait =
+      telemetry != nullptr &&
+      (telemetry->idle_ns != nullptr || telemetry->prof != nullptr);
+  const std::int64_t wait_start = time_wait ? now_ns() : 0;
   {
     // All chunks have been handed out (or the job aborted), so any late
     // worker runs zero body calls; wait for in-flight participants only.
@@ -241,10 +266,12 @@ void WorkerPool::parallel_chunks(
     impl_->done.wait(lock, [&] { return job.active == 0; });
     impl_->job = nullptr;
   }
-  if (telemetry && telemetry->idle_ns) {
+  if (time_wait) {
     // The caller's wait for helpers to drain is slot 0 idle time.
-    telemetry->idle_ns->add(
-        0, static_cast<std::uint64_t>(now_ns() - wait_start));
+    const auto wait_ns = static_cast<std::uint64_t>(now_ns() - wait_start);
+    if (telemetry->idle_ns) telemetry->idle_ns->add(0, wait_ns);
+    if (telemetry->prof != nullptr && telemetry->ph_idle >= 0)
+      telemetry->prof->add_ns(telemetry->ph_idle, 0, wait_ns);
   }
   if (job.error) std::rethrow_exception(job.error);
 }
@@ -269,6 +296,11 @@ void WorkerPool::serial_chunks(
       const auto account_idle = [&](std::int64_t until) {
         if (tel.idle_ns && until > mark)
           tel.idle_ns->add(0, static_cast<std::uint64_t>(until - mark));
+        // Serial mode has no claim counter: the whole between-body stretch
+        // is the profiler's idle phase, like the untimed claim stand-in.
+        if (tel.prof != nullptr && tel.ph_idle >= 0 && until > mark)
+          tel.prof->add_ns(tel.ph_idle, 0,
+                           static_cast<std::uint64_t>(until - mark));
       };
       for (int c = 0; c < chunk_count; ++c) {
         const std::int64_t t0 = now_ns();

@@ -12,6 +12,7 @@
 #include "core/offline.h"
 #include "harness/json.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace paserta {
 namespace {
@@ -25,6 +26,24 @@ using clock_type = std::chrono::steady_clock;
 
 double seconds_since(clock_type::time_point t0) {
   return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/// One extra untimed pass under a bench-level profiler phase, filling the
+/// section's cycles_per_run / ipc columns (see HwColumns in the header).
+/// Leaves the NaN defaults untouched when perf_event_open is denied.
+template <typename Fn>
+void profile_section(double runs, HwColumns& hw, Fn&& body) {
+  Profiler prof;
+  if (!prof.hardware() || runs <= 0.0) return;
+  {
+    ProfScope scope(&prof, prof.phase("bench", /*top_level=*/true), 0);
+    body();
+  }
+  const std::vector<ProfPhaseTotals> snap = prof.snapshot();
+  if (snap.empty() || snap.front().cycles == 0) return;
+  hw.cycles_per_run = static_cast<double>(snap.front().cycles) / runs;
+  hw.ipc = static_cast<double>(snap.front().instructions) /
+           static_cast<double>(snap.front().cycles);
 }
 
 /// The pre-pool sweep shape: one shared worst-case makespan, then one
@@ -77,6 +96,11 @@ ThroughputReport measure_throughput(const Application& app,
         s.seconds > 0.0 ? static_cast<double>(cfg.runs) / s.seconds : 0.0;
     report.samples.push_back(s);
   }
+
+  // Hardware columns at threads = 1: the measuring thread is the worker.
+  cfg.threads = 1;
+  profile_section(static_cast<double>(cfg.runs), report.hw,
+                  [&] { (void)run_point(app, cfg, deadline, 0.0); });
   return report;
 }
 
@@ -88,6 +112,8 @@ std::string throughput_to_json(const ThroughputReport& report) {
       .key("label").value(report.label)
       .key("runs").value(report.runs)
       .key("schemes").value(report.schemes)
+      .key("cycles_per_run").value(report.hw.cycles_per_run)
+      .key("ipc").value(report.hw.ipc)
       .key("samples").begin_array();
   for (const ThroughputSample& s : report.samples) {
     std::ostringstream item;
@@ -138,6 +164,10 @@ BatchThroughputReport measure_batch_throughput(const Application& app,
         s.seconds > 0.0 ? static_cast<double>(cfg.runs) / s.seconds : 0.0;
     report.samples.push_back(s);
   }
+
+  cfg.batch = batches.front();
+  profile_section(static_cast<double>(cfg.runs), report.hw,
+                  [&] { (void)run_point(app, cfg, deadline, 0.0); });
   return report;
 }
 
@@ -150,6 +180,8 @@ std::string batch_throughput_to_json(const BatchThroughputReport& report) {
       .key("runs").value(report.runs)
       .key("schemes").value(report.schemes)
       .key("threads").value(report.threads)
+      .key("cycles_per_run").value(report.hw.cycles_per_run)
+      .key("ipc").value(report.hw.ipc)
       .key("samples").begin_array();
   for (const BatchThroughputSample& s : report.samples) {
     std::ostringstream item;
@@ -221,6 +253,11 @@ DedupThroughputReport measure_dedup_throughput(
     s.speedup = best > 0.0 ? s.off_seconds / best : 0.0;
     report.samples.push_back(s);
   }
+
+  cfg.runs = run_counts.front();
+  cfg.dedup = DedupMode::kOff;  // pure simulation cost, like the point section
+  profile_section(static_cast<double>(cfg.runs), report.hw,
+                  [&] { (void)run_point(app, cfg, deadline, 0.0); });
   return report;
 }
 
@@ -232,6 +269,8 @@ std::string dedup_throughput_to_json(const DedupThroughputReport& report) {
       .key("label").value(report.label)
       .key("schemes").value(report.schemes)
       .key("threads").value(report.threads)
+      .key("cycles_per_run").value(report.hw.cycles_per_run)
+      .key("ipc").value(report.hw.ipc)
       .key("samples").begin_array();
   for (const DedupThroughputSample& s : report.samples) {
     std::ostringstream item;
@@ -310,6 +349,11 @@ SweepThroughputReport measure_sweep_throughput(
                      static_cast<double>(s.threads);
     }
   }
+
+  cfg.threads = 1;
+  profile_section(
+      static_cast<double>(loads.size()) * static_cast<double>(cfg.runs),
+      report.hw, [&] { (void)sweep_load(app, cfg, loads); });
   return report;
 }
 
@@ -323,6 +367,8 @@ std::string sweep_throughput_to_json(const SweepThroughputReport& report) {
       .key("runs").value(report.runs)
       .key("schemes").value(report.schemes)
       .key("host_threads").value(report.host_threads)
+      .key("cycles_per_run").value(report.hw.cycles_per_run)
+      .key("ipc").value(report.hw.ipc)
       .key("samples").begin_array();
   for (const SweepThroughputSample& s : report.samples) {
     std::ostringstream item;

@@ -13,12 +13,25 @@
 // wrapper over this module.
 #pragma once
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
 
 namespace paserta {
+
+/// Section-level hardware-counter columns (cycles per Monte-Carlo run and
+/// instructions per cycle), filled by one extra *untimed* profiled pass at
+/// a single-threaded configuration — the bench thread is the worker there,
+/// so its perf_event group sees the whole run without perturbing the timed
+/// repetitions. NaN (rendered as JSON null) when the host denies
+/// perf_event_open; bench_compare skips non-numeric fields, so history
+/// entries with and without the columns coexist.
+struct HwColumns {
+  double cycles_per_run = std::numeric_limits<double>::quiet_NaN();
+  double ipc = std::numeric_limits<double>::quiet_NaN();
+};
 
 struct ThroughputSample {
   int threads = 1;
@@ -30,6 +43,7 @@ struct ThroughputReport {
   std::string label;  // e.g. "fig4a@load=0.5"
   int runs = 0;       // Monte-Carlo runs per measurement
   int schemes = 0;    // schemes per run (the NPM baseline is extra)
+  HwColumns hw;       // measured at threads = 1
   std::vector<ThroughputSample> samples;
 };
 
@@ -61,6 +75,7 @@ struct BatchThroughputReport {
   int runs = 0;
   int schemes = 0;
   int threads = 1;  // worker count the section was measured at
+  HwColumns hw;     // measured at the first batch entry
   std::vector<BatchThroughputSample> samples;
 };
 
@@ -102,6 +117,7 @@ struct DedupThroughputReport {
   std::string label;  // e.g. "fig4a-alpha1.0@load=0.5"
   int schemes = 0;
   int threads = 1;  // worker count the section was measured at
+  HwColumns hw;     // dedup-off path at the first run count
   std::vector<DedupThroughputSample> samples;
 };
 
@@ -151,6 +167,7 @@ struct SweepThroughputReport {
   /// (tools/bench_compare's efficiency gate) normalize the recorded
   /// efficiency by min(threads, host_threads) before judging it.
   int host_threads = 0;
+  HwColumns hw;  // pooled path at threads = 1, per Monte-Carlo run
   std::vector<SweepThroughputSample> samples;
 };
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "harness/json.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace paserta {
@@ -30,6 +31,11 @@ void write_args(JsonWriter& w, const TraceEvent& ev) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  write_chrome_trace(os, tracer, nullptr);
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const Profiler* prof) {
   const std::vector<TraceEvent> events = tracer.events();
   std::set<int> slots;
   for (const TraceEvent& ev : events) slots.insert(ev.slot);
@@ -62,6 +68,29 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
       w.key("s").value("t");  // instant scope: thread
     write_args(w, ev);
     w.end_object();
+  }
+  // Profiler counter tracks: cumulative per-slot cycle / instruction /
+  // busy-ns samples as "C" events, rebased onto the tracer's timeline.
+  // Samples recorded before the tracer existed would land at negative
+  // timestamps (profiler outliving several tracers); they are dropped.
+  if (prof != nullptr) {
+    const std::int64_t epoch = tracer.epoch_ns();
+    for (const ProfSample& s : prof->samples()) {
+      const std::int64_t ts = s.ts_ns - epoch;
+      if (ts < 0) continue;
+      os << "\n";
+      w.begin_object()
+          .key("name")
+          .value("prof slot " + std::to_string(s.slot))
+          .key("cat").value("paserta").key("ph").value("C")
+          .key("pid").value(1).key("tid").value(s.slot)
+          .key("ts").raw(us(ts))
+          .key("args").begin_object()
+          .key("cycles").value(s.cycles)
+          .key("instructions").value(s.instructions)
+          .key("busy_ns").value(s.ns)
+          .end_object().end_object();
+    }
   }
   os << "\n";
   w.end_array().key("displayTimeUnit").value("ms").end_object();

@@ -13,11 +13,20 @@
 
 namespace paserta {
 
+class Profiler;
 class Tracer;
 
 /// Writes the full trace document. Call after all recording threads have
 /// joined (Tracer::events contract).
 void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Same document, plus the profiler's rate-limited counter samples
+/// (obs/prof.h) spliced in as Perfetto counter tracks ("C" events): one
+/// "prof cycles", "prof instructions" and "prof busy_ns" track per slot
+/// that recorded samples, timestamps rebased from the raw steady clock
+/// onto the tracer's epoch. A null profiler degrades to the plain export.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const Profiler* prof);
 
 /// Same document as a string (tests, small traces).
 std::string chrome_trace_to_json(const Tracer& tracer);

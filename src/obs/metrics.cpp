@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -244,22 +245,51 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus sample values are rendered like JSON numbers except for the
+/// non-finite cases, which the text format spells "+Inf" / "-Inf" / "NaN"
+/// (json_num's "null" is not a valid sample value).
+std::string prom_num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json_num(v);
+}
+
+/// HELP text: the registry's original dotted name, which the sanitized
+/// Prometheus name cannot always be mapped back to ('.' and '-' both
+/// become '_'). Escapes the two characters the format requires.
+void write_help(std::ostream& os, const std::string& prom,
+                const std::string& original) {
+  os << "# HELP " << prom << " paserta metric ";
+  for (const char c : original) {
+    if (c == '\\')
+      os << "\\\\";
+    else if (c == '\n')
+      os << "\\n";
+    else
+      os << c;
+  }
+  os << "\n";
+}
+
 }  // namespace
 
 std::string metrics_to_prometheus(const MetricsSnapshot& snap) {
   std::ostringstream os;
   for (const auto& c : snap.counters) {
     const std::string name = prometheus_name(c.name);
+    write_help(os, name, c.name);
     os << "# TYPE " << name << " counter\n";
     os << name << " " << c.value << "\n";
   }
   for (const auto& g : snap.gauges) {
     const std::string name = prometheus_name(g.name);
+    write_help(os, name, g.name);
     os << "# TYPE " << name << " gauge\n";
-    os << name << " " << json_num(g.value) << "\n";
+    os << name << " " << prom_num(g.value) << "\n";
   }
   for (const auto& h : snap.histograms) {
     const std::string name = prometheus_name(h.name);
+    write_help(os, name, h.name);
     os << "# TYPE " << name << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
@@ -269,7 +299,7 @@ std::string metrics_to_prometheus(const MetricsSnapshot& snap) {
          << (overflow ? std::string("+Inf") : json_num(h.bounds[b])) << "\"} "
          << cumulative << "\n";
     }
-    os << name << "_sum " << json_num(h.sum) << "\n";
+    os << name << "_sum " << prom_num(h.sum) << "\n";
     os << name << "_count " << h.count << "\n";
   }
   return os.str();

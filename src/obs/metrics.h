@@ -202,6 +202,7 @@ struct SimCounters {
 };
 
 class ProgressReporter;  // obs/progress.h
+class Profiler;          // obs/prof.h
 
 /// Telemetry sinks for WorkerPool::parallel_chunks / serial_chunks. Every
 /// pointer may be null (that sink is skipped); a null struct pointer
@@ -212,6 +213,14 @@ struct PoolTelemetry {
   Counter* busy_ns = nullptr;         // time inside bodies, per slot
   Counter* idle_ns = nullptr;         // claim/wait time outside bodies
   ProgressReporter* progress = nullptr;  // one tick per completed chunk
+  /// Phase profiler (obs/prof.h): when set, the pool charges body time to
+  /// ph_busy, counter-claim time to ph_claim and the rest of the claim
+  /// loop to ph_idle via Profiler::add_ns — no extra clock reads beyond
+  /// the one the claim split needs, and none at all when null.
+  Profiler* prof = nullptr;
+  int ph_claim = -1;
+  int ph_busy = -1;
+  int ph_idle = -1;
 };
 
 /// Read-time snapshot of a registry, suitable for rendering. Rows are

@@ -56,6 +56,15 @@ class Tracer {
   /// across threads).
   std::int64_t now_ns() const;
 
+  /// The tracer's epoch as absolute steady-clock nanoseconds — lets
+  /// records timestamped on the raw steady clock (Profiler samples) be
+  /// rebased onto this tracer's timeline (obs/chrome_trace.h).
+  std::int64_t epoch_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               epoch_.time_since_epoch())
+        .count();
+  }
+
   /// Appends a completed span to `slot`'s shard. Only the thread owning
   /// the slot may call this (single-writer sharding).
   void record(int slot, const char* name, std::int64_t ts_ns,

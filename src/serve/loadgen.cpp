@@ -67,6 +67,11 @@ ServeClient::~ServeClient() {
 std::string ServeClient::request(const std::string& line) {
   if (fd_ < 0) return {};
   if (!send_all(fd_, line + "\n")) return {};
+  return read_line();
+}
+
+std::string ServeClient::read_line() {
+  if (fd_ < 0) return {};
   for (;;) {
     const std::size_t nl = carry_.find('\n');
     if (nl != std::string::npos) {

@@ -29,6 +29,10 @@ class ServeClient {
   /// Sends `line` (newline appended) and returns the response line
   /// (newline stripped); empty on a dead connection.
   std::string request(const std::string& line);
+  /// Blocks for the next response line without sending anything — how a
+  /// streaming client (`"stream":true`) drains progress lines until the
+  /// final result. Empty on a dead connection.
+  std::string read_line();
 
  private:
   int fd_ = -1;

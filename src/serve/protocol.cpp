@@ -141,6 +141,12 @@ SimRequest parse_request(const std::string& line, const ServeLimits& limits) {
     req.seed = static_cast<std::uint64_t>(s->number);
   }
 
+  if (const JsonValue* st = doc.find("stream")) {
+    PASERTA_REQUIRE(st->type == JsonValue::Type::Bool,
+                    "request field 'stream' must be a boolean");
+    req.stream = st->boolean;
+  }
+
   const JsonValue* load = doc.find("load");
   const JsonValue* dms = doc.find("deadline_ms");
   PASERTA_REQUIRE(load == nullptr || dms == nullptr,
@@ -180,6 +186,25 @@ std::string render_hello(const std::string& id_json) {
   w.key("type").value("hello").key("server").value("paserta")
       .key("git_rev").value(build_git_rev()).key("build").value(build_type())
       .key("proto").value(1).end_object();
+  return os.str();
+}
+
+std::string render_progress(const std::string& id_json, std::uint64_t done,
+                            std::uint64_t total, const std::string& phase,
+                            double elapsed_ms, std::uint64_t cycles,
+                            std::uint64_t instructions) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (!id_json.empty()) w.key("id").raw(id_json);
+  w.key("event").value("progress")
+      .key("done").value(done)
+      .key("total").value(total)
+      .key("phase").value(phase)
+      .key("elapsed_ms").value(elapsed_ms)
+      .key("cycles").value(cycles)
+      .key("instructions").value(instructions)
+      .end_object();
   return os.str();
 }
 

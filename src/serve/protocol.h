@@ -62,6 +62,11 @@ struct SimRequest {
   /// or deadline_ms. Neither given = load 0.5, the CLI default.
   double load = 0.5;
   std::optional<double> deadline_ms;
+  /// Opt-in progress streaming ("stream": true): on the NDJSON transport
+  /// the server interleaves rate-limited {"event":"progress",...} lines
+  /// while this request is in flight, then writes the unchanged final
+  /// response. Off by default so one-line clients are untouched.
+  bool stream = false;
 };
 
 /// Parses and validates one request line under `limits`. Throws
@@ -83,6 +88,16 @@ std::string render_result(const std::string& id_json,
                           std::uint64_t graph_hash, std::uint64_t coalesced,
                           double elapsed_ms,
                           const std::string& experiment_json);
+
+/// One streamed progress line ("stream": true requests only):
+/// {"id":...,"event":"progress","done":N,"total":M,"phase":"...",
+///  "elapsed_ms":...,"cycles":C,"instructions":I}
+/// done/total count pool chunks of the in-flight batch; cycles and
+/// instructions are the live profiler snapshot (0 on the fallback clock).
+std::string render_progress(const std::string& id_json, std::uint64_t done,
+                            std::uint64_t total, const std::string& phase,
+                            double elapsed_ms, std::uint64_t cycles,
+                            std::uint64_t instructions);
 
 /// Fixed-width lowercase hex of a 64-bit hash ("%016x"), the rendering
 /// graph_hash uses everywhere (responses, logs, tests).

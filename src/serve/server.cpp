@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -199,6 +200,65 @@ std::string SimServer::response_for(const std::string& line) {
   return f.get();
 }
 
+void SimServer::respond_ndjson(int fd, const std::string& line) {
+  SimService::Submission sub = service_.submit_line(line);
+  const auto t0 = std::chrono::steady_clock::now();
+  const long timeout_ms = settings_.request_timeout_ms;
+  if (!sub.stream) {
+    // The pre-streaming exchange, byte for byte: one response line.
+    if (timeout_ms > 0 &&
+        sub.response.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+            std::future_status::ready) {
+      service_.registry().counter("serve.timeouts").add(0, 1);
+      write_all(fd, render_error("", "timeout",
+                                 "no response within " +
+                                     std::to_string(timeout_ms) + " ms") +
+                        "\n");
+      return;
+    }
+    write_all(fd, sub.response.get() + "\n");
+    return;
+  }
+
+  // Streamed request: a progress line at most every stream_interval_ms
+  // while the response is pending, then the unchanged final response —
+  // the overall request_timeout_ms bound still applies.
+  const long interval_ms =
+      std::max(1, settings_.stream_interval_ms);
+  for (;;) {
+    long wait_ms = interval_ms;
+    if (timeout_ms > 0) {
+      const long elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const long remaining_ms = timeout_ms - elapsed_ms;
+      if (remaining_ms <= 0) {
+        service_.registry().counter("serve.timeouts").add(0, 1);
+        write_all(fd, render_error("", "timeout",
+                                   "no response within " +
+                                       std::to_string(timeout_ms) + " ms") +
+                          "\n");
+        return;
+      }
+      wait_ms = std::min(wait_ms, remaining_ms);
+    }
+    if (sub.response.wait_for(std::chrono::milliseconds(wait_ms)) ==
+        std::future_status::ready) {
+      break;
+    }
+    const SimService::LiveProgress lp = service_.live_progress();
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    write_all(fd, render_progress(sub.id_json, lp.done, lp.total, lp.phase,
+                                  elapsed, lp.cycles, lp.instructions) +
+                      "\n");
+  }
+  write_all(fd, sub.response.get() + "\n");
+}
+
 void SimServer::serve_ndjson(int fd, std::string pending) {
   const std::size_t line_cap = service_.limits().max_request_bytes + 1;
   std::string carry;
@@ -213,7 +273,7 @@ void SimServer::serve_ndjson(int fd, std::string pending) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      write_all(fd, response_for(line) + "\n");
+      respond_ndjson(fd, line);
     }
     carry += pending.substr(start);
     pending.clear();
@@ -264,6 +324,11 @@ void SimServer::serve_http(int fd, std::string head) {
                                 service_.metrics_text()));
     return;
   }
+  if (method == "GET" && (path == "/healthz" || path == "/healthz/")) {
+    write_all(fd, http_response(200, "OK", "application/json",
+                                service_.healthz_json() + "\n"));
+    return;
+  }
   if (method == "POST" && path == "/simulate") {
     const long want = content_length_of(head);
     if (want < 0 ||
@@ -287,7 +352,8 @@ void SimServer::serve_http(int fd, std::string head) {
     return;
   }
   write_all(fd, http_response(404, "Not Found", "text/plain",
-                              "try GET /metrics or POST /simulate\n"));
+                              "try GET /metrics, GET /healthz or "
+                              "POST /simulate\n"));
 }
 
 }  // namespace paserta

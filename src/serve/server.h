@@ -8,13 +8,19 @@
 //   * newline-delimited JSON (the native protocol): one request line in,
 //     one response line out, connection stays open for pipelining;
 //   * minimal HTTP/1.1 for curl-ability: GET /metrics returns the
-//     Prometheus exposition, POST /simulate wraps one NDJSON request;
-//     responses close the connection (Connection: close).
+//     Prometheus exposition, GET /healthz the liveness document (built
+//     from atomics — it answers even with the dispatcher wedged), and
+//     POST /simulate wraps one NDJSON request; responses close the
+//     connection (Connection: close).
 //
 // Each connection thread submits to the shared SimService and blocks on
 // the response future — optionally bounded by request_timeout_ms, after
 // which the client gets a structured "timeout" error (the simulation
 // still completes on the dispatcher; only the wait is abandoned).
+//
+// NDJSON requests carrying "stream": true additionally get rate-limited
+// {"event":"progress",...} lines (every stream_interval_ms while the
+// request is in flight) before the final — unchanged — response line.
 //
 // Graceful shutdown: stop() closes the listener, asks the service to
 // drain (already-queued requests still resolve and their responses are
@@ -39,6 +45,9 @@ struct ServerSettings {
   int max_connections = 32;
   /// Per-request response wait bound, ms; 0 = wait forever.
   int request_timeout_ms = 0;
+  /// Spacing of streamed {"event":"progress"} lines for NDJSON requests
+  /// with "stream": true. Requests without the flag never stream.
+  int stream_interval_ms = 250;
 };
 
 class SimServer {
@@ -66,6 +75,9 @@ class SimServer {
   void serve_ndjson(int fd, std::string first_chunk);
   void serve_http(int fd, std::string first_chunk);
   std::string response_for(const std::string& line);
+  /// One NDJSON request/response exchange, including the streamed
+  /// progress lines when the request asked for them.
+  void respond_ndjson(int fd, const std::string& line);
 
   SimService& service_;
   ServerSettings settings_;

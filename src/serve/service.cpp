@@ -88,6 +88,11 @@ SimService::SimService(ServeSettings settings) : settings_(settings) {
     registry_ = owned_registry_.get();
   }
   latency_ = &registry_->histogram("serve.request_seconds", kLatencyBounds);
+  ph_parse_ = prof_.phase("serve.parse", /*top_level=*/true);
+  ph_intern_ = prof_.phase("serve.intern", /*top_level=*/true);
+  ph_group_ = prof_.phase("serve.group", /*top_level=*/true);
+  ph_simulate_ = prof_.phase("serve.simulate", /*top_level=*/true);
+  ph_respond_ = prof_.phase("serve.respond", /*top_level=*/true);
   dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
@@ -96,8 +101,39 @@ SimService::~SimService() { shutdown(); }
 MetricsRegistry& SimService::registry() { return *registry_; }
 
 std::string SimService::metrics_text() {
+  // Fold the profiler's phase totals into the registry as prof.* counter
+  // deltas first, so /metrics carries them alongside serve.*.
+  prof_.export_delta_to(*registry_);
   return "# " + build_version_string() + "\n" +
          metrics_to_prometheus(registry_->snapshot());
+}
+
+std::string SimService::healthz_json() {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .key("status").value("ok")
+      .key("queue_depth")
+      .value(static_cast<std::uint64_t>(
+          depth_.load(std::memory_order_relaxed)))
+      .key("uptime_s").value(uptime)
+      .end_object();
+  return os.str();
+}
+
+SimService::LiveProgress SimService::live_progress() {
+  LiveProgress lp;
+  lp.done = static_cast<std::uint64_t>(progress_.done());
+  lp.total = static_cast<std::uint64_t>(progress_.total());
+  lp.phase = phase_.load(std::memory_order_relaxed);
+  for (const ProfPhaseTotals& t : prof_.snapshot()) {
+    lp.cycles += t.cycles;
+    lp.instructions += t.instructions;
+  }
+  return lp;
 }
 
 std::size_t SimService::queue_depth() {
@@ -106,18 +142,42 @@ std::size_t SimService::queue_depth() {
 }
 
 std::shared_future<std::string> SimService::submit(const std::string& line) {
+  return submit_line(line).response;
+}
+
+SimService::Submission SimService::submit_line(const std::string& line) {
+  // Parsing runs concurrently on connection threads, so it is timed here
+  // and charged to serve.parse inside the m_-held sections below — the
+  // mutex serializes the cell writes, keeping the single-writer contract.
+  const auto p0 = std::chrono::steady_clock::now();
   SimRequest req;
+  std::string parse_error;
   try {
     req = parse_request(line, settings_.limits);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lk(m_);
-    registry_->counter("serve.bad_requests").add(0, 1);
-    return ready_future(render_error("", "bad_request", e.what()));
+    parse_error = e.what();
   }
+  const auto parse_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - p0)
+          .count());
+
+  Submission sub;
+  if (!parse_error.empty()) {
+    std::lock_guard<std::mutex> lk(m_);
+    prof_.add_ns(ph_parse_, 0, parse_ns);
+    registry_->counter("serve.bad_requests").add(0, 1);
+    sub.response = ready_future(render_error("", "bad_request", parse_error));
+    return sub;
+  }
+  sub.stream = req.stream;
+  sub.id_json = req.id_json;
   if (req.command == "hello") {
     std::lock_guard<std::mutex> lk(m_);
+    prof_.add_ns(ph_parse_, 0, parse_ns);
     registry_->counter("serve.hellos").add(0, 1);
-    return ready_future(render_hello(req.id_json));
+    sub.response = ready_future(render_hello(req.id_json));
+    return sub;
   }
 
   auto job = std::make_unique<Job>();
@@ -126,26 +186,30 @@ std::shared_future<std::string> SimService::submit(const std::string& line) {
   if (settings_.tracer != nullptr) job->ts_ns = settings_.tracer->now_ns();
 
   std::lock_guard<std::mutex> lk(m_);
+  prof_.add_ns(ph_parse_, 0, parse_ns);
   if (stopping_) {
     registry_->counter("serve.rejected").add(0, 1);
-    return ready_future(render_error(job->req.id_json, "shutting_down",
-                                     "server is shutting down"));
+    sub.response = ready_future(render_error(job->req.id_json, "shutting_down",
+                                             "server is shutting down"));
+    return sub;
   }
   if (queue_.size() >= static_cast<std::size_t>(settings_.queue_limit)) {
     registry_->counter("serve.rejected").add(0, 1);
-    return ready_future(render_error(
+    sub.response = ready_future(render_error(
         job->req.id_json, "overloaded",
         "queue full (" + std::to_string(queue_.size()) +
             " pending); retry later"));
+    return sub;
   }
   job->seq = next_seq_++;
   registry_->counter("serve.requests").add(0, 1);
-  auto future = job->promise.get_future().share();
+  sub.response = job->promise.get_future().share();
   queue_.push_back(std::move(job));
+  depth_.store(queue_.size(), std::memory_order_relaxed);
   registry_->gauge("serve.queue_depth")
       .set(0, static_cast<double>(queue_.size()));
   cv_.notify_all();
-  return future;
+  return sub;
 }
 
 void SimService::pause_dispatch() {
@@ -185,6 +249,7 @@ void SimService::dispatcher_main() {
         continue;
       }
       batch.swap(queue_);
+      depth_.store(0, std::memory_order_relaxed);
       registry_->gauge("serve.queue_depth").set(0, 0.0);
     }
     process_batch(batch);
@@ -223,9 +288,11 @@ void SimService::process_batch(std::vector<std::unique_ptr<Job>>& batch) {
   };
   std::vector<Group> groups;
   std::unordered_map<std::string, std::size_t> index;
+  phase_.store("intern", std::memory_order_relaxed);
   for (auto& job : batch) {
     Application app;
     try {
+      ProfScope intern_scope(&prof_, ph_intern_, 0);
       app = build_app(job->req);
     } catch (const std::exception& e) {
       registry_->counter("serve.bad_requests").add(0, 1);
@@ -234,11 +301,16 @@ void SimService::process_batch(std::vector<std::unique_ptr<Job>>& batch) {
       continue;
     }
     std::string app_name = app.name;
-    const GraphStore::Entry& entry = store_.intern(std::move(app));
-    const std::string key = group_key(job->req, entry.id, app_name);
+    const GraphStore::Entry* entry = nullptr;
+    {
+      ProfScope intern_scope(&prof_, ph_intern_, 0);
+      entry = &store_.intern(std::move(app));
+    }
+    ProfScope group_scope(&prof_, ph_group_, 0);
+    const std::string key = group_key(job->req, entry->id, app_name);
     auto [it, inserted] = index.try_emplace(key, groups.size());
     if (inserted) {
-      groups.push_back(Group{&entry, std::move(app_name), {}});
+      groups.push_back(Group{entry, std::move(app_name), {}});
     }
     groups[it->second].jobs.push_back(job.get());
   }
@@ -274,42 +346,51 @@ void SimService::process_batch(std::vector<std::unique_ptr<Job>>& batch) {
       cfg.collect_metrics = true;
       cfg.registry = registry_;
       cfg.tracer = settings_.tracer;
+      cfg.prof = &prof_;
+      cfg.progress = &progress_;
 
-      SimTime deadline{};
+      SweepPoint point;
       double x = 0.0;
       std::string x_name;
-      if (req.deadline_ms) {
-        deadline = SimTime::from_ms(*req.deadline_ms);
-        x = *req.deadline_ms;
-        x_name = "deadline_ms";
-      } else {
-        // Same derivation as sweep_load: one canonical analysis per
-        // (graph, cpus, budget, heuristic), shared across requests via
-        // the long-lived cache. Export the get() delta ourselves — only
-        // run_point's internal gets are exported by the harness.
-        const std::uint64_t h0 = cache_.hits();
-        const std::uint64_t m0 = cache_.misses();
-        const CanonicalAnalysis& canon = cache_.get(
-            app, CanonicalOptions{
-                     cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
-                     cfg.heuristic});
-        registry_->counter("offline.cache.hits").add(0, cache_.hits() - h0);
-        registry_->counter("offline.cache.misses")
-            .add(0, cache_.misses() - m0);
-        deadline = deadline_from_load(canon.worst_makespan(), req.load);
-        x = req.load;
-        x_name = "load";
-      }
+      phase_.store("simulate", std::memory_order_relaxed);
+      {
+        ProfScope sim_scope(&prof_, ph_simulate_, 0);
+        SimTime deadline{};
+        if (req.deadline_ms) {
+          deadline = SimTime::from_ms(*req.deadline_ms);
+          x = *req.deadline_ms;
+          x_name = "deadline_ms";
+        } else {
+          // Same derivation as sweep_load: one canonical analysis per
+          // (graph, cpus, budget, heuristic), shared across requests via
+          // the long-lived cache. Export the get() delta ourselves — only
+          // run_point's internal gets are exported by the harness.
+          const std::uint64_t h0 = cache_.hits();
+          const std::uint64_t m0 = cache_.misses();
+          const CanonicalAnalysis& canon = cache_.get(
+              app, CanonicalOptions{
+                       cfg.cpus, cfg.overheads.worst_case_budget(cfg.table),
+                       cfg.heuristic});
+          registry_->counter("offline.cache.hits").add(0, cache_.hits() - h0);
+          registry_->counter("offline.cache.misses")
+              .add(0, cache_.misses() - m0);
+          deadline = deadline_from_load(canon.worst_makespan(), req.load);
+          x = req.load;
+          x_name = "load";
+        }
 
-      const auto sim0 = std::chrono::steady_clock::now();
-      const SweepPoint point = run_point(app, cfg, deadline, x, &cache_);
-      elapsed_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - sim0)
-                       .count();
+        const auto sim0 = std::chrono::steady_clock::now();
+        point = run_point(app, cfg, deadline, x, &cache_);
+        elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - sim0)
+                         .count();
+      }
 
       // Render the exact document `paserta_cli sweep --json` prints for
       // this point (minus its trailing newline) — the bit-identity
       // contract pinned by test_serve.
+      phase_.store("respond", std::memory_order_relaxed);
+      ProfScope render_scope(&prof_, ph_respond_, 0);
       JsonExportOptions jopt;
       jopt.experiment_id = g.app_name + "-" + x_name;
       jopt.caption = "paserta_cli sweep";
@@ -319,6 +400,7 @@ void SimService::process_batch(std::vector<std::unique_ptr<Job>>& batch) {
       response_error = e.what();
     }
 
+    ProfScope respond_scope(&prof_, ph_respond_, 0);
     for (Job* job : g.jobs) {
       if (!response_error.empty()) {
         registry_->counter("serve.errors").add(0, 1);
@@ -333,6 +415,7 @@ void SimService::process_batch(std::vector<std::unique_ptr<Job>>& batch) {
       }
     }
   }
+  phase_.store("idle", std::memory_order_relaxed);
 }
 
 }  // namespace paserta

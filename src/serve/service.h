@@ -27,6 +27,8 @@
 // contract TSan-clean.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -38,6 +40,8 @@
 
 #include "core/offline.h"
 #include "harness/experiment.h"
+#include "obs/prof.h"
+#include "obs/progress.h"
 #include "serve/graph_store.h"
 #include "serve/protocol.h"
 
@@ -78,6 +82,35 @@ class SimService {
   /// surface asynchronously (the graph is built on the dispatcher).
   std::shared_future<std::string> submit(const std::string& line);
 
+  /// submit() plus the transport hints a streaming front-end needs: the
+  /// request's parsed "stream" flag and its echoed id (for the
+  /// {"event":"progress"} lines the server interleaves while waiting).
+  struct Submission {
+    std::shared_future<std::string> response;
+    bool stream = false;
+    std::string id_json;
+  };
+  Submission submit_line(const std::string& line);
+
+  /// Live dispatcher state for streamed progress lines: cumulative pool
+  /// chunks done/total over the service lifetime, the phase the
+  /// dispatcher is in, and the profiler's cycle/instruction totals (0 on
+  /// the fallback clock). Lock-free w.r.t. the dispatcher (atomics plus a
+  /// profiler snapshot); callable from any thread.
+  struct LiveProgress {
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+    const char* phase = "idle";
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+  };
+  LiveProgress live_progress();
+
+  /// The GET /healthz body: {"status":"ok","queue_depth":N,
+  /// "uptime_s":...} built from atomics only — never touches the
+  /// dispatcher lock, so a wedged dispatcher still answers liveness.
+  std::string healthz_json();
+
   /// Drains every pending request (even while paused), stops the
   /// dispatcher and rejects later submits with "shutting_down".
   /// Idempotent; called by the destructor.
@@ -104,6 +137,10 @@ class SimService {
   /// an exact answer.
   double latency_quantile(double q) const { return latency_->percentile(q); }
 
+  /// The service's phase profiler — counter tracks for the daemon's
+  /// --trace-out flush. Snapshot/samples are safe from any thread.
+  const Profiler& profiler() const { return prof_; }
+
  private:
   struct Job {
     SimRequest req;
@@ -128,6 +165,27 @@ class SimService {
   bool paused_ = false;
   bool stopping_ = false;
   std::uint64_t next_seq_ = 0;
+
+  // Lock-free observability mirrors (healthz / live progress): depth_
+  // shadows queue_.size() (stored under m_, read without it), phase_ is
+  // the dispatcher's current stage, progress_ counts pool chunks (its
+  // callback is a no-op; the atomic done/total accessors are the point).
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<const char*> phase_{"idle"};
+  ProgressReporter progress_{[](const ProgressSnapshot&) {}};
+
+  // Phase profiler (DESIGN.md §17). serve.parse is charged by connection
+  // threads but only inside submit_line's m_-held section (serialized
+  // writers, wall-clock only); the other serve.* phases and everything
+  // the harness charges run on the dispatcher / pool slots.
+  Profiler prof_;
+  int ph_parse_ = -1;
+  int ph_intern_ = -1;
+  int ph_group_ = -1;
+  int ph_simulate_ = -1;
+  int ph_respond_ = -1;
 
   // Dispatcher-confined state (no locking: single thread).
   GraphStore store_;

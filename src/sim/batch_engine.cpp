@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/prof.h"
 #include "sim/engine_core.h"
 
 namespace paserta {
@@ -762,7 +763,15 @@ void simulate_batch(const Application& app, const OfflineResult& off,
                       options.shared_cell == nullptr,
                   "pass per-lane cells or a shared cell, not both");
 
+  // Everything up to the run_class dispatch is per-batch setup (derived
+  // tables, policy devirtualization, per-lane slab reset); the dispatch
+  // loop itself is the drain. Both phases are profiler-charged when the
+  // caller wired one up (harness batch.setup / batch.drain).
+  const bool trace = options.record_trace;
+  PolicyClass pc = PolicyClass::Static;
   BatchCtx ctx;
+  {
+  ProfScope setup_scope(options.prof, options.ph_setup, options.slot);
   ctx.nodes = app.graph.nodes();
   ctx.eo = off.eo_table();
   ctx.eet = off.eet_table();
@@ -799,7 +808,6 @@ void simulate_batch(const Application& app, const OfflineResult& off,
   // adaptive floor is re-derived per lane below).
   const auto policy = make_policy(scheme, popt);
   policy->reset(off, pm);
-  PolicyClass pc = PolicyClass::Static;
   const bool dynamic = policy->kind() == SpeedPolicy::Kind::Dynamic;
   ctx.initial_level =
       dynamic ? pm.table().size() - 1 : policy->static_level();
@@ -830,7 +838,6 @@ void simulate_batch(const Application& app, const OfflineResult& off,
   }
 
   const std::size_t nlevels = pm.table().size();
-  const bool trace = options.record_trace;
   ws.ensure(lanes, n, static_cast<std::size_t>(off.cpus()), nlevels, trace);
 
   // Batch-shared derived tables. The compute-overhead and reciprocal
@@ -937,9 +944,11 @@ void simulate_batch(const Application& app, const OfflineResult& off,
     }
     if (trace) ws.traces[l].clear();
   }
+  }  // end of batch.setup
 
   const bool counters =
       options.lane_cells != nullptr || options.shared_cell != nullptr;
+  ProfScope drain_scope(options.prof, options.ph_drain, options.slot);
   switch (pc) {
     case PolicyClass::Static:
       run_class<PolicyClass::Static>(ctx, ws, lanes, counters, trace);

@@ -61,6 +61,15 @@ struct BatchSimOptions {
   /// into it in lane order (integer adds — totals match per-run export).
   /// Null = counting off.
   SimCounters* shared_cell = nullptr;
+  /// Phase profiler (obs/prof.h): when set, simulate_batch charges its
+  /// per-batch setup (slab reset, derived tables, policy devirtualization)
+  /// to ph_setup and the lockstep dispatch loop to ph_drain, on `slot`.
+  /// Write-only like every obs hook — outputs are bit-identical with it
+  /// on or off. Null = two pointer tests per batch.
+  Profiler* prof = nullptr;
+  int ph_setup = -1;
+  int ph_drain = -1;
+  int slot = 0;
 };
 
 /// Reusable lane-major SoA state of simulate_batch. All mutable per-lane

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "apps/synthetic.h"
@@ -295,6 +296,21 @@ TEST(Prometheus, RoundTripsAgainstJsonSnapshot) {
   EXPECT_NE(text.find("# TYPE pool_chunk_seconds histogram"),
             std::string::npos);
 
+  // Every metric carries a HELP line that preserves the original dotted
+  // registry name, which the sanitized name cannot be mapped back to.
+  EXPECT_NE(
+      text.find("# HELP engine_GSS_tasks paserta metric engine.GSS.tasks"),
+      std::string::npos);
+  EXPECT_NE(text.find("# HELP sweep_points paserta metric sweep.points"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "# HELP pool_chunk_seconds paserta metric pool.chunk_seconds"),
+      std::string::npos);
+  // HELP precedes TYPE for each family (the conventional ordering).
+  EXPECT_LT(text.find("# HELP engine_GSS_tasks"),
+            text.find("# TYPE engine_GSS_tasks"));
+
   // Every JSON counter and gauge value survives the text round trip.
   for (const JsonValue& c : doc.at("counters").array) {
     const auto it = prom.find(prom_name(c.at("name").str));
@@ -340,6 +356,19 @@ TEST(Prometheus, RoundTripsAgainstJsonSnapshot) {
     EXPECT_DOUBLE_EQ(prom.at(base + "_sum"), hj.at("sum").number);
     EXPECT_DOUBLE_EQ(prom.at(base + "_count"), hj.at("count").number);
   }
+}
+
+TEST(Prometheus, NonFiniteValuesUseTextFormatSpelling) {
+  // JSON renders non-finite numbers as null; the Prometheus text format
+  // spells them NaN / +Inf / -Inf, which the exporter must emit for
+  // gauges and histogram _sum (a "null" sample value breaks scrapers).
+  MetricsRegistry reg;
+  reg.gauge("odd.nan").set(0, std::nan(""));
+  reg.gauge("odd.inf").set(0, std::numeric_limits<double>::infinity());
+  const std::string text = metrics_to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("odd_nan NaN"), std::string::npos);
+  EXPECT_NE(text.find("odd_inf +Inf"), std::string::npos);
+  EXPECT_EQ(text.find("null"), std::string::npos);
 }
 
 // -------------------------------------------------------------- tracing

@@ -402,6 +402,151 @@ TEST(ServeServer, ConcurrentClientsAllComplete) {
   server.stop();
 }
 
+TEST(ServeProtocol, RendersProgressLines) {
+  const std::string with_id =
+      render_progress("\"s1\"", 3, 8, "simulate", 12.5, 1000, 2000);
+  EXPECT_EQ(with_id.find('\n'), std::string::npos);
+  const JsonValue v = json_parse(with_id);
+  EXPECT_EQ(v.at("id").str, "s1");
+  EXPECT_EQ(v.at("event").str, "progress");
+  EXPECT_DOUBLE_EQ(v.at("done").number, 3.0);
+  EXPECT_DOUBLE_EQ(v.at("total").number, 8.0);
+  EXPECT_EQ(v.at("phase").str, "simulate");
+  EXPECT_DOUBLE_EQ(v.at("elapsed_ms").number, 12.5);
+  EXPECT_DOUBLE_EQ(v.at("cycles").number, 1000.0);
+  EXPECT_DOUBLE_EQ(v.at("instructions").number, 2000.0);
+  // No id field when the request carried none.
+  const JsonValue anon = json_parse(render_progress("", 0, 0, "idle", 0, 0, 0));
+  EXPECT_EQ(anon.find("id"), nullptr);
+  EXPECT_EQ(anon.at("event").str, "progress");
+}
+
+TEST(ServeService, HealthzReportsQueueDepthWithoutDispatcher) {
+  SimService service(ServeSettings{});
+  const JsonValue idle = json_parse(service.healthz_json());
+  EXPECT_EQ(idle.at("status").str, "ok");
+  EXPECT_DOUBLE_EQ(idle.at("queue_depth").number, 0.0);
+  EXPECT_GE(idle.at("uptime_s").number, 0.0);
+
+  // With the dispatcher paused (standing in for a wedged one), liveness
+  // still answers — healthz reads atomics, never the dispatcher lock —
+  // and sees the queued work.
+  service.pause_dispatch();
+  auto f1 = service.submit(atr_request(0.4));
+  auto f2 = service.submit(atr_request(0.5));
+  const JsonValue busy = json_parse(service.healthz_json());
+  EXPECT_EQ(busy.at("status").str, "ok");
+  EXPECT_DOUBLE_EQ(busy.at("queue_depth").number, 2.0);
+  service.resume_dispatch();
+  f1.get();
+  f2.get();
+  // Dispatched: the depth gauge returns to zero.
+  EXPECT_DOUBLE_EQ(json_parse(service.healthz_json()).at("queue_depth").number,
+                   0.0);
+}
+
+TEST(ServeServer, HttpHealthzAnswersAlongsideMetrics) {
+  SimService service(ServeSettings{});
+  SimServer server(service, ServerSettings{});
+  const JsonValue v = json_parse(http_request(server.port(), "/healthz"));
+  EXPECT_EQ(v.at("status").str, "ok");
+  EXPECT_DOUBLE_EQ(v.at("queue_depth").number, 0.0);
+  EXPECT_GE(v.at("uptime_s").number, 0.0);
+  // Both observability endpoints coexist on one listener. A fresh
+  // service has no request counters yet, but /metrics always leads with
+  // the provenance comment.
+  EXPECT_EQ(http_request(server.port(), "/metrics").rfind("# paserta ", 0),
+            0u);
+}
+
+TEST(ServeServer, StreamedRequestEmitsProgressThenUnchangedResult) {
+  SimService service(ServeSettings{});
+  ServerSettings net;
+  net.stream_interval_ms = 10;  // fast ticks so the test sees progress
+  SimServer server(service, net);
+  service.pause_dispatch();  // hold the response so progress lines flow
+
+  ServeClient client(server.port());
+  const std::string first =
+      client.request(atr_request(0.5, kRuns, ",\"id\":\"s1\",\"stream\":true"));
+  // Every line before the final response is a progress event carrying the
+  // request id — the paused dispatcher guarantees at least this first one.
+  const JsonValue p = json_parse(first);
+  EXPECT_EQ(p.at("event").str, "progress");
+  EXPECT_EQ(p.at("id").str, "s1");
+  EXPECT_GE(p.at("elapsed_ms").number, 0.0);
+  EXPECT_GE(p.at("total").number, p.at("done").number);
+
+  service.resume_dispatch();
+  int progress_lines = 1;
+  std::string final_line;
+  for (;;) {
+    const std::string line = client.read_line();
+    ASSERT_FALSE(line.empty());
+    const JsonValue v = json_parse(line);
+    if (v.find("event") != nullptr) {
+      // Strict ordering: progress only ever precedes the result.
+      EXPECT_EQ(v.at("event").str, "progress");
+      ++progress_lines;
+      continue;
+    }
+    final_line = line;
+    break;
+  }
+  EXPECT_GE(progress_lines, 1);
+  // The final line is byte-for-byte the non-streamed result document.
+  const JsonValue result = json_parse(final_line);
+  EXPECT_EQ(result.at("type").str, "result");
+  EXPECT_NE(final_line.find("\"experiment\":" + expected_cli_document(0.5, kRuns)),
+            std::string::npos);
+}
+
+TEST(ServeServer, StreamIntervalRateLimitsProgress) {
+  // A huge interval means the response is ready long before the first
+  // progress tick: a streaming client sees exactly one line, identical in
+  // payload to the non-streamed exchange. One-line clients that never set
+  // the flag are untouched by construction (sub.stream = false path).
+  SimService service(ServeSettings{});
+  ServerSettings net;
+  net.stream_interval_ms = 60'000;
+  SimServer server(service, net);
+  ServeClient client(server.port());
+  const std::string only =
+      client.request(atr_request(0.5, kRuns, ",\"stream\":true"));
+  const JsonValue v = json_parse(only);
+  EXPECT_EQ(v.at("type").str, "result");
+  EXPECT_EQ(only.find("\"event\""), std::string::npos);
+  EXPECT_NE(only.find("\"experiment\":" + expected_cli_document(0.5, kRuns)),
+            std::string::npos);
+}
+
+TEST(ServeServer, StreamedRequestStillHonoursTimeout) {
+  SimService service(ServeSettings{});
+  ServerSettings net;
+  net.request_timeout_ms = 80;
+  net.stream_interval_ms = 25;
+  SimServer server(service, net);
+  service.pause_dispatch();  // guarantee the overall wait expires
+  ServeClient client(server.port());
+  const std::string first =
+      client.request(atr_request(0.5, kRuns, ",\"stream\":true"));
+  // Progress lines may precede the timeout; the last line is the same
+  // structured error the non-streamed path produces.
+  std::string line = first;
+  for (;;) {
+    const JsonValue v = json_parse(line);
+    if (v.find("event") != nullptr) {
+      line = client.read_line();
+      ASSERT_FALSE(line.empty());
+      continue;
+    }
+    EXPECT_EQ(v.at("type").str, "error");
+    EXPECT_EQ(v.at("code").str, "timeout");
+    break;
+  }
+  service.resume_dispatch();
+}
+
 TEST(ServeServer, StopDrainsInFlightRequests) {
   auto service = std::make_unique<SimService>(ServeSettings{});
   auto server = std::make_unique<SimServer>(*service, ServerSettings{});

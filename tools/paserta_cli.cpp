@@ -3,6 +3,7 @@
 //   paserta_cli analyze  <workload> [options]   offline analysis report
 //   paserta_cli simulate <workload> [options]   one run + gantt + stats
 //   paserta_cli sweep    <workload> [options]   load/alpha sweep (CSV/JSON)
+//   paserta_cli profile  <workload> [options]   per-phase cycle profile
 //   paserta_cli metrics  <workload>             structural metrics
 //   paserta_cli dot      <workload>             Graphviz dump
 //   paserta_cli tables                          DVS level tables
@@ -69,6 +70,7 @@
 #include "harness/report.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/gantt.h"
@@ -106,11 +108,15 @@ struct Options {
   std::string metrics_format = "json";
   bool audit = false;
   bool progress = false;
+  // profile
+  bool sweep = false;
+  bool fallback = false;
   // serve
   int port = 0;
   int queue_limit = 256;
   int timeout_ms = 0;
   int max_conn = 32;
+  int stream_interval_ms = 250;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -122,6 +128,8 @@ struct Options {
       "  analyze  <workload>   offline analysis report\n"
       "  simulate <workload>   one run + gantt + stats\n"
       "  sweep    <workload>   load/alpha sweep (CSV/JSON)\n"
+      "  profile  <workload>   run a point (or --sweep) under the phase\n"
+      "                        profiler and print the per-phase table\n"
       "  metrics  <workload>   structural graph metrics\n"
       "  dot      <workload>   Graphviz dump\n"
       "  tables                DVS level tables\n"
@@ -170,6 +178,13 @@ struct Options {
       "                      the power-trace integral must match (slower;\n"
       "                      output identical to a non-audited sweep)\n"
       "  --progress          live progress line on stderr\n"
+      "profile:\n"
+      "  --sweep             profile the full --from/--to/--step load sweep\n"
+      "                      instead of the single --load point\n"
+      "  --fallback          force the monotonic-clock fallback even when\n"
+      "                      perf_event_open is available (PASERTA_NO_PERF=1\n"
+      "                      does the same from the environment)\n"
+      "  --runs/--threads/--batch/--dedup apply as in sweep\n"
       "serve:\n"
       "  --port N            listen port on 127.0.0.1 (default 0 =\n"
       "                      ephemeral; the bound port is printed)\n"
@@ -178,6 +193,9 @@ struct Options {
       "  --timeout-ms N      per-request response wait bound (default 0 =\n"
       "                      none)\n"
       "  --max-conn N        concurrent connections (default 32)\n"
+      "  --stream-interval-ms N   spacing of {\"event\":\"progress\"} lines\n"
+      "                      for NDJSON requests with \"stream\":true\n"
+      "                      (default 250)\n"
       "  --threads/--batch/--dedup, --trace-out, --metrics-out and\n"
       "  --metrics-format apply to the daemon's simulations; SIGINT or\n"
       "  SIGTERM drains in-flight requests and flushes the sinks\n";
@@ -252,6 +270,8 @@ Options parse_args(int argc, char** argv) {
     }
     else if (flag == "--audit") o.audit = true;
     else if (flag == "--progress") o.progress = true;
+    else if (flag == "--sweep") o.sweep = true;
+    else if (flag == "--fallback") o.fallback = true;
     else if (flag == "--port") o.port = std::stoi(need_value("--port"));
     else if (flag == "--queue-limit")
       o.queue_limit = std::stoi(need_value("--queue-limit"));
@@ -259,6 +279,8 @@ Options parse_args(int argc, char** argv) {
       o.timeout_ms = std::stoi(need_value("--timeout-ms"));
     else if (flag == "--max-conn")
       o.max_conn = std::stoi(need_value("--max-conn"));
+    else if (flag == "--stream-interval-ms")
+      o.stream_interval_ms = std::stoi(need_value("--stream-interval-ms"));
     else usage(("unknown flag " + flag).c_str());
     if (inline_value) usage(("flag " + flag + " takes no value").c_str());
   }
@@ -423,9 +445,14 @@ int cmd_sweep(const Options& o) {
   // Observability sinks (all optional; none of them changes the sweep
   // output — see the determinism contract in obs/metrics.h).
   std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<Profiler> prof;
   if (!o.trace_out.empty()) {
     tracer = std::make_unique<Tracer>(Tracer::Detail::kRuns);
     cfg.tracer = tracer.get();
+    // Phase counter tracks ride along in the trace file; write-only for
+    // the sweep, like the tracer itself.
+    prof = std::make_unique<Profiler>();
+    cfg.prof = prof.get();
   }
   MetricsRegistry registry;  // scoped: one sweep's metrics, nothing else
   if (!o.metrics_out.empty()) {
@@ -455,11 +482,12 @@ int cmd_sweep(const Options& o) {
       std::cerr << "cannot write '" << o.trace_out << "'\n";
       return 1;
     }
-    write_chrome_trace(trace_file, *tracer);
+    write_chrome_trace(trace_file, *tracer, prof.get());
     std::cerr << "wrote " << o.trace_out << " (" << tracer->event_count()
               << " events; open in ui.perfetto.dev)\n";
   }
   if (!o.metrics_out.empty()) {
+    if (prof) prof->export_delta_to(registry);
     const MetricsSnapshot snap = registry.snapshot();
     const std::string rendered = o.metrics_format == "prometheus"
                                      ? metrics_to_prometheus(snap)
@@ -487,6 +515,86 @@ int cmd_sweep(const Options& o) {
   } else {
     sweep_table(points, o.x).write_csv(std::cout);
   }
+  return 0;
+}
+
+int cmd_profile(const Options& o) {
+  const Application app = load(o);
+  ExperimentConfig cfg;
+  cfg.cpus = o.cpus;
+  cfg.table = table_of(o);
+  cfg.runs = o.runs;
+  cfg.seed = o.seed;
+  cfg.threads = o.threads;
+  cfg.batch = o.batch;
+  cfg.dedup = o.dedup == "on"    ? DedupMode::kOn
+              : o.dedup == "off" ? DedupMode::kOff
+                                 : DedupMode::kAuto;
+  cfg.heuristic = heuristic_of(o);
+
+  Profiler prof(o.fallback ? Profiler::Mode::kFallback
+                           : Profiler::Mode::kAuto);
+  cfg.prof = &prof;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepPoint> points = sweep_load(
+      app, cfg,
+      o.sweep ? sweep_range(o.from, o.to, o.step)
+              : std::vector<double>{o.load});
+  const double wall_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::vector<ProfPhaseTotals> phases = prof.snapshot();
+  std::uint64_t top_ns = 0;
+  for (const ProfPhaseTotals& p : phases)
+    if (p.top_level) top_ns += p.ns;
+  // Monte-Carlo draws across the whole command — the same denominator the
+  // bench's runs/sec uses, so cycles/run here and cycles_per_run there
+  // line up (EXPERIMENTS.md).
+  const double total_runs =
+      static_cast<double>(points.size()) * static_cast<double>(cfg.runs);
+  const bool hw = prof.hardware();
+
+  std::cout << "workload    : " << app.name << "  (" << points.size()
+            << (points.size() == 1 ? " point, " : " points, ") << cfg.runs
+            << " runs/point, " << o.threads << " thread"
+            << (o.threads == 1 ? "" : "s") << ")\n"
+            << "clock       : "
+            << (hw ? "hardware counters" : "monotonic fallback") << "\n"
+            << "wall        : " << Table::num(wall_ns / 1e6, 2) << " ms\n"
+            << "attributed  : "
+            << Table::num(100.0 * static_cast<double>(top_ns) / wall_ns, 1)
+            << "% of wall in top-level phases\n\n";
+
+  Table t({"phase", "count", "ms", "%wall", "cyc/run", "ipc", "L$miss%",
+           "brm/kI"});
+  for (const ProfPhaseTotals& p : phases) {
+    if (p.count == 0) continue;
+    // Nested phases (indented) break their top-level parent down and are
+    // excluded from the attribution sum above.
+    const std::string name = p.top_level ? p.name : "  " + p.name;
+    const bool cols = hw && p.cycles > 0;
+    t.add_row(
+        {name, std::to_string(p.count),
+         Table::num(static_cast<double>(p.ns) / 1e6, 2),
+         Table::num(100.0 * static_cast<double>(p.ns) / wall_ns, 1),
+         cols ? Table::num(static_cast<double>(p.cycles) / total_runs, 0)
+              : "-",
+         cols ? Table::num(static_cast<double>(p.instructions) /
+                               static_cast<double>(p.cycles), 2)
+              : "-",
+         cols && p.cache_refs > 0
+             ? Table::num(100.0 * static_cast<double>(p.cache_misses) /
+                              static_cast<double>(p.cache_refs), 1)
+             : "-",
+         cols && p.instructions > 0
+             ? Table::num(1000.0 * static_cast<double>(p.branch_misses) /
+                              static_cast<double>(p.instructions), 2)
+             : "-"});
+  }
+  t.write_pretty(std::cout);
   return 0;
 }
 
@@ -551,6 +659,7 @@ int cmd_serve(const Options& o) {
   net.port = static_cast<std::uint16_t>(o.port);
   net.max_connections = o.max_conn;
   net.request_timeout_ms = o.timeout_ms;
+  net.stream_interval_ms = o.stream_interval_ms;
   SimServer server(service, net);
 
   struct sigaction sa{};
@@ -576,7 +685,7 @@ int cmd_serve(const Options& o) {
       std::cerr << "cannot write '" << o.trace_out << "'\n";
       return 1;
     }
-    write_chrome_trace(trace_file, *tracer);
+    write_chrome_trace(trace_file, *tracer, &service.profiler());
     std::cerr << "wrote " << o.trace_out << " (" << tracer->event_count()
               << " events)\n";
   }
@@ -614,6 +723,7 @@ int main(int argc, char** argv) {
     if (o.command == "analyze") return cmd_analyze(o);
     if (o.command == "simulate") return cmd_simulate(o);
     if (o.command == "sweep") return cmd_sweep(o);
+    if (o.command == "profile") return cmd_profile(o);
     if (o.command == "metrics") return cmd_metrics(o);
     if (o.command == "dot") return cmd_dot(o);
     if (o.command == "tables") return cmd_tables();
